@@ -1,0 +1,38 @@
+// Ablation: the §5.5 extensibility claim applied to this implementation's
+// own extension operators (SplitAll, DeleteRow — not in the paper's
+// library). Mirrors the Fig 12c methodology: the registry grows, the core
+// is untouched, and the question is whether the extra branching slows the
+// existing suite down or changes what gets solved.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace foofah;
+  using namespace foofah::bench;
+
+  struct Config {
+    const char* label;
+    OperatorRegistry registry;
+  };
+  Config configs[] = {
+      {"paper library", OperatorRegistry::Default()},
+      {"+SplitAll+DelRow", OperatorRegistry::WithExtensions()},
+  };
+
+  std::printf(
+      "Extension-operator ablation: synthesis time (ms) at each coverage\n"
+      "decile (A* + TED Batch + FullPrune, 2-record examples)\n\n");
+  PrintTimeCurveHeader();
+  for (Config& config : configs) {
+    SearchOptions options = BudgetedOptions();
+    options.registry = &config.registry;
+    PrintTimeCurve(config.label, RunAllScenarios(options));
+  }
+  std::printf(
+      "\nExpectation (mirroring Fig 12c): adding operators enlarges the\n"
+      "branching factor but the heuristic keeps the suite's synthesis\n"
+      "times flat; solved counts stay the same or improve.\n");
+  return 0;
+}

@@ -1,0 +1,122 @@
+#ifndef FOOFAH_BENCH_BENCH_COMMON_H_
+#define FOOFAH_BENCH_BENCH_COMMON_H_
+
+// Shared utilities for the experiment drivers in bench/. Each driver
+// regenerates one table or figure of the paper's evaluation (§5); the
+// mapping is in DESIGN.md's per-experiment index and the measured results
+// are recorded in EXPERIMENTS.md.
+//
+// Budgets: the paper ran with 60 s (§5.2) / 300 s (§5.3) limits on a
+// 16-core Xeon. The drivers default to a scaled-down per-task budget so
+// the whole harness finishes in minutes; override with
+//   FOOFAH_BENCH_TIMEOUT_MS   (default 3000)
+//   FOOFAH_BENCH_EXPANSIONS   (default 30000)
+// The relative ordering of strategies/ablations — the figures' point — is
+// unaffected, since all variants share the same budget.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/driver.h"
+#include "scenarios/corpus.h"
+#include "search/search.h"
+
+namespace foofah::bench {
+
+inline int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::atoll(value);
+}
+
+/// Per-task search budget for all experiment drivers.
+inline SearchOptions BudgetedOptions() {
+  SearchOptions options;
+  options.timeout_ms = EnvInt("FOOFAH_BENCH_TIMEOUT_MS", 3000);
+  options.max_expansions =
+      static_cast<uint64_t>(EnvInt("FOOFAH_BENCH_EXPANSIONS", 30'000));
+  options.max_generated = 200'000;  // Keeps BFS-NoPrune memory bounded.
+  return options;
+}
+
+/// Outcome of one (configuration, scenario) run in the §5.3-style
+/// experiments: was a program synthesized for the 2-record example pair
+/// within budget, and how long did it take.
+struct RunOutcome {
+  const Scenario* scenario = nullptr;
+  bool success = false;
+  double elapsed_ms = 0;
+};
+
+/// Runs `options` on every corpus scenario's 2-record example pair (the
+/// §5.3 protocol: "a set of test cases of input-output pairs comprising
+/// two records for all test scenarios").
+inline std::vector<RunOutcome> RunAllScenarios(const SearchOptions& options) {
+  std::vector<RunOutcome> outcomes;
+  for (const Scenario& scenario : Corpus()) {
+    RunOutcome outcome;
+    outcome.scenario = &scenario;
+    int records = std::min(2, scenario.total_records());
+    Result<ExamplePair> example = scenario.MakeExample(records);
+    if (example.ok()) {
+      SearchResult r =
+          SynthesizeProgram(example->input, example->output, options);
+      outcome.success = r.found;
+      outcome.elapsed_ms = r.stats.elapsed_ms;
+    }
+    outcomes.push_back(outcome);
+  }
+  return outcomes;
+}
+
+/// Percentage of successful outcomes, optionally filtered.
+template <typename Pred>
+double SuccessRate(const std::vector<RunOutcome>& outcomes, Pred pred) {
+  int total = 0;
+  int success = 0;
+  for (const RunOutcome& outcome : outcomes) {
+    if (!pred(*outcome.scenario)) continue;
+    ++total;
+    if (outcome.success) ++success;
+  }
+  return total == 0 ? 0 : 100.0 * success / total;
+}
+
+/// Prints a "time (ms) vs % of test cases synthesized" series, the layout
+/// of Figures 11b and 12a-c: sorted per-task times at each decile.
+/// Unsuccessful tasks count as never finishing (they sit past 100%).
+inline void PrintTimeCurve(const char* label,
+                           const std::vector<RunOutcome>& outcomes) {
+  std::vector<double> times;
+  for (const RunOutcome& outcome : outcomes) {
+    if (outcome.success) times.push_back(outcome.elapsed_ms);
+  }
+  std::sort(times.begin(), times.end());
+  std::printf("%-14s", label);
+  size_t n = outcomes.size();
+  for (int percent = 10; percent <= 100; percent += 10) {
+    size_t k = n * static_cast<size_t>(percent) / 100;
+    if (k == 0) k = 1;
+    if (k <= times.size()) {
+      std::printf(" %8.1f", times[k - 1]);
+    } else {
+      std::printf(" %8s", "-");
+    }
+  }
+  std::printf("   (solved %zu/%zu)\n", times.size(), n);
+}
+
+inline void PrintTimeCurveHeader() {
+  std::printf("%-14s", "% of tests ->");
+  for (int percent = 10; percent <= 100; percent += 10) {
+    std::printf(" %7d%%", percent);
+  }
+  std::printf("\n");
+}
+
+}  // namespace foofah::bench
+
+#endif  // FOOFAH_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,46 @@
+// Figure 12a: percentage of tests synthesized within <= Y seconds for each
+// search strategy (§5.3). Paper shape: the TED Batch curve dominates —
+// over 90% of tests complete in under 10 s on the authors' testbed, with
+// BFS NoPrune slowest.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace foofah;
+  using namespace foofah::bench;
+
+  struct Strategy {
+    const char* label;
+    SearchStrategy strategy;
+    HeuristicKind heuristic;
+    PruningConfig pruning;
+  };
+  const Strategy strategies[] = {
+      {"BFS NoPrune", SearchStrategy::kBfs, HeuristicKind::kZero,
+       PruningConfig::None()},
+      {"BFS", SearchStrategy::kBfs, HeuristicKind::kZero,
+       PruningConfig::Full()},
+      {"Rule", SearchStrategy::kAStar, HeuristicKind::kNaiveRule,
+       PruningConfig::Full()},
+      {"TED Batch", SearchStrategy::kAStar, HeuristicKind::kTedBatch,
+       PruningConfig::Full()},
+  };
+
+  std::printf(
+      "Figure 12a: synthesis time (ms) at each coverage decile, per search\n"
+      "strategy (2-record examples; '-' = not synthesized within budget)\n\n");
+  PrintTimeCurveHeader();
+  for (const Strategy& s : strategies) {
+    SearchOptions options = BudgetedOptions();
+    options.strategy = s.strategy;
+    options.heuristic = s.heuristic;
+    options.pruning = s.pruning;
+    PrintTimeCurve(s.label, RunAllScenarios(options));
+  }
+  std::printf(
+      "\nPaper reference: TED Batch is significantly the fastest strategy\n"
+      "across the whole coverage range.\n");
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Microbenchmarks for the core primitives (google-benchmark): the TED
+// heuristics, operator application, candidate enumeration, table hashing,
+// and an end-to-end synthesis of the paper's motivating example. Not a
+// paper figure — an engineering baseline for performance regressions.
+
+#include <benchmark/benchmark.h>
+
+#include "core/synthesizer.h"
+#include "heuristic/naive_heuristic.h"
+#include "heuristic/ted.h"
+#include "heuristic/ted_batch.h"
+#include "ops/enumerate.h"
+#include "ops/operators.h"
+#include "table/table.h"
+
+namespace foofah {
+namespace {
+
+Table MakeContactsInput(int records) {
+  Table t;
+  t.AppendRow({"Bureau of I.A."});
+  t.AppendRow({"Regional Director Numbers"});
+  for (int i = 0; i < records; ++i) {
+    std::string id = std::to_string(100 + i);
+    t.AppendRow({"Person " + id, "Tel:(800)645-" + id});
+    t.AppendRow({"", "Fax:(907)586-" + id});
+    t.AppendRow({""});
+  }
+  return t;
+}
+
+Table MakeContactsOutput(int records) {
+  Table t;
+  t.AppendRow({"", "Tel", "Fax"});
+  for (int i = 0; i < records; ++i) {
+    std::string id = std::to_string(100 + i);
+    t.AppendRow({"Person " + id, "(800)645-" + id, "(907)586-" + id});
+  }
+  return t;
+}
+
+void BM_GreedyTed(benchmark::State& state) {
+  Table in = MakeContactsInput(static_cast<int>(state.range(0)));
+  Table out = MakeContactsOutput(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GreedyTed(in, out).cost);
+  }
+}
+BENCHMARK(BM_GreedyTed)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_TedBatch(benchmark::State& state) {
+  Table in = MakeContactsInput(static_cast<int>(state.range(0)));
+  Table out = MakeContactsOutput(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TedBatchCost(in, out));
+  }
+}
+BENCHMARK(BM_TedBatch)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_NaiveRuleHeuristic(benchmark::State& state) {
+  Table in = MakeContactsInput(4);
+  Table out = MakeContactsOutput(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(NaiveRuleHeuristic(in, out));
+  }
+}
+BENCHMARK(BM_NaiveRuleHeuristic);
+
+void BM_ApplySplit(benchmark::State& state) {
+  Table in = MakeContactsInput(static_cast<int>(state.range(0)));
+  Operation op = Split(1, ":");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ApplyOperation(in, op));
+  }
+}
+BENCHMARK(BM_ApplySplit)->Arg(4)->Arg(32);
+
+void BM_ApplyUnfold(benchmark::State& state) {
+  Table in;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    std::string key = "k" + std::to_string(i);
+    in.AppendRow({key, "a", std::to_string(i)});
+    in.AppendRow({key, "b", std::to_string(i * 2)});
+  }
+  Operation op = Unfold(1, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ApplyOperation(in, op));
+  }
+}
+BENCHMARK(BM_ApplyUnfold)->Arg(8)->Arg(64);
+
+void BM_EnumerateCandidates(benchmark::State& state) {
+  Table in = MakeContactsInput(4);
+  Table out = MakeContactsOutput(4);
+  OperatorRegistry registry = OperatorRegistry::Default();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EnumerateCandidates(in, out, registry));
+  }
+}
+BENCHMARK(BM_EnumerateCandidates);
+
+void BM_TableHash(benchmark::State& state) {
+  Table in = MakeContactsInput(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(in.Hash());
+  }
+}
+BENCHMARK(BM_TableHash)->Arg(4)->Arg(32);
+
+void BM_SynthesizeMotivatingExample(benchmark::State& state) {
+  Table in = MakeContactsInput(2);
+  Table out = MakeContactsOutput(2);
+  Foofah foofah;
+  for (auto _ : state) {
+    SearchResult r = foofah.Synthesize(in, out);
+    benchmark::DoNotOptimize(r.found);
+  }
+}
+BENCHMARK(BM_SynthesizeMotivatingExample)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace foofah
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Appendix B, Example 2 (adapted): extracting fields from less-structured
+// text — `ls -l` output — by *extending the operator library* with
+// task-specific Extract patterns (§5.5: "users are able to add new
+// operators as needed to improve the expressiveness").
+//
+// Each raw line is one single-cell row; the target is [owner, filename].
+
+#include <cstdio>
+
+#include "core/synthesizer.h"
+#include "ops/registry.h"
+#include "table/table.h"
+
+int main() {
+  using foofah::Table;
+
+  Table input_example = {
+      {"-rw-r--r-- 1 mjc staff 180 Mar 12 07:18 accesses.txt"},
+      {"-rw-r--r-- 1 mjc staff 183 Mar 12 07:15 accesses.txt~"},
+      {"drwxr-xr-x 5 root staff 170 Mar 14 14:14 bin"},
+  };
+  Table output_example = {
+      {"mjc", "accesses.txt"},
+      {"mjc", "accesses.txt~"},
+      {"root", "bin"},
+  };
+
+  // Extend the library: a pattern for "third whitespace-separated field"
+  // (the owner) and one for "last field" (the file name). Capture groups
+  // select the extracted portion.
+  foofah::OperatorRegistry registry = foofah::OperatorRegistry::Default();
+  registry.AddExtractPattern("^(?:\\S+\\s+){2}(\\S+)");
+  registry.AddExtractPattern("(\\S+)$");
+
+  foofah::SearchOptions options;
+  options.registry = &registry;
+  foofah::Foofah synthesizer(options);
+
+  std::printf("Input example:\n%s\n", input_example.ToString().c_str());
+  std::printf("Output example:\n%s\n", output_example.ToString().c_str());
+
+  foofah::SearchResult result =
+      synthesizer.Synthesize(input_example, output_example);
+  if (!result.found) {
+    std::printf("No program found (%s)\n", result.stats.ToString().c_str());
+    return 1;
+  }
+  std::printf("Synthesized program:\n%s\n", result.program.ToScript().c_str());
+  std::printf("Search: %s\n\n", result.stats.ToString().c_str());
+
+  Table raw = input_example;
+  raw.AppendRow({"-rw-r--r-- 2 ada staff 96 Apr 02 11:05 notes.md"});
+  foofah::Result<Table> transformed = result.program.Execute(raw);
+  if (!transformed.ok()) {
+    std::printf("Execution failed: %s\n",
+                transformed.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Applied to extended listing:\n%s",
+              transformed->ToString().c_str());
+  return 0;
+}

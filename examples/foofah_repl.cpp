@@ -1,0 +1,151 @@
+// An interactive wrangling REPL over WranglerSession: load a CSV, apply
+// operations one at a time (with undo/redo), ask for suggestions toward a
+// target, or hand the task to the synthesizer — the §2 workflows, live.
+//
+//   $ ./build/examples/foofah_repl data.csv
+//   foofah> show
+//   foofah> apply split(1, ':')
+//   foofah> undo
+//   foofah> target clean.csv        # load the goal for suggest/synth
+//   foofah> suggest
+//   foofah> synth
+//   foofah> script
+//   foofah> quit
+//
+// Reads commands from stdin; exits on EOF, so it is scriptable:
+//   printf 'apply drop(1)\nscript\n' | foofah_repl data.csv
+
+#include <cstdio>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "core/synthesizer.h"
+#include "profile/structure.h"
+#include "program/describe.h"
+#include "program/parser.h"
+#include "table/csv.h"
+#include "util/string_util.h"
+#include "wrangler/session.h"
+
+namespace {
+
+using foofah::Table;
+
+void Help() {
+  std::printf(
+      "commands:\n"
+      "  show                 print the current table\n"
+      "  apply OP(ARGS)       apply one operation, e.g. apply split(1, ':')\n"
+      "  undo / redo          step through history\n"
+      "  target FILE.csv      load the goal table for suggest/synth\n"
+      "  suggest              rank next operations toward the target\n"
+      "  synth                synthesize a program current -> target\n"
+      "  script               print the operations applied so far\n"
+      "  lint                 flag cells deviating from column structure\n"
+      "  explain              describe the applied operations in English\n"
+      "  help / quit\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: foofah_repl DATA.csv\n");
+    return 2;
+  }
+  foofah::Result<Table> raw = foofah::ReadCsvFile(argv[1]);
+  if (!raw.ok()) {
+    std::fprintf(stderr, "error: %s\n", raw.status().ToString().c_str());
+    return 1;
+  }
+
+  foofah::WranglerSession session(*raw);
+  std::optional<Table> target;
+  std::printf("loaded %zux%zu table; type 'help' for commands\n",
+              session.current().num_rows(), session.current().num_cols());
+
+  std::string line;
+  while (std::printf("foofah> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    std::string trimmed = foofah::Trim(line);
+    if (trimmed.empty()) continue;
+    auto [command, rest] = foofah::SplitFirst(trimmed, " ");
+    std::string argument = foofah::Trim(rest);
+
+    if (command == "quit" || command == "exit") break;
+    if (command == "help") {
+      Help();
+    } else if (command == "show") {
+      std::printf("%s", session.current().ToString().c_str());
+    } else if (command == "apply") {
+      foofah::Result<foofah::Program> parsed =
+          foofah::ParseProgram(argument);
+      if (!parsed.ok() || parsed->size() != 1) {
+        std::printf("cannot parse operation: %s\n",
+                    parsed.ok() ? "expected exactly one operation"
+                                : parsed.status().ToString().c_str());
+        continue;
+      }
+      foofah::Status s = session.Apply(parsed->operation(0));
+      if (!s.ok()) {
+        std::printf("%s\n", s.ToString().c_str());
+        continue;
+      }
+      std::printf("%s", session.current().ToString().c_str());
+    } else if (command == "undo") {
+      std::printf(session.Undo() ? "ok\n" : "nothing to undo\n");
+    } else if (command == "redo") {
+      std::printf(session.Redo() ? "ok\n" : "nothing to redo\n");
+    } else if (command == "target") {
+      foofah::Result<Table> t = foofah::ReadCsvFile(argument);
+      if (!t.ok()) {
+        std::printf("%s\n", t.status().ToString().c_str());
+        continue;
+      }
+      target = std::move(t).value();
+      std::printf("target set (%zux%zu)\n", target->num_rows(),
+                  target->num_cols());
+    } else if (command == "suggest") {
+      if (!target) {
+        std::printf("no target loaded; use: target FILE.csv\n");
+        continue;
+      }
+      for (const foofah::Suggestion& s : session.SuggestNext(*target, 5)) {
+        std::printf("  %-24s distance %.1f\n",
+                    s.operation.ToString().c_str(), s.distance);
+      }
+    } else if (command == "synth") {
+      if (!target) {
+        std::printf("no target loaded; use: target FILE.csv\n");
+        continue;
+      }
+      foofah::Foofah synthesizer;
+      foofah::SearchResult r =
+          synthesizer.Synthesize(session.current(), *target);
+      if (!r.found) {
+        std::printf("no program found (%s)\n", r.stats.ToString().c_str());
+        continue;
+      }
+      std::printf("%s", r.program.ToScript().c_str());
+    } else if (command == "lint") {
+      std::vector<foofah::Discrepancy> found =
+          foofah::DetectDiscrepancies(session.current());
+      if (found.empty()) {
+        std::printf("no structural discrepancies\n");
+      }
+      for (const foofah::Discrepancy& d : found) {
+        std::printf("  %s\n", d.ToString().c_str());
+      }
+    } else if (command == "script") {
+      std::printf("%s", session.ExportScript().ToScript().c_str());
+    } else if (command == "explain") {
+      std::printf("%s",
+                  foofah::DescribeProgram(session.ExportScript()).c_str());
+    } else {
+      std::printf("unknown command '%s'; type 'help'\n", command.c_str());
+    }
+  }
+  std::printf("\n");
+  return 0;
+}

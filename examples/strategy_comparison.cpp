@@ -1,0 +1,70 @@
+// A tour of the synthesis configuration space on one task: the four search
+// strategies of §5.3 (BFS without pruning, BFS, A* + naive rule heuristic,
+// A* + TED Batch) run on the motivating example, printing the SearchStats
+// each produces. A miniature, single-task version of Figures 11c/12a.
+
+#include <cstdio>
+
+#include "core/synthesizer.h"
+#include "table/table.h"
+
+int main() {
+  using namespace foofah;
+
+  Table input_example = {
+      {"Bureau of I.A."},
+      {"Regional Director Numbers"},
+      {"Niles C.", "Tel:(800)645-8397"},
+      {"", "Fax:(907)586-7252"},
+      {""},
+      {"Jean H.", "Tel:(918)781-4600"},
+      {"", "Fax:(918)781-4604"},
+  };
+  Table output_example = {
+      {"", "Tel", "Fax"},
+      {"Niles C.", "(800)645-8397", "(907)586-7252"},
+      {"Jean H.", "(918)781-4600", "(918)781-4604"},
+  };
+
+  struct Config {
+    const char* label;
+    SearchStrategy strategy;
+    HeuristicKind heuristic;
+    PruningConfig pruning;
+  };
+  const Config configs[] = {
+      {"BFS NoPrune", SearchStrategy::kBfs, HeuristicKind::kZero,
+       PruningConfig::None()},
+      {"BFS", SearchStrategy::kBfs, HeuristicKind::kZero,
+       PruningConfig::Full()},
+      {"A* + Rule", SearchStrategy::kAStar, HeuristicKind::kNaiveRule,
+       PruningConfig::Full()},
+      {"A* + TED Batch", SearchStrategy::kAStar, HeuristicKind::kTedBatch,
+       PruningConfig::Full()},
+  };
+
+  std::printf("Task: the motivating example (Figures 1-2), program length 4.\n\n");
+  std::printf("%-16s %-6s %-5s %10s %10s %10s %12s\n", "configuration",
+              "found", "len", "expanded", "generated", "pruned",
+              "elapsed(ms)");
+  for (const Config& config : configs) {
+    SearchOptions options;
+    options.strategy = config.strategy;
+    options.heuristic = config.heuristic;
+    options.pruning = config.pruning;
+    options.timeout_ms = 10'000;
+    options.max_expansions = 50'000;
+    Foofah synthesizer(options);
+    SearchResult r = synthesizer.Synthesize(input_example, output_example);
+    std::printf("%-16s %-6s %-5zu %10llu %10llu %10llu %12.1f\n",
+                config.label, r.found ? "yes" : "no", r.program.size(),
+                static_cast<unsigned long long>(r.stats.nodes_expanded),
+                static_cast<unsigned long long>(r.stats.nodes_generated),
+                static_cast<unsigned long long>(r.stats.total_pruned()),
+                r.stats.elapsed_ms);
+  }
+  std::printf(
+      "\nThe TED Batch heuristic reaches the goal after expanding a handful\n"
+      "of states; blind search drowns in the state space (§4.2, §5.3).\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Walks through the paper's §4.2 worked example (Figures 9-10): prints the
+// greedy Table Edit Distance path from each candidate state to the output
+// example, then the TED Batch grouping that compacts cell-level costs
+// (12 / 9 / 18) down to operator-level estimates (4 / 3 / 6) — the numbers
+// the paper reports, reproduced live.
+
+#include <cstdio>
+
+#include "heuristic/ted.h"
+#include "heuristic/ted_batch.h"
+#include "table/table.h"
+
+namespace {
+
+void Explain(const char* label, const foofah::Table& state,
+             const foofah::Table& goal) {
+  foofah::TedResult ted = foofah::GreedyTed(state, goal);
+  foofah::TedBatchResult batched = foofah::BatchEditPath(ted.path);
+  std::printf("=== %s ===\n%s", label, state.ToString().c_str());
+  std::printf("edit path (cost %.0f):\n%s", ted.cost,
+              foofah::PathToString(ted.path).c_str());
+  std::printf("batched into %zu groups (TED Batch cost %.0f):\n",
+              batched.batches.size(), batched.cost);
+  for (size_t i = 0; i < batched.batches.size(); ++i) {
+    std::printf("  group %zu:", i + 1);
+    for (size_t op : batched.batches[i].op_indices) {
+      std::printf(" %s", ted.path[op].ToString().c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  using foofah::Table;
+
+  Table ei = {{"Niles C.", "Tel:(800)645-8397"},
+              {"Jean H.", "Tel:(918)781-4600"},
+              {"Frank K.", "Tel:(615)564-6500"}};
+  Table c1 = {{"Tel:(800)645-8397"},
+              {"Tel:(918)781-4600"},
+              {"Tel:(615)564-6500"}};  // = drop(0) applied to ei
+  Table c2 = {{"Niles", "C.", "Tel:(800)645-8397"},
+              {"Jean", "H.", "Tel:(918)781-4600"},
+              {"Frank", "K.", "Tel:(615)564-6500"}};  // = split(0, ' ')
+  Table eo = {{"Tel", "(800)645-8397"},
+              {"Tel", "(918)781-4600"},
+              {"Tel", "(615)564-6500"}};
+
+  std::printf("Goal (output example):\n%s\n", eo.ToString().c_str());
+  Explain("e_i (the input example; paper: TED 12, batch 4)", ei, eo);
+  Explain("c1 = drop(0) (paper: TED 9, batch 3)", c1, eo);
+  Explain("c2 = split(0, ' ') (paper: TED 18, batch 6)", c2, eo);
+
+  std::printf(
+      "The batched costs order the candidates c1 < e_i < c2, steering the\n"
+      "search toward drop(0) — exactly the paper's §4.2 argument.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Error-tolerant synthesis (the paper's §7 future work): the user mistypes
+// a digit while writing the output example. Exact synthesis must fail —
+// the mistyped value exists nowhere in the input — but tolerant synthesis
+// recovers the intended program and points at the suspicious example cell.
+
+#include <cstdio>
+
+#include "core/approximate.h"
+#include "table/table.h"
+
+int main() {
+  using foofah::Table;
+
+  Table input_example = {
+      {"Niles C.", "Tel:(800)645-8397"},
+      {"Jean H.", "Tel:(918)781-4600"},
+      {"Frank K.", "Tel:(615)564-6500"},
+  };
+  // The user splits the phone column by hand... and fat-fingers one digit.
+  Table output_example = {
+      {"Niles C.", "Tel", "(800)645-8397"},
+      {"Jean H.", "Tel", "(918)781-4601"},  // Should end ...4600.
+      {"Frank K.", "Tel", "(615)564-6500"},
+  };
+
+  std::printf("Output example (contains one typo):\n%s\n",
+              output_example.ToString().c_str());
+
+  foofah::TolerantOptions options;
+  options.max_example_errors = 1;
+  foofah::TolerantResult result =
+      foofah::SynthesizeTolerant(input_example, output_example, options);
+
+  if (!result.found) {
+    std::printf("No program found.\n");
+    return 1;
+  }
+  if (result.exact) {
+    std::printf("Found an exact program (no errors suspected):\n%s",
+                result.program.ToScript().c_str());
+    return 0;
+  }
+  std::printf("No exact program exists; the closest program is:\n%s\n",
+              result.program.ToScript().c_str());
+  std::printf("Suspected mistakes in the example:\n");
+  for (const foofah::SuspectedExampleError& error : result.suspected_errors) {
+    std::printf("  %s\n", error.ToString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Replays §2's Example 1 as an interactive Wrangler-style session: the
+// user splits, prematurely unfolds (the Figure 4 trap), inspects the
+// broken result, backtracks, fills, and unfolds again — then contrasts
+// that five-interaction journey with Foofah's one-shot synthesis from the
+// same data, and shows what the Proactive-style suggestion ranker would
+// have recommended at the decision point.
+
+#include <cstdio>
+
+#include "core/synthesizer.h"
+#include "program/describe.h"
+#include "table/table.h"
+#include "wrangler/session.h"
+
+int main() {
+  using foofah::Table;
+
+  Table raw = {
+      {"Niles C.", "Tel:(800)645-8397"},
+      {"", "Fax:(907)586-7252"},
+      {"Jean H.", "Tel:(918)781-4600"},
+      {"", "Fax:(918)781-4604"},
+  };
+  Table target = {
+      {"", "Tel", "Fax"},
+      {"Niles C.", "(800)645-8397", "(907)586-7252"},
+      {"Jean H.", "(918)781-4600", "(918)781-4604"},
+  };
+
+  foofah::WranglerSession session(raw);
+  std::printf("Raw data:\n%s\n", session.current().ToString().c_str());
+
+  (void)session.Apply(foofah::Split(1, ":"));
+  std::printf("After Split on ':':\n%s\n",
+              session.current().ToString().c_str());
+
+  // The trap: Unfold before Fill.
+  (void)session.Apply(foofah::Unfold(1, 2));
+  std::printf("After a premature Unfold (the Figure 4 situation —\n"
+              "blank names collapse into one group):\n%s\n",
+              session.current().ToString().c_str());
+
+  std::printf("Backtracking...\n\n");
+  session.Undo();
+
+  // What would the assistant have suggested here? Several candidates tie
+  // at the same estimated distance — the heuristic ranks, the user decides.
+  std::printf("Top suggestions toward the target at this point:\n");
+  for (const foofah::Suggestion& s : session.SuggestNext(target, 6)) {
+    std::printf("  %-22s (distance %.1f)\n",
+                s.operation.ToString().c_str(), s.distance);
+  }
+  std::printf("\n");
+
+  (void)session.Apply(foofah::Fill(0));
+  (void)session.Apply(foofah::Unfold(1, 2));
+  std::printf("After Fill then Unfold:\n%s\n",
+              session.current().ToString().c_str());
+
+  std::printf("Exported Wrangler script (%zu steps, plus the backtrack):\n%s\n",
+              session.step_count(),
+              session.ExportScript().ToScript().c_str());
+
+  // The PBE alternative: one example, zero operator knowledge.
+  foofah::Foofah synthesizer;
+  foofah::SearchResult result = synthesizer.Synthesize(raw, target);
+  if (result.found) {
+    std::printf("Foofah synthesizes the same transformation directly:\n%s\n",
+                result.program.ToScript().c_str());
+    std::printf("In plain English:\n%s",
+                foofah::DescribeProgram(result.program).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,162 @@
+#include "baselines/progfromex.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace foofah {
+
+namespace {
+
+/// Checks sequencer rule A for output column `col` with source input column
+/// `src_col`: every non-empty output cell must match the input column at
+/// non-decreasing row positions (repeats allowed — associative copies).
+bool RuleColumnDown(const Table& input, const Table& output, size_t col,
+                    size_t src_col) {
+  size_t cursor = 0;
+  for (size_t r = 0; r < output.num_rows(); ++r) {
+    const std::string& want = output.cell(r, col);
+    if (want.empty()) continue;
+    size_t ir = cursor;
+    // Allow staying on the current row (repeat) or advancing.
+    while (ir < input.num_rows() && input.cell(ir, src_col) != want) {
+      ++ir;
+    }
+    if (ir >= input.num_rows()) return false;
+    cursor = ir;
+  }
+  return true;
+}
+
+/// Rule B: fixed input row `src_row`, non-decreasing columns.
+bool RuleRowAcross(const Table& input, const Table& output, size_t col,
+                   size_t src_row) {
+  size_t cursor = 0;
+  for (size_t r = 0; r < output.num_rows(); ++r) {
+    const std::string& want = output.cell(r, col);
+    if (want.empty()) continue;
+    size_t ic = cursor;
+    while (ic < input.num_cols() && input.cell(src_row, ic) != want) {
+      ++ic;
+    }
+    if (ic >= input.num_cols()) return false;
+    cursor = ic;
+  }
+  return true;
+}
+
+/// Rule B': cyclic read of a fixed input row — the column cursor may wrap
+/// around, modeling ProgFromEx's *associative programs*, which map one
+/// input cell to periodically repeating output locations (e.g., the year
+/// header row of a folded matrix repeating once per country).
+bool RuleRowCyclic(const Table& input, const Table& output, size_t col,
+                   size_t src_row) {
+  size_t ncols = input.num_cols();
+  if (ncols == 0) return false;
+  size_t cursor = 0;
+  for (size_t r = 0; r < output.num_rows(); ++r) {
+    const std::string& want = output.cell(r, col);
+    if (want.empty()) continue;
+    size_t tried = 0;
+    size_t ic = cursor;
+    while (tried < ncols && input.cell(src_row, ic) != want) {
+      ic = (ic + 1) % ncols;
+      ++tried;
+    }
+    if (tried >= ncols) return false;
+    cursor = ic;
+  }
+  return true;
+}
+
+/// Rule C: strictly increasing row-major traversal of the whole input grid.
+bool RuleRowMajor(const Table& input, const Table& output, size_t col) {
+  size_t ncols = input.num_cols();
+  size_t limit = input.num_rows() * ncols;
+  size_t cursor = 0;  // Next row-major position allowed.
+  for (size_t r = 0; r < output.num_rows(); ++r) {
+    const std::string& want = output.cell(r, col);
+    if (want.empty()) continue;
+    size_t pos = cursor;
+    while (pos < limit && input.cell(pos / ncols, pos % ncols) != want) {
+      ++pos;
+    }
+    if (pos >= limit) return false;
+    cursor = pos + 1;  // Strictly increasing.
+  }
+  return true;
+}
+
+/// All non-empty output cells must exist verbatim in the input (the shared
+/// content-copy limitation of both baselines).
+bool AllContentPresent(const Table& input, const Table& output,
+                       std::string* missing) {
+  std::set<std::string> contents;
+  for (const Table::Row& row : input.rows()) {
+    for (const std::string& cell : row) contents.insert(cell);
+  }
+  for (size_t r = 0; r < output.num_rows(); ++r) {
+    for (size_t c = 0; c < output.num_cols(); ++c) {
+      const std::string& cell = output.cell(r, c);
+      if (!cell.empty() && contents.count(cell) == 0) {
+        *missing = cell;
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+BaselineResult Solve(const Table& input, const Table& output,
+                     bool allow_row_major) {
+  BaselineResult result;
+  std::string missing;
+  if (!AllContentPresent(input, output, &missing)) {
+    result.detail = "syntactic content \"" + missing +
+                    "\" cannot be produced by copying cells";
+    return result;
+  }
+  if (output.num_rows() == 0) {
+    result.success = true;
+    result.detail = "empty output";
+    return result;
+  }
+  for (size_t col = 0; col < output.num_cols(); ++col) {
+    bool satisfied = false;
+    for (size_t src_col = 0; !satisfied && src_col < input.num_cols();
+         ++src_col) {
+      satisfied = RuleColumnDown(input, output, col, src_col);
+    }
+    for (size_t src_row = 0; !satisfied && src_row < input.num_rows();
+         ++src_row) {
+      satisfied = RuleRowAcross(input, output, col, src_row);
+    }
+    if (allow_row_major) {  // ProgFromEx-only capabilities.
+      for (size_t src_row = 0; !satisfied && src_row < input.num_rows();
+           ++src_row) {
+        satisfied = RuleRowCyclic(input, output, col, src_row);
+      }
+      if (!satisfied) satisfied = RuleRowMajor(input, output, col);
+    }
+    if (!satisfied) {
+      result.detail =
+          "no sequencer covers output column " + std::to_string(col);
+      return result;
+    }
+  }
+  result.success = true;
+  result.detail = "cell-mapping program found";
+  return result;
+}
+
+}  // namespace
+
+BaselineResult ProgFromExSolve(const Table& input, const Table& output) {
+  return Solve(input, output, /*allow_row_major=*/true);
+}
+
+BaselineResult FlashRelateSolve(const Table& input, const Table& output) {
+  return Solve(input, output, /*allow_row_major=*/false);
+}
+
+}  // namespace foofah

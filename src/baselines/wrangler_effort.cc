@@ -1,0 +1,176 @@
+#include "baselines/wrangler_effort.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "scenarios/corpus.h"
+
+namespace foofah {
+
+namespace {
+
+bool IsComplexOp(OpCode op) {
+  return op == OpCode::kFold || op == OpCode::kUnfold ||
+         op == OpCode::kDivide || op == OpCode::kExtract;
+}
+
+// ---------------------------------------------------------------------------
+// Model constants (seconds / counts). Calibrated so the simulated Table 5
+// lands in the paper's magnitude range: Wrangler ~70-600 s per task, Foofah
+// ~40-150 s, ~60% average time saving, biggest savings on complex tasks.
+// ---------------------------------------------------------------------------
+
+// Wrangler: orientation (reading the data, skimming the operator menu).
+constexpr double kWranglerBaseSeconds = 60;
+// Discovering + choosing an operator ("High Skill"): complex operators like
+// Unfold take far longer to understand and parameterize.
+constexpr double kSimpleOpSeconds = 20;
+constexpr double kComplexOpSeconds = 75;
+// Backtracking penalty when a complex operator interacts with the rest of
+// the script (the Unfold-before-Fill trap of Example 1).
+constexpr double kComplexLengthySeconds = 110;
+constexpr double kLengthySeconds = 25;
+constexpr double kSecondsPerClick = 1.1;
+constexpr double kSecondsPerKey = 0.45;
+constexpr double kWranglerBaseClicks = 10;
+constexpr double kSimpleOpClicks = 8;
+constexpr double kComplexOpClicks = 22;
+constexpr double kLengthyClickFactor = 1.5;
+
+// Foofah: loading the sample and pressing synthesize.
+constexpr double kFoofahBaseSeconds = 20;
+constexpr double kFoofahInspectSeconds = 10;
+constexpr double kFoofahSecondsPerKey = 0.5;
+constexpr double kFoofahSecondsPerClick = 1.2;
+constexpr double kFoofahSynthesisWaitSeconds = 3;
+constexpr double kFoofahBaseClicks = 8;
+constexpr double kFoofahClicksPerInputRow = 2;
+// Invoking the tool and describing the output shape (column count, header
+// naming) costs keystrokes beyond the example cells themselves.
+constexpr double kFoofahBaseKeystrokes = 12;
+
+double WranglerKeystrokes(const Program& program) {
+  double keys = 0;
+  for (const Operation& op : program.operations()) {
+    keys += 4;  // Opening the parameter fields / confirming.
+    keys += 2;  // Column index digits.
+    if (op.col2 >= 0) keys += 2;
+    keys += static_cast<double>(op.text.size());
+  }
+  return keys;
+}
+
+EffortMeasure WranglerEffort(const Scenario& scenario) {
+  EffortMeasure effort;
+  const Program& program = *scenario.truth();
+  bool lengthy = scenario.tags().lengthy;
+  bool any_complex = false;
+
+  effort.mouse_clicks = kWranglerBaseClicks;
+  double op_seconds = 0;
+  for (const Operation& op : program.operations()) {
+    bool complex = IsComplexOp(op.op);
+    any_complex = any_complex || complex;
+    effort.mouse_clicks += complex ? kComplexOpClicks : kSimpleOpClicks;
+    op_seconds += complex ? kComplexOpSeconds : kSimpleOpSeconds;
+  }
+  if (lengthy) effort.mouse_clicks *= kLengthyClickFactor;
+  effort.keystrokes = WranglerKeystrokes(program);
+
+  effort.seconds = kWranglerBaseSeconds + op_seconds +
+                   effort.mouse_clicks * kSecondsPerClick +
+                   effort.keystrokes * kSecondsPerKey;
+  if (lengthy) effort.seconds += kLengthySeconds;
+  if (lengthy && any_complex) effort.seconds += kComplexLengthySeconds;
+  return effort;
+}
+
+EffortMeasure FoofahEffort(const Scenario& scenario) {
+  EffortMeasure effort;
+  int records = std::min(2, scenario.total_records());
+  Result<ExamplePair> example = scenario.MakeExample(records);
+  // User-study scenarios always have at least one record.
+  const Table& out = example->output;
+  const Table& in = example->input;
+
+  // Typing the output example: its characters plus one separator keystroke
+  // per cell and a newline per row.
+  double keys = kFoofahBaseKeystrokes;
+  for (const Table::Row& row : out.rows()) {
+    for (const std::string& cell : row) {
+      keys += static_cast<double>(cell.size()) + 1;
+    }
+    keys += 1;
+  }
+  effort.keystrokes = keys;
+  effort.mouse_clicks = kFoofahBaseClicks +
+                        kFoofahClicksPerInputRow *
+                            static_cast<double>(in.num_rows());
+  effort.seconds = kFoofahBaseSeconds +
+                   effort.keystrokes * kFoofahSecondsPerKey +
+                   effort.mouse_clicks * kFoofahSecondsPerClick +
+                   kFoofahSynthesisWaitSeconds + kFoofahInspectSeconds;
+  return effort;
+}
+
+}  // namespace
+
+std::vector<UserStudyRow> SimulateUserStudy(int participants) {
+  std::vector<UserStudyRow> rows;
+  for (const Scenario* scenario : UserStudyScenarios()) {
+    UserStudyRow row;
+    row.scenario = scenario;
+
+    EffortMeasure wrangler = WranglerEffort(*scenario);
+    EffortMeasure foofah = FoofahEffort(*scenario);
+
+    // Participants differ by a deterministic speed factor, mean 1.0; the
+    // reported row is the across-participant average.
+    double seconds_w = 0;
+    double seconds_f = 0;
+    double clicks_w = 0;
+    double clicks_f = 0;
+    for (int p = 0; p < participants; ++p) {
+      double speed = 1.0 + 0.1 * (p - (participants - 1) / 2.0);
+      seconds_w += wrangler.seconds * speed;
+      seconds_f += foofah.seconds * speed;
+      // Slower participants also click around more while searching menus.
+      clicks_w += wrangler.mouse_clicks * (0.9 + 0.2 * (speed - 1.0) + 0.1);
+      clicks_f += foofah.mouse_clicks;
+    }
+    double n = static_cast<double>(std::max(participants, 1));
+    row.wrangler = wrangler;
+    row.wrangler.seconds = seconds_w / n;
+    row.wrangler.mouse_clicks = clicks_w / n;
+    row.foofah = foofah;
+    row.foofah.seconds = seconds_f / n;
+    row.foofah.mouse_clicks = clicks_f / n;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::string FormatUserStudyTable(const std::vector<UserStudyRow>& rows) {
+  std::ostringstream out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-14s %-8s %-6s | %8s %7s %7s | %8s %9s %7s %7s\n",
+                "Test", "Complex", ">=4Ops", "W.Time", "W.Mouse", "W.Key",
+                "F.Time", "vs Wrang.", "F.Mouse", "F.Key");
+  out << line;
+  for (const UserStudyRow& row : rows) {
+    const ScenarioTags& tags = row.scenario->tags();
+    std::snprintf(
+        line, sizeof(line),
+        "%-14s %-8s %-6s | %8.1f %7.1f %7.1f | %8.1f %8.1f%% %7.1f %7.1f\n",
+        tags.user_study_id.c_str(), tags.complex_ops ? "Yes" : "No",
+        tags.lengthy ? "Yes" : "No", row.wrangler.seconds,
+        row.wrangler.mouse_clicks, row.wrangler.keystrokes,
+        row.foofah.seconds, row.time_saving() * 100.0,
+        row.foofah.mouse_clicks, row.foofah.keystrokes);
+    out << line;
+  }
+  return out.str();
+}
+
+}  // namespace foofah

@@ -1,0 +1,58 @@
+#ifndef FOOFAH_BASELINES_WRANGLER_EFFORT_H_
+#define FOOFAH_BASELINES_WRANGLER_EFFORT_H_
+
+#include <string>
+#include <vector>
+
+#include "scenarios/scenario.h"
+
+namespace foofah {
+
+/// Interaction effort for one tool on one task (Table 5's three metrics).
+struct EffortMeasure {
+  double seconds = 0;
+  double mouse_clicks = 0;
+  double keystrokes = 0;
+};
+
+/// One Table 5 row: average effort over the simulated participants.
+struct UserStudyRow {
+  const Scenario* scenario = nullptr;
+  EffortMeasure wrangler;
+  EffortMeasure foofah;
+
+  /// Fractional interaction-time saving of Foofah vs Wrangler (the
+  /// "vs Wrangler" column), in [0, 1].
+  double time_saving() const {
+    return wrangler.seconds > 0 ? 1.0 - foofah.seconds / wrangler.seconds
+                                : 0.0;
+  }
+};
+
+/// Simulates the §5.6 user study (the original used 10 graduate students,
+/// which an offline reproduction cannot re-run — see DESIGN.md). The model
+/// is deterministic:
+///
+///  Wrangler (Programming By Demonstration): the participant discovers and
+///  applies each ground-truth operation through menus. Per operation:
+///  menu-navigation clicks, parameter-entry keystrokes, discovery time
+///  (much larger for the complex operators Fold/Unfold/Divide/Extract —
+///  the "High Skill" cost), a verification scan, and a backtracking penalty
+///  for complex operations (the Example 1 Unfold-before-Fill trap).
+///
+///  Foofah (Programming By Example): the participant selects sample rows
+///  and *types the output example* — keystrokes are counted from the
+///  scenario's actual 2-record example output, which is why Foofah trades
+///  fewer clicks for more typing, as the paper observes — then waits for
+///  synthesis and inspects the result.
+///
+/// Participants differ by a deterministic speed factor. Returned rows are
+/// the per-task averages in Table 5 order.
+std::vector<UserStudyRow> SimulateUserStudy(int participants = 5);
+
+/// Renders rows in the layout of Table 5.
+std::string FormatUserStudyTable(const std::vector<UserStudyRow>& rows);
+
+}  // namespace foofah
+
+#endif  // FOOFAH_BASELINES_WRANGLER_EFFORT_H_

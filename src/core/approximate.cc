@@ -1,0 +1,63 @@
+#include "core/approximate.h"
+
+#include <sstream>
+
+#include "table/table_diff.h"
+
+namespace foofah {
+
+std::string SuspectedExampleError::ToString() const {
+  std::ostringstream out;
+  out << "cell (" << row << "," << col << "): example says \"" << example_value
+      << "\" but the program produces \"" << program_value << "\"";
+  return out.str();
+}
+
+TolerantResult SynthesizeTolerant(const Table& input_example,
+                                  const Table& output_example,
+                                  const TolerantOptions& options) {
+  TolerantResult result;
+
+  // Phase 1: the paper's exact synthesis.
+  SearchOptions exact_options = options.search;
+  exact_options.goal_tolerance = 0;
+  SearchResult exact = SynthesizeProgram(input_example, output_example,
+                                         exact_options);
+  if (exact.found) {
+    result.found = true;
+    result.exact = true;
+    result.program = std::move(exact.program);
+    result.stats = exact.stats;
+    return result;
+  }
+
+  if (options.max_example_errors == 0) {
+    result.stats = exact.stats;
+    return result;
+  }
+
+  // Phase 2: relaxed goal test.
+  SearchOptions tolerant_options = options.search;
+  tolerant_options.goal_tolerance = options.max_example_errors;
+  SearchResult tolerant = SynthesizeProgram(input_example, output_example,
+                                            tolerant_options);
+  result.stats = tolerant.stats;
+  if (!tolerant.found) return result;
+
+  result.found = true;
+  result.program = std::move(tolerant.program);
+
+  Result<Table> produced = result.program.Execute(input_example);
+  if (produced.ok()) {
+    TableDiff diff = DiffTables(output_example, *produced,
+                                options.max_example_errors + 1);
+    for (const CellDiff& cell : diff.cell_diffs) {
+      result.suspected_errors.push_back(SuspectedExampleError{
+          cell.row, cell.col, cell.expected, cell.actual});
+    }
+    result.exact = diff.equal;
+  }
+  return result;
+}
+
+}  // namespace foofah

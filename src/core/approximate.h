@@ -1,0 +1,70 @@
+#ifndef FOOFAH_CORE_APPROXIMATE_H_
+#define FOOFAH_CORE_APPROXIMATE_H_
+
+#include <string>
+#include <vector>
+
+#include "program/program.h"
+#include "search/search.h"
+#include "table/table.h"
+
+namespace foofah {
+
+/// One cell where the synthesized program's output disagrees with the
+/// user's output example — a suspected mistake in the example (§4.5 lists
+/// typos, copy-paste errors and lost information as the common cases).
+struct SuspectedExampleError {
+  size_t row = 0;
+  size_t col = 0;
+  /// What the user's example says.
+  std::string example_value;
+  /// What the synthesized program produces there.
+  std::string program_value;
+
+  /// "cell (r,c): example says "X" but the program produces "Y"".
+  std::string ToString() const;
+};
+
+/// Configuration for error-tolerant synthesis.
+struct TolerantOptions {
+  /// Base search configuration (strategy, heuristic, budgets...). Its
+  /// goal_tolerance field is ignored; the tolerance below is used.
+  SearchOptions search;
+  /// Maximum number of example cells the program may disagree with.
+  size_t max_example_errors = 2;
+};
+
+/// Outcome of error-tolerant synthesis.
+struct TolerantResult {
+  /// A program was found (exactly or approximately).
+  bool found = false;
+  /// The program reproduces the example exactly; suspected_errors empty.
+  bool exact = false;
+  Program program;
+  /// Cells where the program's output differs from the user's example —
+  /// likely typos for the user to review.
+  std::vector<SuspectedExampleError> suspected_errors;
+  /// Stats of the phase that produced the program (exact phase when exact,
+  /// tolerant phase otherwise).
+  SearchStats stats;
+};
+
+/// The §7 future-work mode: "generate useful programs even when the user's
+/// examples may contain errors ... by alerting the user when the system
+/// observes unusual example pairs that may be mistakes, or by synthesizing
+/// programs that yield outputs very similar to the user's specified
+/// example."
+///
+/// Phase 1 runs the ordinary exact synthesis; if it succeeds the result is
+/// exact. Phase 2 relaxes the goal test to accept same-shape states within
+/// `max_example_errors` differing cells (disabling the content-based
+/// pruning rules, which would otherwise discard every path whenever the
+/// typo introduced characters nothing can produce), then reports the
+/// differing cells as suspected example errors.
+TolerantResult SynthesizeTolerant(const Table& input_example,
+                                  const Table& output_example,
+                                  const TolerantOptions& options = {});
+
+}  // namespace foofah
+
+#endif  // FOOFAH_CORE_APPROXIMATE_H_

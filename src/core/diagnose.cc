@@ -1,0 +1,151 @@
+#include "core/diagnose.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace foofah {
+
+namespace {
+
+/// True when `a` and `b` differ by exactly one edit (substitution,
+/// insertion or deletion) — the classic one-typo neighborhood.
+bool WithinOneEdit(const std::string& a, const std::string& b) {
+  size_t la = a.size();
+  size_t lb = b.size();
+  if (la > lb) return WithinOneEdit(b, a);
+  if (lb - la > 1) return false;
+  size_t i = 0;
+  // Common prefix.
+  while (i < la && a[i] == b[i]) ++i;
+  if (i == la) return lb > la;  // b = a + one extra char (equal handled out).
+  if (la == lb) {
+    // One substitution: the suffixes after position i must match.
+    return a.compare(i + 1, std::string::npos, b, i + 1,
+                     std::string::npos) == 0;
+  }
+  // One insertion in b at position i.
+  return a.compare(i, std::string::npos, b, i + 1, std::string::npos) == 0;
+}
+
+/// True when `cell` could be one typo away from content derivable from
+/// `source`: compares against every substring of `source` with length
+/// within one of the cell's.
+bool TypoNeighborOf(const std::string& cell, const std::string& source) {
+  if (cell.empty()) return false;
+  for (size_t len = cell.size() - 1; len <= cell.size() + 1; ++len) {
+    if (len == 0 || len > source.size()) continue;
+    for (size_t start = 0; start + len <= source.size(); ++start) {
+      std::string candidate = source.substr(start, len);
+      if (candidate != cell && WithinOneEdit(cell, candidate)) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* DiagnosticKindName(DiagnosticKind kind) {
+  switch (kind) {
+    case DiagnosticKind::kEmptyExample:
+      return "empty_example";
+    case DiagnosticKind::kMissingCharacters:
+      return "missing_characters";
+    case DiagnosticKind::kUnproducibleCell:
+      return "unproducible_cell";
+    case DiagnosticKind::kLikelyTypo:
+      return "likely_typo";
+  }
+  return "unknown";
+}
+
+std::string ExampleDiagnostic::ToString() const {
+  std::ostringstream out;
+  out << DiagnosticKindName(kind);
+  if (cell_anchored) out << " at output cell (" << row << "," << col << ")";
+  out << ": " << message;
+  return out.str();
+}
+
+std::vector<ExampleDiagnostic> DiagnoseExample(const Table& input_example,
+                                               const Table& output_example) {
+  std::vector<ExampleDiagnostic> diagnostics;
+
+  if (input_example.num_rows() == 0 || output_example.num_rows() == 0) {
+    ExampleDiagnostic d;
+    d.kind = DiagnosticKind::kEmptyExample;
+    d.message = input_example.num_rows() == 0
+                    ? "the input example has no rows"
+                    : "the output example has no rows";
+    diagnostics.push_back(d);
+    return diagnostics;
+  }
+
+  std::set<char> input_alnum = input_example.AlnumCharSet();
+
+  for (size_t r = 0; r < output_example.num_rows(); ++r) {
+    for (size_t c = 0; c < output_example.num_cols(); ++c) {
+      const std::string& cell = output_example.cell(r, c);
+      if (cell.empty()) continue;
+
+      // Characters the input cannot supply.
+      std::string missing;
+      for (char ch : AlnumChars(cell)) {
+        if (input_alnum.count(ch) == 0) missing += ch;
+      }
+
+      // Containment with at least one input cell is what every
+      // Transform/Split/Merge composition ultimately needs (§4.2.1).
+      bool producible = false;
+      bool typo_neighbor = false;
+      for (const Table::Row& row : input_example.rows()) {
+        for (const std::string& source : row) {
+          if (source.empty()) continue;
+          if (StringContainment(source, cell)) {
+            producible = true;
+            break;
+          }
+        }
+        if (producible) break;
+      }
+      if (!producible) {
+        for (const Table::Row& row : input_example.rows()) {
+          for (const std::string& source : row) {
+            if (TypoNeighborOf(cell, source)) {
+              typo_neighbor = true;
+              break;
+            }
+          }
+          if (typo_neighbor) break;
+        }
+      }
+
+      if (producible) continue;
+      ExampleDiagnostic d;
+      d.row = r;
+      d.col = c;
+      d.cell_anchored = true;
+      if (typo_neighbor) {
+        d.kind = DiagnosticKind::kLikelyTypo;
+        d.message = "\"" + cell +
+                    "\" is one edit away from content derivable from the "
+                    "input — possible typo";
+      } else if (!missing.empty()) {
+        d.kind = DiagnosticKind::kMissingCharacters;
+        d.message = "\"" + cell + "\" needs character(s) '" + missing +
+                    "' that appear nowhere in the input";
+      } else {
+        d.kind = DiagnosticKind::kUnproducibleCell;
+        d.message = "\"" + cell +
+                    "\" has no containment relationship with any input "
+                    "cell; no operator composition can produce it";
+      }
+      diagnostics.push_back(std::move(d));
+    }
+  }
+  return diagnostics;
+}
+
+}  // namespace foofah

@@ -1,0 +1,57 @@
+#ifndef FOOFAH_CORE_DIAGNOSE_H_
+#define FOOFAH_CORE_DIAGNOSE_H_
+
+#include <string>
+#include <vector>
+
+#include "table/table.h"
+
+namespace foofah {
+
+/// Categories of example-pair problems DiagnoseExample can detect.
+enum class DiagnosticKind {
+  /// The input or output example has no rows.
+  kEmptyExample = 0,
+  /// An output cell contains a letter/digit that appears nowhere in the
+  /// input: provably unproducible (transformations add no information,
+  /// §2), synthesis *will* fail.
+  kMissingCharacters,
+  /// An output cell has no string-containment relationship with any input
+  /// cell: no Transform/Split/Merge composition can build it.
+  kUnproducibleCell,
+  /// An unproducible output cell is within edit distance 1 of producible
+  /// content — very likely a typo (§4.5: "typos, copy-paste-mistakes").
+  kLikelyTypo,
+};
+
+/// "empty_example" / "missing_characters" / "unproducible_cell" /
+/// "likely_typo".
+const char* DiagnosticKindName(DiagnosticKind kind);
+
+/// One detected problem, anchored to an output-example cell when
+/// applicable.
+struct ExampleDiagnostic {
+  DiagnosticKind kind = DiagnosticKind::kEmptyExample;
+  /// Output-example coordinates; (0,0) with cell_anchored=false for
+  /// table-level diagnostics.
+  size_t row = 0;
+  size_t col = 0;
+  bool cell_anchored = false;
+  std::string message;
+
+  std::string ToString() const;
+};
+
+/// Static fidelity checks on an input-output example pair (§4.5: "the end
+/// user must not make any mistake while specifying E ... When such
+/// mistakes occur, our proposed technique is almost certain to fail").
+/// Run this before (or after a failed) synthesis to tell the user *why*
+/// the example cannot work and where to look, instead of a bare "no
+/// program found". An empty result means no static problem was detected —
+/// it does not guarantee synthesis succeeds.
+std::vector<ExampleDiagnostic> DiagnoseExample(const Table& input_example,
+                                               const Table& output_example);
+
+}  // namespace foofah
+
+#endif  // FOOFAH_CORE_DIAGNOSE_H_

@@ -1,0 +1,55 @@
+#include "core/driver.h"
+
+#include <algorithm>
+
+namespace foofah {
+
+double DriverResult::worst_round_ms() const {
+  double worst = 0;
+  for (const DriverRound& round : rounds) {
+    worst = std::max(worst, round.search.stats.elapsed_ms);
+  }
+  return worst;
+}
+
+double DriverResult::average_round_ms() const {
+  if (rounds.empty()) return 0;
+  double total = 0;
+  for (const DriverRound& round : rounds) {
+    total += round.search.stats.elapsed_ms;
+  }
+  return total / static_cast<double>(rounds.size());
+}
+
+DriverResult FindPerfectProgram(const ExampleBuilder& build_example,
+                                const Table& full_input,
+                                const Table& full_output,
+                                const DriverOptions& options) {
+  DriverResult result;
+  for (int records = 1; records <= options.max_records; ++records) {
+    Result<ExamplePair> example = build_example(records);
+    if (!example.ok()) break;  // The raw data has no more records to add.
+
+    DriverRound round;
+    round.records = records;
+    round.search = SynthesizeProgram(example->input, example->output,
+                                     options.search);
+    if (round.search.found) {
+      Result<Table> transformed = round.search.program.Execute(full_input);
+      round.perfect =
+          transformed.ok() && transformed->ContentEquals(full_output);
+    }
+    bool perfect = round.perfect;
+    result.rounds.push_back(std::move(round));
+
+    if (perfect) {
+      result.perfect = true;
+      result.records_used = records;
+      result.program = result.rounds.back().search.program;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace foofah

@@ -1,0 +1,21 @@
+#include "core/synthesizer.h"
+
+#include "table/csv.h"
+
+namespace foofah {
+
+SearchResult Foofah::Synthesize(const Table& input_example,
+                                const Table& output_example) const {
+  return SynthesizeProgram(input_example, output_example, options_);
+}
+
+Result<SearchResult> Foofah::SynthesizeFromCsv(
+    std::string_view input_csv, std::string_view output_csv) const {
+  Result<Table> input = ParseCsv(input_csv);
+  if (!input.ok()) return input.status();
+  Result<Table> output = ParseCsv(output_csv);
+  if (!output.ok()) return output.status();
+  return Synthesize(*input, *output);
+}
+
+}  // namespace foofah

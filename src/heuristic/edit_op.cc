@@ -1,0 +1,56 @@
+#include "heuristic/edit_op.h"
+
+#include <sstream>
+
+namespace foofah {
+
+const char* EditTypeName(EditType type) {
+  switch (type) {
+    case EditType::kAdd:
+      return "add";
+    case EditType::kDelete:
+      return "delete";
+    case EditType::kMove:
+      return "move";
+    case EditType::kTransform:
+      return "transform";
+  }
+  return "unknown";
+}
+
+std::string EditOp::ToString() const {
+  std::ostringstream out;
+  out << EditTypeName(type) << "(";
+  switch (type) {
+    case EditType::kAdd:
+      out << "(" << dst_row << "," << dst_col << ")";
+      break;
+    case EditType::kDelete:
+      out << "(" << src_row << "," << src_col << ")";
+      break;
+    case EditType::kMove:
+    case EditType::kTransform:
+      out << "(" << src_row << "," << src_col << ")->(" << dst_row << ","
+          << dst_col << ")";
+      break;
+  }
+  out << ")";
+  return out.str();
+}
+
+double PathCost(const EditPath& path) {
+  double total = 0;
+  for (const EditOp& op : path) total += op.cost;
+  return total;
+}
+
+std::string PathToString(const EditPath& path) {
+  std::string out;
+  for (const EditOp& op : path) {
+    out += op.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace foofah

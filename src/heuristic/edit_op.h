@@ -1,0 +1,61 @@
+#ifndef FOOFAH_HEURISTIC_EDIT_OP_H_
+#define FOOFAH_HEURISTIC_EDIT_OP_H_
+
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace foofah {
+
+/// Cell-level table edit operators (§4.2.1, Table 3). These are *not* the
+/// Potter's Wheel transformation operators: they are the fine-grained edits
+/// whose minimum total cost defines Table Edit Distance.
+enum class EditType {
+  kAdd = 0,    ///< Add a cell to the output table.
+  kDelete,     ///< Remove a cell of the input table.
+  kMove,       ///< Move a cell from input coordinates to output coordinates.
+  kTransform,  ///< Syntactically transform a cell's content.
+};
+
+/// "add" / "delete" / "move" / "transform".
+const char* EditTypeName(EditType type);
+
+/// Cost assigned to infeasible edits: Transform between cells with no
+/// string containment relationship, Add of a non-empty cell (§4.2.1).
+inline constexpr double kInfiniteCost =
+    std::numeric_limits<double>::infinity();
+
+/// One cell edit. Coordinates are 0-based (row, col); src refers to the
+/// input/intermediate table, dst to the example output table. Delete has no
+/// dst; Add has no src.
+struct EditOp {
+  EditType type = EditType::kTransform;
+  int src_row = -1;
+  int src_col = -1;
+  int dst_row = -1;
+  int dst_col = -1;
+  double cost = 1.0;
+
+  /// Debug rendering, e.g. "transform((0,1)->(0,0))".
+  std::string ToString() const;
+
+  friend bool operator==(const EditOp& a, const EditOp& b) {
+    return a.type == b.type && a.src_row == b.src_row &&
+           a.src_col == b.src_col && a.dst_row == b.dst_row &&
+           a.dst_col == b.dst_col;
+  }
+};
+
+/// A (possibly partial) edit path: a sequence of cell edits that formulates
+/// the output table from the input table.
+using EditPath = std::vector<EditOp>;
+
+/// Sum of op costs along the path.
+double PathCost(const EditPath& path);
+
+/// Debug rendering of a whole path, one op per line.
+std::string PathToString(const EditPath& path);
+
+}  // namespace foofah
+
+#endif  // FOOFAH_HEURISTIC_EDIT_OP_H_

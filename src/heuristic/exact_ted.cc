@@ -1,0 +1,110 @@
+#include "heuristic/exact_ted.h"
+
+#include <cstdint>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "heuristic/ted.h"
+
+namespace foofah {
+
+namespace {
+
+struct FlatCell {
+  int row;
+  int col;
+  const std::string* content;
+};
+
+std::vector<FlatCell> Flatten(const Table& t) {
+  std::vector<FlatCell> cells;
+  int nrows = static_cast<int>(t.num_rows());
+  int ncols = static_cast<int>(t.num_cols());
+  cells.reserve(static_cast<size_t>(nrows) * ncols);
+  for (int r = 0; r < nrows; ++r) {
+    for (int c = 0; c < ncols; ++c) {
+      cells.push_back(FlatCell{r, c, &t.cell(r, c)});
+    }
+  }
+  return cells;
+}
+
+}  // namespace
+
+Result<double> ExactTed(const Table& input, const Table& output) {
+  std::vector<FlatCell> in = Flatten(input);
+  std::vector<FlatCell> out = Flatten(output);
+  if (out.size() > kMaxExactTedOutputCells) {
+    return Status::InvalidArgument(
+        "ExactTed: output table too large for exact computation");
+  }
+  const size_t m = in.size();
+  const size_t n = out.size();
+
+  // Algorithm 4 processes input cells u_1..u_m in order; each is either
+  // Transformed (+Moved) to a distinct unformulated output cell or Deleted;
+  // remaining output cells are then Added. Dijkstra over states
+  // (next input index, set of formulated outputs); costs are non-negative.
+  using State = uint64_t;  // (index << n) | mask
+  auto pack = [n](size_t i, uint32_t mask) -> State {
+    return (static_cast<uint64_t>(i) << n) | mask;
+  };
+
+  std::unordered_map<State, double> dist;
+  using QueueItem = std::pair<double, State>;
+  std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> open;
+  dist[pack(0, 0)] = 0;
+  open.emplace(0.0, pack(0, 0));
+
+  double best = kInfiniteCost;
+  const uint32_t full_mask =
+      n >= 32 ? 0xffffffffu : ((1u << n) - 1);
+
+  while (!open.empty()) {
+    auto [cost, state] = open.top();
+    open.pop();
+    size_t i = static_cast<size_t>(state >> n);
+    uint32_t mask = static_cast<uint32_t>(state & full_mask);
+    auto it = dist.find(state);
+    if (it != dist.end() && cost > it->second) continue;  // Stale entry.
+
+    if (i == m) {
+      // Complete the path with Adds for unformulated outputs. Add of a
+      // non-empty cell is infeasible (infinite cost).
+      double total = cost;
+      for (size_t j = 0; j < n; ++j) {
+        if (mask & (1u << j)) continue;
+        if (!out[j].content->empty()) {
+          total = kInfiniteCost;
+          break;
+        }
+        total += 1;
+      }
+      if (total < best) best = total;
+      continue;
+    }
+
+    auto relax = [&](State next, double next_cost) {
+      auto [entry, inserted] = dist.try_emplace(next, next_cost);
+      if (!inserted && entry->second <= next_cost) return;
+      entry->second = next_cost;
+      open.emplace(next_cost, next);
+    };
+
+    // Delete u_i.
+    relax(pack(i + 1, mask), cost + 1);
+    // Transform u_i into each unformulated output cell.
+    for (size_t j = 0; j < n; ++j) {
+      if (mask & (1u << j)) continue;
+      double pair_cost = TransformSequenceCost(
+          *in[i].content, in[i].row, in[i].col, *out[j].content, out[j].row,
+          out[j].col);
+      if (pair_cost == kInfiniteCost) continue;
+      relax(pack(i + 1, mask | (1u << j)), cost + pair_cost);
+    }
+  }
+  return best;
+}
+
+}  // namespace foofah

@@ -1,0 +1,30 @@
+#ifndef FOOFAH_HEURISTIC_EXACT_TED_H_
+#define FOOFAH_HEURISTIC_EXACT_TED_H_
+
+#include "table/table.h"
+#include "util/status.h"
+
+namespace foofah {
+
+/// Maximum number of goal-table cells ExactTed accepts. The state space is
+/// O(|input cells| * 2^|output cells|); beyond this bound the exact
+/// computation is intractable (it is equivalent to graph edit distance,
+/// which is NP-complete — §4.2.1).
+inline constexpr size_t kMaxExactTedOutputCells = 20;
+
+/// Optimal Table Edit Distance (Appendix D, Algorithm 4): the true minimum
+/// edit-path cost over Add/Delete/Move/Transform with the same cost model
+/// as the greedy approximation. Implemented as dynamic programming over
+/// (input-cell index, set of output cells already formulated) instead of
+/// the appendix's best-first enumeration — same optimum, polynomially
+/// bounded in 2^|output|.
+///
+/// Used in tests to validate that GreedyTed never under- nor over-shoots
+/// absurdly, and that both agree on zero for equal tables. Returns
+/// InvalidArgument when the output table exceeds kMaxExactTedOutputCells
+/// cells.
+Result<double> ExactTed(const Table& input, const Table& output);
+
+}  // namespace foofah
+
+#endif  // FOOFAH_HEURISTIC_EXACT_TED_H_

@@ -1,0 +1,46 @@
+#ifndef FOOFAH_HEURISTIC_HEURISTIC_H_
+#define FOOFAH_HEURISTIC_HEURISTIC_H_
+
+#include <memory>
+#include <string>
+
+#include "table/table.h"
+
+namespace foofah {
+
+/// Which heuristic function h(n) guides the A* search (§4.2, §5.3).
+enum class HeuristicKind {
+  /// Table Edit Distance Batch (Algorithm 2) — the paper's contribution.
+  kTedBatch = 0,
+  /// Raw greedy Table Edit Distance (Algorithm 1), unbatched. Operates at
+  /// cell scale, so it over-weights large tables; included for ablation.
+  kTed,
+  /// The rule-based naive heuristic of Appendix C ("Rule" in Fig 11c/12a).
+  kNaiveRule,
+  /// h = 0 everywhere: A* degenerates to uniform-cost search.
+  kZero,
+};
+
+/// "ted_batch" / "ted" / "rule" / "zero".
+const char* HeuristicKindName(HeuristicKind kind);
+
+/// Estimates the remaining cost (number of Potter's Wheel operations) from
+/// `state` to `goal`. Implementations are stateless and thread-compatible.
+class Heuristic {
+ public:
+  virtual ~Heuristic() = default;
+
+  /// h(state); may return kInfiniteCost when no transformation without new
+  /// information can reach `goal`.
+  virtual double Estimate(const Table& state, const Table& goal) const = 0;
+
+  /// Stable identifier for experiment output.
+  virtual std::string name() const = 0;
+};
+
+/// Factory for the built-in heuristics.
+std::unique_ptr<Heuristic> MakeHeuristic(HeuristicKind kind);
+
+}  // namespace foofah
+
+#endif  // FOOFAH_HEURISTIC_HEURISTIC_H_

@@ -1,0 +1,164 @@
+#include "heuristic/naive_heuristic.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace foofah {
+
+namespace {
+
+using Row = std::vector<std::string>;
+
+Row RowOf(const Table& t, size_t r) {
+  Row row;
+  size_t ncols = t.num_cols();
+  row.reserve(ncols);
+  for (size_t c = 0; c < ncols; ++c) row.push_back(t.cell(r, c));
+  return row;
+}
+
+// Multiset intersection size of two rows' cell contents.
+size_t CommonCells(const Row& a, const Row& b) {
+  std::map<std::string, int> counts;
+  for (const std::string& cell : a) ++counts[cell];
+  size_t common = 0;
+  for (const std::string& cell : b) {
+    auto it = counts.find(cell);
+    if (it != counts.end() && it->second > 0) {
+      --it->second;
+      ++common;
+    }
+  }
+  return common;
+}
+
+// Table 10 one-to-one rules, evaluated on row k of state (ti) vs goal (to).
+double OneToOneRowCost(const Row& ti, const Row& to) {
+  double cost = 0;
+
+  // Drop/Copy: cells present on one side but not the other indicate column
+  // additions/removals (Table 10's "absolute difference of common cells").
+  size_t common = CommonCells(ti, to);
+  if (ti.size() != common || to.size() != common) cost += 1;
+
+  // Move: cells present in both rows but at different positions.
+  size_t moved = 0;
+  for (size_t c = 0; c < std::min(ti.size(), to.size()); ++c) {
+    if (ti[c] != to[c] &&
+        std::find(to.begin(), to.end(), ti[c]) != to.end() &&
+        !ti[c].empty()) {
+      ++moved;
+    }
+  }
+  if (moved > 0) cost += 1;
+
+  // Split/Extract: cells of the goal row absent from the state row but
+  // appearing as substrings of state cells.
+  size_t extracted = 0;
+  for (const std::string& cell : to) {
+    if (cell.empty()) continue;
+    if (std::find(ti.begin(), ti.end(), cell) != ti.end()) continue;
+    for (const std::string& source : ti) {
+      if (source.size() > cell.size() && Contains(source, cell)) {
+        ++extracted;
+        break;
+      }
+    }
+  }
+  if (extracted > 0) cost += 1;
+
+  // Merge: cells of the goal row absent from the state row of which state
+  // cells are substrings.
+  size_t merged = 0;
+  for (const std::string& cell : to) {
+    if (cell.empty()) continue;
+    if (std::find(ti.begin(), ti.end(), cell) != ti.end()) continue;
+    for (const std::string& source : ti) {
+      if (!source.empty() && source.size() < cell.size() &&
+          Contains(cell, source)) {
+        ++merged;
+        break;
+      }
+    }
+  }
+  if (merged > 0) cost += 1;
+
+  return cost;
+}
+
+// True when some goal cell has no exact content match anywhere in `state`
+// (Algorithm 3's existSyntacticalHeterogeneities).
+bool SyntacticHeterogeneity(const Table& state, const Table& goal) {
+  std::set<std::string> contents;
+  for (const Table::Row& row : state.rows()) {
+    for (const std::string& cell : row) contents.insert(cell);
+  }
+  for (size_t r = 0; r < goal.num_rows(); ++r) {
+    for (size_t c = 0; c < goal.num_cols(); ++c) {
+      const std::string& cell = goal.cell(r, c);
+      if (!cell.empty() && contents.count(cell) == 0) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+double NaiveRuleHeuristic(const Table& state, const Table& goal) {
+  if (state.ContentEquals(goal)) return 0;
+  size_t hi = state.num_rows();
+  size_t wi = state.num_cols();
+  size_t ho = goal.num_rows();
+  size_t wo = goal.num_cols();
+  if (hi == 0 || ho == 0) return 1;
+
+  if (hi == ho) {
+    // One-to-one case: per-row rule sums, median over rows (Algorithm 3
+    // lines 2–7).
+    std::vector<double> row_costs;
+    row_costs.reserve(hi);
+    for (size_t r = 0; r < hi; ++r) {
+      row_costs.push_back(OneToOneRowCost(RowOf(state, r), RowOf(goal, r)));
+    }
+    std::sort(row_costs.begin(), row_costs.end());
+    double median = row_costs[row_costs.size() / 2];
+    // A zero estimate for unequal tables would make the heuristic blind;
+    // at least one operation is needed.
+    return std::max(median, 1.0);
+  }
+
+  // Many-to-many case: shape rules of Table 11 vote on the layout operator.
+  double cost = 0;
+  bool matched = false;
+  if (hi > 0 && ho % hi == 0 && ho > hi) {
+    matched = true;  // Fold: output height a multiple of input height.
+    cost += 1;
+  } else if (ho < hi && wo > wi) {
+    matched = true;  // Unfold: fewer rows, more columns.
+    cost += 1;
+  } else if (ho != hi && wo == wi) {
+    matched = true;  // Delete: height changed, width preserved.
+    cost += 1;
+  } else if (hi == wo && ho == wi) {
+    matched = true;  // Transpose: shape flipped.
+    cost += 1;
+  } else if (ho > 0 && hi % ho == 0 && hi > ho) {
+    matched = true;  // Wrap: input height a multiple of output height.
+    cost += 1;
+  }
+  if (!matched) {
+    // No single layout rule matches: assume two many-to-many operators
+    // (Appendix C: "we simply assume that two many-to-many operators are
+    // used").
+    cost += 2;
+  }
+  if (SyntacticHeterogeneity(state, goal)) cost += 1;
+  return cost;
+}
+
+}  // namespace foofah

@@ -1,0 +1,27 @@
+#ifndef FOOFAH_HEURISTIC_NAIVE_HEURISTIC_H_
+#define FOOFAH_HEURISTIC_NAIVE_HEURISTIC_H_
+
+#include "table/table.h"
+
+namespace foofah {
+
+/// The rule-based naive heuristic of Appendix C (Algorithm 3): estimates
+/// how many Potter's Wheel operators are needed to transform `state` into
+/// `goal` using operator-specific rules.
+///
+/// When the two tables have the same number of rows, the per-row one-to-one
+/// rules of Table 10 (Drop/Copy, Move, Extract, Merge, Split) estimate a
+/// per-row operator count, and the final score is the median of the per-row
+/// sums. Otherwise, the many-to-many shape rules of Table 11 (Fold, Unfold,
+/// Delete, Transpose, Wrap) vote on which layout operator is in play (two
+/// are assumed when no rule matches, per the appendix), plus one extra
+/// operator when any goal cell has no exact content match in the state.
+///
+/// The paper uses this heuristic only as the "Rule" baseline in the
+/// Fig 11c / 12a search-strategy comparison — it is deliberately weaker
+/// than TED Batch on layout transformations and is operator-dependent.
+double NaiveRuleHeuristic(const Table& state, const Table& goal);
+
+}  // namespace foofah
+
+#endif  // FOOFAH_HEURISTIC_NAIVE_HEURISTIC_H_

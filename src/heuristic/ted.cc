@@ -1,0 +1,153 @@
+#include "heuristic/ted.h"
+
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace foofah {
+
+namespace {
+
+/// A cell flattened out of its table, remembering its coordinates.
+struct Cell {
+  int row;
+  int col;
+  const std::string* content;
+};
+
+std::vector<Cell> Flatten(const Table& t) {
+  std::vector<Cell> cells;
+  int nrows = static_cast<int>(t.num_rows());
+  int ncols = static_cast<int>(t.num_cols());
+  cells.reserve(static_cast<size_t>(nrows) * ncols);
+  for (int r = 0; r < nrows; ++r) {
+    for (int c = 0; c < ncols; ++c) {
+      cells.push_back(Cell{r, c, &t.cell(r, c)});
+    }
+  }
+  return cells;
+}
+
+// Appends the Transform and/or Move ops for matching `src` to `dst` to
+// `path`. Caller guarantees the pair cost is finite.
+void AppendTransformSequence(const Cell& src, const Cell& dst,
+                             EditPath* path) {
+  if (*src.content != *dst.content) {
+    EditOp op;
+    op.type = EditType::kTransform;
+    op.src_row = src.row;
+    op.src_col = src.col;
+    op.dst_row = dst.row;
+    op.dst_col = dst.col;
+    path->push_back(op);
+  }
+  if (src.row != dst.row || src.col != dst.col) {
+    EditOp op;
+    op.type = EditType::kMove;
+    op.src_row = src.row;
+    op.src_col = src.col;
+    op.dst_row = dst.row;
+    op.dst_col = dst.col;
+    path->push_back(op);
+  }
+}
+
+}  // namespace
+
+double TransformSequenceCost(const std::string& src, int src_row, int src_col,
+                             const std::string& dst, int dst_row,
+                             int dst_col) {
+  double cost = 0;
+  if (src != dst) {
+    // A Transform may only reuse information already in the cell: the paper
+    // assigns infinite cost without a string containment relationship. An
+    // empty cell on exactly one side has no content in common with the
+    // other, so it is likewise infeasible.
+    if (src.empty() || dst.empty() || !StringContainment(src, dst)) {
+      return kInfiniteCost;
+    }
+    cost += 1;
+  }
+  if (src_row != dst_row || src_col != dst_col) cost += 1;
+  return cost;
+}
+
+TedResult GreedyTed(const Table& input, const Table& output) {
+  TedResult result;
+  std::vector<Cell> in_cells = Flatten(input);
+  std::vector<Cell> out_cells = Flatten(output);
+  std::vector<bool> used(in_cells.size(), false);
+
+  for (const Cell& out : out_cells) {
+    // Pass 1 (Algorithm 1 lines 8–12): cheapest sequence from an unused
+    // input cell, scanning in row-major order so ties pick the earlier cell.
+    double best_cost = kInfiniteCost;
+    int best_index = -1;
+    for (size_t i = 0; i < in_cells.size(); ++i) {
+      if (used[i]) continue;
+      const Cell& in = in_cells[i];
+      double cost = TransformSequenceCost(*in.content, in.row, in.col,
+                                          *out.content, out.row, out.col);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_index = static_cast<int>(i);
+        if (cost == 0) break;  // Cannot do better than an exact match.
+      }
+    }
+    // Add is only feasible for empty output cells (infinite otherwise):
+    // transformations must not introduce new information (§4.2.1). A
+    // strict improvement is required, so transforms win ties, matching the
+    // pseudocode's argmin over a list with transforms first.
+    bool use_add = out.content->empty() && 1.0 < best_cost;
+
+    if (!use_add && best_cost == kInfiniteCost) {
+      // Fallback (lines 13–18): allow already-used input cells.
+      for (size_t i = 0; i < in_cells.size(); ++i) {
+        if (!used[i]) continue;
+        const Cell& in = in_cells[i];
+        double cost = TransformSequenceCost(*in.content, in.row, in.col,
+                                            *out.content, out.row, out.col);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_index = static_cast<int>(i);
+          if (cost == 0) break;
+        }
+      }
+      // Re-offer Add against the fallback candidates.
+      use_add = out.content->empty() && 1.0 < best_cost;
+    }
+
+    if (use_add) {
+      EditOp op;
+      op.type = EditType::kAdd;
+      op.dst_row = out.row;
+      op.dst_col = out.col;
+      result.path.push_back(op);
+      result.cost += 1;
+      continue;
+    }
+    if (best_index < 0 || best_cost == kInfiniteCost) {
+      // No way to formulate this output cell: the whole path is infeasible.
+      result.cost = kInfiniteCost;
+      return result;
+    }
+    const Cell& in = in_cells[best_index];
+    AppendTransformSequence(in, out, &result.path);
+    result.cost += best_cost;
+    used[best_index] = true;
+  }
+
+  // Step 2 (lines 20–22): delete every input cell not used by the path.
+  for (size_t i = 0; i < in_cells.size(); ++i) {
+    if (used[i]) continue;
+    EditOp op;
+    op.type = EditType::kDelete;
+    op.src_row = in_cells[i].row;
+    op.src_col = in_cells[i].col;
+    result.path.push_back(op);
+    result.cost += 1;
+  }
+  return result;
+}
+
+}  // namespace foofah

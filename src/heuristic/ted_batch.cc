@@ -1,0 +1,147 @@
+#include "heuristic/ted_batch.h"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <tuple>
+
+#include "heuristic/ted.h"
+
+namespace foofah {
+
+namespace {
+
+/// Coordinate step of a pattern: how (src, dst) advance from one op in the
+/// batch to the next. A pattern applies to ops with a src, a dst, or both.
+struct PatternSpec {
+  GeometricPattern pattern;
+  bool has_src;
+  bool has_dst;
+  int src_drow, src_dcol;
+  int dst_drow, dst_dcol;
+};
+
+constexpr std::array<PatternSpec, 10> kPatterns = {{
+    // Table 4, in order.
+    {GeometricPattern::kHorizontalToHorizontal, true, true, 0, 1, 0, 1},
+    {GeometricPattern::kHorizontalToVertical, true, true, 0, 1, 1, 0},
+    {GeometricPattern::kVerticalToHorizontal, true, true, 1, 0, 0, 1},
+    {GeometricPattern::kVerticalToVertical, true, true, 1, 0, 1, 0},
+    {GeometricPattern::kOneToHorizontal, true, true, 0, 0, 0, 1},
+    {GeometricPattern::kOneToVertical, true, true, 0, 0, 1, 0},
+    {GeometricPattern::kRemoveHorizontal, true, false, 0, 1, 0, 0},
+    {GeometricPattern::kRemoveVertical, true, false, 1, 0, 0, 0},
+    // Extension: Adds batch like Removes, over dst coordinates.
+    {GeometricPattern::kAddHorizontal, false, true, 0, 0, 0, 1},
+    {GeometricPattern::kAddVertical, false, true, 0, 0, 1, 0},
+}};
+
+using CoordKey = std::tuple<int, int, int, int>;  // (src_row, src_col, dst_row, dst_col)
+
+CoordKey KeyOf(const EditOp& op) {
+  return {op.src_row, op.src_col, op.dst_row, op.dst_col};
+}
+
+CoordKey Advance(const CoordKey& key, const PatternSpec& spec, int sign) {
+  auto [sr, sc, dr, dc] = key;
+  return {sr + sign * spec.src_drow, sc + sign * spec.src_dcol,
+          dr + sign * spec.dst_drow, dc + sign * spec.dst_dcol};
+}
+
+bool PatternApplies(const PatternSpec& spec, const EditOp& op) {
+  bool op_has_src = op.type != EditType::kAdd;
+  bool op_has_dst = op.type != EditType::kDelete;
+  if (spec.has_src != op_has_src) return false;
+  if (spec.has_dst != op_has_dst) return false;
+  // "One to X" patterns keep the src fixed; a fixed-point step on BOTH
+  // sides would chain an op with itself, which is meaningless, so patterns
+  // always advance at least one side (all specs above do).
+  return true;
+}
+
+}  // namespace
+
+TedBatchResult BatchEditPath(const EditPath& path) {
+  TedBatchResult result;
+  if (path.empty()) return result;
+
+  // Line 3: group ops by edit type (an op batches only with ops of its own
+  // type: "Move should not be in the same batch as Drop").
+  std::map<EditType, std::vector<size_t>> by_type;
+  for (size_t i = 0; i < path.size(); ++i) {
+    by_type[path[i].type].push_back(i);
+  }
+
+  // Lines 4–6: candidate batches = maximal chains under each pattern.
+  std::vector<EditBatch> candidates;
+  for (const auto& [type, indices] : by_type) {
+    for (const PatternSpec& spec : kPatterns) {
+      if (!PatternApplies(spec, path[indices.front()])) continue;
+      std::map<CoordKey, size_t> by_key;
+      for (size_t i : indices) by_key.emplace(KeyOf(path[i]), i);
+      for (size_t i : indices) {
+        CoordKey key = KeyOf(path[i]);
+        // Chain heads only: no predecessor under this pattern.
+        if (by_key.count(Advance(key, spec, -1)) > 0) continue;
+        EditBatch chain;
+        chain.pattern = spec.pattern;
+        CoordKey cursor = key;
+        auto it = by_key.find(cursor);
+        while (it != by_key.end()) {
+          chain.op_indices.push_back(it->second);
+          cursor = Advance(cursor, spec, +1);
+          it = by_key.find(cursor);
+        }
+        if (chain.op_indices.size() >= 2) candidates.push_back(std::move(chain));
+      }
+    }
+    // Singleton batches guarantee the greedy cover always completes. The
+    // pattern of a singleton is immaterial; pick by op shape for clarity.
+    for (size_t i : indices) {
+      EditBatch single;
+      single.pattern = path[i].type == EditType::kAdd
+                           ? GeometricPattern::kAddHorizontal
+                       : path[i].type == EditType::kDelete
+                           ? GeometricPattern::kRemoveHorizontal
+                           : GeometricPattern::kHorizontalToHorizontal;
+      single.op_indices = {i};
+      candidates.push_back(std::move(single));
+    }
+  }
+
+  // Lines 7–11: repeatedly take the largest candidate disjoint from the
+  // ops already covered. Stable sort keeps Table 4 order as tie-breaker.
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const EditBatch& a, const EditBatch& b) {
+                     return a.op_indices.size() > b.op_indices.size();
+                   });
+  std::vector<bool> covered(path.size(), false);
+  for (EditBatch& candidate : candidates) {
+    bool disjoint = true;
+    for (size_t i : candidate.op_indices) {
+      if (covered[i]) {
+        disjoint = false;
+        break;
+      }
+    }
+    if (!disjoint) continue;
+    for (size_t i : candidate.op_indices) covered[i] = true;
+    result.batches.push_back(std::move(candidate));
+  }
+
+  // Lines 12–17: final score = sum of mean op costs per batch.
+  for (const EditBatch& batch : result.batches) {
+    double sum = 0;
+    for (size_t i : batch.op_indices) sum += path[i].cost;
+    result.cost += sum / static_cast<double>(batch.op_indices.size());
+  }
+  return result;
+}
+
+double TedBatchCost(const Table& input, const Table& output) {
+  TedResult ted = GreedyTed(input, output);
+  if (ted.cost == kInfiniteCost) return kInfiniteCost;
+  return BatchEditPath(ted.path).cost;
+}
+
+}  // namespace foofah

@@ -1,0 +1,129 @@
+#include "ops/enumerate.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace foofah {
+
+std::set<char> CandidateDelimiters(const Table& table) {
+  std::set<char> out;
+  for (const Table::Row& row : table.rows()) {
+    for (const std::string& cell : row) {
+      for (char c : cell) {
+        if (IsPrintableSymbol(c) || c == ' ' || c == '\t' || c == '\n') {
+          out.insert(c);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Operation> EnumerateCandidates(const Table& state,
+                                           const Table& goal,
+                                           const OperatorRegistry& registry) {
+  std::vector<Operation> out;
+  const int ncols = static_cast<int>(state.num_cols());
+  const int nrows = static_cast<int>(state.num_rows());
+  if (nrows == 0 || ncols == 0) return out;
+
+  const std::set<char> state_delims = CandidateDelimiters(state);
+  const std::set<char> goal_delims = CandidateDelimiters(goal);
+
+  if (registry.IsEnabled(OpCode::kDrop)) {
+    for (int i = 0; i < ncols; ++i) out.push_back(Drop(i));
+  }
+  if (registry.IsEnabled(OpCode::kMove)) {
+    for (int i = 0; i < ncols; ++i) {
+      for (int j = 0; j < ncols; ++j) {
+        if (i != j) out.push_back(Move(i, j));
+      }
+    }
+  }
+  if (registry.IsEnabled(OpCode::kCopy)) {
+    for (int i = 0; i < ncols; ++i) out.push_back(Copy(i));
+  }
+  if (registry.IsEnabled(OpCode::kMerge)) {
+    for (int i = 0; i < ncols; ++i) {
+      for (int j = 0; j < ncols; ++j) {
+        if (i == j) continue;
+        out.push_back(Merge(i, j));
+        // Glue symbols that do not occur in the goal would be pruned by
+        // Introducing-Novel-Symbols; the goal's symbols are the domain.
+        for (char d : goal_delims) {
+          out.push_back(Merge(i, j, std::string(1, d)));
+        }
+      }
+    }
+  }
+  if (registry.IsEnabled(OpCode::kSplit)) {
+    for (int i = 0; i < ncols; ++i) {
+      for (char d : state_delims) {
+        out.push_back(Split(i, std::string(1, d)));
+      }
+    }
+  }
+  if (registry.IsEnabled(OpCode::kFold)) {
+    for (int i = 0; i < ncols; ++i) {
+      out.push_back(Fold(i, /*with_header=*/false));
+      if (nrows >= 2) out.push_back(Fold(i, /*with_header=*/true));
+    }
+  }
+  if (registry.IsEnabled(OpCode::kUnfold)) {
+    for (int i = 0; i < ncols; ++i) {
+      for (int j = 0; j < ncols; ++j) {
+        if (i != j) out.push_back(Unfold(i, j));
+      }
+    }
+  }
+  if (registry.IsEnabled(OpCode::kFill)) {
+    for (int i = 0; i < ncols; ++i) out.push_back(Fill(i));
+  }
+  if (registry.IsEnabled(OpCode::kDivide)) {
+    for (int i = 0; i < ncols; ++i) {
+      for (int p = 0; p < kNumDividePredicates; ++p) {
+        out.push_back(Divide(i, static_cast<DividePredicate>(p)));
+      }
+    }
+  }
+  if (registry.IsEnabled(OpCode::kDelete)) {
+    for (int i = 0; i < ncols; ++i) out.push_back(DeleteRows(i));
+  }
+  if (registry.IsEnabled(OpCode::kExtract)) {
+    for (int i = 0; i < ncols; ++i) {
+      for (const std::string& pattern : registry.extract_patterns()) {
+        out.push_back(Extract(i, pattern));
+      }
+    }
+  }
+  if (registry.IsEnabled(OpCode::kTranspose)) {
+    out.push_back(Transpose());
+  }
+  if (registry.IsEnabled(OpCode::kWrapColumn)) {
+    for (int i = 0; i < ncols; ++i) out.push_back(WrapColumn(i));
+  }
+  if (registry.IsEnabled(OpCode::kWrapEvery)) {
+    for (int k = 2; k <= registry.max_wrap_every(); ++k) {
+      if (k < nrows) out.push_back(WrapEvery(k));
+    }
+  }
+  if (registry.IsEnabled(OpCode::kWrapAll)) {
+    if (nrows > 1) out.push_back(WrapAll());
+  }
+  if (registry.IsEnabled(OpCode::kSplitAll)) {
+    for (int i = 0; i < ncols; ++i) {
+      for (char d : state_delims) {
+        out.push_back(SplitAll(i, std::string(1, d)));
+      }
+    }
+  }
+  if (registry.IsEnabled(OpCode::kDeleteRow)) {
+    for (int r = 0; r < std::min(nrows, registry.max_delete_row()); ++r) {
+      out.push_back(DeleteRow(r));
+    }
+  }
+  return out;
+}
+
+}  // namespace foofah

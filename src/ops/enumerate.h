@@ -1,0 +1,34 @@
+#ifndef FOOFAH_OPS_ENUMERATE_H_
+#define FOOFAH_OPS_ENUMERATE_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ops/operation.h"
+#include "ops/registry.h"
+#include "table/table.h"
+
+namespace foofah {
+
+/// Collects the candidate delimiter characters of a table: every printable
+/// non-alphanumeric symbol, space, tab or newline that occurs in some cell.
+/// This is the parameter domain for Split (from the current state) and for
+/// Merge glue strings (from the output example — a Merge may only introduce
+/// symbols the goal contains, everything else is pruned anyway).
+std::set<char> CandidateDelimiters(const Table& table);
+
+/// Enumerates every parameterization of every enabled operator for `state`,
+/// as in the paper's graph construction (§4.1): "expand the graph ... with
+/// all possible parameterizations", where "the domain for all parameters of
+/// our operator set is restricted" by the data itself. `goal` supplies the
+/// Merge-glue domain. The result is the *unpruned* arc set; pruning rules
+/// filter the resulting child states separately (so the Fig 12b ablation
+/// can observe the difference).
+std::vector<Operation> EnumerateCandidates(const Table& state,
+                                           const Table& goal,
+                                           const OperatorRegistry& registry);
+
+}  // namespace foofah
+
+#endif  // FOOFAH_OPS_ENUMERATE_H_

@@ -1,0 +1,257 @@
+#include "ops/operation.h"
+
+#include <sstream>
+
+namespace foofah {
+
+const char* OpCodeName(OpCode code) {
+  switch (code) {
+    case OpCode::kDrop:
+      return "drop";
+    case OpCode::kMove:
+      return "move";
+    case OpCode::kCopy:
+      return "copy";
+    case OpCode::kMerge:
+      return "merge";
+    case OpCode::kSplit:
+      return "split";
+    case OpCode::kFold:
+      return "fold";
+    case OpCode::kUnfold:
+      return "unfold";
+    case OpCode::kFill:
+      return "fill";
+    case OpCode::kDivide:
+      return "divide";
+    case OpCode::kDelete:
+      return "delete";
+    case OpCode::kExtract:
+      return "extract";
+    case OpCode::kTranspose:
+      return "transpose";
+    case OpCode::kWrapColumn:
+      return "wrap";
+    case OpCode::kWrapEvery:
+      return "wrapevery";
+    case OpCode::kWrapAll:
+      return "wrapall";
+    case OpCode::kSplitAll:
+      return "splitall";
+    case OpCode::kDeleteRow:
+      return "deleterow";
+  }
+  return "unknown";
+}
+
+const char* DividePredicateName(DividePredicate predicate) {
+  switch (predicate) {
+    case DividePredicate::kAllDigits:
+      return "digits";
+    case DividePredicate::kAllAlpha:
+      return "alpha";
+    case DividePredicate::kAllAlnum:
+      return "alnum";
+  }
+  return "unknown";
+}
+
+namespace {
+// Renders a string parameter as a single-quoted literal with escapes for
+// quote, backslash, newline and tab.
+std::string QuoteParam(const std::string& s) {
+  std::string out = "'";
+  for (char c : s) {
+    switch (c) {
+      case '\'':
+        out += "\\'";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  out += "'";
+  return out;
+}
+}  // namespace
+
+std::string Operation::ToString() const {
+  std::ostringstream out;
+  out << OpCodeName(op) << "(t";
+  switch (op) {
+    case OpCode::kDrop:
+    case OpCode::kCopy:
+    case OpCode::kFill:
+    case OpCode::kDelete:
+    case OpCode::kWrapColumn:
+      out << ", " << col1;
+      break;
+    case OpCode::kMove:
+    case OpCode::kUnfold:
+      out << ", " << col1 << ", " << col2;
+      break;
+    case OpCode::kMerge:
+      out << ", " << col1 << ", " << col2 << ", " << QuoteParam(text);
+      break;
+    case OpCode::kSplit:
+    case OpCode::kSplitAll:
+    case OpCode::kExtract:
+      out << ", " << col1 << ", " << QuoteParam(text);
+      break;
+    case OpCode::kFold:
+      out << ", " << col1;
+      if (int_param != 0) out << ", 1";
+      break;
+    case OpCode::kDivide:
+      out << ", " << col1 << ", "
+          << QuoteParam(DividePredicateName(
+                 static_cast<DividePredicate>(int_param)));
+      break;
+    case OpCode::kWrapEvery:
+    case OpCode::kDeleteRow:
+      out << ", " << int_param;
+      break;
+    case OpCode::kTranspose:
+    case OpCode::kWrapAll:
+      break;
+  }
+  out << ")";
+  return out.str();
+}
+
+Operation Drop(int col) {
+  Operation op;
+  op.op = OpCode::kDrop;
+  op.col1 = col;
+  return op;
+}
+
+Operation Move(int from_col, int to_col) {
+  Operation op;
+  op.op = OpCode::kMove;
+  op.col1 = from_col;
+  op.col2 = to_col;
+  return op;
+}
+
+Operation Copy(int col) {
+  Operation op;
+  op.op = OpCode::kCopy;
+  op.col1 = col;
+  return op;
+}
+
+Operation Merge(int col1, int col2, std::string glue) {
+  Operation op;
+  op.op = OpCode::kMerge;
+  op.col1 = col1;
+  op.col2 = col2;
+  op.text = std::move(glue);
+  return op;
+}
+
+Operation Split(int col, std::string delimiter) {
+  Operation op;
+  op.op = OpCode::kSplit;
+  op.col1 = col;
+  op.text = std::move(delimiter);
+  return op;
+}
+
+Operation Fold(int first_col, bool with_header) {
+  Operation op;
+  op.op = OpCode::kFold;
+  op.col1 = first_col;
+  op.int_param = with_header ? 1 : 0;
+  return op;
+}
+
+Operation Unfold(int header_col, int value_col) {
+  Operation op;
+  op.op = OpCode::kUnfold;
+  op.col1 = header_col;
+  op.col2 = value_col;
+  return op;
+}
+
+Operation Fill(int col) {
+  Operation op;
+  op.op = OpCode::kFill;
+  op.col1 = col;
+  return op;
+}
+
+Operation Divide(int col, DividePredicate predicate) {
+  Operation op;
+  op.op = OpCode::kDivide;
+  op.col1 = col;
+  op.int_param = static_cast<int>(predicate);
+  return op;
+}
+
+Operation DeleteRows(int col) {
+  Operation op;
+  op.op = OpCode::kDelete;
+  op.col1 = col;
+  return op;
+}
+
+Operation Extract(int col, std::string regex) {
+  Operation op;
+  op.op = OpCode::kExtract;
+  op.col1 = col;
+  op.text = std::move(regex);
+  return op;
+}
+
+Operation Transpose() {
+  Operation op;
+  op.op = OpCode::kTranspose;
+  return op;
+}
+
+Operation WrapColumn(int col) {
+  Operation op;
+  op.op = OpCode::kWrapColumn;
+  op.col1 = col;
+  return op;
+}
+
+Operation WrapEvery(int k) {
+  Operation op;
+  op.op = OpCode::kWrapEvery;
+  op.int_param = k;
+  return op;
+}
+
+Operation WrapAll() {
+  Operation op;
+  op.op = OpCode::kWrapAll;
+  return op;
+}
+
+Operation SplitAll(int col, std::string delimiter) {
+  Operation op;
+  op.op = OpCode::kSplitAll;
+  op.col1 = col;
+  op.text = std::move(delimiter);
+  return op;
+}
+
+Operation DeleteRow(int row) {
+  Operation op;
+  op.op = OpCode::kDeleteRow;
+  op.int_param = row;
+  return op;
+}
+
+}  // namespace foofah

@@ -1,0 +1,106 @@
+#ifndef FOOFAH_OPS_OPERATION_H_
+#define FOOFAH_OPS_OPERATION_H_
+
+#include <cstdint>
+#include <string>
+
+namespace foofah {
+
+/// The Potter's Wheel operator library used by Foofah (§3.2, Table 2,
+/// Appendix A), plus the paper's added Wrap operator with its three
+/// variants (§5.5).
+enum class OpCode {
+  kDrop = 0,    ///< Delete a column.
+  kMove,        ///< Relocate a column to another position.
+  kCopy,        ///< Duplicate a column, appending the copy at the end.
+  kMerge,       ///< Concatenate two columns (optional glue string), append.
+  kSplit,       ///< Split a column at the first delimiter occurrence.
+  kFold,        ///< Collapse the columns from an index onward into one.
+  kUnfold,      ///< Cross-tabulate: key column values become column names.
+  kFill,        ///< Fill empty cells with the value from above.
+  kDivide,      ///< Route a column's cells into one of two columns.
+  kDelete,      ///< Delete rows with an empty cell in a given column.
+  kExtract,     ///< Insert the first regex match of a column's cells.
+  kTranspose,   ///< Swap rows and columns.
+  kWrapColumn,  ///< Wrap variant W1: concatenate rows equal on a column.
+  kWrapEvery,   ///< Wrap variant W2: concatenate every k consecutive rows.
+  kWrapAll,     ///< Wrap variant W3: concatenate all rows into one.
+  // ---- Extension operators (§5.5: "users are able to add new operators
+  // as needed"). Not part of the paper's library: disabled in
+  // OperatorRegistry::Default(), enabled by WithExtensions(). ----
+  kSplitAll,    ///< Split a column at EVERY delimiter occurrence.
+  kDeleteRow,   ///< Delete one row by index (Wrangler's "Delete row 1").
+};
+
+/// Number of distinct OpCode values (for iteration/array sizing).
+inline constexpr int kNumOpCodes = static_cast<int>(OpCode::kDeleteRow) + 1;
+
+/// Lower-case operator name as used in the program surface syntax
+/// ("split", "unfold", "wrap", ...).
+const char* OpCodeName(OpCode code);
+
+/// Cell-content predicates available to Divide (Appendix A): "if all
+/// digits", "if all alphabets", "if all alphanumerics".
+enum class DividePredicate {
+  kAllDigits = 0,
+  kAllAlpha = 1,
+  kAllAlnum = 2,
+};
+
+inline constexpr int kNumDividePredicates = 3;
+
+/// Surface-syntax name of a Divide predicate ("digits", "alpha", "alnum").
+const char* DividePredicateName(DividePredicate predicate);
+
+/// A single parameterized data transformation operation p_i = (op_i, par...),
+/// as in Definition 3.1. Which fields are meaningful depends on `op`:
+///
+///   Drop(col1)            Move(col1 -> col2)       Copy(col1)
+///   Merge(col1, col2, text=glue)                   Split(col1, text=delim)
+///   Fold(col1, int_param=with_header 0/1)          Unfold(col1=header col,
+///                                                         col2=value col)
+///   Fill(col1)            Divide(col1, int_param=predicate)
+///   Delete(col1)          Extract(col1, text=regex)
+///   Transpose()           WrapColumn(col1)
+///   WrapEvery(int_param=k)                         WrapAll()
+///   SplitAll(col1, text=delim)                     DeleteRow(int_param=row)
+struct Operation {
+  OpCode op = OpCode::kTranspose;
+  int col1 = -1;
+  int col2 = -1;
+  int int_param = 0;
+  std::string text;
+
+  /// Renders the operation in the paper's surface syntax, e.g.
+  /// "split(t, 1, ':')" (Fig 6). The leading "t = " is added by
+  /// Program::ToScript.
+  std::string ToString() const;
+
+  friend bool operator==(const Operation& a, const Operation& b) {
+    return a.op == b.op && a.col1 == b.col1 && a.col2 == b.col2 &&
+           a.int_param == b.int_param && a.text == b.text;
+  }
+};
+
+/// Factory helpers, mirroring the surface syntax.
+Operation Drop(int col);
+Operation Move(int from_col, int to_col);
+Operation Copy(int col);
+Operation Merge(int col1, int col2, std::string glue = "");
+Operation Split(int col, std::string delimiter);
+Operation Fold(int first_col, bool with_header = false);
+Operation Unfold(int header_col, int value_col);
+Operation Fill(int col);
+Operation Divide(int col, DividePredicate predicate);
+Operation DeleteRows(int col);
+Operation Extract(int col, std::string regex);
+Operation Transpose();
+Operation WrapColumn(int col);
+Operation WrapEvery(int k);
+Operation WrapAll();
+Operation SplitAll(int col, std::string delimiter);
+Operation DeleteRow(int row);
+
+}  // namespace foofah
+
+#endif  // FOOFAH_OPS_OPERATION_H_

@@ -1,0 +1,527 @@
+#include "ops/operators.h"
+
+#include <map>
+#include <regex>
+#include <sstream>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace foofah {
+
+namespace {
+
+using Row = Table::Row;
+
+Status BadColumn(const char* op, int col, size_t ncols) {
+  std::ostringstream msg;
+  msg << op << ": column " << col << " out of range [0, " << ncols << ")";
+  return Status::InvalidArgument(msg.str());
+}
+
+// Reads the full-width row `r` of `t` (padding ragged rows with "").
+Row FullRow(const Table& t, size_t r, size_t ncols) {
+  Row row;
+  row.reserve(ncols);
+  for (size_t c = 0; c < ncols; ++c) row.push_back(t.cell(r, c));
+  return row;
+}
+
+Result<Table> ApplyDrop(const Table& t, int col) {
+  size_t ncols = t.num_cols();
+  if (col < 0 || static_cast<size_t>(col) >= ncols) {
+    return BadColumn("drop", col, ncols);
+  }
+  std::vector<Row> rows;
+  rows.reserve(t.num_rows());
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    Row row;
+    row.reserve(ncols - 1);
+    for (size_t c = 0; c < ncols; ++c) {
+      if (c != static_cast<size_t>(col)) row.push_back(t.cell(r, c));
+    }
+    rows.push_back(std::move(row));
+  }
+  return Table(std::move(rows));
+}
+
+Result<Table> ApplyMove(const Table& t, int from, int to) {
+  size_t ncols = t.num_cols();
+  if (from < 0 || static_cast<size_t>(from) >= ncols) {
+    return BadColumn("move", from, ncols);
+  }
+  if (to < 0 || static_cast<size_t>(to) >= ncols) {
+    return BadColumn("move", to, ncols);
+  }
+  if (from == to) {
+    return Status::InvalidArgument("move: source equals destination");
+  }
+  std::vector<Row> rows;
+  rows.reserve(t.num_rows());
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    Row row = FullRow(t, r, ncols);
+    std::string cell = std::move(row[from]);
+    row.erase(row.begin() + from);
+    row.insert(row.begin() + to, std::move(cell));
+    rows.push_back(std::move(row));
+  }
+  return Table(std::move(rows));
+}
+
+Result<Table> ApplyCopy(const Table& t, int col) {
+  size_t ncols = t.num_cols();
+  if (col < 0 || static_cast<size_t>(col) >= ncols) {
+    return BadColumn("copy", col, ncols);
+  }
+  std::vector<Row> rows;
+  rows.reserve(t.num_rows());
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    Row row = FullRow(t, r, ncols);
+    row.push_back(t.cell(r, col));
+    rows.push_back(std::move(row));
+  }
+  return Table(std::move(rows));
+}
+
+Result<Table> ApplyMerge(const Table& t, int col1, int col2,
+                         const std::string& glue) {
+  size_t ncols = t.num_cols();
+  if (col1 < 0 || static_cast<size_t>(col1) >= ncols) {
+    return BadColumn("merge", col1, ncols);
+  }
+  if (col2 < 0 || static_cast<size_t>(col2) >= ncols) {
+    return BadColumn("merge", col2, ncols);
+  }
+  if (col1 == col2) {
+    return Status::InvalidArgument("merge: columns must differ");
+  }
+  std::vector<Row> rows;
+  rows.reserve(t.num_rows());
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    Row row;
+    row.reserve(ncols - 1);
+    for (size_t c = 0; c < ncols; ++c) {
+      if (c != static_cast<size_t>(col1) && c != static_cast<size_t>(col2)) {
+        row.push_back(t.cell(r, c));
+      }
+    }
+    row.push_back(t.cell(r, col1) + glue + t.cell(r, col2));
+    rows.push_back(std::move(row));
+  }
+  return Table(std::move(rows));
+}
+
+Result<Table> ApplySplit(const Table& t, int col, const std::string& delim) {
+  size_t ncols = t.num_cols();
+  if (col < 0 || static_cast<size_t>(col) >= ncols) {
+    return BadColumn("split", col, ncols);
+  }
+  if (delim.empty()) {
+    return Status::InvalidArgument("split: delimiter must be non-empty");
+  }
+  std::vector<Row> rows;
+  rows.reserve(t.num_rows());
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    Row row;
+    row.reserve(ncols + 1);
+    for (size_t c = 0; c < ncols; ++c) {
+      if (c == static_cast<size_t>(col)) {
+        auto [left, right] = SplitFirst(t.cell(r, c), delim);
+        row.push_back(std::move(left));
+        row.push_back(std::move(right));
+      } else {
+        row.push_back(t.cell(r, c));
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return Table(std::move(rows));
+}
+
+Result<Table> ApplyFold(const Table& t, int first_col, bool with_header) {
+  size_t ncols = t.num_cols();
+  if (first_col < 0 || static_cast<size_t>(first_col) >= ncols) {
+    return BadColumn("fold", first_col, ncols);
+  }
+  if (with_header && t.num_rows() < 1) {
+    return Status::InvalidArgument("fold: header variant needs a header row");
+  }
+  std::vector<Row> rows;
+  size_t first_data_row = with_header ? 1 : 0;
+  for (size_t r = first_data_row; r < t.num_rows(); ++r) {
+    for (size_t c = static_cast<size_t>(first_col); c < ncols; ++c) {
+      Row row;
+      row.reserve(first_col + 2);
+      for (size_t keep = 0; keep < static_cast<size_t>(first_col); ++keep) {
+        row.push_back(t.cell(r, keep));
+      }
+      if (with_header) row.push_back(t.cell(0, c));
+      row.push_back(t.cell(r, c));
+      rows.push_back(std::move(row));
+    }
+  }
+  return Table(std::move(rows));
+}
+
+Result<Table> ApplyUnfold(const Table& t, int header_col, int value_col) {
+  size_t ncols = t.num_cols();
+  if (header_col < 0 || static_cast<size_t>(header_col) >= ncols) {
+    return BadColumn("unfold", header_col, ncols);
+  }
+  if (value_col < 0 || static_cast<size_t>(value_col) >= ncols) {
+    return BadColumn("unfold", value_col, ncols);
+  }
+  if (header_col == value_col) {
+    return Status::InvalidArgument("unfold: columns must differ");
+  }
+
+  // Key = all columns other than header_col and value_col, in order.
+  std::vector<size_t> key_cols;
+  for (size_t c = 0; c < ncols; ++c) {
+    if (c != static_cast<size_t>(header_col) &&
+        c != static_cast<size_t>(value_col)) {
+      key_cols.push_back(c);
+    }
+  }
+
+  // Unique header values in order of first appearance become new columns.
+  std::vector<std::string> new_columns;
+  std::map<std::string, size_t> column_index;
+  // Groups (by key tuple) in order of first appearance.
+  std::vector<Row> group_keys;
+  std::map<Row, size_t> group_index;
+  std::vector<std::map<size_t, std::string>> group_values;
+
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    // A null header value becomes a column literally named "null" — the
+    // broken Figure 4 situation, where missing values surface as "null"
+    // identifiers in the unfolded output. Keeping the breakage *visible*
+    // matters: the Null-In-Column pruning rule (§4.3) is only lossless
+    // because such states can never silently equal a clean goal table.
+    const std::string& header_cell = t.cell(r, header_col);
+    const std::string header = header_cell.empty() ? "null" : header_cell;
+    auto [cit, cinserted] = column_index.try_emplace(header, new_columns.size());
+    if (cinserted) new_columns.push_back(header);
+
+    Row key;
+    key.reserve(key_cols.size());
+    for (size_t c : key_cols) key.push_back(t.cell(r, c));
+    auto [git, ginserted] = group_index.try_emplace(key, group_keys.size());
+    if (ginserted) {
+      group_keys.push_back(key);
+      group_values.emplace_back();
+    }
+    group_values[git->second][cit->second] = t.cell(r, value_col);
+  }
+
+  std::vector<Row> rows;
+  rows.reserve(group_keys.size() + 1);
+  // Header row: empty cells for the key columns, then the new column names
+  // (Figure 2: "Tel Fax" with an empty cell above the human names).
+  Row header_row(key_cols.size());
+  for (const std::string& name : new_columns) header_row.push_back(name);
+  rows.push_back(std::move(header_row));
+
+  for (size_t g = 0; g < group_keys.size(); ++g) {
+    Row row = group_keys[g];
+    row.resize(key_cols.size() + new_columns.size());
+    for (const auto& [col, value] : group_values[g]) {
+      row[key_cols.size() + col] = value;
+    }
+    rows.push_back(std::move(row));
+  }
+  return Table(std::move(rows));
+}
+
+Result<Table> ApplyFill(const Table& t, int col) {
+  size_t ncols = t.num_cols();
+  if (col < 0 || static_cast<size_t>(col) >= ncols) {
+    return BadColumn("fill", col, ncols);
+  }
+  std::vector<Row> rows;
+  rows.reserve(t.num_rows());
+  std::string last;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    Row row = FullRow(t, r, ncols);
+    if (row[col].empty()) {
+      row[col] = last;
+    } else {
+      last = row[col];
+    }
+    rows.push_back(std::move(row));
+  }
+  return Table(std::move(rows));
+}
+
+Result<Table> ApplyDivide(const Table& t, int col, DividePredicate predicate) {
+  size_t ncols = t.num_cols();
+  if (col < 0 || static_cast<size_t>(col) >= ncols) {
+    return BadColumn("divide", col, ncols);
+  }
+  std::vector<Row> rows;
+  rows.reserve(t.num_rows());
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    Row row;
+    row.reserve(ncols + 1);
+    for (size_t c = 0; c < ncols; ++c) {
+      if (c == static_cast<size_t>(col)) {
+        const std::string& value = t.cell(r, c);
+        if (EvalDividePredicate(predicate, value)) {
+          row.push_back(value);
+          row.push_back("");
+        } else {
+          row.push_back("");
+          row.push_back(value);
+        }
+      } else {
+        row.push_back(t.cell(r, c));
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return Table(std::move(rows));
+}
+
+Result<Table> ApplyDelete(const Table& t, int col) {
+  size_t ncols = t.num_cols();
+  if (col < 0 || static_cast<size_t>(col) >= ncols) {
+    return BadColumn("delete", col, ncols);
+  }
+  std::vector<Row> rows;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    if (t.cell(r, col).empty()) continue;
+    rows.push_back(FullRow(t, r, ncols));
+  }
+  return Table(std::move(rows));
+}
+
+Result<Table> ApplyExtract(const Table& t, int col, const std::string& regex) {
+  size_t ncols = t.num_cols();
+  if (col < 0 || static_cast<size_t>(col) >= ncols) {
+    return BadColumn("extract", col, ncols);
+  }
+  // Compiled patterns are cached: the search loop re-applies the same small
+  // set of Extract candidates across many states. Leaked static per the
+  // style guide's static-storage-duration rules (never destroyed).
+  static auto& cache = *new std::map<std::string, std::regex>();
+  auto it = cache.find(regex);
+  if (it == cache.end()) {
+    std::regex compiled;
+    // std::regex reports malformed patterns via regex_error; translate to a
+    // Status to keep the library exception-free at API boundaries.
+    try {
+      compiled.assign(regex, std::regex::ECMAScript);
+    } catch (const std::regex_error& e) {
+      return Status::InvalidArgument(std::string("extract: bad regex: ") +
+                                     e.what());
+    }
+    it = cache.emplace(regex, std::move(compiled)).first;
+  }
+  const std::regex& re = it->second;
+  std::vector<Row> rows;
+  rows.reserve(t.num_rows());
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    Row row;
+    row.reserve(ncols + 1);
+    for (size_t c = 0; c < ncols; ++c) {
+      row.push_back(t.cell(r, c));
+      if (c == static_cast<size_t>(col)) {
+        std::smatch match;
+        const std::string& value = t.cell(r, c);
+        std::string extracted;
+        if (std::regex_search(value, match, re)) {
+          // A capture group, when present, selects the extracted portion
+          // (supports the Appendix B "prefix/suffix" usage).
+          extracted = match.size() > 1 && match[1].matched
+                          ? match[1].str()
+                          : match[0].str();
+        }
+        row.push_back(std::move(extracted));
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return Table(std::move(rows));
+}
+
+Result<Table> ApplyTranspose(const Table& t) {
+  size_t nrows = t.num_rows();
+  size_t ncols = t.num_cols();
+  std::vector<Row> rows(ncols);
+  for (size_t c = 0; c < ncols; ++c) {
+    rows[c].reserve(nrows);
+    for (size_t r = 0; r < nrows; ++r) {
+      rows[c].push_back(t.cell(r, c));
+    }
+  }
+  return Table(std::move(rows));
+}
+
+Result<Table> ApplyWrapColumn(const Table& t, int col) {
+  size_t ncols = t.num_cols();
+  if (col < 0 || static_cast<size_t>(col) >= ncols) {
+    return BadColumn("wrap", col, ncols);
+  }
+  // Rows with equal values in `col` are concatenated, in order of first
+  // appearance of the value (Appendix A, Wrap variant 1).
+  std::vector<std::string> keys;
+  std::map<std::string, size_t> key_index;
+  std::vector<Row> groups;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    const std::string& key = t.cell(r, col);
+    auto [it, inserted] = key_index.try_emplace(key, keys.size());
+    if (inserted) {
+      keys.push_back(key);
+      groups.emplace_back();
+    }
+    Row row = FullRow(t, r, ncols);
+    Row& group = groups[it->second];
+    group.insert(group.end(), std::make_move_iterator(row.begin()),
+                 std::make_move_iterator(row.end()));
+  }
+  return Table(std::move(groups));
+}
+
+Result<Table> ApplyWrapEvery(const Table& t, int k) {
+  if (k < 2) {
+    return Status::InvalidArgument("wrapevery: k must be >= 2");
+  }
+  size_t ncols = t.num_cols();
+  std::vector<Row> rows;
+  for (size_t r = 0; r < t.num_rows(); r += static_cast<size_t>(k)) {
+    Row combined;
+    for (size_t i = r; i < std::min(t.num_rows(), r + static_cast<size_t>(k));
+         ++i) {
+      Row row = FullRow(t, i, ncols);
+      combined.insert(combined.end(), std::make_move_iterator(row.begin()),
+                      std::make_move_iterator(row.end()));
+    }
+    rows.push_back(std::move(combined));
+  }
+  return Table(std::move(rows));
+}
+
+Result<Table> ApplySplitAll(const Table& t, int col,
+                            const std::string& delim) {
+  size_t ncols = t.num_cols();
+  if (col < 0 || static_cast<size_t>(col) >= ncols) {
+    return BadColumn("splitall", col, ncols);
+  }
+  if (delim.empty()) {
+    return Status::InvalidArgument("splitall: delimiter must be non-empty");
+  }
+  // The widest split determines how many columns replace column `col`;
+  // shorter splits pad with empty cells.
+  size_t parts = 1;
+  std::vector<std::vector<std::string>> split_cells;
+  split_cells.reserve(t.num_rows());
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    split_cells.push_back(SplitAll(t.cell(r, col), delim));
+    parts = std::max(parts, split_cells.back().size());
+  }
+  std::vector<Row> rows;
+  rows.reserve(t.num_rows());
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    Row row;
+    row.reserve(ncols + parts - 1);
+    for (size_t c = 0; c < ncols; ++c) {
+      if (c == static_cast<size_t>(col)) {
+        std::vector<std::string>& pieces = split_cells[r];
+        pieces.resize(parts);
+        for (std::string& piece : pieces) row.push_back(std::move(piece));
+      } else {
+        row.push_back(t.cell(r, c));
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return Table(std::move(rows));
+}
+
+Result<Table> ApplyDeleteRow(const Table& t, int row_index) {
+  if (row_index < 0 || static_cast<size_t>(row_index) >= t.num_rows()) {
+    std::ostringstream msg;
+    msg << "deleterow: row " << row_index << " out of range [0, "
+        << t.num_rows() << ")";
+    return Status::InvalidArgument(msg.str());
+  }
+  std::vector<Row> rows;
+  rows.reserve(t.num_rows() - 1);
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    if (r != static_cast<size_t>(row_index)) {
+      rows.push_back(FullRow(t, r, t.num_cols()));
+    }
+  }
+  return Table(std::move(rows));
+}
+
+Result<Table> ApplyWrapAll(const Table& t) {
+  size_t ncols = t.num_cols();
+  Row combined;
+  combined.reserve(t.num_rows() * ncols);
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    Row row = FullRow(t, r, ncols);
+    combined.insert(combined.end(), std::make_move_iterator(row.begin()),
+                    std::make_move_iterator(row.end()));
+  }
+  std::vector<Row> rows;
+  if (!combined.empty()) rows.push_back(std::move(combined));
+  return Table(std::move(rows));
+}
+
+}  // namespace
+
+bool EvalDividePredicate(DividePredicate predicate, const std::string& value) {
+  switch (predicate) {
+    case DividePredicate::kAllDigits:
+      return AllDigits(value);
+    case DividePredicate::kAllAlpha:
+      return AllAlpha(value);
+    case DividePredicate::kAllAlnum:
+      return AllAlnum(value);
+  }
+  return false;
+}
+
+Result<Table> ApplyOperation(const Table& input, const Operation& operation) {
+  switch (operation.op) {
+    case OpCode::kDrop:
+      return ApplyDrop(input, operation.col1);
+    case OpCode::kMove:
+      return ApplyMove(input, operation.col1, operation.col2);
+    case OpCode::kCopy:
+      return ApplyCopy(input, operation.col1);
+    case OpCode::kMerge:
+      return ApplyMerge(input, operation.col1, operation.col2, operation.text);
+    case OpCode::kSplit:
+      return ApplySplit(input, operation.col1, operation.text);
+    case OpCode::kFold:
+      return ApplyFold(input, operation.col1, operation.int_param != 0);
+    case OpCode::kUnfold:
+      return ApplyUnfold(input, operation.col1, operation.col2);
+    case OpCode::kFill:
+      return ApplyFill(input, operation.col1);
+    case OpCode::kDivide:
+      return ApplyDivide(input, operation.col1,
+                         static_cast<DividePredicate>(operation.int_param));
+    case OpCode::kDelete:
+      return ApplyDelete(input, operation.col1);
+    case OpCode::kExtract:
+      return ApplyExtract(input, operation.col1, operation.text);
+    case OpCode::kTranspose:
+      return ApplyTranspose(input);
+    case OpCode::kWrapColumn:
+      return ApplyWrapColumn(input, operation.col1);
+    case OpCode::kWrapEvery:
+      return ApplyWrapEvery(input, operation.int_param);
+    case OpCode::kWrapAll:
+      return ApplyWrapAll(input);
+    case OpCode::kSplitAll:
+      return ApplySplitAll(input, operation.col1, operation.text);
+    case OpCode::kDeleteRow:
+      return ApplyDeleteRow(input, operation.int_param);
+  }
+  return Status::Internal("unknown operation code");
+}
+
+}  // namespace foofah

@@ -1,0 +1,40 @@
+#ifndef FOOFAH_OPS_OPERATORS_H_
+#define FOOFAH_OPS_OPERATORS_H_
+
+#include <string>
+
+#include "ops/operation.h"
+#include "table/table.h"
+#include "util/status.h"
+
+namespace foofah {
+
+/// Applies one parameterized operation to `input`, returning the transformed
+/// table or an InvalidArgument status when the parameters are outside the
+/// operator's domain (bad column index, k < 2 for WrapEvery, malformed
+/// regex, ...).
+///
+/// All operators are *total* over their parameter domain: an operation with
+/// valid parameters always succeeds, even when it produces a useless result
+/// (e.g., Split with an absent delimiter yields an empty right column;
+/// Unfold with nulls in the header column yields ""-named columns, the
+/// broken Figure 4 situation). Usefulness filtering is the job of the
+/// pruning rules (§4.3), which must be able to observe these states for the
+/// Figure 12b ablation.
+///
+/// Semantics follow Appendix A with two documented deviations:
+///  - Split and Divide place their result columns *in place of* the source
+///    column rather than appending them at the end. This matches the
+///    worked example of Figures 9-10 (whose edit-path costs 12/9/18 are
+///    reproduced in our tests) and Wrangler's behaviour; Appendix A's
+///    formula appends, contradicting the paper's own figure.
+///  - Unfold emits a header row whose key-column cells are empty and whose
+///    new-column cells are the unique header values, as in Figure 2.
+Result<Table> ApplyOperation(const Table& input, const Operation& operation);
+
+/// Evaluates a Divide predicate on one cell value.
+bool EvalDividePredicate(DividePredicate predicate, const std::string& value);
+
+}  // namespace foofah
+
+#endif  // FOOFAH_OPS_OPERATORS_H_

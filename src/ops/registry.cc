@@ -1,0 +1,88 @@
+#include "ops/registry.h"
+
+namespace foofah {
+
+OperatorProperties PropertiesOf(OpCode code) {
+  OperatorProperties props;
+  switch (code) {
+    case OpCode::kSplit:
+    case OpCode::kSplitAll:
+    case OpCode::kExtract:
+      props.may_generate_empty_column = true;
+      break;
+    case OpCode::kDivide:
+      props.may_generate_empty_column = true;
+      props.requires_non_null_column = true;
+      break;
+    case OpCode::kFold:
+      props.may_generate_empty_column = true;
+      props.requires_non_null_column = true;
+      break;
+    case OpCode::kUnfold:
+      props.requires_non_null_column = true;
+      break;
+    default:
+      break;
+  }
+  return props;
+}
+
+OperatorRegistry::OperatorRegistry() { enabled_.fill(false); }
+
+OperatorRegistry OperatorRegistry::Default() {
+  OperatorRegistry registry = WithoutWrap();
+  registry.Enable(OpCode::kWrapColumn);
+  registry.Enable(OpCode::kWrapEvery);
+  registry.Enable(OpCode::kWrapAll);
+  return registry;
+}
+
+OperatorRegistry OperatorRegistry::WithoutWrap() {
+  OperatorRegistry registry;
+  registry.Enable(OpCode::kDrop);
+  registry.Enable(OpCode::kMove);
+  registry.Enable(OpCode::kCopy);
+  registry.Enable(OpCode::kMerge);
+  registry.Enable(OpCode::kSplit);
+  registry.Enable(OpCode::kFold);
+  registry.Enable(OpCode::kUnfold);
+  registry.Enable(OpCode::kFill);
+  registry.Enable(OpCode::kDivide);
+  registry.Enable(OpCode::kDelete);
+  registry.Enable(OpCode::kExtract);
+  registry.Enable(OpCode::kTranspose);
+  // Default Extract patterns: generic token classes that cover the common
+  // "pull the number / word / code out of a cell" tasks. Scenario-specific
+  // patterns can be added with AddExtractPattern.
+  registry.AddExtractPattern("[0-9]+");
+  registry.AddExtractPattern("[A-Za-z]+");
+  registry.AddExtractPattern("[0-9]+\\.[0-9]+");
+  registry.AddExtractPattern("\\([0-9]{3}\\)[0-9]{3}-[0-9]{4}");
+  return registry;
+}
+
+OperatorRegistry OperatorRegistry::WithExtensions() {
+  OperatorRegistry registry = Default();
+  registry.Enable(OpCode::kSplitAll);
+  registry.Enable(OpCode::kDeleteRow);
+  return registry;
+}
+
+OperatorRegistry OperatorRegistry::WithWrapVariants(bool w1, bool w2,
+                                                    bool w3) {
+  OperatorRegistry registry = WithoutWrap();
+  if (w1) registry.Enable(OpCode::kWrapColumn);
+  if (w2) registry.Enable(OpCode::kWrapEvery);
+  if (w3) registry.Enable(OpCode::kWrapAll);
+  return registry;
+}
+
+std::vector<std::string> OperatorRegistry::EnabledNames() const {
+  std::vector<std::string> names;
+  for (int i = 0; i < kNumOpCodes; ++i) {
+    if (enabled_[i]) names.push_back(OpCodeName(static_cast<OpCode>(i)));
+  }
+  return names;
+}
+
+}  // namespace foofah

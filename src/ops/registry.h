@@ -1,0 +1,97 @@
+#ifndef FOOFAH_OPS_REGISTRY_H_
+#define FOOFAH_OPS_REGISTRY_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "ops/operation.h"
+
+namespace foofah {
+
+/// Static properties of an operator, driving the property-specific pruning
+/// rules of §4.3 without the search core knowing operator names — the
+/// "operator independence" the paper emphasizes (§4.2, §5.5).
+struct OperatorProperties {
+  /// The operator can add an all-empty column when parameterized badly
+  /// (Split with an absent delimiter, Extract with a never-matching regex,
+  /// Divide with an always/never-true predicate, degenerate Fold).
+  /// Triggers the Generating-Empty-Columns rule.
+  bool may_generate_empty_column = false;
+  /// The operator reads a column that must not contain nulls for the result
+  /// to be meaningful (Unfold header column, Fold keys, Divide input).
+  /// Triggers the Null-In-Column rule, checked on the *parent* state.
+  bool requires_non_null_column = false;
+};
+
+/// Returns the properties of `code` as configured for the paper's library.
+OperatorProperties PropertiesOf(OpCode code);
+
+/// The set of operators (and their parameter domains) available to the
+/// synthesizer. A registry is what makes the framework operator-independent:
+/// the Fig 12c experiment builds registries with/without the Wrap variants
+/// and re-runs the identical search core.
+class OperatorRegistry {
+ public:
+  /// The paper's default library: all Potter's Wheel operators of Table 2
+  /// including the three Wrap variants, with a small default set of Extract
+  /// patterns.
+  static OperatorRegistry Default();
+
+  /// The Potter's Wheel library *without* any Wrap variant ("NoWrap" in
+  /// Fig 12c).
+  static OperatorRegistry WithoutWrap();
+
+  /// Registry used in the Fig 12c sweep: NoWrap plus the selected variants
+  /// (W1 = wrap on column, W2 = wrap every k rows, W3 = wrap all rows).
+  static OperatorRegistry WithWrapVariants(bool w1, bool w2, bool w3);
+
+  /// The default library plus the extension operators this implementation
+  /// adds beyond the paper (SplitAll, DeleteRow) — the §5.5 extensibility
+  /// path, ablated in bench/ablation_extension_ops.
+  static OperatorRegistry WithExtensions();
+
+  /// Enables/disables a single operator.
+  void Enable(OpCode code) { enabled_[static_cast<int>(code)] = true; }
+  void Disable(OpCode code) { enabled_[static_cast<int>(code)] = false; }
+  bool IsEnabled(OpCode code) const {
+    return enabled_[static_cast<int>(code)];
+  }
+
+  /// Extract's parameter domain: the candidate regexes enumerated during
+  /// search. Users extend expressiveness by adding patterns (the paper's
+  /// "users are able to add new operators as needed").
+  void AddExtractPattern(std::string regex) {
+    extract_patterns_.push_back(std::move(regex));
+  }
+  void ClearExtractPatterns() { extract_patterns_.clear(); }
+  const std::vector<std::string>& extract_patterns() const {
+    return extract_patterns_;
+  }
+
+  /// Domain bound for WrapEvery's k parameter ({2, ..., max}; Appendix A
+  /// uses 5).
+  void set_max_wrap_every(int k) { max_wrap_every_ = k; }
+  int max_wrap_every() const { return max_wrap_every_; }
+
+  /// Domain bound for DeleteRow's row index ({0, ..., max-1}): row-indexed
+  /// deletes only make sense near the top of the table (headers,
+  /// letterheads), so the search only proposes the first few rows.
+  void set_max_delete_row(int rows) { max_delete_row_ = rows; }
+  int max_delete_row() const { return max_delete_row_; }
+
+  /// Names of all enabled operators (for logs and experiment output).
+  std::vector<std::string> EnabledNames() const;
+
+ private:
+  OperatorRegistry();
+
+  std::array<bool, kNumOpCodes> enabled_;
+  std::vector<std::string> extract_patterns_;
+  int max_wrap_every_ = 5;
+  int max_delete_row_ = 3;
+};
+
+}  // namespace foofah
+
+#endif  // FOOFAH_OPS_REGISTRY_H_

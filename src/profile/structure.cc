@@ -1,0 +1,215 @@
+#include "profile/structure.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace foofah {
+
+namespace {
+
+TokenRun::Class ClassOf(char c) {
+  if (IsAsciiDigit(c)) return TokenRun::Class::kDigits;
+  if (IsAsciiAlpha(c)) return TokenRun::Class::kAlpha;
+  if (c == ' ') return TokenRun::Class::kSpace;
+  return TokenRun::Class::kSymbol;
+}
+
+// Escapes one character for use inside an ECMAScript regex.
+std::string RegexEscape(char c) {
+  static constexpr char kSpecial[] = "\\^$.|?*+()[]{}";
+  for (char s : kSpecial) {
+    if (c == s) return std::string("\\") + c;
+  }
+  return std::string(1, c);
+}
+
+std::string RunToRegex(const TokenRun& run) {
+  switch (run.cls) {
+    case TokenRun::Class::kDigits:
+      return "[0-9]+";
+    case TokenRun::Class::kAlpha:
+      return "[A-Za-z]+";
+    case TokenRun::Class::kSpace:
+      return " +";
+    case TokenRun::Class::kSymbol:
+      return RegexEscape(run.symbol) + "+";
+  }
+  return "";
+}
+
+}  // namespace
+
+ValueStructure Tokenize(const std::string& value) {
+  ValueStructure structure;
+  size_t i = 0;
+  while (i < value.size()) {
+    char c = value[i];
+    TokenRun run;
+    run.cls = ClassOf(c);
+    run.symbol = run.cls == TokenRun::Class::kSymbol ? c : 0;
+    size_t start = i;
+    while (i < value.size()) {
+      char next = value[i];
+      if (ClassOf(next) != run.cls) break;
+      if (run.cls == TokenRun::Class::kSymbol && next != run.symbol) break;
+      ++i;
+    }
+    run.min_len = run.max_len = i - start;
+    structure.push_back(run);
+  }
+  return structure;
+}
+
+Result<ValueStructure> InferStructure(
+    const std::vector<std::string>& values) {
+  ValueStructure common;
+  bool initialized = false;
+  for (const std::string& value : values) {
+    if (value.empty()) continue;
+    ValueStructure structure = Tokenize(value);
+    if (!initialized) {
+      common = std::move(structure);
+      initialized = true;
+      continue;
+    }
+    if (structure.size() != common.size() ||
+        !std::equal(structure.begin(), structure.end(), common.begin())) {
+      return Status::InvalidArgument(
+          "values are structurally heterogeneous");
+    }
+    for (size_t i = 0; i < common.size(); ++i) {
+      common[i].min_len = std::min(common[i].min_len, structure[i].min_len);
+      common[i].max_len = std::max(common[i].max_len, structure[i].max_len);
+    }
+  }
+  if (!initialized) {
+    return Status::InvalidArgument("no non-empty values to infer from");
+  }
+  return common;
+}
+
+std::string StructureToRegex(const ValueStructure& structure,
+                             int capture_run) {
+  std::string out = "^";
+  for (size_t i = 0; i < structure.size(); ++i) {
+    bool capture = static_cast<int>(i) == capture_run;
+    if (capture) out += "(";
+    out += RunToRegex(structure[i]);
+    if (capture) out += ")";
+  }
+  out += "$";
+  return out;
+}
+
+ColumnProfile ProfileColumn(const Table& table, size_t col) {
+  ColumnProfile profile;
+  std::vector<std::string> values = table.Column(col);
+  for (const std::string& value : values) {
+    if (!value.empty()) ++profile.non_empty_values;
+  }
+  Result<ValueStructure> structure = InferStructure(values);
+  if (structure.ok()) {
+    profile.uniform = true;
+    profile.structure = std::move(structure).value();
+  }
+  return profile;
+}
+
+std::string Discrepancy::ToString() const {
+  std::ostringstream out;
+  out << "cell (" << row << "," << col << "): \"" << value
+      << "\" does not match the column's majority structure "
+      << expected_structure;
+  return out.str();
+}
+
+std::vector<Discrepancy> DetectDiscrepancies(const Table& table,
+                                             double majority) {
+  std::vector<Discrepancy> discrepancies;
+  for (size_t col = 0; col < table.num_cols(); ++col) {
+    // Group the column's non-empty cells by their token-class structure
+    // and find the modal structure.
+    std::vector<ValueStructure> shapes;
+    std::vector<size_t> counts;
+    std::vector<std::vector<size_t>> members;  // Row indexes per shape.
+    size_t non_empty = 0;
+    for (size_t row = 0; row < table.num_rows(); ++row) {
+      const std::string& value = table.cell(row, col);
+      if (value.empty()) continue;
+      ++non_empty;
+      ValueStructure shape = Tokenize(value);
+      size_t which = shapes.size();
+      for (size_t s = 0; s < shapes.size(); ++s) {
+        if (shapes[s].size() == shape.size() &&
+            std::equal(shape.begin(), shape.end(), shapes[s].begin())) {
+          which = s;
+          break;
+        }
+      }
+      if (which == shapes.size()) {
+        shapes.push_back(std::move(shape));
+        counts.push_back(0);
+        members.emplace_back();
+      }
+      ++counts[which];
+      members[which].push_back(row);
+    }
+    if (non_empty == 0) continue;
+
+    size_t best = 0;
+    for (size_t s = 1; s < shapes.size(); ++s) {
+      if (counts[s] > counts[best]) best = s;
+    }
+    if (static_cast<double>(counts[best]) <
+        majority * static_cast<double>(non_empty)) {
+      continue;  // No clear majority structure in this column.
+    }
+    if (counts[best] == non_empty) continue;  // Fully conforming.
+
+    std::string expected = StructureToRegex(shapes[best]);
+    for (size_t s = 0; s < shapes.size(); ++s) {
+      if (s == best) continue;
+      for (size_t row : members[s]) {
+        discrepancies.push_back(Discrepancy{row, col, table.cell(row, col),
+                                            expected});
+      }
+    }
+  }
+  // Report in table order for stable output.
+  std::sort(discrepancies.begin(), discrepancies.end(),
+            [](const Discrepancy& a, const Discrepancy& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  return discrepancies;
+}
+
+OperatorRegistry RegistryWithInferredPatterns(const Table& input_example,
+                                              const OperatorRegistry& base,
+                                              size_t max_patterns) {
+  OperatorRegistry registry = base;
+  size_t added = 0;
+  for (size_t col = 0; col < input_example.num_cols(); ++col) {
+    ColumnProfile profile = ProfileColumn(input_example, col);
+    // A single-run structure needs no extraction; a column with only one
+    // value is too weak evidence to generalize from.
+    if (!profile.uniform || profile.structure.size() < 2 ||
+        profile.non_empty_values < 2) {
+      continue;
+    }
+    for (size_t run = 0; run < profile.structure.size(); ++run) {
+      TokenRun::Class cls = profile.structure[run].cls;
+      if (cls != TokenRun::Class::kDigits && cls != TokenRun::Class::kAlpha) {
+        continue;  // Extracting separators is never the goal.
+      }
+      if (added >= max_patterns) return registry;
+      registry.AddExtractPattern(
+          StructureToRegex(profile.structure, static_cast<int>(run)));
+      ++added;
+    }
+  }
+  return registry;
+}
+
+}  // namespace foofah

@@ -1,0 +1,99 @@
+#ifndef FOOFAH_PROFILE_STRUCTURE_H_
+#define FOOFAH_PROFILE_STRUCTURE_H_
+
+#include <string>
+#include <vector>
+
+#include "ops/registry.h"
+#include "table/table.h"
+#include "util/status.h"
+
+namespace foofah {
+
+/// A run of characters of one class within a cell value — the unit of
+/// Potter's Wheel-style column structure inference (Raman & Hellerstein's
+/// system, whose operator library Foofah adopts, infers per-column value
+/// structures to drive transformations and discrepancy detection; we use
+/// the same idea to generate Extract parameters from the data instead of a
+/// hand-maintained pattern list).
+struct TokenRun {
+  enum class Class {
+    kDigits = 0,  ///< [0-9]+
+    kAlpha,       ///< [A-Za-z]+
+    kSpace,       ///< one or more spaces
+    kSymbol,      ///< a run of one specific printable symbol
+  };
+  Class cls = Class::kDigits;
+  /// The symbol character for kSymbol runs; unused otherwise.
+  char symbol = 0;
+  /// Run-length range observed across the column's values.
+  size_t min_len = 0;
+  size_t max_len = 0;
+
+  friend bool operator==(const TokenRun& a, const TokenRun& b) {
+    return a.cls == b.cls && a.symbol == b.symbol;
+  }
+};
+
+/// A column's common value structure: the shared sequence of token runs.
+using ValueStructure = std::vector<TokenRun>;
+
+/// Tokenizes one value into class runs ("Tel:(800)" -> alpha ':' '(' digits
+/// ')'). Empty input yields an empty structure.
+ValueStructure Tokenize(const std::string& value);
+
+/// Infers the common structure of the non-empty values: all must share the
+/// same run-class sequence (lengths may vary and are merged into ranges).
+/// Fails with InvalidArgument when the values are structurally
+/// heterogeneous or all empty.
+Result<ValueStructure> InferStructure(const std::vector<std::string>& values);
+
+/// Renders a structure as an anchored ECMAScript regex; when `capture_run`
+/// is a valid index, that run becomes the single capture group (the
+/// portion Extract pulls out). E.g. alpha ':' digits with capture_run=2
+/// -> "^[A-Za-z]+:([0-9]+)$".
+std::string StructureToRegex(const ValueStructure& structure,
+                             int capture_run = -1);
+
+/// Per-column profile of a table.
+struct ColumnProfile {
+  bool uniform = false;     ///< A common structure exists.
+  ValueStructure structure;  ///< Valid only when uniform.
+  size_t non_empty_values = 0;
+};
+
+ColumnProfile ProfileColumn(const Table& table, size_t col);
+
+/// Builds `base` extended with Extract patterns inferred from the input
+/// example's column structures: for every structurally uniform column,
+/// one capture pattern per digit/alpha run. This is how the synthesizer
+/// can Extract fields nobody wrote a regex for — the structure IS the
+/// regex. At most `max_patterns` are added (branching-factor guard).
+OperatorRegistry RegistryWithInferredPatterns(
+    const Table& input_example, const OperatorRegistry& base,
+    size_t max_patterns = 12);
+
+/// A cell that deviates from its column's majority structure — Potter's
+/// Wheel's *discrepancy detection*, the data-quality check typically run
+/// on a transformation's output ("is this actually relational now?").
+struct Discrepancy {
+  size_t row = 0;
+  size_t col = 0;
+  std::string value;
+  /// The column's majority structure, as a regex, for the report.
+  std::string expected_structure;
+
+  std::string ToString() const;
+};
+
+/// Finds, per column, the structure shared by the largest fraction of
+/// non-empty cells; when that fraction is at least `majority` (in (0,1]),
+/// every non-conforming non-empty cell is reported. Columns without a
+/// clear majority structure produce no reports (nothing to deviate from).
+/// Empty cells are never discrepancies (they are missing, not malformed).
+std::vector<Discrepancy> DetectDiscrepancies(const Table& table,
+                                             double majority = 0.6);
+
+}  // namespace foofah
+
+#endif  // FOOFAH_PROFILE_STRUCTURE_H_

@@ -1,0 +1,114 @@
+#include "program/describe.h"
+
+#include <sstream>
+
+namespace foofah {
+
+namespace {
+
+// Renders a delimiter/pattern readably, naming whitespace characters.
+std::string Readable(const std::string& text) {
+  if (text == " ") return "a space";
+  if (text == "\t") return "a tab";
+  if (text == "\n") return "a line break";
+  if (text.empty()) return "nothing in between";
+  return "'" + text + "'";
+}
+
+}  // namespace
+
+std::string DescribeOperation(const Operation& operation) {
+  std::ostringstream out;
+  switch (operation.op) {
+    case OpCode::kDrop:
+      out << "delete column " << operation.col1;
+      break;
+    case OpCode::kMove:
+      out << "move column " << operation.col1 << " to position "
+          << operation.col2;
+      break;
+    case OpCode::kCopy:
+      out << "append a copy of column " << operation.col1;
+      break;
+    case OpCode::kMerge:
+      out << "concatenate columns " << operation.col1 << " and "
+          << operation.col2 << " (with "
+          << (operation.text.empty() ? std::string("nothing")
+                                     : Readable(operation.text))
+          << " in between) into a new last column";
+      break;
+    case OpCode::kSplit:
+      out << "split column " << operation.col1
+          << " at the first occurrence of " << Readable(operation.text);
+      break;
+    case OpCode::kFold:
+      if (operation.int_param != 0) {
+        out << "fold the columns from " << operation.col1
+            << " onward into key/value rows, taking column names from the "
+               "first row";
+      } else {
+        out << "fold the columns from " << operation.col1
+            << " onward into one value per row";
+      }
+      break;
+    case OpCode::kUnfold:
+      out << "cross-tabulate: the values of column " << operation.col1
+          << " become column headers holding the values of column "
+          << operation.col2;
+      break;
+    case OpCode::kFill:
+      out << "fill empty cells of column " << operation.col1
+          << " with the value above";
+      break;
+    case OpCode::kDivide:
+      out << "divide column " << operation.col1
+          << " into two columns: cells that are all "
+          << DividePredicateName(
+                 static_cast<DividePredicate>(operation.int_param))
+          << " on the left, everything else on the right";
+      break;
+    case OpCode::kDelete:
+      out << "delete every row whose column " << operation.col1
+          << " is empty";
+      break;
+    case OpCode::kExtract:
+      out << "extract the first match of " << Readable(operation.text)
+          << " from column " << operation.col1 << " into a new column";
+      break;
+    case OpCode::kTranspose:
+      out << "transpose the table (rows become columns)";
+      break;
+    case OpCode::kWrapColumn:
+      out << "concatenate rows that share the value in column "
+          << operation.col1;
+      break;
+    case OpCode::kWrapEvery:
+      out << "concatenate every " << operation.int_param
+          << " consecutive rows into one";
+      break;
+    case OpCode::kWrapAll:
+      out << "concatenate all rows into a single row";
+      break;
+    case OpCode::kSplitAll:
+      out << "split column " << operation.col1
+          << " at every occurrence of " << Readable(operation.text);
+      break;
+    case OpCode::kDeleteRow:
+      out << "delete row " << operation.int_param;
+      break;
+  }
+  return out.str();
+}
+
+std::string DescribeProgram(const Program& program) {
+  if (program.empty()) {
+    return "(empty program: the input already matches the output)\n";
+  }
+  std::ostringstream out;
+  for (size_t i = 0; i < program.size(); ++i) {
+    out << (i + 1) << ". " << DescribeOperation(program.operation(i)) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace foofah

@@ -1,0 +1,27 @@
+#ifndef FOOFAH_PROGRAM_DESCRIBE_H_
+#define FOOFAH_PROGRAM_DESCRIBE_H_
+
+#include <string>
+
+#include "ops/operation.h"
+#include "program/program.h"
+
+namespace foofah {
+
+/// One-sentence natural-language description of an operation, e.g.
+/// "split column 1 at the first ':'". Supports the paper's validation
+/// story (§1, §4.5): the synthesized program is meant to be read and
+/// understood by a non-programmer, because eyeballing a large transformed
+/// dataset is infeasible.
+std::string DescribeOperation(const Operation& operation);
+
+/// Numbered plain-English rendering of a whole program:
+///   1. delete every row whose column 1 is empty
+///   2. split column 1 at the first ':'
+///   ...
+/// An empty program renders as a no-op notice.
+std::string DescribeProgram(const Program& program);
+
+}  // namespace foofah
+
+#endif  // FOOFAH_PROGRAM_DESCRIBE_H_

@@ -1,0 +1,57 @@
+#include "program/minimize.h"
+
+#include <vector>
+
+namespace foofah {
+
+namespace {
+
+bool Maps(const Program& program, const Table& input, const Table& output) {
+  Result<Table> out = program.Execute(input);
+  return out.ok() && out->ContentEquals(output);
+}
+
+}  // namespace
+
+Program MinimizeProgram(const Program& program, const Table& input,
+                        const Table& output) {
+  if (!Maps(program, input, output)) return program;
+
+  std::vector<Operation> ops = program.operations();
+  bool changed = true;
+  while (changed && !ops.empty()) {
+    changed = false;
+    // Single removals first.
+    for (size_t skip = 0; !changed && skip < ops.size(); ++skip) {
+      std::vector<Operation> candidate;
+      candidate.reserve(ops.size() - 1);
+      for (size_t i = 0; i < ops.size(); ++i) {
+        if (i != skip) candidate.push_back(ops[i]);
+      }
+      if (Maps(Program(candidate), input, output)) {
+        ops = std::move(candidate);
+        changed = true;  // Restart: indices shifted.
+      }
+    }
+    if (changed) continue;
+    // Pair removals catch mutually cancelling operations (a Move and its
+    // inverse, a Copy and the Drop of its copy) that no single removal can
+    // eliminate: dropping either one alone breaks the program.
+    for (size_t a = 0; !changed && a + 1 < ops.size(); ++a) {
+      for (size_t b = a + 1; !changed && b < ops.size(); ++b) {
+        std::vector<Operation> candidate;
+        candidate.reserve(ops.size() - 2);
+        for (size_t i = 0; i < ops.size(); ++i) {
+          if (i != a && i != b) candidate.push_back(ops[i]);
+        }
+        if (Maps(Program(candidate), input, output)) {
+          ops = std::move(candidate);
+          changed = true;
+        }
+      }
+    }
+  }
+  return Program(std::move(ops));
+}
+
+}  // namespace foofah

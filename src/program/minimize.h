@@ -1,0 +1,25 @@
+#ifndef FOOFAH_PROGRAM_MINIMIZE_H_
+#define FOOFAH_PROGRAM_MINIMIZE_H_
+
+#include "program/program.h"
+#include "table/table.h"
+
+namespace foofah {
+
+/// Removes operations whose omission does not change the program's output
+/// on the example pair, repeating until no single removal survives. The
+/// search already prefers short programs (§4.2: cost = program length),
+/// but because the TED Batch heuristic is inadmissible the result can be
+/// slightly longer than minimal; this post-pass restores the readability
+/// goal ("shorter programs will be easier to understand") at the cost of a
+/// few extra executions.
+///
+/// The returned program is guaranteed to map `input` to `output` whenever
+/// the given program does; if the given program does not (or fails to
+/// execute), it is returned unchanged.
+Program MinimizeProgram(const Program& program, const Table& input,
+                        const Table& output);
+
+}  // namespace foofah
+
+#endif  // FOOFAH_PROGRAM_MINIMIZE_H_

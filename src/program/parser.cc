@@ -1,0 +1,272 @@
+#include "program/parser.h"
+
+#include <cctype>
+#include <optional>
+#include <sstream>
+#include <variant>
+
+#include "util/string_util.h"
+
+namespace foofah {
+
+namespace {
+
+/// One parsed argument: an integer or a quoted string.
+using Arg = std::variant<int, std::string>;
+
+struct LineParser {
+  std::string_view text;
+  size_t pos = 0;
+  std::string error = {};
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos >= text.size();
+  }
+
+  void SkipSpace() {
+    while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\t')) ++pos;
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    SkipSpace();
+    if (text.substr(pos, word.size()) == word) {
+      pos += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<std::string> ParseIdentifier() {
+    SkipSpace();
+    size_t start = pos;
+    while (pos < text.size() &&
+           (IsAsciiAlnum(text[pos]) || text[pos] == '_')) {
+      ++pos;
+    }
+    if (pos == start) return std::nullopt;
+    return std::string(text.substr(start, pos - start));
+  }
+
+  std::optional<Arg> ParseArg() {
+    SkipSpace();
+    if (pos >= text.size()) return std::nullopt;
+    if (text[pos] == '\'') return ParseQuoted();
+    // Integer (possibly negative).
+    size_t start = pos;
+    if (text[pos] == '-') ++pos;
+    while (pos < text.size() && IsAsciiDigit(text[pos])) ++pos;
+    if (pos == start || (text[start] == '-' && pos == start + 1)) {
+      error = "expected integer or quoted string";
+      return std::nullopt;
+    }
+    return std::stoi(std::string(text.substr(start, pos - start)));
+  }
+
+  std::optional<Arg> ParseQuoted() {
+    ++pos;  // opening quote
+    std::string value;
+    while (pos < text.size()) {
+      char c = text[pos];
+      if (c == '\\' && pos + 1 < text.size()) {
+        char next = text[pos + 1];
+        switch (next) {
+          case 'n':
+            value += '\n';
+            break;
+          case 't':
+            value += '\t';
+            break;
+          case '\'':
+            value += '\'';
+            break;
+          case '\\':
+            value += '\\';
+            break;
+          default:
+            // Preserve unknown escapes verbatim (regex patterns like \d, \w
+            // pass through unchanged).
+            value += '\\';
+            value += next;
+        }
+        pos += 2;
+        continue;
+      }
+      if (c == '\'') {
+        ++pos;
+        return value;
+      }
+      value += c;
+      ++pos;
+    }
+    error = "unterminated string literal";
+    return std::nullopt;
+  }
+};
+
+Status LineError(size_t line_no, const std::string& detail) {
+  std::ostringstream msg;
+  msg << "line " << line_no << ": " << detail;
+  return Status::ParseError(msg.str());
+}
+
+// Extracts an int from args[i] or reports an error.
+bool ArgInt(const std::vector<Arg>& args, size_t i, int* out) {
+  if (i >= args.size()) return false;
+  if (const int* v = std::get_if<int>(&args[i])) {
+    *out = *v;
+    return true;
+  }
+  return false;
+}
+
+bool ArgString(const std::vector<Arg>& args, size_t i, std::string* out) {
+  if (i >= args.size()) return false;
+  if (const std::string* v = std::get_if<std::string>(&args[i])) {
+    *out = *v;
+    return true;
+  }
+  return false;
+}
+
+Result<Operation> BuildOperation(const std::string& name,
+                                 const std::vector<Arg>& args) {
+  int i = 0;
+  int j = 0;
+  std::string s;
+  if (name == "drop" && args.size() == 1 && ArgInt(args, 0, &i)) {
+    return Drop(i);
+  }
+  if (name == "move" && args.size() == 2 && ArgInt(args, 0, &i) &&
+      ArgInt(args, 1, &j)) {
+    return Move(i, j);
+  }
+  if (name == "copy" && args.size() == 1 && ArgInt(args, 0, &i)) {
+    return Copy(i);
+  }
+  if (name == "merge" && ArgInt(args, 0, &i) && ArgInt(args, 1, &j)) {
+    if (args.size() == 2) return Merge(i, j);
+    if (args.size() == 3 && ArgString(args, 2, &s)) return Merge(i, j, s);
+  }
+  if (name == "split" && args.size() == 2 && ArgInt(args, 0, &i) &&
+      ArgString(args, 1, &s)) {
+    return Split(i, s);
+  }
+  if (name == "splitall" && args.size() == 2 && ArgInt(args, 0, &i) &&
+      ArgString(args, 1, &s)) {
+    return SplitAll(i, s);
+  }
+  if (name == "deleterow" && args.size() == 1 && ArgInt(args, 0, &i)) {
+    return DeleteRow(i);
+  }
+  if (name == "fold" && ArgInt(args, 0, &i)) {
+    if (args.size() == 1) return Fold(i, /*with_header=*/false);
+    if (args.size() == 2 && ArgInt(args, 1, &j)) {
+      return Fold(i, /*with_header=*/j != 0);
+    }
+  }
+  if (name == "unfold" && args.size() == 2 && ArgInt(args, 0, &i) &&
+      ArgInt(args, 1, &j)) {
+    return Unfold(i, j);
+  }
+  if (name == "fill" && args.size() == 1 && ArgInt(args, 0, &i)) {
+    return Fill(i);
+  }
+  if (name == "divide" && args.size() == 2 && ArgInt(args, 0, &i) &&
+      ArgString(args, 1, &s)) {
+    for (int p = 0; p < kNumDividePredicates; ++p) {
+      auto predicate = static_cast<DividePredicate>(p);
+      if (s == DividePredicateName(predicate)) return Divide(i, predicate);
+    }
+    return Status::ParseError("divide: unknown predicate '" + s + "'");
+  }
+  if (name == "delete" && args.size() == 1 && ArgInt(args, 0, &i)) {
+    return DeleteRows(i);
+  }
+  if (name == "extract" && args.size() == 2 && ArgInt(args, 0, &i) &&
+      ArgString(args, 1, &s)) {
+    return Extract(i, s);
+  }
+  if (name == "transpose" && args.empty()) {
+    return Transpose();
+  }
+  if (name == "wrap" && args.size() == 1 && ArgInt(args, 0, &i)) {
+    return WrapColumn(i);
+  }
+  if (name == "wrapevery" && args.size() == 1 && ArgInt(args, 0, &i)) {
+    return WrapEvery(i);
+  }
+  if (name == "wrapall" && args.empty()) {
+    return WrapAll();
+  }
+  return Status::ParseError("unknown operator or bad arguments: " + name);
+}
+
+}  // namespace
+
+Result<Program> ParseProgram(std::string_view script) {
+  std::vector<Operation> operations;
+  size_t line_no = 0;
+  size_t start = 0;
+  while (start <= script.size()) {
+    size_t end = script.find('\n', start);
+    std::string_view line = script.substr(
+        start, end == std::string_view::npos ? std::string_view::npos
+                                             : end - start);
+    ++line_no;
+
+    std::string trimmed = Trim(line);
+    if (!trimmed.empty() && trimmed[0] != '#') {
+      LineParser parser{trimmed};
+      // Optional "t =" prefix.
+      size_t saved = parser.pos;
+      if (parser.ConsumeWord("t")) {
+        if (!parser.Consume('=')) parser.pos = saved;
+      }
+      std::optional<std::string> name = parser.ParseIdentifier();
+      if (!name) return LineError(line_no, "expected operator name");
+      if (!parser.Consume('(')) return LineError(line_no, "expected '('");
+
+      std::vector<Arg> args;
+      bool first = true;
+      while (!parser.Consume(')')) {
+        if (!first && !parser.Consume(',')) {
+          return LineError(line_no, "expected ',' or ')'");
+        }
+        parser.SkipSpace();
+        // The leading table argument "t" is optional and ignored.
+        if (first && parser.ConsumeWord("t")) {
+          first = false;
+          continue;
+        }
+        std::optional<Arg> arg = parser.ParseArg();
+        if (!arg) {
+          return LineError(line_no, parser.error.empty() ? "bad argument"
+                                                         : parser.error);
+        }
+        args.push_back(std::move(*arg));
+        first = false;
+      }
+      if (!parser.AtEnd()) return LineError(line_no, "trailing input");
+
+      Result<Operation> operation = BuildOperation(*name, args);
+      if (!operation.ok()) return LineError(line_no, operation.status().message());
+      operations.push_back(std::move(operation).value());
+    }
+
+    if (end == std::string_view::npos) break;
+    start = end + 1;
+  }
+  return Program(std::move(operations));
+}
+
+}  // namespace foofah

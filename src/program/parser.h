@@ -1,0 +1,32 @@
+#ifndef FOOFAH_PROGRAM_PARSER_H_
+#define FOOFAH_PROGRAM_PARSER_H_
+
+#include <string_view>
+
+#include "program/program.h"
+#include "util/status.h"
+
+namespace foofah {
+
+/// Parses the paper's surface syntax back into a Program. Accepts one
+/// operation per line in either of the forms
+///
+///   t = split(t, 1, ':')
+///   split(t, 1, ':')
+///   split(1, ':')
+///
+/// String parameters are single-quoted with \', \\, \n, \t escapes.
+/// Blank lines and lines starting with '#' are skipped. Round-trips
+/// Program::ToScript exactly.
+///
+/// Grammar accepted per operator (column indexes are 0-based):
+///   drop(i)  move(i, j)  copy(i)  merge(i, j[, 'glue'])  split(i, 'd')
+///   fold(i[, 1])  unfold(i, j)  fill(i)  divide(i, 'digits|alpha|alnum')
+///   delete(i)  extract(i, 'regex')  transpose()
+///   wrap(i)  wrapevery(k)  wrapall()
+///   splitall(i, 'd')  deleterow(k)        [extension operators]
+Result<Program> ParseProgram(std::string_view script);
+
+}  // namespace foofah
+
+#endif  // FOOFAH_PROGRAM_PARSER_H_

@@ -1,0 +1,39 @@
+#include "program/program.h"
+
+#include "ops/operators.h"
+
+namespace foofah {
+
+Result<Table> Program::Execute(const Table& input) const {
+  Table current = input;
+  for (const Operation& operation : operations_) {
+    Result<Table> next = ApplyOperation(current, operation);
+    if (!next.ok()) return next.status();
+    current = std::move(next).value();
+  }
+  return current;
+}
+
+Result<std::vector<Table>> Program::ExecuteWithTrace(const Table& input) const {
+  std::vector<Table> trace;
+  trace.reserve(operations_.size() + 1);
+  trace.push_back(input);
+  for (const Operation& operation : operations_) {
+    Result<Table> next = ApplyOperation(trace.back(), operation);
+    if (!next.ok()) return next.status();
+    trace.push_back(std::move(next).value());
+  }
+  return trace;
+}
+
+std::string Program::ToScript() const {
+  std::string out;
+  for (const Operation& operation : operations_) {
+    out += "t = ";
+    out += operation.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace foofah

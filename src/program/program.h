@@ -1,0 +1,55 @@
+#ifndef FOOFAH_PROGRAM_PROGRAM_H_
+#define FOOFAH_PROGRAM_PROGRAM_H_
+
+#include <string>
+#include <vector>
+
+#include "ops/operation.h"
+#include "table/table.h"
+#include "util/status.h"
+
+namespace foofah {
+
+/// A loop-free, straight-line data transformation program (Definition 3.1):
+/// a sequence of operations where the output of p_i is the input of p_{i+1}.
+class Program {
+ public:
+  Program() = default;
+  explicit Program(std::vector<Operation> operations)
+      : operations_(std::move(operations)) {}
+
+  const std::vector<Operation>& operations() const { return operations_; }
+  size_t size() const { return operations_.size(); }
+  bool empty() const { return operations_.empty(); }
+  const Operation& operation(size_t i) const { return operations_[i]; }
+
+  void Append(Operation operation) {
+    operations_.push_back(std::move(operation));
+  }
+
+  /// Runs the program on `input`. Fails with the first operation's error if
+  /// any step has parameters outside its domain for the table it receives.
+  Result<Table> Execute(const Table& input) const;
+
+  /// Runs the program and also records every intermediate table (including
+  /// the input as element 0 and the result as the last element). Used by
+  /// examples and the effort model to show transformation traces.
+  Result<std::vector<Table>> ExecuteWithTrace(const Table& input) const;
+
+  /// Renders the paper's surface syntax (Fig 6):
+  ///   t = split(t, 1, ':')
+  ///   t = delete(t, 2)
+  ///   ...
+  std::string ToScript() const;
+
+  friend bool operator==(const Program& a, const Program& b) {
+    return a.operations_ == b.operations_;
+  }
+
+ private:
+  std::vector<Operation> operations_;
+};
+
+}  // namespace foofah
+
+#endif  // FOOFAH_PROGRAM_PROGRAM_H_

@@ -1,0 +1,105 @@
+#include "scenarios/bundle.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "program/parser.h"
+#include "scenarios/corpus.h"
+#include "table/csv.h"
+#include "util/string_util.h"
+
+namespace foofah {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+Status WriteTextFile(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::Internal("cannot open for writing: " + path);
+  out << text;
+  if (!out) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::string> ReadTextFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+Status SaveTaskBundle(const TaskBundle& bundle, const std::string& directory) {
+  std::error_code ec;
+  fs::create_directories(directory, ec);
+  if (ec) {
+    return Status::Internal("cannot create directory " + directory + ": " +
+                            ec.message());
+  }
+  Status s = WriteCsvFile(bundle.raw, directory + "/raw.csv");
+  if (!s.ok()) return s;
+  s = WriteCsvFile(bundle.target, directory + "/target.csv");
+  if (!s.ok()) return s;
+  if (bundle.truth.has_value()) {
+    s = WriteTextFile(directory + "/truth.foofah", bundle.truth->ToScript());
+    if (!s.ok()) return s;
+  }
+  return WriteTextFile(directory + "/meta.txt", "name = " + bundle.name + "\n");
+}
+
+Result<TaskBundle> LoadTaskBundle(const std::string& directory) {
+  TaskBundle bundle;
+  bundle.name = fs::path(directory).filename().string();
+
+  Result<Table> raw = ReadCsvFile(directory + "/raw.csv");
+  if (!raw.ok()) return raw.status();
+  bundle.raw = std::move(raw).value();
+
+  Result<Table> target = ReadCsvFile(directory + "/target.csv");
+  if (!target.ok()) return target.status();
+  bundle.target = std::move(target).value();
+
+  if (fs::exists(directory + "/truth.foofah")) {
+    Result<std::string> script = ReadTextFile(directory + "/truth.foofah");
+    if (!script.ok()) return script.status();
+    Result<Program> truth = ParseProgram(*script);
+    if (!truth.ok()) return truth.status();
+    bundle.truth = std::move(truth).value();
+  }
+
+  if (fs::exists(directory + "/meta.txt")) {
+    Result<std::string> meta = ReadTextFile(directory + "/meta.txt");
+    if (!meta.ok()) return meta.status();
+    for (const std::string& line : SplitAll(*meta, "\n")) {
+      auto [key, value] = SplitFirst(line, "=");
+      if (Trim(key) == "name" && !Trim(value).empty()) {
+        bundle.name = Trim(value);
+      }
+    }
+  }
+  return bundle;
+}
+
+TaskBundle BundleFromScenario(const Scenario& scenario) {
+  TaskBundle bundle;
+  bundle.name = scenario.name();
+  bundle.raw = scenario.FullInput();
+  bundle.target = scenario.FullOutput();
+  bundle.truth = scenario.truth();
+  return bundle;
+}
+
+Status ExportCorpus(const std::string& directory) {
+  for (const Scenario& scenario : Corpus()) {
+    Status s = SaveTaskBundle(BundleFromScenario(scenario),
+                              directory + "/" + scenario.name());
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+}  // namespace foofah

@@ -1,0 +1,48 @@
+#ifndef FOOFAH_SCENARIOS_BUNDLE_H_
+#define FOOFAH_SCENARIOS_BUNDLE_H_
+
+#include <optional>
+#include <string>
+
+#include "program/program.h"
+#include "scenarios/scenario.h"
+#include "table/table.h"
+#include "util/status.h"
+
+namespace foofah {
+
+/// A data-transformation task materialized on disk — the interchange
+/// format for sharing tasks with the CLI and for exporting the built-in
+/// corpus (the paper published its benchmark files the same way:
+/// input/output grids plus metadata).
+///
+/// On disk a bundle is a directory containing:
+///   raw.csv      the full raw dataset R
+///   target.csv   the desired transformation of R
+///   truth.foofah the ground-truth program in surface syntax (optional)
+///   meta.txt     "name = <task name>" (optional; defaults to the dir name)
+struct TaskBundle {
+  std::string name;
+  Table raw;
+  Table target;
+  std::optional<Program> truth;
+};
+
+/// Writes `bundle` into `directory` (created if missing).
+Status SaveTaskBundle(const TaskBundle& bundle, const std::string& directory);
+
+/// Reads a bundle back; fails with NotFound/ParseError on missing or
+/// malformed files. A missing truth.foofah is not an error.
+Result<TaskBundle> LoadTaskBundle(const std::string& directory);
+
+/// Converts a built-in scenario to a bundle (full input/output tables and
+/// the truth program when the scenario has one).
+TaskBundle BundleFromScenario(const Scenario& scenario);
+
+/// Exports the whole 50-scenario corpus as one bundle directory per
+/// scenario under `directory`. Returns the first error encountered.
+Status ExportCorpus(const std::string& directory);
+
+}  // namespace foofah
+
+#endif  // FOOFAH_SCENARIOS_BUNDLE_H_

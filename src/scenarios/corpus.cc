@@ -1,0 +1,820 @@
+#include "scenarios/corpus.h"
+
+#include <algorithm>
+#include <array>
+#include <string>
+
+namespace foofah {
+
+namespace {
+
+using Row = Table::Row;
+using Rows = std::vector<Table::Row>;
+
+// ---------------------------------------------------------------------------
+// Deterministic data pools. Scenario data must be reproducible run-to-run
+// (experiments and tests depend on it), so everything is derived from the
+// record index arithmetically — no RNG.
+// ---------------------------------------------------------------------------
+
+constexpr std::array<const char*, 12> kFirstNames = {
+    "Niles", "Jean", "Frank", "Alice", "Omar", "Grace",
+    "Henry", "Ivy", "Jack", "Karen", "Liam", "Mona"};
+
+constexpr std::array<const char*, 12> kLastNames = {
+    "Cole", "Hayes", "Kim", "Lopez", "Nair", "Olsen",
+    "Park", "Quinn", "Reyes", "Shah", "Tran", "Usman"};
+
+constexpr std::array<const char*, 10> kCities = {
+    "Ann Arbor", "Boston", "Chicago", "Denver", "El Paso",
+    "Fresno", "Glendale", "Houston", "Irvine", "Juneau"};
+
+constexpr std::array<const char*, 10> kProducts = {
+    "lamp", "desk", "chair", "mouse", "cable",
+    "mug", "stand", "shelf", "board", "clip"};
+
+std::string FirstName(int i) { return kFirstNames[i % kFirstNames.size()]; }
+std::string LastName(int i) { return kLastNames[i % kLastNames.size()]; }
+std::string City(int i) { return kCities[i % kCities.size()]; }
+std::string Product(int i) { return kProducts[i % kProducts.size()]; }
+
+std::string FullName(int i) {
+  return FirstName(i) + " " + LastName((i * 5 + 3) % 12);
+}
+
+// "(d00)d45-d897"-style phone, digits varying with (i, salt).
+std::string Phone(int i, int salt) {
+  int area = 200 + ((i * 37 + salt * 53) % 700);
+  int mid = 100 + ((i * 71 + salt * 29) % 900);
+  int last = 1000 + ((i * 433 + salt * 977) % 9000);
+  return "(" + std::to_string(area) + ")" + std::to_string(mid) + "-" +
+         std::to_string(last);
+}
+
+std::string Num(int v) { return std::to_string(v); }
+
+// ---------------------------------------------------------------------------
+// Tag helpers. The lengthy/complex/syntactic flags could be derived from the
+// truth program, but keeping them explicit makes the corpus composition
+// auditable against §5.1 at a glance; tests cross-check them against the
+// parsed programs.
+// ---------------------------------------------------------------------------
+
+ScenarioTags Tag(ScenarioSource source, bool lengthy, bool complex_ops,
+                 bool syntactic, std::string user_study_id = "",
+                 bool uses_wrap = false) {
+  ScenarioTags tags;
+  tags.source = source;
+  tags.lengthy = lengthy;
+  tags.complex_ops = complex_ops;
+  tags.syntactic = syntactic;
+  tags.user_study_id = std::move(user_study_id);
+  tags.uses_wrap = uses_wrap;
+  return tags;
+}
+
+constexpr ScenarioSource kPFE = ScenarioSource::kProgFromEx;
+constexpr ScenarioSource kPW = ScenarioSource::kPottersWheel;
+constexpr ScenarioSource kWr = ScenarioSource::kWrangler;
+constexpr ScenarioSource kPro = ScenarioSource::kProactive;
+
+// ---------------------------------------------------------------------------
+// Scenario definitions. Ordered: 7 syntactic, 5 unsolvable, 38 layout.
+// Each scenario documents its record structure and the reason it needs
+// 1 or 2 example records.
+// ---------------------------------------------------------------------------
+
+std::vector<Scenario> BuildCorpus() {
+  std::vector<Scenario> corpus;
+
+  // ---- Syntactic transformation tasks (7) --------------------------------
+
+  // The paper's motivating example (Figures 1-6): business contacts with
+  // Tel/Fax rows under a two-line letterhead. 1 record suffices — every
+  // record exhibits the blank-name Fax row and the letterhead junk.
+  corpus.push_back(Scenario::FromScript(
+      "wrangler3_contacts", Tag(kWr, true, true, true, "Wrangler3"),
+      {{"Bureau of I.A."}, {"Regional Director Numbers"}},
+      [](int i) -> Rows {
+        return {{FirstName(i) + " " + LastName(i).substr(0, 1) + ".",
+                 "Tel:" + Phone(i, 1)},
+                {"", "Fax:" + Phone(i, 2)},
+                {""}};
+      },
+      5,
+      "t = split(t, 1, ':')\n"
+      "t = delete(t, 2)\n"
+      "t = fill(t, 0)\n"
+      "t = unfold(t, 1, 2)\n"));
+
+  // Appendix B Example 1: last name + comma-joined first names, folded to
+  // one person per row. Record 0 has a single first name (no comma), so a
+  // 1-record example underfits and the driver needs 2 records.
+  corpus.push_back(Scenario::FromScript(
+      "pw_fold_names", Tag(kPW, false, true, true),
+      {},
+      [](int i) -> Rows {
+        std::string firsts = FirstName(i * 2);
+        if (i % 3 != 0) firsts += "," + FirstName(i * 2 + 1);
+        return {{LastName(i), firsts}};
+      },
+      6,
+      "t = split(t, 1, ',')\n"
+      "t = fold(t, 1)\n"
+      "t = delete(t, 1)\n"));
+
+  // Log lines "ID2041:disk full" -> [2041, disk full].
+  corpus.push_back(Scenario::FromScript(
+      "pfe_log_extract", Tag(kPFE, false, true, true),
+      {},
+      [](int i) -> Rows {
+        constexpr std::array<const char*, 4> kMessages = {
+            "disk full", "restart required", "link down", "fan failure"};
+        return {{"ID" + Num(2000 + i * 41) + ":" + kMessages[i % 4]}};
+      },
+      6,
+      "t = split(t, 0, ':')\n"
+      "t = extract(t, 0, '[0-9]+')\n"
+      "t = drop(t, 0)\n"));
+
+  // [first, last, dept] -> [dept, "first last"].
+  corpus.push_back(Scenario::FromScript(
+      "pfe_merge_fullname", Tag(kPFE, false, false, true),
+      {},
+      [](int i) -> Rows {
+        constexpr std::array<const char*, 4> kDepts = {"sales", "ops",
+                                                       "legal", "hr"};
+        return {{FirstName(i), LastName(i), kDepts[i % 4]}};
+      },
+      6, "t = merge(t, 0, 1, ' ')\n"));
+
+  // ISO dates split into year/month/day columns.
+  corpus.push_back(Scenario::FromScript(
+      "pfe_split_dates", Tag(kPFE, false, false, true),
+      {},
+      [](int i) -> Rows {
+        return {{"202" + Num(i % 4) + "-" + Num(3 + i % 9) + "-" +
+                     Num(10 + i * 3 % 19),
+                 Num(140 + i * 17)}};
+      },
+      6,
+      "t = split(t, 0, '-')\n"
+      "t = split(t, 1, '-')\n"));
+
+  // Proactive1: an employee roster with a notes column, blank separator
+  // rows, names only on the first row of each block, and extension/office
+  // fields cross-tabulated — four operations, two of them complex.
+  corpus.push_back(Scenario::FromScript(
+      "proactive1_roster_rebuild", Tag(kPro, true, true, false, "Proactive1"),
+      {},
+      [](int i) -> Rows {
+        return {{FullName(i), "n" + Num(i), "ext", Num(200 + i * 3)},
+                {"", "n" + Num(i + 50), "office", Num(400 + i * 7)},
+                {""}};
+      },
+      5,
+      "t = drop(t, 1)\n"
+      "t = delete(t, 2)\n"
+      "t = fill(t, 0)\n"
+      "t = unfold(t, 1, 2)\n"));
+
+  // A mixed entry column: rows whose first cell is a numeric machine id are
+  // kept, manual entries (alphabetic owner) are discarded. Divide creates
+  // the emptiness that Delete then filters on; Drop removes the residue.
+  // Divide relocates but never rewrites cell contents, so this counts as a
+  // layout task for Table 6 despite being operator-complex.
+  corpus.push_back(Scenario::FromScript(
+      "pfe_divide_ids", Tag(kPFE, false, true, false),
+      {},
+      [](int i) -> Rows {
+        return {{Num(7000 + i * 13), Num(50 + i)},
+                {LastName(i), Num(60 + i)}};
+      },
+      6,
+      "t = divide(t, 0, 'digits')\n"
+      "t = delete(t, 0)\n"
+      "t = drop(t, 1)\n"));
+
+  // [product, "USD 19.99"] -> [product, 19.99].
+  corpus.push_back(Scenario::FromScript(
+      "pfe_extract_prices", Tag(kPFE, false, true, true),
+      {},
+      [](int i) -> Rows {
+        return {{Product(i),
+                 "USD " + Num(5 + i * 3) + "." + Num(10 + i * 7 % 89)}};
+      },
+      6,
+      "t = extract(t, 1, '[0-9]+\\.[0-9]+')\n"
+      "t = drop(t, 1)\n"));
+
+  // ---- Unsolvable tasks (5; §5.2's five failures) -------------------------
+  // Four need transformations outside the operator library (semantic
+  // mapping, arithmetic, sorting, conditional per-cell edits); the fifth is
+  // expressible but needs two Divide operations, whose cell movements follow
+  // no geometric pattern, so TED Batch overestimates and the search times
+  // out (§5.2). All five count against the layout bucket in Table 6, as in
+  // the paper.
+
+  corpus.push_back(Scenario::FromOracle(
+      "pfe_semantic_states", Tag(kPFE, false, false, false),
+      {},
+      [](int i) -> Rows {
+        constexpr std::array<const char*, 4> kAbbrs = {"NY", "MI", "TX",
+                                                       "CA"};
+        return {{kAbbrs[i % 4], City(i)}};
+      },
+      6,
+      [](const Table& raw) {
+        Table out;
+        for (size_t r = 0; r < raw.num_rows(); ++r) {
+          std::string abbr = raw.cell(r, 0);
+          std::string full = abbr == "NY"   ? "New York"
+                             : abbr == "MI" ? "Michigan"
+                             : abbr == "TX" ? "Texas"
+                                            : "California";
+          out.AppendRow({full, raw.cell(r, 1)});
+        }
+        return out;
+      }));
+
+  corpus.push_back(Scenario::FromOracle(
+      "pfe_sum_columns", Tag(kPFE, false, false, false),
+      {},
+      [](int i) -> Rows {
+        // Chosen so each row's sum contains a digit absent from the
+        // addends, guaranteeing the Missing-Alphanumerics fail-fast.
+        constexpr std::array<std::pair<int, int>, 4> kPairs = {
+            {{21, 34}, {12, 13}, {41, 42}, {61, 16}}};
+        auto [a, b] = kPairs[i % 4];
+        return {{Num(a), Num(b)}};
+      },
+      6,
+      [](const Table& raw) {
+        Table out;
+        for (size_t r = 0; r < raw.num_rows(); ++r) {
+          int a = std::stoi(raw.cell(r, 0));
+          int b = std::stoi(raw.cell(r, 1));
+          out.AppendRow({raw.cell(r, 0), raw.cell(r, 1), Num(a + b)});
+        }
+        return out;
+      }));
+
+  corpus.push_back(Scenario::FromOracle(
+      "pfe_sort_by_score", Tag(kPFE, false, false, false),
+      {},
+      [](int i) -> Rows {
+        return {{LastName(i), Num(50 + (i * 37) % 50)}};
+      },
+      5,
+      [](const Table& raw) {
+        std::vector<Row> rows(raw.rows());
+        std::stable_sort(rows.begin(), rows.end(),
+                         [](const Row& a, const Row& b) {
+                           return std::stoi(a[1]) > std::stoi(b[1]);
+                         });
+        return Table(std::move(rows));
+      }));
+
+  corpus.push_back(Scenario::FromOracle(
+      "pfe_blank_odd_rows", Tag(kPFE, false, false, false),
+      {},
+      [](int i) -> Rows {
+        return {{City(i), Num(900 + i * 11)}};
+      },
+      6,
+      [](const Table& raw) {
+        // §3.2's example of an operation outside the library: "Removing the
+        // cell values at odd numbered rows in a certain column".
+        Table out;
+        for (size_t r = 0; r < raw.num_rows(); ++r) {
+          std::string first = (r % 2 == 1) ? "" : raw.cell(r, 0);
+          out.AppendRow({first, raw.cell(r, 1)});
+        }
+        return out;
+      }));
+
+  // Expressible (divide, divide, merge, merge) but the double Divide defeats
+  // TED Batch's geometric patterns; tagged unsolvable because the search is
+  // expected to time out, as the paper reports for its five-step two-Divide
+  // case. The dashed case ids ("27-03") defeat the digit-run Extract
+  // patterns, so no syntactic shortcut can rescue the search.
+  {
+    ScenarioTags tags = Tag(kPFE, /*lengthy=*/true, /*complex=*/true, false);
+    tags.solvable = false;  // Expected to time out, as in the paper.
+    corpus.push_back(Scenario::FromScript(
+        "pfe_double_divide", tags, {},
+        [](int i) -> Rows {
+          std::string case_id = Num(20 + i) + "-0" + Num(1 + i % 8);
+          if (i % 2 == 0) return {{case_id, LastName(i)}};
+          return {{LastName(i), case_id}};
+        },
+        6,
+        "t = divide(t, 0, 'alpha')\n"
+        "t = divide(t, 2, 'alpha')\n"
+        "t = merge(t, 1, 3, '')\n"
+        "t = merge(t, 0, 1, '')\n"));
+  }
+
+  // ---- Layout transformation tasks (38) -----------------------------------
+
+  corpus.push_back(Scenario::FromScript(
+      "pfe_drop_notes", Tag(kPFE, false, false, false),
+      {},
+      [](int i) -> Rows {
+        return {{Product(i), "checked", Num(3 + i * 2)}};
+      },
+      6, "t = drop(t, 1)\n"));
+
+  corpus.push_back(Scenario::FromScript(
+      "pfe_value_first", Tag(kPFE, false, false, false),
+      {},
+      [](int i) -> Rows {
+        return {{LastName(i), Num(70 + i * 9)}};
+      },
+      6, "t = move(t, 1, 0)\n"));
+
+  // Each record is a pair of series rows; the goal is the transposed
+  // matrix. From one record (two rows), fold(0, 1) produces exactly the
+  // transpose of a 2-row table, so 2 records are needed to pin the intent.
+  corpus.push_back(Scenario::FromScript(
+      "pw1_transpose_matrix", Tag(kPW, false, false, false, "PW1"),
+      {},
+      [](int i) -> Rows {
+        return {{"series" + Num(i * 2), Num(10 + i * 4), Num(20 + i * 5)},
+                {"series" + Num(i * 2 + 1), Num(12 + i * 6), Num(22 + i * 7)}};
+      },
+      4, "t = transpose(t)\n"));
+
+  // Record 0 is clean; blank separator rows first appear in record 1, so
+  // the 1-record example synthesizes the empty program.
+  corpus.push_back(Scenario::FromScript(
+      "pfe_delete_blank_rows", Tag(kPFE, false, false, false),
+      {},
+      [](int i) -> Rows {
+        Rows rows = {{LastName(i), Num(55 + i * 6)}};
+        if (i > 0) rows.push_back({""});
+        return rows;
+      },
+      6, "t = delete(t, 0)\n"));
+
+  // Region group: region named on the first city row only. Record 0 is a
+  // one-row group (nothing to fill), forcing a second record.
+  corpus.push_back(Scenario::FromScript(
+      "wrangler_fill_region", Tag(kWr, false, false, false),
+      {},
+      [](int i) -> Rows {
+        Rows rows = {{"region" + Num(i), City(i * 2), Num(300 + i * 21)}};
+        if (i > 0) {
+          rows.push_back({"", City(i * 2 + 1), Num(350 + i * 23)});
+        }
+        return rows;
+      },
+      6, "t = fill(t, 0)\n"));
+
+  corpus.push_back(Scenario::FromScript(
+      "pfe_fold_quarters", Tag(kPFE, false, true, false),
+      {},
+      [](int i) -> Rows {
+        return {{"country" + Num(i), Num(11 + i), Num(21 + i), Num(31 + i),
+                 Num(41 + i)}};
+      },
+      6, "t = fold(t, 1)\n"));
+
+  // Wide year columns with a header row, folded to [country, year, value].
+  corpus.push_back(Scenario::FromScript(
+      "pfe_fold_header_years", Tag(kPFE, false, true, false),
+      {{"Country", "2019", "2020", "2021"}},
+      [](int i) -> Rows {
+        return {{"nation" + Num(i), Num(60 + i), Num(70 + i), Num(80 + i)}};
+      },
+      6, "t = fold(t, 1, 1)\n"));
+
+  corpus.push_back(Scenario::FromScript(
+      "pfe_unfold_attrs", Tag(kPFE, false, true, false),
+      {},
+      [](int i) -> Rows {
+        return {{Product(i), "color", i % 2 ? "red" : "blue"},
+                {Product(i), "size", Num(2 + i % 5)},
+                {Product(i), "weight", Num(100 + i * 13)}};
+      },
+      6, "t = unfold(t, 1, 2)\n"));
+
+  // Alternating name/phone lines. From one record (two rows), Transpose is
+  // indistinguishable from WrapEvery(2); two records disambiguate.
+  corpus.push_back(Scenario::FromScript(
+      "proactive_wrap_contacts",
+      Tag(kPro, false, false, false, "", /*uses_wrap=*/true),
+      {},
+      [](int i) -> Rows {
+        return {{FullName(i)}, {Phone(i, 3)}};
+      },
+      6, "t = wrapevery(t, 2)\n"));
+
+  // Two item rows per id, wrapped into one row; the duplicated id column is
+  // then dropped.
+  corpus.push_back(Scenario::FromScript(
+      "proactive_wrap_id_rows",
+      Tag(kPro, false, false, false, "", /*uses_wrap=*/true),
+      {},
+      [](int i) -> Rows {
+        return {{Num(500 + i), Product(i * 2)},
+                {Num(500 + i), Product(i * 2 + 1)}};
+      },
+      6,
+      "t = wrap(t, 0)\n"
+      "t = drop(t, 2)\n"));
+
+  // A one-shot reshape: a five-line form (with a blank spacer) collapsed
+  // into a single record. Full data = the example.
+  corpus.push_back(Scenario::FromScript(
+      "pfe_collapse_fields", Tag(kPFE, false, false, false, "", true),
+      {},
+      [](int) -> Rows {
+        return {{"Acme Corp"}, {"14 Main St"}, {""}, {"Springfield"},
+                {"62704"}};
+      },
+      1,
+      "t = delete(t, 0)\n"
+      "t = wrapall(t)\n"));
+
+  corpus.push_back(Scenario::FromScript(
+      "pfe_copy_key", Tag(kPFE, false, false, false),
+      {},
+      [](int i) -> Rows {
+        return {{"SKU" + Num(7000 + i * 3), Product(i)}};
+      },
+      6, "t = copy(t, 0)\n"));
+
+  corpus.push_back(Scenario::FromScript(
+      "pfe_three_step_clean", Tag(kPFE, false, false, false),
+      {},
+      [](int i) -> Rows {
+        return {{Num(i + 1), LastName(i), Num(900 + i * 31), "tmp"}};
+      },
+      6,
+      "t = drop(t, 0)\n"
+      "t = drop(t, 2)\n"
+      "t = move(t, 1, 0)\n"));
+
+  // Department header rows carry the department name; employee rows carry
+  // name+salary. Fill the department down, then delete the header rows.
+  corpus.push_back(Scenario::FromScript(
+      "wrangler_dept_salaries", Tag(kWr, false, false, false),
+      {},
+      [](int i) -> Rows {
+        return {{"dept" + Num(i), "", ""},
+                {"", FirstName(i * 2), Num(50000 + i * 700)},
+                {"", FirstName(i * 2 + 1), Num(51000 + i * 800)}};
+      },
+      5,
+      "t = fill(t, 0)\n"
+      "t = delete(t, 1)\n"));
+
+  // Homework matrix folded long; record 0 has every score, so the Delete of
+  // missing-score rows only becomes observable with record 1.
+  corpus.push_back(Scenario::FromScript(
+      "pfe_fold_homework", Tag(kPFE, false, true, false),
+      {},
+      [](int i) -> Rows {
+        std::string hw2 = (i % 2 == 1) ? "" : Num(80 + i);
+        return {{FirstName(i), Num(70 + i), hw2, Num(90 - i)}};
+      },
+      6,
+      "t = fold(t, 1)\n"
+      "t = delete(t, 1)\n"));
+
+  corpus.push_back(Scenario::FromScript(
+      "pfe13_fill_unfold_sensors",
+      Tag(kPFE, false, true, false, "ProgFromEx13"),
+      {},
+      [](int i) -> Rows {
+        return {{"sensor" + Num(i), "temp", Num(15 + i)},
+                {"", "humidity", Num(40 + i * 2)}};
+      },
+      6,
+      "t = fill(t, 0)\n"
+      "t = unfold(t, 1, 2)\n"));
+
+  // Sparse tag column filled down, then moved first. Record 0 is a single
+  // tagged row, so the 1-record program is a bare Move that fails on the
+  // full data.
+  corpus.push_back(Scenario::FromScript(
+      "pfe_move_fill_tags", Tag(kPFE, false, false, false),
+      {},
+      [](int i) -> Rows {
+        Rows rows = {{Num(10 + i * 7), "tag" + Num(i)}};
+        if (i > 0) rows.push_back({Num(11 + i * 7), ""});
+        return rows;
+      },
+      6,
+      "t = fill(t, 1)\n"
+      "t = move(t, 1, 0)\n"));
+
+  corpus.push_back(Scenario::FromScript(
+      "pfe_drop_pair", Tag(kPFE, false, false, false),
+      {},
+      [](int i) -> Rows {
+        return {{City(i), "x" + Num(i), Num(5 + i), "y" + Num(i),
+                 Num(95 - i)}};
+      },
+      6,
+      "t = drop(t, 1)\n"
+      "t = drop(t, 2)\n"));
+
+  // Label column dropped, then the value matrix transposed. Records carry
+  // two rows each: on a single 2-row record drop+fold(0,1) mimics
+  // drop+transpose, so two records are needed.
+  corpus.push_back(Scenario::FromScript(
+      "pfe_drop_transpose", Tag(kPFE, false, false, false),
+      {},
+      [](int i) -> Rows {
+        return {{"r" + Num(i * 2), Num(31 + i * 2), Num(61 + i * 3)},
+                {"r" + Num(i * 2 + 1), Num(33 + i * 5), Num(63 + i * 4)}};
+      },
+      4,
+      "t = drop(t, 0)\n"
+      "t = transpose(t)\n"));
+
+  // PW7: four layout steps, none complex: strip two junk columns, drop the
+  // blank separator rows, and put the value first.
+  corpus.push_back(Scenario::FromScript(
+      "pw7_clean_columns", Tag(kPW, true, false, false, "PW7"),
+      {},
+      [](int i) -> Rows {
+        return {{"#" + Num(i), LastName(i), Num(640 + i * 12), "eol"},
+                {""}};
+      },
+      6,
+      "t = drop(t, 0)\n"
+      "t = drop(t, 2)\n"
+      "t = delete(t, 1)\n"
+      "t = move(t, 1, 0)\n"));
+
+  // Lengthy + complex: numbered report rows with per-store metric blocks
+  // separated by blank lines, rebuilt into a store-by-metric table.
+  corpus.push_back(Scenario::FromScript(
+      "pfe_report_rebuild", Tag(kPFE, true, true, false),
+      {},
+      [](int i) -> Rows {
+        return {{Num(i * 10 + 1), "store" + Num(i), "price", Num(200 + i * 9)},
+                {Num(i * 10 + 2), "", "stock", Num(12 + i)},
+                {""}};
+      },
+      5,
+      "t = drop(t, 0)\n"
+      "t = delete(t, 2)\n"
+      "t = fill(t, 0)\n"
+      "t = unfold(t, 1, 2)\n"));
+
+  // Survey answers: junk column dropped, wide answers folded long, blank
+  // answers deleted, answer put first. Record 0 answers everything.
+  corpus.push_back(Scenario::FromScript(
+      "pfe_survey_long", Tag(kPFE, true, true, false),
+      {},
+      [](int i) -> Rows {
+        std::string a3 = (i % 2 == 1) ? "" : "agree";
+        return {{Num(100 + i), "web", "yes", Num(1 + i % 5), a3}};
+      },
+      6,
+      "t = drop(t, 1)\n"
+      "t = fold(t, 1)\n"
+      "t = delete(t, 1)\n"
+      "t = move(t, 1, 0)\n"));
+
+  // Ledger with quarterly section headers (no amount) and dates only on the
+  // first row of each day: drop the flag, remove headers, fill dates,
+  // amount first.
+  corpus.push_back(Scenario::FromScript(
+      "pfe17_ledger_totals", Tag(kPFE, true, false, false, "ProgFromEx17"),
+      {{"Q1 report", "", "", ""}},
+      [](int i) -> Rows {
+        return {{"03/" + Num(10 + i), "rent", Num(800 + i * 5), "ok"},
+                {"", "fuel", Num(60 + i * 3), "ok"}};
+      },
+      5,
+      "t = drop(t, 3)\n"
+      "t = delete(t, 2)\n"
+      "t = fill(t, 0)\n"
+      "t = move(t, 2, 0)\n"));
+
+  // Grade matrix with a header row and a notes column; folded long with
+  // header names, missing scores deleted, score first. Record 0 is fully
+  // scored.
+  corpus.push_back(Scenario::FromScript(
+      "pfe_grade_matrix", Tag(kPFE, true, true, false),
+      {{"Student", "Notes", "HW1", "HW2"}},
+      [](int i) -> Rows {
+        std::string s2 = (i % 2 == 1) ? "" : Num(75 + i * 3);
+        return {{FirstName(i), "late", Num(65 + i * 4), s2}};
+      },
+      6,
+      "t = drop(t, 1)\n"
+      "t = fold(t, 1, 1)\n"
+      "t = delete(t, 2)\n"
+      "t = move(t, 2, 0)\n"));
+
+  // Inventory with discontinued rows (blank name) and a status column.
+  corpus.push_back(Scenario::FromScript(
+      "wrangler_inventory_clean", Tag(kWr, false, false, false),
+      {},
+      [](int i) -> Rows {
+        Rows rows = {{Num(3000 + i * 11), Product(i), "act"}};
+        if (i % 2 == 0) rows.push_back({Num(3500 + i * 11), "", "eol"});
+        return rows;
+      },
+      6,
+      "t = delete(t, 1)\n"
+      "t = drop(t, 2)\n"));
+
+  // Sensor readings where some values are missing; record 0 is clean.
+  corpus.push_back(Scenario::FromScript(
+      "pfe_sensor_prune", Tag(kPFE, false, false, false),
+      {},
+      [](int i) -> Rows {
+        Rows rows = {{"08:0" + Num(i % 10), Num(20 + i)}};
+        if (i > 0) rows.push_back({"08:5" + Num(i % 10), ""});
+        return rows;
+      },
+      6, "t = delete(t, 1)\n"));
+
+  corpus.push_back(Scenario::FromScript(
+      "pfe_flight_code_first", Tag(kPFE, false, false, false),
+      {},
+      [](int i) -> Rows {
+        return {{City(i), Num(6 + i) + ":30", "FL" + Num(200 + i * 7)}};
+      },
+      6, "t = move(t, 2, 0)\n"));
+
+  corpus.push_back(Scenario::FromScript(
+      "pfe_sales_fold_wide", Tag(kPFE, false, true, false),
+      {},
+      [](int i) -> Rows {
+        return {{"store" + Num(i), Num(10 + i), Num(20 + i), Num(30 + i),
+                 Num(40 + i), Num(50 + i), Num(60 + i)}};
+      },
+      5, "t = fold(t, 1)\n"));
+
+  // Author listed once per group of titles; record 0 is a single-book
+  // author.
+  corpus.push_back(Scenario::FromScript(
+      "pfe_library_fill", Tag(kPFE, false, false, false),
+      {},
+      [](int i) -> Rows {
+        Rows rows = {{LastName(i), "book" + Num(i * 2)}};
+        if (i > 0) rows.push_back({"", "book" + Num(i * 2 + 1)});
+        return rows;
+      },
+      6, "t = fill(t, 0)\n"));
+
+  // Course catalog rows with an internal code column, cross-tabulated by
+  // attribute.
+  corpus.push_back(Scenario::FromScript(
+      "pfe_course_unfold", Tag(kPFE, false, true, false),
+      {},
+      [](int i) -> Rows {
+        return {{"course" + Num(i), "C" + Num(100 + i), "instructor",
+                 LastName(i * 2)},
+                {"course" + Num(i), "C" + Num(100 + i), "room",
+                 Num(100 + i * 3)}};
+      },
+      6,
+      "t = drop(t, 1)\n"
+      "t = unfold(t, 1, 2)\n"));
+
+  // Movie fields on consecutive lines (title/year/rating). One record
+  // (three rows) is also explained by Transpose; two records force
+  // WrapEvery(3).
+  corpus.push_back(Scenario::FromScript(
+      "pfe_movie_wrap3", Tag(kPFE, false, false, false, "", true),
+      {},
+      [](int i) -> Rows {
+        return {{"film " + LastName(i)}, {Num(1990 + i * 4)},
+                {Num(1 + i % 9) + "." + Num(i % 10)}};
+      },
+      6, "t = wrapevery(t, 3)\n"));
+
+  // Address blocks of four lines.
+  corpus.push_back(Scenario::FromScript(
+      "pfe_address_wrap4", Tag(kPFE, false, false, false, "", true),
+      {},
+      [](int i) -> Rows {
+        return {{FullName(i)}, {Num(10 + i) + " Oak St"}, {City(i)},
+                {Num(60000 + i * 101)}};
+      },
+      6, "t = wrapevery(t, 4)\n"));
+
+  // Budget lines where the department appears on header rows in the LAST
+  // column (mirrors wrangler_dept_salaries with the fill on column 2).
+  corpus.push_back(Scenario::FromScript(
+      "pfe_budget_cleanup", Tag(kPFE, false, false, false),
+      {},
+      [](int i) -> Rows {
+        return {{"", "", "dept" + Num(i)},
+                {Product(i * 2), Num(120 + i * 8), ""},
+                {Product(i * 2 + 1), Num(130 + i * 9), ""}};
+      },
+      5,
+      "t = fill(t, 2)\n"
+      "t = delete(t, 0)\n"));
+
+  corpus.push_back(Scenario::FromScript(
+      "pfe_metrics_fold_move", Tag(kPFE, false, true, false),
+      {},
+      [](int i) -> Rows {
+        return {{"metric" + Num(i), Num(7 + i * 2), Num(9 + i * 3)}};
+      },
+      6,
+      "t = fold(t, 1)\n"
+      "t = move(t, 1, 0)\n"));
+
+  // Event name/date pairs separated by blank rows.
+  corpus.push_back(Scenario::FromScript(
+      "proactive_event_pairs", Tag(kPro, false, false, false, "", true),
+      {},
+      [](int i) -> Rows {
+        return {{"expo " + City(i)}, {"04/" + Num(10 + i)}, {""}};
+      },
+      6,
+      "t = delete(t, 0)\n"
+      "t = wrapevery(t, 2)\n"));
+
+  // PW5: city weather cross-tab (complex, short).
+  corpus.push_back(Scenario::FromScript(
+      "pw5_weather_unfold", Tag(kPW, false, true, false, "PW5"),
+      {},
+      [](int i) -> Rows {
+        return {{City(i), "high", Num(70 + i)}, {City(i), "low", Num(50 + i)}};
+      },
+      6, "t = unfold(t, 1, 2)\n"));
+
+  // PW3 (modified): drop the notes column, fill sparse names (simple,
+  // short).
+  corpus.push_back(Scenario::FromScript(
+      "pw3_names_dropfill", Tag(kPW, false, false, false, "PW3"),
+      {},
+      [](int i) -> Rows {
+        return {{FirstName(i), "n/a", Num(81 + i * 2)},
+                {"", "n/a", Num(82 + i * 2)}};
+      },
+      6,
+      "t = drop(t, 1)\n"
+      "t = fill(t, 0)\n"));
+
+  return corpus;
+}
+
+}  // namespace
+
+const std::vector<Scenario>& Corpus() {
+  static const auto& corpus = *new std::vector<Scenario>(BuildCorpus());
+  return corpus;
+}
+
+const Scenario* FindScenario(std::string_view name) {
+  for (const Scenario& scenario : Corpus()) {
+    if (scenario.name() == name) return &scenario;
+  }
+  return nullptr;
+}
+
+std::vector<const Scenario*> UserStudyScenarios() {
+  // Table 5 row order.
+  constexpr std::array<const char*, 8> kIds = {
+      "PW1",          "PW3", "ProgFromEx13", "PW5",
+      "ProgFromEx17", "PW7", "Proactive1",   "Wrangler3"};
+  std::vector<const Scenario*> out;
+  for (const char* id : kIds) {
+    for (const Scenario& scenario : Corpus()) {
+      if (scenario.tags().user_study_id == id) {
+        out.push_back(&scenario);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+CorpusSummary SummarizeCorpus() {
+  CorpusSummary summary;
+  for (const Scenario& scenario : Corpus()) {
+    const ScenarioTags& tags = scenario.tags();
+    ++summary.total;
+    if (tags.solvable) {
+      ++summary.solvable;
+    } else {
+      ++summary.unsolvable;
+    }
+    if (tags.syntactic) {
+      ++summary.syntactic;
+    } else {
+      ++summary.layout;
+    }
+    if (tags.lengthy) ++summary.lengthy;
+    if (tags.complex_ops) ++summary.complex_ops;
+    if (tags.uses_wrap) ++summary.uses_wrap;
+    ++summary.by_source[static_cast<int>(tags.source)];
+  }
+  return summary;
+}
+
+}  // namespace foofah

@@ -1,0 +1,47 @@
+#ifndef FOOFAH_SCENARIOS_CORPUS_H_
+#define FOOFAH_SCENARIOS_CORPUS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "scenarios/scenario.h"
+
+namespace foofah {
+
+/// The 50-scenario benchmark corpus (§5.1). Mirrors the composition of the
+/// paper's suite: 37 ProgFromEx-style real-world tasks and 13 synthetic
+/// tasks from Potter's Wheel / Wrangler / Proactive Wrangler; exactly five
+/// scenarios are unsolvable with the operator library (§5.2); seven require
+/// syntactic transformations and 43 are pure layout (Table 6); eight carry
+/// the Table 5 user-study task ids.
+///
+/// Built once, never destroyed (function-local leaked static).
+const std::vector<Scenario>& Corpus();
+
+/// Finds a scenario by name; nullptr when absent.
+const Scenario* FindScenario(std::string_view name);
+
+/// The eight user-study scenarios in Table 5 row order
+/// (PW1, PW3, ProgFromEx13, PW5, ProgFromEx17, PW7, Proactive1, Wrangler3).
+std::vector<const Scenario*> UserStudyScenarios();
+
+/// Aggregate composition counts, asserted by tests against the paper's
+/// suite structure.
+struct CorpusSummary {
+  int total = 0;
+  int solvable = 0;
+  int unsolvable = 0;
+  int syntactic = 0;
+  int layout = 0;
+  int lengthy = 0;
+  int complex_ops = 0;
+  int uses_wrap = 0;
+  int by_source[4] = {0, 0, 0, 0};  // Indexed by ScenarioSource.
+};
+
+CorpusSummary SummarizeCorpus();
+
+}  // namespace foofah
+
+#endif  // FOOFAH_SCENARIOS_CORPUS_H_

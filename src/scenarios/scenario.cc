@@ -1,0 +1,113 @@
+#include "scenarios/scenario.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "program/parser.h"
+
+namespace foofah {
+
+const char* ScenarioSourceName(ScenarioSource source) {
+  switch (source) {
+    case ScenarioSource::kProgFromEx:
+      return "ProgFromEx";
+    case ScenarioSource::kPottersWheel:
+      return "PW";
+    case ScenarioSource::kWrangler:
+      return "Wrangler";
+    case ScenarioSource::kProactive:
+      return "Proactive";
+  }
+  return "unknown";
+}
+
+Scenario Scenario::FromScript(std::string name, ScenarioTags tags,
+                              std::vector<Table::Row> preamble,
+                              RecordFn record_fn, int total_records,
+                              std::string truth_script) {
+  Result<Program> truth = ParseProgram(truth_script);
+  if (!truth.ok()) {
+    // Corpus scripts are static data; failing to parse is a programming
+    // error that every test would hit, so abort loudly.
+    std::fprintf(stderr, "scenario %s: bad truth script: %s\n%s\n",
+                 name.c_str(), truth.status().ToString().c_str(),
+                 truth_script.c_str());
+    std::abort();
+  }
+  Scenario s;
+  s.name_ = std::move(name);
+  s.tags_ = std::move(tags);
+  s.preamble_ = std::move(preamble);
+  s.record_fn_ = std::move(record_fn);
+  s.total_records_ = total_records;
+  s.truth_ = std::move(truth).value();
+  Program program = *s.truth_;
+  s.oracle_ = [program, scenario_name = s.name_](const Table& raw) {
+    Result<Table> out = program.Execute(raw);
+    if (!out.ok()) {
+      std::fprintf(stderr, "scenario %s: truth program failed: %s\n",
+                   scenario_name.c_str(), out.status().ToString().c_str());
+      std::abort();
+    }
+    return std::move(out).value();
+  };
+  return s;
+}
+
+Scenario Scenario::FromOracle(std::string name, ScenarioTags tags,
+                              std::vector<Table::Row> preamble,
+                              RecordFn record_fn, int total_records,
+                              OracleFn oracle) {
+  Scenario s;
+  s.name_ = std::move(name);
+  s.tags_ = std::move(tags);
+  s.tags_.solvable = false;
+  s.preamble_ = std::move(preamble);
+  s.record_fn_ = std::move(record_fn);
+  s.total_records_ = total_records;
+  s.oracle_ = std::move(oracle);
+  return s;
+}
+
+Table Scenario::BuildInput(int records) const {
+  std::vector<Table::Row> rows = preamble_;
+  for (int i = 0; i < records; ++i) {
+    std::vector<Table::Row> record = record_fn_(i);
+    for (Table::Row& row : record) rows.push_back(std::move(row));
+  }
+  return Table(std::move(rows));
+}
+
+const Table& Scenario::FullInput() const {
+  if (!full_input_) full_input_ = BuildInput(total_records_);
+  return *full_input_;
+}
+
+const Table& Scenario::FullOutput() const {
+  if (!full_output_) full_output_ = oracle_(FullInput());
+  return *full_output_;
+}
+
+Result<ExamplePair> Scenario::MakeExample(int records) const {
+  if (records < 1 || records > total_records_) {
+    return Status::InvalidArgument("scenario " + name_ +
+                                   ": record count out of range");
+  }
+  ExamplePair pair;
+  pair.input = BuildInput(records);
+  pair.output = oracle_(pair.input);
+  return pair;
+}
+
+ExamplePair Scenario::GeneralizationProbe(int records) const {
+  ExamplePair pair;
+  pair.input = BuildInput(records);
+  pair.output = oracle_(pair.input);
+  return pair;
+}
+
+ExampleBuilder Scenario::AsExampleBuilder() const {
+  return [this](int records) { return MakeExample(records); };
+}
+
+}  // namespace foofah

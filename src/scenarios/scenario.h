@@ -1,0 +1,123 @@
+#ifndef FOOFAH_SCENARIOS_SCENARIO_H_
+#define FOOFAH_SCENARIOS_SCENARIO_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/driver.h"
+#include "program/program.h"
+#include "table/table.h"
+#include "util/status.h"
+
+namespace foofah {
+
+/// Which benchmark suite a scenario is modeled on (§5.1: 37 real-world
+/// tasks in the style of ProgFromEx's Excel-forum collection; the rest
+/// synthetic tasks from Potter's Wheel, Wrangler and Proactive Wrangler).
+enum class ScenarioSource {
+  kProgFromEx = 0,
+  kPottersWheel,
+  kWrangler,
+  kProactive,
+};
+
+/// "ProgFromEx" / "PW" / "Wrangler" / "Proactive".
+const char* ScenarioSourceName(ScenarioSource source);
+
+/// Category flags used by the experiment breakdowns.
+struct ScenarioTags {
+  ScenarioSource source = ScenarioSource::kProgFromEx;
+  /// Ground-truth program has >= 4 operations ("Lengthy" in Fig 11c).
+  bool lengthy = false;
+  /// Ground truth uses Fold, Unfold, Divide or Extract ("Complex").
+  bool complex_ops = false;
+  /// Requires syntactic transformation (cell contents change: Split, Merge,
+  /// Divide, Extract); otherwise pure layout (Table 6's two columns).
+  bool syntactic = false;
+  /// Expressible with the operator library at all. The corpus has exactly
+  /// five inexpressible/failing scenarios, mirroring §5.2.
+  bool solvable = true;
+  /// Ground truth uses a Wrap variant (the Fig 12c scenarios).
+  bool uses_wrap = false;
+  /// Table 5 user-study task id ("PW1", "Wrangler3", ...) when this
+  /// scenario is one of the eight user-study tasks; empty otherwise.
+  std::string user_study_id;
+};
+
+/// One benchmark test scenario: a raw dataset generator, the desired
+/// transformation (as a ground-truth program, or a C++ oracle for the
+/// scenarios outside the operator library's expressiveness), and category
+/// tags. Records are the unit the §5.2 protocol grows examples by.
+class Scenario {
+ public:
+  /// Produces the raw rows of record `index` (deterministic).
+  using RecordFn = std::function<std::vector<Table::Row>(int index)>;
+  /// Transforms a raw table into the desired output (the "user's intent").
+  using OracleFn = std::function<Table(const Table& raw)>;
+
+  /// A scenario whose intent is expressed by a ground-truth program in the
+  /// surface syntax. `truth_script` must parse; the oracle is its execution.
+  /// Terminates the process on an invalid script (corpus construction is
+  /// static data; a bad script is a programming error).
+  static Scenario FromScript(std::string name, ScenarioTags tags,
+                             std::vector<Table::Row> preamble,
+                             RecordFn record_fn, int total_records,
+                             std::string truth_script);
+
+  /// A scenario whose intent only a C++ oracle can express (the five
+  /// unsolvable tasks). `tags.solvable` is forced to false.
+  static Scenario FromOracle(std::string name, ScenarioTags tags,
+                             std::vector<Table::Row> preamble,
+                             RecordFn record_fn, int total_records,
+                             OracleFn oracle);
+
+  const std::string& name() const { return name_; }
+  const ScenarioTags& tags() const { return tags_; }
+  int total_records() const { return total_records_; }
+
+  /// The ground-truth program; nullopt for oracle-only scenarios.
+  const std::optional<Program>& truth() const { return truth_; }
+
+  /// Raw table containing the preamble and the first `records` records.
+  Table BuildInput(int records) const;
+
+  /// The full raw dataset R (all records).
+  const Table& FullInput() const;
+  /// The desired transformation of R.
+  const Table& FullOutput() const;
+
+  /// The example pair for the first `records` records: input as above,
+  /// output via the oracle. Fails when `records` exceeds total_records()
+  /// (the §5.2 protocol may not grow past the raw data).
+  Result<ExamplePair> MakeExample(int records) const;
+
+  /// Like MakeExample but WITHOUT the total_records() cap: the record
+  /// generators are total functions of the index, so arbitrarily larger
+  /// datasets can be materialized. Used to probe whether a "perfect"
+  /// program (§5.2) keeps generalizing beyond the raw data it was judged
+  /// on — the representativeness risk §4.5 discusses.
+  ExamplePair GeneralizationProbe(int records) const;
+
+  /// Adapter for FindPerfectProgram.
+  ExampleBuilder AsExampleBuilder() const;
+
+ private:
+  Scenario() = default;
+
+  std::string name_;
+  ScenarioTags tags_;
+  std::vector<Table::Row> preamble_;
+  RecordFn record_fn_;
+  int total_records_ = 0;
+  OracleFn oracle_;
+  std::optional<Program> truth_;
+  // Lazily built caches (scenarios are constructed once, used repeatedly).
+  mutable std::optional<Table> full_input_;
+  mutable std::optional<Table> full_output_;
+};
+
+}  // namespace foofah
+
+#endif  // FOOFAH_SCENARIOS_SCENARIO_H_

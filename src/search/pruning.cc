@@ -1,0 +1,182 @@
+#include "search/pruning.h"
+
+#include "ops/registry.h"
+#include "util/string_util.h"
+
+namespace foofah {
+
+namespace {
+
+// Number of all-empty columns within the table's rectangle.
+size_t CountEmptyColumns(const Table& t) {
+  size_t count = 0;
+  for (size_t c = 0; c < t.num_cols(); ++c) {
+    if (t.ColumnIsEmpty(c)) ++count;
+  }
+  return count;
+}
+
+bool ColumnNonNull(const Table& t, int col) {
+  return col >= 0 && static_cast<size_t>(col) < t.num_cols() &&
+         t.ColumnHasNoNulls(static_cast<size_t>(col));
+}
+
+size_t BitmapIndex(char c) { return static_cast<unsigned char>(c) & 0x7f; }
+
+}  // namespace
+
+const char* PruneReasonName(PruneReason reason) {
+  switch (reason) {
+    case PruneReason::kKept:
+      return "kept";
+    case PruneReason::kMissingAlphanumerics:
+      return "missing_alnum";
+    case PruneReason::kNoEffect:
+      return "no_effect";
+    case PruneReason::kNovelSymbols:
+      return "novel_symbols";
+    case PruneReason::kEmptyColumns:
+      return "empty_columns";
+    case PruneReason::kNullInColumn:
+      return "null_in_column";
+  }
+  return "unknown";
+}
+
+GoalCharSets GoalCharSets::From(const Table& goal) {
+  GoalCharSets sets;
+  for (const Table::Row& row : goal.rows()) {
+    for (const std::string& cell : row) {
+      for (char c : cell) {
+        if (IsAsciiAlnum(c)) {
+          if (!sets.alnum_bitmap[BitmapIndex(c)]) {
+            sets.alnum_bitmap[BitmapIndex(c)] = true;
+            sets.alnum_chars.push_back(c);
+          }
+        } else if (IsPrintableSymbol(c)) {
+          sets.symbol_bitmap[BitmapIndex(c)] = true;
+        }
+      }
+    }
+  }
+  return sets;
+}
+
+ParentContext ParentContext::From(const Table& parent) {
+  ParentContext context;
+  context.parent = &parent;
+  for (const Table::Row& row : parent.rows()) {
+    for (const std::string& cell : row) {
+      for (char c : cell) {
+        if (IsPrintableSymbol(c)) context.symbol_bitmap[BitmapIndex(c)] = true;
+      }
+    }
+  }
+  context.empty_columns = CountEmptyColumns(parent);
+  return context;
+}
+
+PruneReason PruneBeforeApply(const Table& parent, const Operation& operation,
+                             const PruningConfig& config) {
+  if (!config.null_in_column) return PruneReason::kKept;
+  if (!PropertiesOf(operation.op).requires_non_null_column) {
+    return PruneReason::kKept;
+  }
+  switch (operation.op) {
+    case OpCode::kUnfold:
+      // The header column must not contain nulls: "column headers should
+      // not be null values" (§4.3) — the Figure 4 failure mode.
+      if (!ColumnNonNull(parent, operation.col1)) {
+        return PruneReason::kNullInColumn;
+      }
+      break;
+    case OpCode::kFold: {
+      // Key columns with nulls would fold into rows with null identifiers;
+      // the header variant additionally needs non-null header names.
+      for (int c = 0; c < operation.col1; ++c) {
+        if (!ColumnNonNull(parent, c)) return PruneReason::kNullInColumn;
+      }
+      if (operation.int_param != 0) {
+        for (size_t c = static_cast<size_t>(operation.col1);
+             c < parent.num_cols(); ++c) {
+          if (parent.cell(0, c).empty()) return PruneReason::kNullInColumn;
+        }
+      }
+      break;
+    }
+    case OpCode::kDivide:
+      if (!ColumnNonNull(parent, operation.col1)) {
+        return PruneReason::kNullInColumn;
+      }
+      break;
+    default:
+      break;
+  }
+  return PruneReason::kKept;
+}
+
+PruneReason PruneAfterApply(const ParentContext& parent_context,
+                            const Table& child, const Operation& operation,
+                            const GoalCharSets& goal_chars,
+                            const PruningConfig& config) {
+  // No Effect: the operation did nothing.
+  if (config.no_effect && child.ContentEquals(*parent_context.parent)) {
+    return PruneReason::kNoEffect;
+  }
+
+  // Missing Alphanumerics + Introducing Novel Symbols share one pass over
+  // the child's characters (this is the search's hottest path: it runs for
+  // every generated candidate).
+  const bool check_alnum =
+      config.missing_alphanumerics && !goal_chars.alnum_chars.empty();
+  const bool check_symbols = config.novel_symbols;
+  if (check_alnum || check_symbols) {
+    std::array<bool, 128> seen_alnum{};
+    size_t remaining = goal_chars.alnum_chars.size();
+    for (const Table::Row& row : child.rows()) {
+      for (const std::string& cell : row) {
+        for (char c : cell) {
+          size_t index = BitmapIndex(c);
+          if (IsAsciiAlnum(c)) {
+            if (check_alnum && goal_chars.alnum_bitmap[index] &&
+                !seen_alnum[index]) {
+              seen_alnum[index] = true;
+              --remaining;
+            }
+          } else if (check_symbols && IsPrintableSymbol(c) &&
+                     !parent_context.symbol_bitmap[index] &&
+                     !goal_chars.symbol_bitmap[index]) {
+            // The operation introduced a printable symbol the goal does not
+            // contain; it would need another operation to remove it later.
+            return PruneReason::kNovelSymbols;
+          }
+        }
+      }
+    }
+    if (check_alnum && remaining > 0) {
+      return PruneReason::kMissingAlphanumerics;
+    }
+  }
+
+  // Generating Empty Columns: Split/Divide/Extract/Fold produced a column
+  // with no content (e.g., Split on an absent delimiter).
+  if (config.empty_columns &&
+      PropertiesOf(operation.op).may_generate_empty_column) {
+    if (child.num_rows() > 0 &&
+        CountEmptyColumns(child) > parent_context.empty_columns) {
+      return PruneReason::kEmptyColumns;
+    }
+  }
+
+  return PruneReason::kKept;
+}
+
+PruneReason PruneAfterApply(const Table& parent, const Table& child,
+                            const Operation& operation,
+                            const GoalCharSets& goal_chars,
+                            const PruningConfig& config) {
+  return PruneAfterApply(ParentContext::From(parent), child, operation,
+                         goal_chars, config);
+}
+
+}  // namespace foofah

@@ -1,0 +1,102 @@
+#ifndef FOOFAH_SEARCH_PRUNING_H_
+#define FOOFAH_SEARCH_PRUNING_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "ops/operation.h"
+#include "table/table.h"
+
+namespace foofah {
+
+/// Which of the §4.3 pruning rules are active. All rules are lossless for
+/// the tasks Foofah targets (they only remove states from which the goal is
+/// unreachable or redundant states), so the search is complete without
+/// them; they exist purely for speed and are ablated in Fig 12b.
+struct PruningConfig {
+  // Global rules (apply to every operator).
+  bool missing_alphanumerics = true;
+  bool no_effect = true;
+  bool novel_symbols = true;
+  // Property-specific rules (apply to operators with the matching
+  // OperatorProperties flag).
+  bool empty_columns = true;
+  bool null_in_column = true;
+
+  /// All rules on (the paper's default; "FullPrune" in Fig 12b).
+  static PruningConfig Full() { return PruningConfig{}; }
+  /// All rules off ("NoPrune").
+  static PruningConfig None() {
+    return PruningConfig{false, false, false, false, false};
+  }
+  /// Only the three global rules ("GlobalPrune").
+  static PruningConfig GlobalOnly() {
+    return PruningConfig{true, true, true, false, false};
+  }
+  /// Only the two property-specific rules ("PropPrune").
+  static PruningConfig PropertyOnly() {
+    return PruningConfig{false, false, false, true, true};
+  }
+};
+
+/// Why a candidate was pruned (for SearchStats accounting), or kKept.
+enum class PruneReason {
+  kKept = 0,
+  kMissingAlphanumerics,
+  kNoEffect,
+  kNovelSymbols,
+  kEmptyColumns,
+  kNullInColumn,
+};
+
+inline constexpr int kNumPruneReasons = 6;
+
+/// Human-readable rule name ("kept", "missing_alnum", ...).
+const char* PruneReasonName(PruneReason reason);
+
+/// Precomputed facts about the goal table, shared across all pruning checks
+/// of one search: the distinct alphanumeric characters (as both a bitmap
+/// and a compact list for counting) and a printable-symbol bitmap of e_o.
+struct GoalCharSets {
+  std::array<bool, 128> alnum_bitmap{};
+  std::array<bool, 128> symbol_bitmap{};
+  std::vector<char> alnum_chars;  ///< Distinct goal letters/digits.
+
+  static GoalCharSets From(const Table& goal);
+};
+
+/// Precomputed facts about the parent state, shared across all of its
+/// candidate children during one expansion (the inner loop of the search):
+/// its printable-symbol bitmap and its count of all-empty columns.
+struct ParentContext {
+  const Table* parent = nullptr;
+  std::array<bool, 128> symbol_bitmap{};
+  size_t empty_columns = 0;
+
+  static ParentContext From(const Table& parent);
+};
+
+/// Pre-apply check (Null-In-Column): returns the rule that rejects applying
+/// `operation` to `parent`, or kKept. This rule inspects the parent state
+/// only, so it can skip the (potentially expensive) apply.
+PruneReason PruneBeforeApply(const Table& parent, const Operation& operation,
+                             const PruningConfig& config);
+
+/// Post-apply check: returns the first §4.3 rule that rejects `child`
+/// (produced from the context's parent by `operation`), or kKept.
+PruneReason PruneAfterApply(const ParentContext& parent_context,
+                            const Table& child, const Operation& operation,
+                            const GoalCharSets& goal_chars,
+                            const PruningConfig& config);
+
+/// Convenience overload building the parent context on the fly (tests and
+/// one-off checks; the search caches the context per expansion).
+PruneReason PruneAfterApply(const Table& parent, const Table& child,
+                            const Operation& operation,
+                            const GoalCharSets& goal_chars,
+                            const PruningConfig& config);
+
+}  // namespace foofah
+
+#endif  // FOOFAH_SEARCH_PRUNING_H_

@@ -1,0 +1,333 @@
+#include "search/search.h"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <memory>
+#include <queue>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "heuristic/edit_op.h"
+#include "ops/enumerate.h"
+#include "ops/operators.h"
+#include "search/trace.h"
+#include "table/table_diff.h"
+
+namespace foofah {
+
+const char* SearchStrategyName(SearchStrategy strategy) {
+  switch (strategy) {
+    case SearchStrategy::kAStar:
+      return "astar";
+    case SearchStrategy::kBfs:
+      return "bfs";
+  }
+  return "unknown";
+}
+
+std::string SearchStats::ToString() const {
+  std::ostringstream out;
+  out << "expanded=" << nodes_expanded << " generated=" << nodes_generated
+      << " tried=" << candidates_tried << " pruned=" << total_pruned()
+      << " dup=" << duplicates_skipped << " elapsed_ms=" << elapsed_ms;
+  if (timed_out) out << " TIMEOUT";
+  if (budget_exhausted) out << " BUDGET";
+  return out.str();
+}
+
+namespace {
+
+/// One vertex of the state space graph, linked to its parent so the program
+/// can be reconstructed once the goal is reached.
+struct Node {
+  Table table;
+  int parent = -1;  ///< Index into the node arena; -1 for the root.
+  Operation via;    ///< Arc from the parent (meaningless for the root).
+  uint32_t depth = 0;  ///< g(n): operations from the initial state.
+};
+
+/// Exact-membership state set: hash buckets with full-table comparison, so
+/// hash collisions can never merge distinct states.
+class StateSet {
+ public:
+  explicit StateSet(const std::vector<Node>* arena) : arena_(arena) {}
+
+  /// Returns true and records `table` (by node index) when unseen.
+  bool Insert(const Table& table, int node_index) {
+    uint64_t hash = table.Hash();
+    auto [it, inserted] = buckets_.try_emplace(hash);
+    if (!inserted) {
+      for (int existing : it->second) {
+        if ((*arena_)[existing].table.ContentEquals(table)) return false;
+      }
+    }
+    it->second.push_back(node_index);
+    return true;
+  }
+
+ private:
+  const std::vector<Node>* arena_;
+  std::unordered_map<uint64_t, std::vector<int>> buckets_;
+};
+
+Program ReconstructProgram(const std::vector<Node>& arena, int leaf) {
+  std::vector<Operation> operations;
+  for (int i = leaf; arena[i].parent >= 0; i = arena[i].parent) {
+    operations.push_back(arena[i].via);
+  }
+  std::reverse(operations.begin(), operations.end());
+  return Program(std::move(operations));
+}
+
+/// Frontier entry for the A* priority queue. Lower f wins; ties prefer the
+/// deeper node (largest g), which reaches goals sooner with unit arc costs;
+/// remaining ties resolve by insertion order for determinism.
+struct OpenEntry {
+  double f;
+  uint32_t depth;
+  uint64_t seq;
+  int node;
+
+  friend bool operator>(const OpenEntry& a, const OpenEntry& b) {
+    if (a.f != b.f) return a.f > b.f;
+    if (a.depth != b.depth) return a.depth < b.depth;
+    return a.seq > b.seq;
+  }
+};
+
+}  // namespace
+
+SearchResult SynthesizeProgram(const Table& input, const Table& goal,
+                               const SearchOptions& options) {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point start = Clock::now();
+  auto elapsed_ms = [&start]() {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start)
+        .count();
+  };
+
+  SearchResult result;
+  OperatorRegistry default_registry = OperatorRegistry::Default();
+  const OperatorRegistry& registry =
+      options.registry != nullptr ? *options.registry : default_registry;
+  std::unique_ptr<Heuristic> heuristic = MakeHeuristic(options.heuristic);
+  const GoalCharSets goal_chars = GoalCharSets::From(goal);
+
+  // Error-tolerant mode: a mistaken example cell may contain (or lack)
+  // characters no reachable state can supply, so the content-based global
+  // rules and the infinite-heuristic cutoffs must be relaxed — otherwise
+  // every path to a near-goal would be discarded.
+  const bool tolerant = options.goal_tolerance > 0;
+  PruningConfig pruning = options.pruning;
+  if (tolerant) {
+    pruning.missing_alphanumerics = false;
+    pruning.novel_symbols = false;
+  }
+  // Finite stand-in for an infinite estimate in tolerant mode: worse than
+  // any realistic program length, but still explorable.
+  const double infeasible_estimate =
+      static_cast<double>(goal.num_cells()) + 8.0;
+  auto estimate = [&](const Table& state) {
+    double h = heuristic->Estimate(state, goal);
+    if (h == kInfiniteCost && tolerant) return infeasible_estimate;
+    return h;
+  };
+
+  std::vector<Node> arena;
+  StateSet seen(&arena);
+
+  arena.push_back(Node{input, -1, Operation{}, 0});
+  seen.Insert(input, 0);
+
+  if (input.ContentEquals(goal)) {
+    result.found = true;  // Empty program.
+    result.alternatives.push_back(result.program);
+    result.stats.elapsed_ms = elapsed_ms();
+    return result;
+  }
+
+  auto record_solution = [&](int goal_node) {
+    Program program = ReconstructProgram(arena, goal_node);
+    for (const Program& existing : result.alternatives) {
+      if (existing == program) return;
+    }
+    result.alternatives.push_back(std::move(program));
+  };
+  auto enough_solutions = [&]() {
+    return static_cast<int>(result.alternatives.size()) >=
+           std::max(1, options.max_solutions);
+  };
+  auto finalize = [&]() {
+    if (!result.alternatives.empty()) {
+      result.found = true;
+      result.program = result.alternatives.front();
+    }
+    result.stats.elapsed_ms = elapsed_ms();
+    return result;
+  };
+
+  // Frontier: a priority queue for A*, a FIFO for BFS.
+  std::priority_queue<OpenEntry, std::vector<OpenEntry>, std::greater<>>
+      astar_open;
+  std::deque<int> bfs_open;
+  uint64_t seq = 0;
+
+  auto push = [&](int node, double h) {
+    if (options.strategy == SearchStrategy::kAStar) {
+      astar_open.push(OpenEntry{
+          arena[node].depth + options.heuristic_weight * h,
+          arena[node].depth, seq++, node});
+    } else {
+      bfs_open.push_back(node);
+    }
+  };
+  auto pop = [&]() -> int {
+    if (options.strategy == SearchStrategy::kAStar) {
+      int node = astar_open.top().node;
+      astar_open.pop();
+      return node;
+    }
+    int node = bfs_open.front();
+    bfs_open.pop_front();
+    return node;
+  };
+  auto frontier_empty = [&]() {
+    return options.strategy == SearchStrategy::kAStar ? astar_open.empty()
+                                                      : bfs_open.empty();
+  };
+
+  {
+    double h0 = options.strategy == SearchStrategy::kAStar
+                    ? estimate(input)
+                    : 0;
+    if (h0 == kInfiniteCost) {
+      // The goal needs information the input does not contain; no
+      // transformation in this framework can reach it.
+      result.stats.elapsed_ms = elapsed_ms();
+      return result;
+    }
+    push(0, h0);
+  }
+
+  while (!frontier_empty()) {
+    if (options.timeout_ms > 0 && elapsed_ms() > options.timeout_ms) {
+      result.stats.timed_out = true;
+      break;
+    }
+    if (options.max_expansions > 0 &&
+        result.stats.nodes_expanded >= options.max_expansions) {
+      result.stats.budget_exhausted = true;
+      break;
+    }
+
+    const int current = pop();
+    ++result.stats.nodes_expanded;
+    if (options.observer != nullptr) {
+      options.observer->OnExpand(current, arena[current].table,
+                                 arena[current].depth);
+    }
+
+    // Copy: arena may reallocate while children are appended.
+    const Table state = arena[current].table;
+    std::vector<Operation> candidates =
+        EnumerateCandidates(state, goal, registry);
+    // Parent facts (symbol bitmap, empty-column count) are shared by every
+    // candidate's pruning checks.
+    const ParentContext parent_context = ParentContext::From(state);
+
+    for (const Operation& candidate : candidates) {
+      ++result.stats.candidates_tried;
+
+      PruneReason reason = PruneBeforeApply(state, candidate, pruning);
+      if (reason != PruneReason::kKept) {
+        ++result.stats.pruned_by_reason[static_cast<int>(reason)];
+        if (options.observer != nullptr) {
+          options.observer->OnPrune(current, candidate, reason);
+        }
+        continue;
+      }
+
+      Result<Table> applied = ApplyOperation(state, candidate);
+      if (!applied.ok()) {
+        ++result.stats.apply_failures;
+        continue;
+      }
+      Table child = std::move(applied).value();
+
+      if (child.num_cells() > options.max_state_cells) {
+        ++result.stats.oversize_skipped;
+        continue;
+      }
+
+      reason = PruneAfterApply(parent_context, child, candidate, goal_chars,
+                               pruning);
+      if (reason != PruneReason::kKept) {
+        ++result.stats.pruned_by_reason[static_cast<int>(reason)];
+        if (options.observer != nullptr) {
+          options.observer->OnPrune(current, candidate, reason);
+        }
+        continue;
+      }
+
+      // Goal test at generation time (§4.1: "If no child of v0 happens to
+      // be the goal state ..."): with unit arc costs, the first goal child
+      // found along the best-first order is the answer. With a non-zero
+      // tolerance, a same-shape state within that many differing cells
+      // also counts (the §7 error-tolerant mode).
+      bool is_goal = child.ContentEquals(goal);
+      if (!is_goal && options.goal_tolerance > 0 &&
+          child.num_rows() == goal.num_rows() &&
+          child.num_cols() == goal.num_cols()) {
+        TableDiff diff = DiffTables(goal, child, options.goal_tolerance + 1);
+        is_goal = diff.cell_diffs.size() <= options.goal_tolerance;
+      }
+
+      int child_index = static_cast<int>(arena.size());
+      if (!is_goal && options.deduplicate_states &&
+          !seen.Insert(child, child_index)) {
+        ++result.stats.duplicates_skipped;
+        if (options.observer != nullptr) {
+          options.observer->OnDuplicate(current, candidate);
+        }
+        continue;
+      }
+
+      arena.push_back(Node{std::move(child), current, candidate,
+                           arena[current].depth + 1});
+      ++result.stats.nodes_generated;
+
+      if (is_goal) {
+        if (options.observer != nullptr) {
+          options.observer->OnGenerate(child_index, current, candidate, 0,
+                                       /*is_goal=*/true);
+        }
+        record_solution(child_index);
+        if (enough_solutions()) return finalize();
+        continue;  // Goal states are terminal: do not expand past them.
+      }
+
+      if (options.max_generated > 0 &&
+          result.stats.nodes_generated >= options.max_generated) {
+        result.stats.budget_exhausted = true;
+        return finalize();
+      }
+
+      double h = 0;
+      if (options.strategy == SearchStrategy::kAStar) {
+        h = estimate(arena[child_index].table);
+      }
+      if (options.observer != nullptr) {
+        options.observer->OnGenerate(child_index, current, candidate, h,
+                                     /*is_goal=*/false);
+      }
+      if (h == kInfiniteCost) continue;  // Goal unreachable from child.
+      push(child_index, h);
+    }
+  }
+
+  return finalize();
+}
+
+}  // namespace foofah

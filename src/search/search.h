@@ -1,0 +1,134 @@
+#ifndef FOOFAH_SEARCH_SEARCH_H_
+#define FOOFAH_SEARCH_SEARCH_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "heuristic/heuristic.h"
+#include "ops/registry.h"
+#include "program/program.h"
+#include "search/pruning.h"
+#include "table/table.h"
+#include "util/status.h"
+
+namespace foofah {
+
+class SearchObserver;  // search/trace.h
+
+/// How the state space graph of Definition 4.1 is explored (§5.3).
+enum class SearchStrategy {
+  /// Best-first on f(n) = g(n) + h(n), the paper's A*-inspired search.
+  kAStar = 0,
+  /// Breadth-first (FIFO) expansion; "BFS" and "BFS NoPrune" in Fig 11c.
+  kBfs,
+};
+
+/// "astar" / "bfs".
+const char* SearchStrategyName(SearchStrategy strategy);
+
+/// Everything configurable about one synthesis run. The defaults are the
+/// paper's configuration: A* + TED Batch + all pruning rules + the default
+/// operator library.
+struct SearchOptions {
+  SearchStrategy strategy = SearchStrategy::kAStar;
+  HeuristicKind heuristic = HeuristicKind::kTedBatch;
+  PruningConfig pruning = PruningConfig::Full();
+  /// Operator library; when null, OperatorRegistry::Default() is used.
+  const OperatorRegistry* registry = nullptr;
+
+  /// Wall-clock budget in milliseconds; 0 disables the time limit.
+  /// (The paper uses 60 s per interaction in §5.2 and 300 s in §5.3.)
+  int64_t timeout_ms = 60'000;
+  /// Maximum number of node expansions; 0 disables the cap.
+  uint64_t max_expansions = 200'000;
+  /// Maximum number of generated (kept) states; 0 disables the cap.
+  /// Guards BFS-NoPrune against memory blowups.
+  uint64_t max_generated = 2'000'000;
+  /// States wider/taller than this are discarded outright; intermediate
+  /// tables bigger than a small multiple of the example sizes can never be
+  /// on a minimal path and only burn heuristic time.
+  size_t max_state_cells = 4096;
+
+  /// Number of distinct correct programs to collect before stopping. With
+  /// the default of 1 the search returns at the first goal, as in the
+  /// paper; larger values keep searching and fill SearchResult::
+  /// alternatives — useful for the §4.5 validation workflow, where a user
+  /// inspects candidate programs and picks the one matching their intent.
+  int max_solutions = 1;
+
+  /// Goal-test relaxation: a state with the goal's shape and at most this
+  /// many differing cells is accepted as a goal. 0 (the default) is the
+  /// paper's exact semantics. Non-zero values implement the §7 future-work
+  /// direction of tolerating user mistakes in the example — used through
+  /// SynthesizeTolerant, which reports the differing cells back to the
+  /// user as suspected example errors.
+  size_t goal_tolerance = 0;
+
+  /// Weight w in f(n) = g(n) + w * h(n) for the A* strategy. 1.0 is the
+  /// paper's configuration. Values > 1 trust the (inadmissible) heuristic
+  /// more — greedier, usually faster, possibly longer programs; values < 1
+  /// discount it toward uniform-cost search. Ablated in
+  /// bench/ablation_search_design.
+  double heuristic_weight = 1.0;
+
+  /// When true (the default, and the paper's implicit assumption — the
+  /// state space is a graph, Definition 4.1), previously generated states
+  /// are recognized and skipped. Disabling turns the search into a tree
+  /// search that re-explores shared substructure; ablated in
+  /// bench/ablation_search_design.
+  bool deduplicate_states = true;
+
+  /// Optional exploration observer (see search/trace.h); not owned, must
+  /// outlive the search. Null disables all callbacks at zero cost.
+  SearchObserver* observer = nullptr;
+};
+
+/// Counters describing one search run.
+struct SearchStats {
+  uint64_t nodes_expanded = 0;
+  uint64_t nodes_generated = 0;  ///< States kept on the frontier.
+  uint64_t candidates_tried = 0;  ///< Arcs considered before pruning.
+  uint64_t duplicates_skipped = 0;
+  uint64_t oversize_skipped = 0;
+  uint64_t apply_failures = 0;  ///< Candidates with out-of-domain params.
+  std::array<uint64_t, kNumPruneReasons> pruned_by_reason{};
+  double elapsed_ms = 0;
+  bool timed_out = false;
+  bool budget_exhausted = false;
+
+  uint64_t total_pruned() const {
+    uint64_t total = 0;
+    for (int i = 1; i < kNumPruneReasons; ++i) total += pruned_by_reason[i];
+    return total;
+  }
+
+  /// One-line summary for experiment logs.
+  std::string ToString() const;
+};
+
+/// Outcome of one synthesis search.
+struct SearchResult {
+  /// True when a program transforming the input example into the output
+  /// example was found within budget.
+  bool found = false;
+  /// The synthesized program (guaranteed correct on the example pair,
+  /// §4.5); empty unless `found`.
+  Program program;
+  /// All distinct correct programs collected (the first is `program`), in
+  /// discovery order — best-first order under the active strategy. Has
+  /// more than one element only when SearchOptions::max_solutions > 1.
+  std::vector<Program> alternatives;
+  SearchStats stats;
+};
+
+/// Synthesizes a data transformation program turning `input` into `goal` by
+/// heuristic search over the state space graph (Definition 4.1): vertices
+/// are intermediate tables, arcs are parameterized operations, and the
+/// returned program is the arc sequence of the discovered path.
+SearchResult SynthesizeProgram(const Table& input, const Table& goal,
+                               const SearchOptions& options = {});
+
+}  // namespace foofah
+
+#endif  // FOOFAH_SEARCH_SEARCH_H_

@@ -1,0 +1,134 @@
+#include "table/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace foofah {
+
+Result<Table> ParseCsv(std::string_view text, const CsvOptions& options) {
+  std::vector<Table::Row> rows;
+  Table::Row row;
+  std::string cell;
+  bool in_quotes = false;
+  bool row_started = false;
+
+  size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == options.quote) {
+        if (i + 1 < text.size() && text[i + 1] == options.quote) {
+          cell += options.quote;  // Escaped quote.
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      cell += c;
+      ++i;
+      continue;
+    }
+    if (c == options.quote && cell.empty()) {
+      in_quotes = true;
+      row_started = true;
+      ++i;
+      continue;
+    }
+    if (c == options.delimiter) {
+      row.push_back(std::move(cell));
+      cell.clear();
+      row_started = true;
+      ++i;
+      continue;
+    }
+    if (c == '\r') {
+      ++i;  // Swallow; the matching '\n' (if any) terminates the record.
+      if (i >= text.size() || text[i] != '\n') {
+        row.push_back(std::move(cell));
+        cell.clear();
+        rows.push_back(std::move(row));
+        row.clear();
+        row_started = false;
+      }
+      continue;
+    }
+    if (c == '\n') {
+      row.push_back(std::move(cell));
+      cell.clear();
+      rows.push_back(std::move(row));
+      row.clear();
+      row_started = false;
+      ++i;
+      continue;
+    }
+    cell += c;
+    row_started = true;
+    ++i;
+  }
+  if (in_quotes) {
+    return Status::ParseError("unterminated quoted cell in CSV input");
+  }
+  if (row_started || !cell.empty() || !row.empty()) {
+    row.push_back(std::move(cell));
+    rows.push_back(std::move(row));
+  } else if (!options.ignore_trailing_newline && !text.empty()) {
+    rows.push_back({std::string()});
+  }
+  return Table(std::move(rows));
+}
+
+namespace {
+bool NeedsQuoting(const std::string& cell, const CsvOptions& options) {
+  for (char c : cell) {
+    if (c == options.delimiter || c == options.quote || c == '\n' ||
+        c == '\r') {
+      return true;
+    }
+  }
+  return false;
+}
+}  // namespace
+
+std::string ToCsv(const Table& table, const CsvOptions& options) {
+  std::string out;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    const Table::Row& row = table.row(r);
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += options.delimiter;
+      const std::string& cell = row[c];
+      if (NeedsQuoting(cell, options)) {
+        out += options.quote;
+        for (char ch : cell) {
+          out += ch;
+          if (ch == options.quote) out += options.quote;
+        }
+        out += options.quote;
+      } else {
+        out += cell;
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Result<Table> ReadCsvFile(const std::string& path, const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseCsv(buffer.str(), options);
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::Internal("cannot open file for writing: " + path);
+  out << ToCsv(table, options);
+  if (!out) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace foofah

@@ -1,0 +1,41 @@
+#ifndef FOOFAH_TABLE_CSV_H_
+#define FOOFAH_TABLE_CSV_H_
+
+#include <string>
+#include <string_view>
+
+#include "table/table.h"
+#include "util/status.h"
+
+namespace foofah {
+
+/// Options controlling CSV parsing/serialization. The defaults follow
+/// RFC 4180 (comma delimiter, double-quote quoting, `""` escape).
+struct CsvOptions {
+  char delimiter = ',';
+  char quote = '"';
+  /// When true, a trailing newline at end of input does not produce an
+  /// empty final record.
+  bool ignore_trailing_newline = true;
+};
+
+/// Parses CSV text into a Table. Cells may be quoted; quoted cells may
+/// contain the delimiter, newlines, and doubled quotes. Returns ParseError
+/// on an unterminated quoted cell.
+Result<Table> ParseCsv(std::string_view text, const CsvOptions& options = {});
+
+/// Serializes a table to CSV text. Cells containing the delimiter, the
+/// quote character, or newlines are quoted.
+std::string ToCsv(const Table& table, const CsvOptions& options = {});
+
+/// Reads and parses a CSV file from disk.
+Result<Table> ReadCsvFile(const std::string& path,
+                          const CsvOptions& options = {});
+
+/// Serializes `table` and writes it to `path`.
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options = {});
+
+}  // namespace foofah
+
+#endif  // FOOFAH_TABLE_CSV_H_

@@ -1,0 +1,157 @@
+#include "table/table.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace foofah {
+
+namespace {
+const std::string kEmptyCell;
+
+// Logical row length ignoring trailing empty cells.
+size_t TrimmedLength(const Table::Row& row) {
+  size_t len = row.size();
+  while (len > 0 && row[len - 1].empty()) --len;
+  return len;
+}
+}  // namespace
+
+Table::Table(std::vector<Row> rows) : rows_(std::move(rows)) {}
+
+Table::Table(std::initializer_list<std::initializer_list<const char*>> rows) {
+  rows_.reserve(rows.size());
+  for (const auto& row : rows) {
+    Row r;
+    r.reserve(row.size());
+    for (const char* cell : row) r.emplace_back(cell);
+    rows_.push_back(std::move(r));
+  }
+}
+
+size_t Table::num_cols() const {
+  size_t cols = 0;
+  for (const Row& row : rows_) cols = std::max(cols, row.size());
+  return cols;
+}
+
+const std::string& Table::cell(size_t row, size_t col) const {
+  if (row >= rows_.size() || col >= rows_[row].size()) return kEmptyCell;
+  return rows_[row][col];
+}
+
+void Table::set_cell(size_t row, size_t col, std::string value) {
+  if (rows_[row].size() <= col) rows_[row].resize(col + 1);
+  rows_[row][col] = std::move(value);
+}
+
+void Table::Rectangularize() {
+  size_t cols = num_cols();
+  for (Row& row : rows_) row.resize(cols);
+}
+
+bool Table::IsRectangular() const {
+  if (rows_.empty()) return true;
+  size_t width = rows_[0].size();
+  for (const Row& row : rows_) {
+    if (row.size() != width) return false;
+  }
+  return true;
+}
+
+bool Table::ColumnHasNoNulls(size_t col) const {
+  for (size_t r = 0; r < num_rows(); ++r) {
+    if (cell(r, col).empty()) return false;
+  }
+  return true;
+}
+
+bool Table::ColumnIsEmpty(size_t col) const {
+  for (size_t r = 0; r < num_rows(); ++r) {
+    if (!cell(r, col).empty()) return false;
+  }
+  return true;
+}
+
+std::vector<std::string> Table::Column(size_t col) const {
+  std::vector<std::string> out;
+  out.reserve(num_rows());
+  for (size_t r = 0; r < num_rows(); ++r) out.push_back(cell(r, col));
+  return out;
+}
+
+std::set<char> Table::AlnumCharSet() const {
+  std::set<char> out;
+  for (const Row& row : rows_) {
+    for (const std::string& cell : row) {
+      for (char c : cell) {
+        if (IsAsciiAlnum(c)) out.insert(c);
+      }
+    }
+  }
+  return out;
+}
+
+std::set<char> Table::SymbolCharSet() const {
+  std::set<char> out;
+  for (const Row& row : rows_) {
+    for (const std::string& cell : row) {
+      for (char c : cell) {
+        if (IsPrintableSymbol(c)) out.insert(c);
+      }
+    }
+  }
+  return out;
+}
+
+uint64_t Table::Hash() const {
+  uint64_t hash = Fnv1aHash("table");
+  for (const Row& row : rows_) {
+    size_t len = TrimmedLength(row);
+    for (size_t c = 0; c < len; ++c) {
+      hash = Fnv1aHash(row[c], hash);
+      hash = Fnv1aHash("\x1f", hash);  // cell separator
+    }
+    hash = Fnv1aHash("\x1e", hash);  // row separator
+  }
+  return hash;
+}
+
+bool Table::ContentEquals(const Table& other) const {
+  if (num_rows() != other.num_rows()) return false;
+  for (size_t r = 0; r < num_rows(); ++r) {
+    size_t la = TrimmedLength(rows_[r]);
+    size_t lb = TrimmedLength(other.rows_[r]);
+    if (la != lb) return false;
+    for (size_t c = 0; c < la; ++c) {
+      if (rows_[r][c] != other.rows_[r][c]) return false;
+    }
+  }
+  return true;
+}
+
+std::string Table::ToString() const {
+  size_t cols = num_cols();
+  std::vector<size_t> widths(cols, 0);
+  for (size_t r = 0; r < num_rows(); ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      widths[c] = std::max(widths[c], cell(r, c).size());
+    }
+  }
+  std::string out;
+  for (size_t r = 0; r < num_rows(); ++r) {
+    out += "|";
+    for (size_t c = 0; c < cols; ++c) {
+      const std::string& value = cell(r, c);
+      out += " ";
+      out += value;
+      out.append(widths[c] - value.size(), ' ');
+      out += " |";
+    }
+    out += "\n";
+  }
+  if (rows_.empty()) out = "(empty table)\n";
+  return out;
+}
+
+}  // namespace foofah

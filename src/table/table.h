@@ -1,0 +1,108 @@
+#ifndef FOOFAH_TABLE_TABLE_H_
+#define FOOFAH_TABLE_TABLE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace foofah {
+
+/// A value-semantic grid of string cells — the paper's data model (§3.1):
+/// raw data "is a grid of values", possibly ragged and non-relational.
+/// The empty string plays the role of a null cell.
+///
+/// Rows may have different lengths (raw spreadsheet exports often do);
+/// `num_cols()` reports the widest row, and `cell(r, c)` reads out of the
+/// logical rectangle, returning "" for positions a short row does not cover.
+class Table {
+ public:
+  using Row = std::vector<std::string>;
+
+  /// An empty table (no rows).
+  Table() = default;
+
+  /// Builds a table from explicit rows.
+  explicit Table(std::vector<Row> rows);
+
+  /// Convenient literal builder used pervasively in tests/examples:
+  ///   Table t({{"a", "b"}, {"c", "d"}});
+  Table(std::initializer_list<std::initializer_list<const char*>> rows);
+
+  /// Number of rows.
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Width of the widest row (0 for an empty table).
+  size_t num_cols() const;
+
+  /// Total number of cells within the logical num_rows x num_cols rectangle.
+  size_t num_cells() const { return num_rows() * num_cols(); }
+
+  bool empty() const { return rows_.empty(); }
+
+  /// Cell accessor; returns "" for any position outside the stored rows
+  /// (ragged rows or entirely out-of-range coordinates).
+  const std::string& cell(size_t row, size_t col) const;
+
+  /// Writes `value` at (row, col), extending the row with empty cells as
+  /// needed. `row` must be < num_rows().
+  void set_cell(size_t row, size_t col, std::string value);
+
+  const std::vector<Row>& rows() const { return rows_; }
+  const Row& row(size_t r) const { return rows_[r]; }
+
+  void AppendRow(Row row) { rows_.push_back(std::move(row)); }
+
+  /// Pads every row with "" to the full table width, making the grid
+  /// rectangular in place.
+  void Rectangularize();
+
+  /// True when every row has the same length (possibly zero rows).
+  bool IsRectangular() const;
+
+  /// True when no cell in column `col` is empty. Columns out of range are
+  /// considered to contain empty cells.
+  bool ColumnHasNoNulls(size_t col) const;
+
+  /// True when every cell in column `col` is empty (vacuously true when the
+  /// table has no rows).
+  bool ColumnIsEmpty(size_t col) const;
+
+  /// All cells of column `col` in row order, reading "" for short rows.
+  std::vector<std::string> Column(size_t col) const;
+
+  /// The set of distinct alphanumeric characters over all cells. Used by the
+  /// Missing-Alphanumerics pruning rule (§4.3).
+  std::set<char> AlnumCharSet() const;
+
+  /// The set of distinct printable non-alphanumeric symbols over all cells.
+  /// Used by the Introducing-Novel-Symbols pruning rule (§4.3).
+  std::set<char> SymbolCharSet() const;
+
+  /// Content hash for search-state deduplication. Equal tables hash equally;
+  /// trailing empty cells do not affect the hash (consistent with
+  /// ContentEquals below).
+  uint64_t Hash() const;
+
+  /// Equality modulo trailing empty cells in each row: a ragged row and its
+  /// padded counterpart are the same logical row.
+  bool ContentEquals(const Table& other) const;
+
+  friend bool operator==(const Table& a, const Table& b) {
+    return a.ContentEquals(b);
+  }
+
+  /// Renders an ASCII-art grid for logs, examples and test failure output.
+  std::string ToString() const;
+
+ private:
+  std::vector<Row> rows_;
+};
+
+}  // namespace foofah
+
+#endif  // FOOFAH_TABLE_TABLE_H_

@@ -1,0 +1,51 @@
+#include "table/table_diff.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace foofah {
+
+std::string TableDiff::ToString() const {
+  if (equal) return "tables are equal";
+  std::ostringstream out;
+  if (shape_mismatch) {
+    out << "shape mismatch: expected " << expected_rows << "x" << expected_cols
+        << ", actual " << actual_rows << "x" << actual_cols << "\n";
+  }
+  for (const CellDiff& d : cell_diffs) {
+    out << "  cell (" << d.row << "," << d.col << "): expected \"" << d.expected
+        << "\", actual \"" << d.actual << "\"\n";
+  }
+  return out.str();
+}
+
+TableDiff DiffTables(const Table& expected, const Table& actual,
+                     size_t max_cell_diffs) {
+  TableDiff diff;
+  diff.expected_rows = expected.num_rows();
+  diff.actual_rows = actual.num_rows();
+  diff.expected_cols = expected.num_cols();
+  diff.actual_cols = actual.num_cols();
+  diff.shape_mismatch = diff.expected_rows != diff.actual_rows ||
+                        diff.expected_cols != diff.actual_cols;
+
+  size_t rows = std::max(diff.expected_rows, diff.actual_rows);
+  size_t cols = std::max(diff.expected_cols, diff.actual_cols);
+  bool any_diff = false;
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      const std::string& e = expected.cell(r, c);
+      const std::string& a = actual.cell(r, c);
+      if (e != a) {
+        any_diff = true;
+        if (diff.cell_diffs.size() < max_cell_diffs) {
+          diff.cell_diffs.push_back(CellDiff{r, c, e, a});
+        }
+      }
+    }
+  }
+  diff.equal = !any_diff && !diff.shape_mismatch;
+  return diff;
+}
+
+}  // namespace foofah

@@ -1,0 +1,43 @@
+#ifndef FOOFAH_TABLE_TABLE_DIFF_H_
+#define FOOFAH_TABLE_TABLE_DIFF_H_
+
+#include <string>
+#include <vector>
+
+#include "table/table.h"
+
+namespace foofah {
+
+/// One cell-level difference between two tables.
+struct CellDiff {
+  size_t row = 0;
+  size_t col = 0;
+  std::string expected;
+  std::string actual;
+};
+
+/// Structural + content comparison of two tables, used by the perfect-program
+/// driver (did the synthesized program transform the full raw data exactly?)
+/// and by test failure messages.
+struct TableDiff {
+  bool equal = false;
+  bool shape_mismatch = false;
+  size_t expected_rows = 0;
+  size_t actual_rows = 0;
+  size_t expected_cols = 0;
+  size_t actual_cols = 0;
+  /// First differing cells (capped; see DiffTables).
+  std::vector<CellDiff> cell_diffs;
+
+  /// Human-readable summary for logs and assertion messages.
+  std::string ToString() const;
+};
+
+/// Compares `expected` and `actual` cell by cell over the union rectangle.
+/// Collects at most `max_cell_diffs` differing cells.
+TableDiff DiffTables(const Table& expected, const Table& actual,
+                     size_t max_cell_diffs = 8);
+
+}  // namespace foofah
+
+#endif  // FOOFAH_TABLE_TABLE_DIFF_H_

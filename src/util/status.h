@@ -1,0 +1,137 @@
+#ifndef FOOFAH_UTIL_STATUS_H_
+#define FOOFAH_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace foofah {
+
+/// Error categories used across the library. Modeled after the
+/// RocksDB/Arrow status idiom: fallible APIs return a Status (or a
+/// Result<T>, below) instead of throwing.
+enum class StatusCode {
+  kOk = 0,
+  /// A parameter is outside its domain (bad column index, empty table where
+  /// one is required, malformed regex, ...).
+  kInvalidArgument,
+  /// The requested item does not exist (e.g., unknown operator name).
+  kNotFound,
+  /// A search or driver exhausted its node/time budget without an answer.
+  kResourceExhausted,
+  /// Input text could not be parsed (program parser, CSV reader).
+  kParseError,
+  /// The operation is valid but unsupported in this build/configuration.
+  kUnimplemented,
+  /// Anything else.
+  kInternal,
+};
+
+/// Returns a short human-readable name for `code` ("OK", "InvalidArgument"...).
+const char* StatusCodeName(StatusCode code);
+
+/// A cheap value type describing the outcome of a fallible operation.
+///
+/// Usage:
+///   Status s = DoThing();
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with `code` and a human-readable message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Holds either a value of type T or an error Status. The usual accessor
+/// pattern is:
+///   Result<Table> r = ApplyOperation(...);
+///   if (!r.ok()) return r.status();
+///   const Table& t = *r;
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value: `return my_table;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status; `status` must not be OK.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The error status; OK() when a value is present.
+  const Status& status() const { return status_; }
+
+  /// Value accessors; must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ present.
+};
+
+}  // namespace foofah
+
+#endif  // FOOFAH_UTIL_STATUS_H_

@@ -1,0 +1,73 @@
+#include "wrangler/session.h"
+
+#include <algorithm>
+
+#include "heuristic/edit_op.h"
+#include "heuristic/ted_batch.h"
+#include "ops/enumerate.h"
+#include "ops/operators.h"
+
+namespace foofah {
+
+WranglerSession::WranglerSession(Table raw, const OperatorRegistry* registry)
+    : registry_(registry), default_registry_(OperatorRegistry::Default()) {
+  if (registry_ == nullptr) registry_ = &default_registry_;
+  history_.push_back(Step{std::move(raw), Operation{}});
+}
+
+Status WranglerSession::Apply(const Operation& operation) {
+  if (!registry_->IsEnabled(operation.op)) {
+    return Status::InvalidArgument(
+        std::string("operator not in this session's library: ") +
+        OpCodeName(operation.op));
+  }
+  Result<Table> next = ApplyOperation(current(), operation);
+  if (!next.ok()) return next.status();
+  history_.resize(position_ + 1);  // Drop the redo tail.
+  history_.push_back(Step{std::move(next).value(), operation});
+  ++position_;
+  return Status::OK();
+}
+
+bool WranglerSession::Undo() {
+  if (!CanUndo()) return false;
+  --position_;
+  return true;
+}
+
+bool WranglerSession::Redo() {
+  if (!CanRedo()) return false;
+  ++position_;
+  return true;
+}
+
+Program WranglerSession::ExportScript() const {
+  std::vector<Operation> operations;
+  operations.reserve(position_);
+  for (size_t i = 1; i <= position_; ++i) {
+    operations.push_back(history_[i].via);
+  }
+  return Program(std::move(operations));
+}
+
+std::vector<Suggestion> WranglerSession::SuggestNext(const Table& target,
+                                                     size_t k) const {
+  std::vector<Suggestion> suggestions;
+  for (const Operation& candidate :
+       EnumerateCandidates(current(), target, *registry_)) {
+    Result<Table> child = ApplyOperation(current(), candidate);
+    if (!child.ok()) continue;
+    if (child->ContentEquals(current())) continue;  // No effect.
+    double distance = TedBatchCost(*child, target);
+    if (distance == kInfiniteCost) continue;
+    suggestions.push_back(Suggestion{candidate, distance});
+  }
+  std::stable_sort(suggestions.begin(), suggestions.end(),
+                   [](const Suggestion& a, const Suggestion& b) {
+                     return a.distance < b.distance;
+                   });
+  if (suggestions.size() > k) suggestions.resize(k);
+  return suggestions;
+}
+
+}  // namespace foofah

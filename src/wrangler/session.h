@@ -1,0 +1,95 @@
+#ifndef FOOFAH_WRANGLER_SESSION_H_
+#define FOOFAH_WRANGLER_SESSION_H_
+
+#include <vector>
+
+#include "ops/operation.h"
+#include "ops/registry.h"
+#include "program/program.h"
+#include "table/table.h"
+#include "util/status.h"
+
+namespace foofah {
+
+/// A ranked next-step suggestion (see WranglerSession::SuggestNext).
+struct Suggestion {
+  Operation operation;
+  /// TED Batch estimate from the operation's result to the target — lower
+  /// is closer to the goal.
+  double distance = 0;
+};
+
+/// An interactive, Wrangler-style Programming-By-Demonstration session —
+/// the §2 interaction model that Foofah's PBE replaces, and the baseline
+/// of the §5.6 user study. The user applies one operation at a time,
+/// inspects the intermediate table, backtracks with undo/redo (the
+/// Example 1 trap: Unfold before Fill, then backtrack), and finally
+/// exports the accumulated script as a straight-line Program.
+///
+/// SuggestNext adds a Proactive-Wrangler-flavored assistant (Guo et al.,
+/// UIST'11 — the paper's [16]): it ranks the operator library's candidate
+/// next steps by how much closer (under TED Batch) their result is to a
+/// target table the user sketches.
+class WranglerSession {
+ public:
+  /// Starts a session over `raw`. The registry, when given, must outlive
+  /// the session; it bounds the operations Apply accepts and SuggestNext
+  /// enumerates (defaults to the full library).
+  explicit WranglerSession(Table raw,
+                           const OperatorRegistry* registry = nullptr);
+
+  /// Not copyable or movable: `registry_` may point at the session's own
+  /// `default_registry_`, which a compiler-generated copy would leave
+  /// pointing into the source object.
+  WranglerSession(const WranglerSession&) = delete;
+  WranglerSession& operator=(const WranglerSession&) = delete;
+
+  /// The table after every applied (and not undone) operation.
+  const Table& current() const { return history_[position_].table; }
+
+  /// The original raw table.
+  const Table& raw() const { return history_.front().table; }
+
+  /// Number of operations currently in effect.
+  size_t step_count() const { return position_; }
+
+  /// Applies an operation to the current table. Discards any redo tail.
+  /// Fails (leaving the session unchanged) when the operation's parameters
+  /// are out of domain for the current table.
+  Status Apply(const Operation& operation);
+
+  bool CanUndo() const { return position_ > 0; }
+  bool CanRedo() const { return position_ + 1 < history_.size(); }
+
+  /// Steps back to the previous table; returns false at the beginning.
+  bool Undo();
+
+  /// Re-applies the most recently undone operation; returns false when
+  /// there is nothing to redo.
+  bool Redo();
+
+  /// The operations currently in effect, as a reusable Program — what
+  /// Wrangler exports as a script (§1: "these tools help users generate
+  /// reusable data transformation programs").
+  Program ExportScript() const;
+
+  /// Ranks candidate next operations by the TED Batch distance from their
+  /// result to `target`, ascending; returns at most `k`. Candidates whose
+  /// result is unchanged or whose distance is infinite are omitted.
+  std::vector<Suggestion> SuggestNext(const Table& target, size_t k) const;
+
+ private:
+  struct Step {
+    Table table;
+    Operation via;  // Meaningless for the first entry.
+  };
+
+  const OperatorRegistry* registry_;
+  OperatorRegistry default_registry_;
+  std::vector<Step> history_;
+  size_t position_ = 0;  // Index into history_ of the current table.
+};
+
+}  // namespace foofah
+
+#endif  // FOOFAH_WRANGLER_SESSION_H_

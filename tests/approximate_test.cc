@@ -1,0 +1,98 @@
+#include "core/approximate.h"
+
+#include <gtest/gtest.h>
+
+namespace foofah {
+namespace {
+
+TEST(TolerantTest, ExactWhenExampleIsClean) {
+  Table in = {{"a", "junk"}, {"b", "junk"}};
+  Table out = {{"a"}, {"b"}};
+  TolerantResult r = SynthesizeTolerant(in, out);
+  ASSERT_TRUE(r.found);
+  EXPECT_TRUE(r.exact);
+  EXPECT_TRUE(r.suspected_errors.empty());
+  Result<Table> replay = r.program.Execute(in);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(*replay, out);
+}
+
+TEST(TolerantTest, FlagsSingleTypoInOutputExample) {
+  // The user mistyped one phone digit while specifying the output; exact
+  // synthesis is impossible (the '9' in "X9Y" appears nowhere in the
+  // input), but tolerant synthesis finds the intended Split and points at
+  // the offending cell.
+  Table in = {{"k1", "a:111"}, {"k2", "b:222"}, {"k3", "c:333"}};
+  Table out = {{"k1", "a", "111"},
+               {"k2", "b", "229"},  // Typo: should be 222.
+               {"k3", "c", "333"}};
+  TolerantOptions options;
+  options.max_example_errors = 1;
+  TolerantResult r = SynthesizeTolerant(in, out, options);
+  ASSERT_TRUE(r.found);
+  EXPECT_FALSE(r.exact);
+  ASSERT_EQ(r.suspected_errors.size(), 1u);
+  EXPECT_EQ(r.suspected_errors[0].row, 1u);
+  EXPECT_EQ(r.suspected_errors[0].col, 2u);
+  EXPECT_EQ(r.suspected_errors[0].example_value, "229");
+  EXPECT_EQ(r.suspected_errors[0].program_value, "222");
+  // The program is the intended transformation.
+  Result<Table> replay = r.program.Execute(in);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay->cell(1, 2), "222");
+}
+
+TEST(TolerantTest, RespectsErrorBudget) {
+  // Two typos with a budget of one: no acceptable program.
+  Table in = {{"k1", "a:111"}, {"k2", "b:222"}, {"k3", "c:333"}};
+  Table out = {{"k1", "a", "119"},
+               {"k2", "b", "229"},
+               {"k3", "c", "333"}};
+  TolerantOptions options;
+  options.max_example_errors = 1;
+  options.search.timeout_ms = 1500;
+  options.search.max_expansions = 5000;
+  TolerantResult r = SynthesizeTolerant(in, out, options);
+  EXPECT_FALSE(r.found);
+
+  // With a budget of two, the intended program is recovered.
+  options.max_example_errors = 2;
+  TolerantResult r2 = SynthesizeTolerant(in, out, options);
+  ASSERT_TRUE(r2.found);
+  EXPECT_EQ(r2.suspected_errors.size(), 2u);
+}
+
+TEST(TolerantTest, ZeroBudgetDegeneratesToExactSynthesis) {
+  Table in = {{"k", "a:1"}};
+  Table out = {{"k", "a", "9"}};  // Unreachable.
+  TolerantOptions options;
+  options.max_example_errors = 0;
+  options.search.timeout_ms = 500;
+  options.search.max_expansions = 2000;
+  TolerantResult r = SynthesizeTolerant(in, out, options);
+  EXPECT_FALSE(r.found);
+}
+
+TEST(TolerantTest, SuspectedErrorToString) {
+  SuspectedExampleError error{1, 2, "229", "222"};
+  EXPECT_EQ(error.ToString(),
+            "cell (1,2): example says \"229\" but the program produces "
+            "\"222\"");
+}
+
+TEST(TolerantTest, TypoInInputSideStillRecoverable) {
+  // The example's *output* is internally consistent with the input, but
+  // the user dropped a whole value when copying (lost information): the
+  // program's output has content where the example has an empty cell.
+  Table in = {{"x", "1"}, {"y", "2"}};
+  Table out = {{"x"}, {""}};  // Forgot "y".
+  TolerantOptions options;
+  options.max_example_errors = 1;
+  TolerantResult r = SynthesizeTolerant(in, out, options);
+  ASSERT_TRUE(r.found);
+  // Either an exact (degenerate) program or a near-miss with one flag.
+  EXPECT_LE(r.suspected_errors.size(), 1u);
+}
+
+}  // namespace
+}  // namespace foofah

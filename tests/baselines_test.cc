@@ -1,0 +1,183 @@
+#include "baselines/progfromex.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/wrangler_effort.h"
+#include "scenarios/corpus.h"
+
+namespace foofah {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared content-copy limitation
+// ---------------------------------------------------------------------------
+
+TEST(BaselineTest, SyntacticContentIsUnreachableForBothSystems) {
+  // "Tel" never appears as a whole input cell: both learners must refuse —
+  // the defining limitation the paper leans on (§5.7).
+  Table in = {{"Tel:(800)"}};
+  Table out = {{"Tel", "(800)"}};
+  EXPECT_FALSE(ProgFromExSolve(in, out).success);
+  EXPECT_FALSE(FlashRelateSolve(in, out).success);
+  EXPECT_NE(ProgFromExSolve(in, out).detail.find("syntactic"),
+            std::string::npos);
+}
+
+TEST(BaselineTest, EmptyOutputCellsAreUnconstrained) {
+  Table in = {{"a"}};
+  Table out = {{"a", ""}};
+  EXPECT_TRUE(ProgFromExSolve(in, out).success);
+  EXPECT_TRUE(FlashRelateSolve(in, out).success);
+}
+
+// ---------------------------------------------------------------------------
+// Layout coverage differences (Table 6's ordering)
+// ---------------------------------------------------------------------------
+
+TEST(BaselineTest, BothHandleColumnSelectionAndReorder) {
+  Table in = {{"a", "junk", "b"}, {"c", "junk", "d"}};
+  Table out = {{"b", "a"}, {"d", "c"}};
+  EXPECT_TRUE(ProgFromExSolve(in, out).success);
+  EXPECT_TRUE(FlashRelateSolve(in, out).success);
+}
+
+TEST(BaselineTest, BothHandleRowFiltering) {
+  Table in = {{"a", "1"}, {"junk", ""}, {"b", "2"}};
+  Table out = {{"a", "1"}, {"b", "2"}};
+  EXPECT_TRUE(ProgFromExSolve(in, out).success);
+  EXPECT_TRUE(FlashRelateSolve(in, out).success);
+}
+
+TEST(BaselineTest, BothHandleFillViaRepeatedReads) {
+  Table in = {{"r1", "a"}, {"", "b"}};
+  Table out = {{"r1", "a"}, {"r1", "b"}};
+  EXPECT_TRUE(ProgFromExSolve(in, out).success);
+  EXPECT_TRUE(FlashRelateSolve(in, out).success);
+}
+
+TEST(BaselineTest, BothHandleTransposeViaRowReads) {
+  Table in = {{"a", "b"}, {"c", "d"}};
+  Table out = {{"a", "c"}, {"b", "d"}};
+  EXPECT_TRUE(ProgFromExSolve(in, out).success);
+  EXPECT_TRUE(FlashRelateSolve(in, out).success);
+}
+
+TEST(BaselineTest, OnlyProgFromExHandlesFoldPivots) {
+  // A folded matrix needs the free row-major traversal (rule C), which the
+  // FlashRelate model lacks — the Table 6 gap between the two baselines.
+  Table in = {{"k1", "a", "b"}, {"k2", "c", "d"}};
+  Table out = {{"k1", "a"}, {"k1", "b"}, {"k2", "c"}, {"k2", "d"}};
+  EXPECT_TRUE(ProgFromExSolve(in, out).success);
+  EXPECT_FALSE(FlashRelateSolve(in, out).success);
+}
+
+TEST(BaselineTest, OnlyProgFromExHandlesCyclicHeaderRepeats) {
+  // Fold-with-header output repeats the header values once per data row:
+  // ProgFromEx's associative programs (cyclic rule) cover it.
+  Table in = {{"Country", "2019", "2020"},
+              {"Chad", "11", "12"},
+              {"Peru", "21", "22"}};
+  Table out = {{"Chad", "2019", "11"},
+               {"Chad", "2020", "12"},
+               {"Peru", "2019", "21"},
+               {"Peru", "2020", "22"}};
+  EXPECT_TRUE(ProgFromExSolve(in, out).success);
+  EXPECT_FALSE(FlashRelateSolve(in, out).success);
+}
+
+TEST(BaselineTest, NeitherHandlesSorting) {
+  Table in = {{"b", "2"}, {"a", "9"}, {"c", "5"}};
+  Table out = {{"a", "9"}, {"c", "5"}, {"b", "2"}};  // By score desc.
+  EXPECT_FALSE(ProgFromExSolve(in, out).success);
+  EXPECT_FALSE(FlashRelateSolve(in, out).success);
+}
+
+TEST(BaselineTest, CorpusRatesMatchTable6Shape) {
+  int pfe_layout = 0, pfe_syntactic = 0;
+  int fr_layout = 0, fr_syntactic = 0;
+  int layout = 0, syntactic = 0;
+  int foofah_layout = 0;
+  for (const Scenario& s : Corpus()) {
+    bool syn = s.tags().syntactic;
+    (syn ? syntactic : layout)++;
+    if (s.tags().solvable && !syn) ++foofah_layout;
+    if (ProgFromExSolve(s.FullInput(), s.FullOutput()).success) {
+      (syn ? pfe_syntactic : pfe_layout)++;
+    }
+    if (FlashRelateSolve(s.FullInput(), s.FullOutput()).success) {
+      (syn ? fr_syntactic : fr_layout)++;
+    }
+  }
+  // Table 6: both baselines at 0% on syntactic transformations.
+  EXPECT_EQ(pfe_syntactic, 0);
+  EXPECT_EQ(fr_syntactic, 0);
+  // Ordering on layout: ProgFromEx > Foofah-expressible > FlashRelate.
+  EXPECT_GT(pfe_layout, foofah_layout);
+  EXPECT_GT(foofah_layout, fr_layout);
+  EXPECT_EQ(layout, 44);
+  EXPECT_EQ(syntactic, 6);
+}
+
+// ---------------------------------------------------------------------------
+// User-effort simulation (Table 5)
+// ---------------------------------------------------------------------------
+
+TEST(EffortTest, EightRowsInTable5Order) {
+  std::vector<UserStudyRow> rows = SimulateUserStudy();
+  ASSERT_EQ(rows.size(), 8u);
+  EXPECT_EQ(rows.front().scenario->tags().user_study_id, "PW1");
+  EXPECT_EQ(rows.back().scenario->tags().user_study_id, "Wrangler3");
+}
+
+TEST(EffortTest, FoofahSavesTimeOnEveryTask) {
+  for (const UserStudyRow& row : SimulateUserStudy()) {
+    EXPECT_GT(row.time_saving(), 0) << row.scenario->name();
+    EXPECT_LT(row.time_saving(), 1) << row.scenario->name();
+  }
+}
+
+TEST(EffortTest, AverageSavingIsAboutSixtyPercent) {
+  // §5.6's headline: "60% less interaction time ... on average".
+  std::vector<UserStudyRow> rows = SimulateUserStudy();
+  double total = 0;
+  for (const UserStudyRow& row : rows) total += row.time_saving();
+  double average = total / rows.size();
+  EXPECT_GT(average, 0.45);
+  EXPECT_LT(average, 0.75);
+}
+
+TEST(EffortTest, FoofahTradesClicksForKeystrokes) {
+  // Table 5's observation: fewer mouse clicks, more typing.
+  for (const UserStudyRow& row : SimulateUserStudy()) {
+    EXPECT_LE(row.foofah.mouse_clicks, row.wrangler.mouse_clicks)
+        << row.scenario->name();
+    EXPECT_GT(row.foofah.keystrokes, row.wrangler.keystrokes)
+        << row.scenario->name();
+  }
+}
+
+TEST(EffortTest, ComplexLengthyTasksSaveTheMost) {
+  std::vector<UserStudyRow> rows = SimulateUserStudy();
+  double simple_avg = (rows[0].time_saving() + rows[1].time_saving()) / 2;
+  double hard_avg = (rows[6].time_saving() + rows[7].time_saving()) / 2;
+  EXPECT_GT(hard_avg, simple_avg);
+}
+
+TEST(EffortTest, DeterministicAcrossCalls) {
+  std::vector<UserStudyRow> a = SimulateUserStudy();
+  std::vector<UserStudyRow> b = SimulateUserStudy();
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].wrangler.seconds, b[i].wrangler.seconds);
+    EXPECT_EQ(a[i].foofah.keystrokes, b[i].foofah.keystrokes);
+  }
+}
+
+TEST(EffortTest, FormatRendersAllRows) {
+  std::string table = FormatUserStudyTable(SimulateUserStudy());
+  EXPECT_NE(table.find("PW1"), std::string::npos);
+  EXPECT_NE(table.find("Wrangler3"), std::string::npos);
+  EXPECT_NE(table.find("vs Wrang."), std::string::npos);
+}
+
+}  // namespace
+}  // namespace foofah

@@ -1,0 +1,102 @@
+#include "scenarios/bundle.h"
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "scenarios/corpus.h"
+
+namespace foofah {
+namespace {
+
+std::string TempDir(const char* leaf) {
+  std::string dir = testing::TempDir() + "/foofah_bundle_test/" + leaf;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+TEST(BundleTest, RoundTripsTablesAndTruth) {
+  TaskBundle bundle;
+  bundle.name = "roundtrip";
+  bundle.raw = Table({{"a,b", "x"}, {"c", ""}});
+  bundle.target = Table({{"x"}, {""}});
+  bundle.truth = Program({Drop(0)});
+
+  std::string dir = TempDir("roundtrip");
+  ASSERT_TRUE(SaveTaskBundle(bundle, dir).ok());
+  Result<TaskBundle> back = LoadTaskBundle(dir);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->name, "roundtrip");
+  EXPECT_EQ(back->raw, bundle.raw);
+  EXPECT_EQ(back->target, bundle.target);
+  ASSERT_TRUE(back->truth.has_value());
+  EXPECT_EQ(*back->truth, *bundle.truth);
+}
+
+TEST(BundleTest, TruthIsOptional) {
+  TaskBundle bundle;
+  bundle.name = "no_truth";
+  bundle.raw = Table({{"a"}});
+  bundle.target = Table({{"a"}});
+
+  std::string dir = TempDir("no_truth");
+  ASSERT_TRUE(SaveTaskBundle(bundle, dir).ok());
+  Result<TaskBundle> back = LoadTaskBundle(dir);
+  ASSERT_TRUE(back.ok());
+  EXPECT_FALSE(back->truth.has_value());
+}
+
+TEST(BundleTest, MissingDirectoryIsNotFound) {
+  Result<TaskBundle> r = LoadTaskBundle("/nonexistent/foofah/bundle");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(BundleTest, NameFallsBackToDirectoryName) {
+  TaskBundle bundle;
+  bundle.name = "ignored";
+  bundle.raw = Table({{"a"}});
+  bundle.target = Table({{"a"}});
+  std::string dir = TempDir("fallback_name");
+  ASSERT_TRUE(SaveTaskBundle(bundle, dir).ok());
+  std::filesystem::remove(dir + "/meta.txt");
+  Result<TaskBundle> back = LoadTaskBundle(dir);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->name, "fallback_name");
+}
+
+TEST(BundleTest, ScenarioConversionMatchesScenario) {
+  const Scenario* scenario = FindScenario("pfe_fold_quarters");
+  ASSERT_NE(scenario, nullptr);
+  TaskBundle bundle = BundleFromScenario(*scenario);
+  EXPECT_EQ(bundle.name, scenario->name());
+  EXPECT_EQ(bundle.raw, scenario->FullInput());
+  EXPECT_EQ(bundle.target, scenario->FullOutput());
+  ASSERT_TRUE(bundle.truth.has_value());
+  // The bundled truth still maps raw to target.
+  Result<Table> out = bundle.truth->Execute(bundle.raw);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, bundle.target);
+}
+
+TEST(BundleTest, CorpusExportRoundTripsEveryScenario) {
+  std::string dir = TempDir("corpus");
+  ASSERT_TRUE(ExportCorpus(dir).ok());
+  for (const Scenario& scenario : Corpus()) {
+    Result<TaskBundle> bundle = LoadTaskBundle(dir + "/" + scenario.name());
+    ASSERT_TRUE(bundle.ok()) << scenario.name() << ": "
+                             << bundle.status().ToString();
+    EXPECT_EQ(bundle->name, scenario.name());
+    EXPECT_EQ(bundle->raw, scenario.FullInput()) << scenario.name();
+    EXPECT_EQ(bundle->target, scenario.FullOutput()) << scenario.name();
+    if (scenario.truth().has_value()) {
+      ASSERT_TRUE(bundle->truth.has_value()) << scenario.name();
+      Result<Table> out = bundle->truth->Execute(bundle->raw);
+      ASSERT_TRUE(out.ok()) << scenario.name();
+      EXPECT_EQ(*out, bundle->target) << scenario.name();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace foofah

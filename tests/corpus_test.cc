@@ -1,0 +1,185 @@
+#include "scenarios/corpus.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "ops/operation.h"
+
+namespace foofah {
+namespace {
+
+bool IsComplexOp(OpCode op) {
+  return op == OpCode::kFold || op == OpCode::kUnfold ||
+         op == OpCode::kDivide || op == OpCode::kExtract;
+}
+
+bool IsSyntacticOp(OpCode op) {
+  // Operators that rewrite cell contents. Divide only relocates contents,
+  // so it does not make a task syntactic (Table 6 bucketing).
+  return op == OpCode::kSplit || op == OpCode::kMerge ||
+         op == OpCode::kExtract;
+}
+
+bool UsesWrap(OpCode op) {
+  return op == OpCode::kWrapColumn || op == OpCode::kWrapEvery ||
+         op == OpCode::kWrapAll;
+}
+
+TEST(CorpusTest, CompositionMatchesPaperSuite) {
+  CorpusSummary s = SummarizeCorpus();
+  EXPECT_EQ(s.total, 50);       // §5.1: 50 test scenarios.
+  EXPECT_EQ(s.unsolvable, 5);   // §5.2: five failures.
+  EXPECT_EQ(s.solvable, 45);
+  EXPECT_EQ(s.syntactic, 6);    // Table 6 buckets.
+  EXPECT_EQ(s.layout, 44);
+  // §5.1: 37 real-world ProgFromEx-style tasks, 13 from the other suites.
+  EXPECT_EQ(s.by_source[static_cast<int>(ScenarioSource::kProgFromEx)], 37);
+  EXPECT_EQ(s.by_source[static_cast<int>(ScenarioSource::kPottersWheel)] +
+                s.by_source[static_cast<int>(ScenarioSource::kWrangler)] +
+                s.by_source[static_cast<int>(ScenarioSource::kProactive)],
+            13);
+  EXPECT_GE(s.lengthy, 5);
+  EXPECT_GE(s.complex_ops, 10);
+  EXPECT_GE(s.uses_wrap, 3);  // Fig 12c needs Wrap-dependent scenarios.
+}
+
+TEST(CorpusTest, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const Scenario& s : Corpus()) {
+    EXPECT_TRUE(names.insert(s.name()).second) << "duplicate " << s.name();
+  }
+}
+
+TEST(CorpusTest, FindScenarioByName) {
+  EXPECT_NE(FindScenario("wrangler3_contacts"), nullptr);
+  EXPECT_EQ(FindScenario("wrangler3_contacts")->name(), "wrangler3_contacts");
+  EXPECT_EQ(FindScenario("no_such_scenario"), nullptr);
+}
+
+TEST(CorpusTest, TruthProgramsProduceTheFullOutput) {
+  for (const Scenario& s : Corpus()) {
+    if (!s.truth()) continue;
+    Result<Table> out = s.truth()->Execute(s.FullInput());
+    ASSERT_TRUE(out.ok()) << s.name() << ": " << out.status().ToString();
+    EXPECT_EQ(*out, s.FullOutput()) << s.name();
+  }
+}
+
+TEST(CorpusTest, SolvableScenariosHaveTruthPrograms) {
+  for (const Scenario& s : Corpus()) {
+    if (s.tags().solvable) {
+      EXPECT_TRUE(s.truth().has_value()) << s.name();
+    }
+  }
+}
+
+TEST(CorpusTest, TagsAgreeWithTruthPrograms) {
+  for (const Scenario& s : Corpus()) {
+    if (!s.truth()) continue;
+    const Program& truth = *s.truth();
+    bool lengthy = truth.size() >= 4;
+    bool complex_ops = false;
+    bool syntactic = false;
+    bool wrap = false;
+    for (const Operation& op : truth.operations()) {
+      complex_ops = complex_ops || IsComplexOp(op.op);
+      syntactic = syntactic || IsSyntacticOp(op.op);
+      wrap = wrap || UsesWrap(op.op);
+    }
+    EXPECT_EQ(s.tags().lengthy, lengthy) << s.name();
+    EXPECT_EQ(s.tags().complex_ops, complex_ops) << s.name();
+    EXPECT_EQ(s.tags().uses_wrap, wrap) << s.name();
+    if (s.tags().solvable) {
+      EXPECT_EQ(s.tags().syntactic, syntactic) << s.name();
+    }
+  }
+}
+
+TEST(CorpusTest, ExamplesAreConsistentWithOracle) {
+  for (const Scenario& s : Corpus()) {
+    int records = std::min(2, s.total_records());
+    Result<ExamplePair> example = s.MakeExample(records);
+    ASSERT_TRUE(example.ok()) << s.name();
+    EXPECT_GT(example->input.num_rows(), 0u) << s.name();
+    EXPECT_GT(example->output.num_rows(), 0u) << s.name();
+    if (s.truth()) {
+      Result<Table> out = s.truth()->Execute(example->input);
+      ASSERT_TRUE(out.ok()) << s.name();
+      EXPECT_EQ(*out, example->output) << s.name();
+    }
+  }
+}
+
+TEST(CorpusTest, MakeExampleRejectsOutOfRangeCounts) {
+  const Scenario& s = Corpus().front();
+  EXPECT_FALSE(s.MakeExample(0).ok());
+  EXPECT_FALSE(s.MakeExample(s.total_records() + 1).ok());
+}
+
+TEST(CorpusTest, RecordsAreDeterministic) {
+  const Scenario* s = FindScenario("pfe_fold_quarters");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->BuildInput(3), s->BuildInput(3));
+  EXPECT_TRUE(s->FullInput().ContentEquals(s->BuildInput(s->total_records())));
+}
+
+TEST(CorpusTest, ExamplesGrowWithRecords) {
+  const Scenario* s = FindScenario("pw_fold_names");
+  ASSERT_NE(s, nullptr);
+  Result<ExamplePair> one = s->MakeExample(1);
+  Result<ExamplePair> two = s->MakeExample(2);
+  ASSERT_TRUE(one.ok() && two.ok());
+  EXPECT_LT(one->input.num_rows(), two->input.num_rows());
+}
+
+TEST(CorpusTest, UserStudyScenariosInTable5Order) {
+  std::vector<const Scenario*> tasks = UserStudyScenarios();
+  ASSERT_EQ(tasks.size(), 8u);
+  // Table 5 rows and their Complex / >=4 Ops flags.
+  struct Expected {
+    const char* id;
+    bool complex_ops;
+    bool lengthy;
+  };
+  const Expected expected[] = {
+      {"PW1", false, false},          {"PW3", false, false},
+      {"ProgFromEx13", true, false},  {"PW5", true, false},
+      {"ProgFromEx17", false, true},  {"PW7", false, true},
+      {"Proactive1", true, true},     {"Wrangler3", true, true},
+  };
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(tasks[i]->tags().user_study_id, expected[i].id);
+    EXPECT_EQ(tasks[i]->tags().complex_ops, expected[i].complex_ops)
+        << expected[i].id;
+    EXPECT_EQ(tasks[i]->tags().lengthy, expected[i].lengthy)
+        << expected[i].id;
+  }
+}
+
+TEST(CorpusTest, ScenarioSourceNames) {
+  EXPECT_STREQ(ScenarioSourceName(ScenarioSource::kProgFromEx), "ProgFromEx");
+  EXPECT_STREQ(ScenarioSourceName(ScenarioSource::kPottersWheel), "PW");
+  EXPECT_STREQ(ScenarioSourceName(ScenarioSource::kWrangler), "Wrangler");
+  EXPECT_STREQ(ScenarioSourceName(ScenarioSource::kProactive), "Proactive");
+}
+
+TEST(CorpusTest, UnsolvableScenariosDeclareThemselves) {
+  int unsolvable = 0;
+  for (const Scenario& s : Corpus()) {
+    if (!s.tags().solvable) {
+      ++unsolvable;
+      // Oracle-only failures have no truth; pfe_double_divide is the one
+      // expressible-but-timeout case (§5.2's fifth failure).
+      if (s.name() != "pfe_double_divide") {
+        EXPECT_FALSE(s.truth().has_value()) << s.name();
+      } else {
+        EXPECT_TRUE(s.truth().has_value()) << s.name();
+      }
+    }
+  }
+  EXPECT_EQ(unsolvable, 5);
+}
+
+}  // namespace
+}  // namespace foofah

@@ -1,0 +1,90 @@
+#include "table/csv.h"
+
+#include <gtest/gtest.h>
+
+namespace foofah {
+namespace {
+
+TEST(CsvParseTest, SimpleGrid) {
+  Result<Table> t = ParseCsv("a,b\nc,d\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->cell(1, 1), "d");
+}
+
+TEST(CsvParseTest, MissingTrailingNewline) {
+  Result<Table> t = ParseCsv("a,b\nc,d");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 2u);
+}
+
+TEST(CsvParseTest, QuotedCellsWithDelimitersAndNewlines) {
+  Result<Table> t = ParseCsv("\"a,b\",\"c\nd\"\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->cell(0, 0), "a,b");
+  EXPECT_EQ(t->cell(0, 1), "c\nd");
+}
+
+TEST(CsvParseTest, EscapedQuotes) {
+  Result<Table> t = ParseCsv("\"say \"\"hi\"\"\"\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->cell(0, 0), "say \"hi\"");
+}
+
+TEST(CsvParseTest, EmptyCellsAndRaggedRows) {
+  Result<Table> t = ParseCsv("a,,c\nd\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->cell(0, 1), "");
+  EXPECT_EQ(t->row(1).size(), 1u);
+}
+
+TEST(CsvParseTest, CrLfLineEndings) {
+  Result<Table> t = ParseCsv("a,b\r\nc,d\r\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->cell(0, 1), "b");
+}
+
+TEST(CsvParseTest, UnterminatedQuoteIsParseError) {
+  Result<Table> t = ParseCsv("\"abc\n");
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kParseError);
+}
+
+TEST(CsvParseTest, CustomDelimiter) {
+  CsvOptions options;
+  options.delimiter = '\t';
+  Result<Table> t = ParseCsv("a\tb\n", options);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->cell(0, 1), "b");
+}
+
+TEST(CsvSerializeTest, QuotesOnlyWhenNeeded) {
+  Table t = {{"plain", "with,comma"}};
+  EXPECT_EQ(ToCsv(t), "plain,\"with,comma\"\n");
+}
+
+TEST(CsvSerializeTest, RoundTrip) {
+  Table t = {{"a,b", "c\"d", "e\nf"}, {"", "plain", ""}};
+  Result<Table> back = ParseCsv(ToCsv(t));
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(t.ContentEquals(*back));
+}
+
+TEST(CsvFileTest, WriteAndReadBack) {
+  Table t = {{"x", "1"}, {"y", "2"}};
+  std::string path = testing::TempDir() + "/foofah_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(t, path).ok());
+  Result<Table> back = ReadCsvFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(t.ContentEquals(*back));
+}
+
+TEST(CsvFileTest, MissingFileIsNotFound) {
+  Result<Table> t = ReadCsvFile("/nonexistent/path/nope.csv");
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace foofah

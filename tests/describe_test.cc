@@ -1,0 +1,66 @@
+#include "program/describe.h"
+
+#include <gtest/gtest.h>
+
+namespace foofah {
+namespace {
+
+TEST(DescribeTest, EveryOperatorHasAWording) {
+  EXPECT_EQ(DescribeOperation(Drop(1)), "delete column 1");
+  EXPECT_EQ(DescribeOperation(Move(2, 0)), "move column 2 to position 0");
+  EXPECT_EQ(DescribeOperation(Copy(0)), "append a copy of column 0");
+  EXPECT_EQ(DescribeOperation(Split(1, ":")),
+            "split column 1 at the first occurrence of ':'");
+  EXPECT_EQ(DescribeOperation(Fill(0)),
+            "fill empty cells of column 0 with the value above");
+  EXPECT_EQ(DescribeOperation(DeleteRows(2)),
+            "delete every row whose column 2 is empty");
+  EXPECT_EQ(DescribeOperation(Transpose()),
+            "transpose the table (rows become columns)");
+  EXPECT_EQ(DescribeOperation(WrapEvery(3)),
+            "concatenate every 3 consecutive rows into one");
+  EXPECT_EQ(DescribeOperation(WrapAll()),
+            "concatenate all rows into a single row");
+  EXPECT_EQ(DescribeOperation(WrapColumn(0)),
+            "concatenate rows that share the value in column 0");
+  // The longer wordings just need to mention their parameters.
+  EXPECT_NE(DescribeOperation(Merge(0, 1, "-")).find("columns 0 and 1"),
+            std::string::npos);
+  EXPECT_NE(DescribeOperation(Fold(1)).find("columns from 1"),
+            std::string::npos);
+  EXPECT_NE(DescribeOperation(Fold(1, true)).find("first row"),
+            std::string::npos);
+  EXPECT_NE(DescribeOperation(Unfold(1, 2)).find("column headers"),
+            std::string::npos);
+  EXPECT_NE(
+      DescribeOperation(Divide(0, DividePredicate::kAllDigits)).find("digits"),
+      std::string::npos);
+  EXPECT_NE(DescribeOperation(Extract(0, "[0-9]+")).find("'[0-9]+'"),
+            std::string::npos);
+}
+
+TEST(DescribeTest, WhitespaceDelimitersAreNamed) {
+  EXPECT_EQ(DescribeOperation(Split(0, " ")),
+            "split column 0 at the first occurrence of a space");
+  EXPECT_NE(DescribeOperation(Split(0, "\t")).find("a tab"),
+            std::string::npos);
+  EXPECT_NE(DescribeOperation(Split(0, "\n")).find("a line break"),
+            std::string::npos);
+}
+
+TEST(DescribeTest, ProgramIsNumbered) {
+  Program program({Split(1, ":"), DeleteRows(2), Fill(0), Unfold(1, 2)});
+  std::string text = DescribeProgram(program);
+  EXPECT_NE(text.find("1. split column 1"), std::string::npos);
+  EXPECT_NE(text.find("2. delete every row"), std::string::npos);
+  EXPECT_NE(text.find("3. fill empty cells"), std::string::npos);
+  EXPECT_NE(text.find("4. cross-tabulate"), std::string::npos);
+}
+
+TEST(DescribeTest, EmptyProgram) {
+  EXPECT_NE(DescribeProgram(Program()).find("empty program"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace foofah

@@ -1,0 +1,118 @@
+#include "core/diagnose.h"
+
+#include <gtest/gtest.h>
+
+namespace foofah {
+namespace {
+
+TEST(DiagnoseTest, CleanExampleHasNoDiagnostics) {
+  // The motivating example: every output cell is a substring of (or equal
+  // to) some input cell.
+  Table in = {{"Niles C.", "Tel:(800)645-8397"}, {"", "Fax:(907)586-7252"}};
+  Table out = {{"", "Tel", "Fax"},
+               {"Niles C.", "(800)645-8397", "(907)586-7252"}};
+  EXPECT_TRUE(DiagnoseExample(in, out).empty());
+}
+
+TEST(DiagnoseTest, EmptyExamplesAreFlagged) {
+  Table t = {{"a"}};
+  std::vector<ExampleDiagnostic> d1 = DiagnoseExample(Table(), t);
+  ASSERT_EQ(d1.size(), 1u);
+  EXPECT_EQ(d1[0].kind, DiagnosticKind::kEmptyExample);
+  EXPECT_NE(d1[0].message.find("input"), std::string::npos);
+  std::vector<ExampleDiagnostic> d2 = DiagnoseExample(t, Table());
+  ASSERT_EQ(d2.size(), 1u);
+  EXPECT_NE(d2[0].message.find("output"), std::string::npos);
+}
+
+TEST(DiagnoseTest, MissingCharactersDetected) {
+  // "New York" needs letters the abbreviation table lacks — the semantic
+  // transformation scenario's failure mode, now explained to the user.
+  Table in = {{"NY", "Albany"}};
+  Table out = {{"New York", "Albany"}};
+  std::vector<ExampleDiagnostic> diagnostics = DiagnoseExample(in, out);
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].kind, DiagnosticKind::kMissingCharacters);
+  EXPECT_TRUE(diagnostics[0].cell_anchored);
+  EXPECT_EQ(diagnostics[0].row, 0u);
+  EXPECT_EQ(diagnostics[0].col, 0u);
+  EXPECT_NE(diagnostics[0].message.find("appear nowhere"), std::string::npos);
+}
+
+TEST(DiagnoseTest, LikelyTypoDetected) {
+  Table in = {{"k1", "a:4600"}, {"k2", "b:4700"}};
+  Table out = {{"k1", "a", "4601"}, {"k2", "b", "4700"}};  // 4601 mistyped.
+  std::vector<ExampleDiagnostic> diagnostics = DiagnoseExample(in, out);
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].kind, DiagnosticKind::kLikelyTypo);
+  EXPECT_EQ(diagnostics[0].row, 0u);
+  EXPECT_EQ(diagnostics[0].col, 2u);
+}
+
+TEST(DiagnoseTest, DroppedCharacterIsATypoToo) {
+  // "460" vs derivable "4600": one deletion.
+  Table in = {{"a:4600"}};
+  Table out = {{"a", "460"}};
+  std::vector<ExampleDiagnostic> diagnostics = DiagnoseExample(in, out);
+  // "460" IS a substring of "a:4600", so it is actually producible —
+  // no diagnostic. Use content that is not a substring:
+  EXPECT_TRUE(diagnostics.empty());
+  Table out2 = {{"a", "4610"}};  // Not a substring; one edit from "4600".
+  std::vector<ExampleDiagnostic> d2 = DiagnoseExample(in, out2);
+  ASSERT_EQ(d2.size(), 1u);
+  EXPECT_EQ(d2[0].kind, DiagnosticKind::kLikelyTypo);
+}
+
+TEST(DiagnoseTest, UnproducibleCellWithoutTypoNeighborhood) {
+  // Same characters, but an arrangement no substring is close to.
+  Table in = {{"abcd"}};
+  Table out = {{"abcd", "dcba"}};
+  std::vector<ExampleDiagnostic> diagnostics = DiagnoseExample(in, out);
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].kind, DiagnosticKind::kUnproducibleCell);
+}
+
+TEST(DiagnoseTest, MergedContentIsProducible) {
+  // "first last" contains the input cell "first": merge compositions pass
+  // the containment screen.
+  Table in = {{"first", "last"}};
+  Table out = {{"first last"}};
+  EXPECT_TRUE(DiagnoseExample(in, out).empty());
+}
+
+TEST(DiagnoseTest, EmptyOutputCellsAreFine) {
+  Table in = {{"a"}};
+  Table out = {{"a", ""}, {"", ""}};
+  EXPECT_TRUE(DiagnoseExample(in, out).empty());
+}
+
+TEST(DiagnoseTest, MultipleProblemsAllReported) {
+  Table in = {{"ab", "12"}};
+  Table out = {{"xy", "ab", "99"}};
+  std::vector<ExampleDiagnostic> diagnostics = DiagnoseExample(in, out);
+  EXPECT_EQ(diagnostics.size(), 2u);  // "xy" and "99"; "ab" is fine.
+}
+
+TEST(DiagnoseTest, ToStringMentionsKindAndCell) {
+  ExampleDiagnostic d;
+  d.kind = DiagnosticKind::kLikelyTypo;
+  d.row = 1;
+  d.col = 2;
+  d.cell_anchored = true;
+  d.message = "msg";
+  EXPECT_EQ(d.ToString(), "likely_typo at output cell (1,2): msg");
+}
+
+TEST(DiagnoseTest, KindNames) {
+  EXPECT_STREQ(DiagnosticKindName(DiagnosticKind::kEmptyExample),
+               "empty_example");
+  EXPECT_STREQ(DiagnosticKindName(DiagnosticKind::kMissingCharacters),
+               "missing_characters");
+  EXPECT_STREQ(DiagnosticKindName(DiagnosticKind::kUnproducibleCell),
+               "unproducible_cell");
+  EXPECT_STREQ(DiagnosticKindName(DiagnosticKind::kLikelyTypo),
+               "likely_typo");
+}
+
+}  // namespace
+}  // namespace foofah

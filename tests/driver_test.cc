@@ -1,0 +1,147 @@
+#include "core/driver.h"
+
+#include <gtest/gtest.h>
+
+#include "core/synthesizer.h"
+
+namespace foofah {
+namespace {
+
+// A miniature scenario: names with sparse authors; record 0 is clean, so a
+// 1-record example synthesizes the empty program and a second record is
+// required (the §5.2 protocol's growth step).
+ExamplePair FillExample(int records) {
+  Table input;
+  Table output;
+  for (int i = 0; i < records; ++i) {
+    std::string author = "author" + std::to_string(i);
+    input.AppendRow({author, "title" + std::to_string(2 * i)});
+    output.AppendRow({author, "title" + std::to_string(2 * i)});
+    if (i > 0) {
+      input.AppendRow({"", "title" + std::to_string(2 * i + 1)});
+      output.AppendRow({author, "title" + std::to_string(2 * i + 1)});
+    }
+  }
+  return {input, output};
+}
+
+TEST(DriverTest, GrowsExampleUntilPerfect) {
+  ExamplePair full = FillExample(5);
+  DriverResult r = FindPerfectProgram(
+      [](int records) -> Result<ExamplePair> { return FillExample(records); },
+      full.input, full.output, DriverOptions{});
+  ASSERT_TRUE(r.perfect);
+  EXPECT_EQ(r.records_used, 2);
+  ASSERT_EQ(r.rounds.size(), 2u);
+  // Round 1 found a correct-but-not-perfect program (the empty program).
+  EXPECT_TRUE(r.rounds[0].search.found);
+  EXPECT_FALSE(r.rounds[0].perfect);
+  EXPECT_TRUE(r.rounds[1].perfect);
+  // The perfect program is Fill(0).
+  Result<Table> out = r.program.Execute(full.input);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, full.output);
+}
+
+TEST(DriverTest, OneRecordSufficesForRepresentativeExamples) {
+  auto build = [](int records) -> Result<ExamplePair> {
+    Table input;
+    Table output;
+    for (int i = 0; i < records; ++i) {
+      std::string v = std::to_string(10 + i);
+      input.AppendRow({"k" + v, "junk", v});
+      output.AppendRow({"k" + v, v});
+    }
+    return ExamplePair{input, output};
+  };
+  Result<ExamplePair> full = build(4);
+  DriverResult r =
+      FindPerfectProgram(build, full->input, full->output, DriverOptions{});
+  ASSERT_TRUE(r.perfect);
+  EXPECT_EQ(r.records_used, 1);
+  EXPECT_EQ(r.rounds.size(), 1u);
+}
+
+TEST(DriverTest, GivesUpAfterMaxRecords) {
+  // The desired transformation (sorting) is outside the library: every
+  // round fails and the driver stops at max_records.
+  auto build = [](int records) -> Result<ExamplePair> {
+    Table input;
+    Table output;
+    for (int i = 0; i < records; ++i) {
+      std::string v = std::to_string(9 - i);
+      input.AppendRow({v});
+    }
+    for (int i = records - 1; i >= 0; --i) {
+      output.AppendRow({std::to_string(9 - i)});
+    }
+    return ExamplePair{input, output};
+  };
+  Result<ExamplePair> full = build(5);
+  DriverOptions options;
+  options.max_records = 3;
+  options.search.timeout_ms = 300;
+  options.search.max_expansions = 500;
+  DriverResult r =
+      FindPerfectProgram(build, full->input, full->output, options);
+  EXPECT_FALSE(r.perfect);
+  EXPECT_EQ(r.records_used, 0);
+  EXPECT_LE(r.rounds.size(), 3u);
+}
+
+TEST(DriverTest, StopsWhenBuilderRunsOutOfRecords) {
+  auto build = [](int records) -> Result<ExamplePair> {
+    if (records > 1) return Status::InvalidArgument("only one record");
+    return ExamplePair{Table({{"x"}}), Table({{"y"}})};  // Unsolvable.
+  };
+  DriverResult r = FindPerfectProgram(build, Table({{"x"}}), Table({{"y"}}),
+                                      DriverOptions{});
+  EXPECT_FALSE(r.perfect);
+  EXPECT_EQ(r.rounds.size(), 1u);
+}
+
+TEST(DriverTest, TimingAggregates) {
+  ExamplePair full = FillExample(4);
+  DriverResult r = FindPerfectProgram(
+      [](int records) -> Result<ExamplePair> { return FillExample(records); },
+      full.input, full.output, DriverOptions{});
+  ASSERT_EQ(r.rounds.size(), 2u);
+  EXPECT_GE(r.worst_round_ms(), r.average_round_ms());
+  EXPECT_GE(r.average_round_ms(), 0);
+}
+
+TEST(DriverTest, EmptyResultTimings) {
+  DriverResult r;
+  EXPECT_EQ(r.worst_round_ms(), 0);
+  EXPECT_EQ(r.average_round_ms(), 0);
+}
+
+TEST(SynthesizerTest, CsvFrontEnd) {
+  Foofah foofah;
+  Result<SearchResult> r = foofah.SynthesizeFromCsv(
+      "a,junk\nb,junk\n", "a\nb\n");
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->found);
+  Result<Table> out = r->program.Execute(Table({{"c", "junk"}}));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, Table({{"c"}}));
+}
+
+TEST(SynthesizerTest, CsvParseErrorsPropagate) {
+  Foofah foofah;
+  Result<SearchResult> r = foofah.SynthesizeFromCsv("\"broken\n", "a\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(SynthesizerTest, OptionsAreStored) {
+  SearchOptions options;
+  options.heuristic = HeuristicKind::kNaiveRule;
+  options.timeout_ms = 123;
+  Foofah foofah(options);
+  EXPECT_EQ(foofah.options().heuristic, HeuristicKind::kNaiveRule);
+  EXPECT_EQ(foofah.options().timeout_ms, 123);
+}
+
+}  // namespace
+}  // namespace foofah

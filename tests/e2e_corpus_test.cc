@@ -1,0 +1,124 @@
+// End-to-end integration: the §5.2 protocol over the full 50-scenario
+// corpus. Every solvable scenario must yield a perfect program from at most
+// two example records; every unsolvable scenario must fail within budget.
+// This is the repository's strongest regression net: it exercises
+// enumeration, pruning, the TED Batch heuristic, the A* search, program
+// execution, and the corpus generators together.
+
+#include <gtest/gtest.h>
+
+#include "core/driver.h"
+#include "scenarios/corpus.h"
+
+namespace foofah {
+namespace {
+
+DriverOptions TestDriverOptions() {
+  DriverOptions options;
+  // Generous enough for every solvable scenario (worst observed ~200 ms),
+  // tight enough that the five failing scenarios fail quickly.
+  options.search.timeout_ms = 10'000;
+  options.search.max_expansions = 30'000;
+  options.max_records = 3;
+  return options;
+}
+
+class CorpusE2eTest : public testing::TestWithParam<const Scenario*> {};
+
+TEST_P(CorpusE2eTest, ProtocolOutcomeMatchesExpectation) {
+  const Scenario& scenario = *GetParam();
+  DriverResult result =
+      FindPerfectProgram(scenario.AsExampleBuilder(), scenario.FullInput(),
+                         scenario.FullOutput(), TestDriverOptions());
+  if (scenario.tags().solvable) {
+    ASSERT_TRUE(result.perfect) << scenario.name();
+    // Fig 11a: every solved scenario needs at most 2 records.
+    EXPECT_LE(result.records_used, 2) << scenario.name();
+    // The program is genuinely perfect: re-execute and compare.
+    Result<Table> out = result.program.Execute(scenario.FullInput());
+    ASSERT_TRUE(out.ok()) << scenario.name();
+    EXPECT_EQ(*out, scenario.FullOutput()) << scenario.name();
+    // It is also correct on the example it was synthesized from (§4.5).
+    Result<ExamplePair> example = scenario.MakeExample(result.records_used);
+    ASSERT_TRUE(example.ok());
+    Result<Table> example_out = result.program.Execute(example->input);
+    ASSERT_TRUE(example_out.ok());
+    EXPECT_EQ(*example_out, example->output) << scenario.name();
+  } else {
+    EXPECT_FALSE(result.perfect) << scenario.name();
+  }
+}
+
+TEST_P(CorpusE2eTest, SynthesizedProgramsAreReasonablyShort) {
+  const Scenario& scenario = *GetParam();
+  if (!scenario.tags().solvable) return;
+  DriverResult result =
+      FindPerfectProgram(scenario.AsExampleBuilder(), scenario.FullInput(),
+                         scenario.FullOutput(), TestDriverOptions());
+  ASSERT_TRUE(result.perfect) << scenario.name();
+  // §4.2: cost is program length and shorter programs are preferred. The
+  // search is not strictly optimal (inadmissible heuristic), but it must
+  // never produce a program longer than the ground truth + 1.
+  EXPECT_LE(result.program.size(), scenario.truth()->size() + 1)
+      << scenario.name() << "\nfound:\n"
+      << result.program.ToScript() << "truth:\n"
+      << scenario.truth()->ToScript();
+}
+
+std::string ScenarioName(const testing::TestParamInfo<const Scenario*>& info) {
+  return info.param->name();
+}
+
+std::vector<const Scenario*> AllScenarios() {
+  std::vector<const Scenario*> out;
+  for (const Scenario& s : Corpus()) out.push_back(&s);
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFifty, CorpusE2eTest,
+                         testing::ValuesIn(AllScenarios()), ScenarioName);
+
+TEST_P(CorpusE2eTest, PerfectProgramsGeneralizeBeyondTheRawData) {
+  // §4.5's representativeness risk, made executable: a program judged
+  // perfect on the full raw data must keep working when the dataset grows
+  // to twice as many records (the record generators are total functions of
+  // the index). The one exception is the intentionally one-shot
+  // pfe_collapse_fields, whose whole raw dataset IS a single record — by
+  // design nothing constrains how its program scales, which is exactly the
+  // §4.5 overfitting caveat.
+  const Scenario& scenario = *GetParam();
+  if (!scenario.tags().solvable) return;
+  if (scenario.name() == "pfe_collapse_fields") return;
+  DriverResult result =
+      FindPerfectProgram(scenario.AsExampleBuilder(), scenario.FullInput(),
+                         scenario.FullOutput(), TestDriverOptions());
+  ASSERT_TRUE(result.perfect) << scenario.name();
+  ExamplePair probe =
+      scenario.GeneralizationProbe(scenario.total_records() * 2);
+  Result<Table> out = result.program.Execute(probe.input);
+  ASSERT_TRUE(out.ok()) << scenario.name();
+  EXPECT_EQ(*out, probe.output) << scenario.name() << "\n"
+                                << result.program.ToScript();
+}
+
+// Aggregate invariants across the whole suite (the Fig 11a histogram).
+TEST(CorpusAggregateTest, FortyFiveOfFiftyWithinTwoRecords) {
+  int perfect = 0;
+  int with_one = 0;
+  int with_two = 0;
+  for (const Scenario& s : Corpus()) {
+    DriverResult r = FindPerfectProgram(s.AsExampleBuilder(), s.FullInput(),
+                                        s.FullOutput(), TestDriverOptions());
+    if (!r.perfect) continue;
+    ++perfect;
+    if (r.records_used == 1) ++with_one;
+    if (r.records_used == 2) ++with_two;
+  }
+  EXPECT_EQ(perfect, 45);  // §5.2: "90% of the test scenarios (45 of 50)".
+  EXPECT_EQ(with_one + with_two, perfect);
+  EXPECT_GT(with_one, 0);
+  EXPECT_GT(with_two, 0);
+}
+
+}  // namespace
+}  // namespace foofah

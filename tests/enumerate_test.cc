@@ -1,0 +1,139 @@
+#include "ops/enumerate.h"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+namespace foofah {
+namespace {
+
+bool ContainsOp(const std::vector<Operation>& ops, const Operation& want) {
+  return std::find(ops.begin(), ops.end(), want) != ops.end();
+}
+
+size_t CountOp(const std::vector<Operation>& ops, OpCode code) {
+  size_t n = 0;
+  for (const Operation& op : ops) {
+    if (op.op == code) ++n;
+  }
+  return n;
+}
+
+TEST(DelimiterTest, CollectsSymbolsSpacesAndControlChars) {
+  Table t = {{"a:b", "x y"}, {"m\tn", "p\nq"}};
+  std::set<char> delims = CandidateDelimiters(t);
+  EXPECT_TRUE(delims.count(':'));
+  EXPECT_TRUE(delims.count(' '));
+  EXPECT_TRUE(delims.count('\t'));
+  EXPECT_TRUE(delims.count('\n'));
+  EXPECT_FALSE(delims.count('a'));
+}
+
+TEST(EnumerateTest, EmptyTableHasNoCandidates) {
+  OperatorRegistry registry = OperatorRegistry::Default();
+  EXPECT_TRUE(EnumerateCandidates(Table(), Table({{"x"}}), registry).empty());
+}
+
+TEST(EnumerateTest, ColumnOperatorsCoverEveryColumn) {
+  OperatorRegistry registry = OperatorRegistry::Default();
+  Table state = {{"a", "b", "c"}, {"d", "e", "f"}};
+  Table goal = {{"a"}};
+  std::vector<Operation> ops = EnumerateCandidates(state, goal, registry);
+  EXPECT_EQ(CountOp(ops, OpCode::kDrop), 3u);
+  EXPECT_EQ(CountOp(ops, OpCode::kCopy), 3u);
+  EXPECT_EQ(CountOp(ops, OpCode::kFill), 3u);
+  EXPECT_EQ(CountOp(ops, OpCode::kDelete), 3u);
+  EXPECT_EQ(CountOp(ops, OpCode::kMove), 6u);    // Ordered pairs.
+  EXPECT_EQ(CountOp(ops, OpCode::kUnfold), 6u);  // Ordered pairs.
+  EXPECT_EQ(CountOp(ops, OpCode::kTranspose), 1u);
+}
+
+TEST(EnumerateTest, SplitDelimitersComeFromState) {
+  OperatorRegistry registry = OperatorRegistry::Default();
+  Table state = {{"a:b", "c"}};
+  Table goal = {{"a", "b", "c"}};
+  std::vector<Operation> ops = EnumerateCandidates(state, goal, registry);
+  EXPECT_TRUE(ContainsOp(ops, Split(0, ":")));
+  EXPECT_TRUE(ContainsOp(ops, Split(1, ":")));
+  // '-' occurs nowhere in the state, so no Split proposes it.
+  EXPECT_FALSE(ContainsOp(ops, Split(0, "-")));
+}
+
+TEST(EnumerateTest, MergeGluesComeFromGoal) {
+  OperatorRegistry registry = OperatorRegistry::Default();
+  Table state = {{"a", "b"}};
+  Table goal = {{"a-b"}};
+  std::vector<Operation> ops = EnumerateCandidates(state, goal, registry);
+  EXPECT_TRUE(ContainsOp(ops, Merge(0, 1, "-")));
+  EXPECT_TRUE(ContainsOp(ops, Merge(0, 1, "")));  // Bare merge always there.
+  EXPECT_FALSE(ContainsOp(ops, Merge(0, 1, ":")));
+}
+
+TEST(EnumerateTest, FoldVariantsAndHeaderNeedsTwoRows) {
+  OperatorRegistry registry = OperatorRegistry::Default();
+  Table two_rows = {{"a", "b"}, {"c", "d"}};
+  Table one_row = {{"a", "b"}};
+  Table goal = {{"a"}};
+  std::vector<Operation> ops2 =
+      EnumerateCandidates(two_rows, goal, registry);
+  EXPECT_TRUE(ContainsOp(ops2, Fold(1, false)));
+  EXPECT_TRUE(ContainsOp(ops2, Fold(1, true)));
+  std::vector<Operation> ops1 = EnumerateCandidates(one_row, goal, registry);
+  EXPECT_TRUE(ContainsOp(ops1, Fold(1, false)));
+  EXPECT_FALSE(ContainsOp(ops1, Fold(1, true)));
+}
+
+TEST(EnumerateTest, ExtractUsesRegistryPatterns) {
+  OperatorRegistry registry = OperatorRegistry::WithoutWrap();
+  registry.ClearExtractPatterns();
+  registry.AddExtractPattern("[0-9]+");
+  Table state = {{"a1"}};
+  std::vector<Operation> ops =
+      EnumerateCandidates(state, Table({{"1"}}), registry);
+  EXPECT_EQ(CountOp(ops, OpCode::kExtract), 1u);
+  EXPECT_TRUE(ContainsOp(ops, Extract(0, "[0-9]+")));
+}
+
+TEST(EnumerateTest, WrapEveryBoundedByRowsAndRegistryMax) {
+  OperatorRegistry registry = OperatorRegistry::Default();
+  Table tall = {{"a"}, {"b"}, {"c"}, {"d"}, {"e"}, {"f"}, {"g"}};
+  std::vector<Operation> ops =
+      EnumerateCandidates(tall, Table({{"a"}}), registry);
+  // k in {2..5} and k < 7 rows.
+  EXPECT_EQ(CountOp(ops, OpCode::kWrapEvery), 4u);
+  Table three = {{"a"}, {"b"}, {"c"}};
+  ops = EnumerateCandidates(three, Table({{"a"}}), registry);
+  EXPECT_EQ(CountOp(ops, OpCode::kWrapEvery), 1u);  // Only k=2 < 3 rows.
+}
+
+TEST(EnumerateTest, WrapAllOnlyForMultiRowTables) {
+  OperatorRegistry registry = OperatorRegistry::Default();
+  Table one = {{"a", "b"}};
+  EXPECT_EQ(CountOp(EnumerateCandidates(one, one, registry), OpCode::kWrapAll),
+            0u);
+  Table two = {{"a"}, {"b"}};
+  EXPECT_EQ(CountOp(EnumerateCandidates(two, one, registry), OpCode::kWrapAll),
+            1u);
+}
+
+TEST(EnumerateTest, DisabledOperatorsAreAbsent) {
+  OperatorRegistry registry = OperatorRegistry::Default();
+  registry.Disable(OpCode::kTranspose);
+  registry.Disable(OpCode::kMerge);
+  Table state = {{"a", "b"}};
+  std::vector<Operation> ops =
+      EnumerateCandidates(state, state, registry);
+  EXPECT_EQ(CountOp(ops, OpCode::kTranspose), 0u);
+  EXPECT_EQ(CountOp(ops, OpCode::kMerge), 0u);
+}
+
+TEST(EnumerateTest, DividePredicatesEnumeratedPerColumn) {
+  OperatorRegistry registry = OperatorRegistry::Default();
+  Table state = {{"1", "a"}};
+  std::vector<Operation> ops =
+      EnumerateCandidates(state, state, registry);
+  EXPECT_EQ(CountOp(ops, OpCode::kDivide),
+            2u * static_cast<size_t>(kNumDividePredicates));
+}
+
+}  // namespace
+}  // namespace foofah

@@ -1,0 +1,59 @@
+#include "heuristic/heuristic.h"
+
+#include <gtest/gtest.h>
+
+#include "heuristic/edit_op.h"
+
+namespace foofah {
+namespace {
+
+TEST(HeuristicFactoryTest, CreatesEveryKind) {
+  for (HeuristicKind kind :
+       {HeuristicKind::kTedBatch, HeuristicKind::kTed,
+        HeuristicKind::kNaiveRule, HeuristicKind::kZero}) {
+    std::unique_ptr<Heuristic> h = MakeHeuristic(kind);
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->name(), HeuristicKindName(kind));
+  }
+}
+
+TEST(HeuristicFactoryTest, KindNames) {
+  EXPECT_STREQ(HeuristicKindName(HeuristicKind::kTedBatch), "ted_batch");
+  EXPECT_STREQ(HeuristicKindName(HeuristicKind::kTed), "ted");
+  EXPECT_STREQ(HeuristicKindName(HeuristicKind::kNaiveRule), "rule");
+  EXPECT_STREQ(HeuristicKindName(HeuristicKind::kZero), "zero");
+}
+
+TEST(HeuristicFactoryTest, ZeroHeuristicIsAlwaysZero) {
+  std::unique_ptr<Heuristic> h = MakeHeuristic(HeuristicKind::kZero);
+  EXPECT_EQ(h->Estimate(Table({{"a"}}), Table({{"zzz"}})), 0);
+}
+
+TEST(HeuristicFactoryTest, EstimatesAgreeWithUnderlyingFunctions) {
+  Table in = {{"Tel:(800)", "x"}};
+  Table out = {{"Tel", "(800)"}};
+  std::unique_ptr<Heuristic> ted = MakeHeuristic(HeuristicKind::kTed);
+  std::unique_ptr<Heuristic> batch = MakeHeuristic(HeuristicKind::kTedBatch);
+  std::unique_ptr<Heuristic> rule = MakeHeuristic(HeuristicKind::kNaiveRule);
+  EXPECT_GT(ted->Estimate(in, out), 0);
+  EXPECT_GT(batch->Estimate(in, out), 0);
+  EXPECT_GT(rule->Estimate(in, out), 0);
+  // Batching compacts, never inflates.
+  EXPECT_LE(batch->Estimate(in, out), ted->Estimate(in, out));
+}
+
+TEST(HeuristicFactoryTest, InfeasibleGoalsAreInfiniteForTedFamily) {
+  Table in = {{"abc"}};
+  Table out = {{"xyz"}};
+  EXPECT_EQ(MakeHeuristic(HeuristicKind::kTed)->Estimate(in, out),
+            kInfiniteCost);
+  EXPECT_EQ(MakeHeuristic(HeuristicKind::kTedBatch)->Estimate(in, out),
+            kInfiniteCost);
+  // The rule heuristic is finite (it has no information-content model) —
+  // one reason it guides the search poorly (§4.2).
+  EXPECT_LT(MakeHeuristic(HeuristicKind::kNaiveRule)->Estimate(in, out),
+            kInfiniteCost);
+}
+
+}  // namespace
+}  // namespace foofah

@@ -1,0 +1,75 @@
+#include "program/minimize.h"
+
+#include <gtest/gtest.h>
+
+#include "ops/operation.h"
+
+namespace foofah {
+namespace {
+
+TEST(MinimizeTest, RemovesNoOpOperation) {
+  // Fill on an already-full column does nothing.
+  Table input = {{"a", "1"}, {"b", "2"}};
+  Table output = {{"a"}, {"b"}};
+  Program padded({Fill(0), Drop(1)});
+  Program minimal = MinimizeProgram(padded, input, output);
+  EXPECT_EQ(minimal, Program({Drop(1)}));
+}
+
+TEST(MinimizeTest, RemovesMutuallyCancellingPair) {
+  Table input = {{"a", "b"}};
+  Table output = {{"a"}};
+  // Move there and back, then drop.
+  Program padded({Move(0, 1), Move(1, 0), Drop(1)});
+  Program minimal = MinimizeProgram(padded, input, output);
+  EXPECT_EQ(minimal.size(), 1u);
+  EXPECT_EQ(minimal.operation(0), Drop(1));
+}
+
+TEST(MinimizeTest, KeepsNecessaryOperations) {
+  Table input = {{"x:1", "junk"}};
+  Table output = {{"x", "1"}};
+  Program program({Split(0, ":"), Drop(2)});
+  EXPECT_EQ(MinimizeProgram(program, input, output), program);
+}
+
+TEST(MinimizeTest, LeavesIncorrectProgramsUntouched) {
+  Table input = {{"a", "b"}};
+  Table output = {{"zzz"}};
+  Program program({Drop(0), Drop(0)});
+  EXPECT_EQ(MinimizeProgram(program, input, output), program);
+}
+
+TEST(MinimizeTest, EmptyProgramForIdentityPair) {
+  Table t = {{"a"}};
+  Program padded({Fill(0), Fill(0)});
+  Program minimal = MinimizeProgram(padded, t, t);
+  EXPECT_TRUE(minimal.empty());
+}
+
+TEST(MinimizeTest, ResultStillMapsInputToOutput) {
+  Table input = {{"k", "v1", "v2"}, {"k2", "v3", "v4"}};
+  Table output = {{"k", "v1"}, {"k", "v2"}, {"k2", "v3"}, {"k2", "v4"}};
+  // Copy then drop of the copy is redundant around the fold.
+  Program padded({Copy(0), Drop(3), Fold(1)});
+  Program minimal = MinimizeProgram(padded, input, output);
+  Result<Table> out = minimal.Execute(input);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, output);
+  EXPECT_EQ(minimal, Program({Fold(1)}));
+}
+
+TEST(MinimizeTest, FailingStepRemovedWhenRedundant) {
+  // The second drop would fail on a 1-column table... but the program as
+  // given executes fine; minimization must not introduce failures.
+  Table input = {{"a", "b", "c"}};
+  Table output = {{"a"}};
+  Program program({Drop(1), Drop(1)});
+  Program minimal = MinimizeProgram(program, input, output);
+  Result<Table> out = minimal.Execute(input);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, output);
+}
+
+}  // namespace
+}  // namespace foofah

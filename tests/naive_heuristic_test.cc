@@ -1,0 +1,81 @@
+#include "heuristic/naive_heuristic.h"
+
+#include <gtest/gtest.h>
+
+namespace foofah {
+namespace {
+
+TEST(NaiveHeuristicTest, ZeroOnlyForEqualTables) {
+  Table t = {{"a", "b"}, {"c", "d"}};
+  EXPECT_EQ(NaiveRuleHeuristic(t, t), 0);
+  Table other = {{"a", "x"}, {"c", "d"}};
+  EXPECT_GT(NaiveRuleHeuristic(t, other), 0);
+}
+
+TEST(NaiveHeuristicTest, SameRowCountUsesOneToOneRules) {
+  // A dropped column: the Drop/Copy rule fires on every row.
+  Table in = {{"a", "junk", "b"}, {"c", "junk", "d"}};
+  Table out = {{"a", "b"}, {"c", "d"}};
+  double h = NaiveRuleHeuristic(in, out);
+  EXPECT_GE(h, 1);
+  EXPECT_LE(h, 3);
+}
+
+TEST(NaiveHeuristicTest, SplitLikeRowsDetected) {
+  // Goal cells are substrings of input cells: the Split rule.
+  Table in = {{"Tel:(800)"}, {"Fax:(907)"}};
+  Table out = {{"Tel", "(800)"}, {"Fax", "(907)"}};
+  EXPECT_GE(NaiveRuleHeuristic(in, out), 1);
+}
+
+TEST(NaiveHeuristicTest, MergeLikeRowsDetected) {
+  Table in = {{"first", "last"}};
+  Table out = {{"first last"}};
+  EXPECT_GE(NaiveRuleHeuristic(in, out), 1);
+}
+
+TEST(NaiveHeuristicTest, FoldShapeRule) {
+  // Output height a multiple of input height -> one layout op estimated.
+  Table in = {{"k", "a", "b"}};
+  Table out = {{"k", "a"}, {"k", "b"}};
+  double h = NaiveRuleHeuristic(in, out);
+  EXPECT_GE(h, 1);
+  EXPECT_LE(h, 2);  // One layout op, no syntactic heterogeneity.
+}
+
+TEST(NaiveHeuristicTest, TransposeShapeRule) {
+  Table in = {{"a", "b", "c"}, {"d", "e", "f"}};
+  Table out = {{"a", "d"}, {"b", "e"}, {"c", "f"}};
+  EXPECT_EQ(NaiveRuleHeuristic(in, out), 1);
+}
+
+TEST(NaiveHeuristicTest, UnfoldShapeRule) {
+  Table in = {{"n", "k1", "1"}, {"n", "k2", "2"}, {"m", "k1", "3"},
+              {"m", "k2", "4"}};
+  Table out = {{"", "k1", "k2"}, {"n", "1", "2"}, {"m", "3", "4"}};
+  EXPECT_EQ(NaiveRuleHeuristic(in, out), 1);
+}
+
+TEST(NaiveHeuristicTest, UnmatchedShapeAssumesTwoLayoutOps) {
+  // 3 rows -> 2 rows with fewer columns matches no Table 11 rule.
+  Table in = {{"a", "b", "c"}, {"d", "e", "f"}, {"g", "h", "i"}};
+  Table out = {{"a"}, {"d"}};
+  EXPECT_GE(NaiveRuleHeuristic(in, out), 2);
+}
+
+TEST(NaiveHeuristicTest, SyntacticHeterogeneityAddsOne) {
+  // Shape says Fold (x2 height) but cell contents also need modification.
+  Table in = {{"k", "a:1", "b:2"}};
+  Table plain = {{"k", "a:1"}, {"k", "b:2"}};
+  Table modified = {{"k", "a"}, {"k", "b"}};
+  EXPECT_GT(NaiveRuleHeuristic(in, modified), NaiveRuleHeuristic(in, plain));
+}
+
+TEST(NaiveHeuristicTest, EmptyTablesHandled) {
+  EXPECT_EQ(NaiveRuleHeuristic(Table(), Table()), 0);
+  EXPECT_GE(NaiveRuleHeuristic(Table({{"a"}}), Table()), 1);
+  EXPECT_GE(NaiveRuleHeuristic(Table(), Table({{"a"}})), 1);
+}
+
+}  // namespace
+}  // namespace foofah

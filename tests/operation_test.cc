@@ -1,0 +1,62 @@
+#include "ops/operation.h"
+
+#include <gtest/gtest.h>
+
+namespace foofah {
+namespace {
+
+TEST(OperationToStringTest, SurfaceSyntaxMatchesPaper) {
+  // Figure 6's program lines.
+  EXPECT_EQ(Split(1, ":").ToString(), "split(t, 1, ':')");
+  EXPECT_EQ(DeleteRows(2).ToString(), "delete(t, 2)");
+  EXPECT_EQ(Fill(0).ToString(), "fill(t, 0)");
+  EXPECT_EQ(Unfold(1, 2).ToString(), "unfold(t, 1, 2)");
+}
+
+TEST(OperationToStringTest, AllOperators) {
+  EXPECT_EQ(Drop(3).ToString(), "drop(t, 3)");
+  EXPECT_EQ(Move(1, 0).ToString(), "move(t, 1, 0)");
+  EXPECT_EQ(Copy(2).ToString(), "copy(t, 2)");
+  EXPECT_EQ(Merge(0, 1, " ").ToString(), "merge(t, 0, 1, ' ')");
+  EXPECT_EQ(Fold(1).ToString(), "fold(t, 1)");
+  EXPECT_EQ(Fold(1, true).ToString(), "fold(t, 1, 1)");
+  EXPECT_EQ(Divide(0, DividePredicate::kAllDigits).ToString(),
+            "divide(t, 0, 'digits')");
+  EXPECT_EQ(Extract(1, "[0-9]+").ToString(), "extract(t, 1, '[0-9]+')");
+  EXPECT_EQ(Transpose().ToString(), "transpose(t)");
+  EXPECT_EQ(WrapColumn(0).ToString(), "wrap(t, 0)");
+  EXPECT_EQ(WrapEvery(3).ToString(), "wrapevery(t, 3)");
+  EXPECT_EQ(WrapAll().ToString(), "wrapall(t)");
+}
+
+TEST(OperationToStringTest, EscapesSpecialCharactersInStrings) {
+  EXPECT_EQ(Split(0, "\n").ToString(), "split(t, 0, '\\n')");
+  EXPECT_EQ(Split(0, "\t").ToString(), "split(t, 0, '\\t')");
+  EXPECT_EQ(Split(0, "'").ToString(), "split(t, 0, '\\'')");
+  EXPECT_EQ(Split(0, "\\").ToString(), "split(t, 0, '\\\\')");
+}
+
+TEST(OperationEqualityTest, ComparesAllFields) {
+  EXPECT_EQ(Drop(1), Drop(1));
+  EXPECT_FALSE(Drop(1) == Drop(2));
+  EXPECT_FALSE(Drop(1) == Copy(1));
+  EXPECT_FALSE(Split(0, ":") == Split(0, "-"));
+  EXPECT_FALSE(Fold(1) == Fold(1, true));
+}
+
+TEST(OpCodeNameTest, LowercaseNames) {
+  EXPECT_STREQ(OpCodeName(OpCode::kDrop), "drop");
+  EXPECT_STREQ(OpCodeName(OpCode::kUnfold), "unfold");
+  EXPECT_STREQ(OpCodeName(OpCode::kWrapColumn), "wrap");
+  EXPECT_STREQ(OpCodeName(OpCode::kWrapEvery), "wrapevery");
+  EXPECT_STREQ(OpCodeName(OpCode::kWrapAll), "wrapall");
+}
+
+TEST(DividePredicateNameTest, AllPredicates) {
+  EXPECT_STREQ(DividePredicateName(DividePredicate::kAllDigits), "digits");
+  EXPECT_STREQ(DividePredicateName(DividePredicate::kAllAlpha), "alpha");
+  EXPECT_STREQ(DividePredicateName(DividePredicate::kAllAlnum), "alnum");
+}
+
+}  // namespace
+}  // namespace foofah

@@ -1,0 +1,140 @@
+// Systematic edge-case sweep: every operator applied to degenerate tables
+// (empty, single cell, all-empty cells, ragged, tall, wide). The contract
+// under test: operations with in-domain parameters never crash, never
+// mutate their input, and produce a table whose cells' contents are drawn
+// from the input plus operator-introduced glue (layout operators must not
+// invent content — the assumption behind the §4.3 pruning rules).
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "ops/enumerate.h"
+#include "ops/operators.h"
+#include "util/string_util.h"
+
+namespace foofah {
+namespace {
+
+struct EdgeCase {
+  const char* name;
+  Table table;
+};
+
+std::vector<EdgeCase> EdgeTables() {
+  return {
+      {"empty", Table()},
+      {"single_cell", Table({{"x"}})},
+      {"single_empty_cell", Table({{""}})},
+      {"all_empty_2x2", Table({{"", ""}, {"", ""}})},
+      {"ragged", Table({{"a", "b", "c"}, {"d"}, {}})},
+      {"tall", Table({{"r0"}, {"r1"}, {"r2"}, {"r3"}, {"r4"}, {"r5"}})},
+      {"wide", Table({{"c0", "c1", "c2", "c3", "c4", "c5", "c6"}})},
+      {"symbols", Table({{"a:b", "c-d"}, {"(e)", "f,g"}})},
+      {"unicodeish", Table({{"na\xc3\xafve", "\xe2\x82\xac""5"}})},
+  };
+}
+
+class OperatorEdgeSweep
+    : public testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(OperatorEdgeSweep, EnumeratedOperationsBehaveOnEdgeTables) {
+  auto [table_index, goal_index] = GetParam();
+  std::vector<EdgeCase> cases = EdgeTables();
+  const Table& state = cases[table_index].table;
+  const Table& goal = cases[goal_index].table;
+
+  OperatorRegistry registry = OperatorRegistry::Default();
+  Table before = state;
+  for (const Operation& op : EnumerateCandidates(state, goal, registry)) {
+    Result<Table> out = ApplyOperation(state, op);
+    ASSERT_TRUE(out.ok()) << cases[table_index].name << " + " << op.ToString()
+                          << ": " << out.status().ToString();
+    // Alphanumeric content is conserved or reduced, never invented:
+    // every alnum character of the output exists in the input. The one
+    // sanctioned exception is Unfold's literal "null" marker for missing
+    // header values (the Figure 4 breakage).
+    std::set<char> in_chars = state.AlnumCharSet();
+    if (op.op == OpCode::kUnfold) {
+      for (char c : std::string("null")) in_chars.insert(c);
+    }
+    for (char c : out->AlnumCharSet()) {
+      EXPECT_TRUE(in_chars.count(c) > 0)
+          << cases[table_index].name << " + " << op.ToString()
+          << " invented '" << c << "'";
+    }
+  }
+  EXPECT_EQ(state, before) << cases[table_index].name;
+}
+
+std::string SweepName(
+    const testing::TestParamInfo<std::tuple<int, int>>& info) {
+  std::vector<EdgeCase> cases = EdgeTables();
+  return std::string(cases[std::get<0>(info.param)].name) + "_vs_" +
+         cases[std::get<1>(info.param)].name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, OperatorEdgeSweep,
+    testing::Combine(testing::Range(0, 9), testing::Values(1, 7)),
+    SweepName);
+
+// Direct out-of-domain probes for every operator: bad parameters must be
+// InvalidArgument, not a crash or a silent no-op.
+TEST(OperatorDomainTest, OutOfRangeParametersAreRejected) {
+  Table one = {{"x"}};
+  const Operation bad[] = {
+      Drop(-1),       Drop(1),
+      Move(0, 0),     Move(0, 5),       Move(-1, 0),
+      Copy(2),        Merge(0, 0),      Merge(0, 9),
+      Split(4, ":"),  Split(0, ""),
+      Fold(9),        Unfold(0, 0),     Unfold(0, 9),
+      Fill(3),        Divide(7, DividePredicate::kAllDigits),
+      DeleteRows(2),  Extract(5, "[0-9]+"), Extract(0, "["),
+      WrapColumn(1),  WrapEvery(1),     WrapEvery(-2),
+  };
+  for (const Operation& op : bad) {
+    Result<Table> out = ApplyOperation(one, op);
+    ASSERT_FALSE(out.ok()) << op.ToString();
+    EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument)
+        << op.ToString();
+  }
+}
+
+// Operators on a completely empty table: column operators have no columns
+// to address (InvalidArgument); whole-table operators degrade gracefully.
+TEST(OperatorDomainTest, EmptyTableBehaviour) {
+  Table empty;
+  EXPECT_FALSE(ApplyOperation(empty, Drop(0)).ok());
+  EXPECT_FALSE(ApplyOperation(empty, Fill(0)).ok());
+  Result<Table> transposed = ApplyOperation(empty, Transpose());
+  ASSERT_TRUE(transposed.ok());
+  EXPECT_TRUE(transposed->empty());
+  Result<Table> wrapped = ApplyOperation(empty, WrapAll());
+  ASSERT_TRUE(wrapped.ok());
+  EXPECT_TRUE(wrapped->empty());
+  Result<Table> wrap_every = ApplyOperation(empty, WrapEvery(2));
+  ASSERT_TRUE(wrap_every.ok());
+  EXPECT_TRUE(wrap_every->empty());
+}
+
+// Ragged rows behave exactly as their padded counterparts under every
+// enumerated operator.
+TEST(OperatorDomainTest, RaggedEqualsPadded) {
+  Table ragged = {{"a", "b", "c"}, {"d"}, {"e", "f"}};
+  Table padded = ragged;
+  padded.Rectangularize();
+  OperatorRegistry registry = OperatorRegistry::Default();
+  Table goal = {{"a"}};
+  for (const Operation& op : EnumerateCandidates(ragged, goal, registry)) {
+    Result<Table> from_ragged = ApplyOperation(ragged, op);
+    Result<Table> from_padded = ApplyOperation(padded, op);
+    ASSERT_EQ(from_ragged.ok(), from_padded.ok()) << op.ToString();
+    if (from_ragged.ok()) {
+      EXPECT_EQ(*from_ragged, *from_padded) << op.ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace foofah

@@ -1,0 +1,334 @@
+#include "ops/operators.h"
+
+#include <gtest/gtest.h>
+
+#include "ops/operation.h"
+#include "table/table.h"
+
+namespace foofah {
+namespace {
+
+// Convenience: apply and expect success.
+Table Apply(const Table& input, const Operation& op) {
+  Result<Table> out = ApplyOperation(input, op);
+  EXPECT_TRUE(out.ok()) << out.status().ToString();
+  return out.ok() ? *out : Table();
+}
+
+// Convenience: apply and expect InvalidArgument.
+void ExpectInvalid(const Table& input, const Operation& op) {
+  Result<Table> out = ApplyOperation(input, op);
+  ASSERT_FALSE(out.ok()) << "operation unexpectedly succeeded: "
+                         << op.ToString();
+  EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Drop / Move / Copy
+// ---------------------------------------------------------------------------
+
+TEST(DropTest, RemovesColumn) {
+  Table t = {{"a", "b", "c"}, {"d", "e", "f"}};
+  EXPECT_EQ(Apply(t, Drop(1)), Table({{"a", "c"}, {"d", "f"}}));
+}
+
+TEST(DropTest, OutOfRangeColumnFails) {
+  Table t = {{"a"}};
+  ExpectInvalid(t, Drop(1));
+  ExpectInvalid(t, Drop(-1));
+}
+
+TEST(DropTest, RaggedRowsArePadded) {
+  Table t = {{"a", "b"}, {"c"}};
+  EXPECT_EQ(Apply(t, Drop(0)), Table({{"b"}, {""}}));
+}
+
+TEST(MoveTest, MovesForward) {
+  // Paper semantics: column i relocated so it lands at position j.
+  Table t = {{"a", "b", "c"}};
+  EXPECT_EQ(Apply(t, Move(0, 2)), Table({{"b", "c", "a"}}));
+}
+
+TEST(MoveTest, MovesBackward) {
+  Table t = {{"a", "b", "c"}};
+  EXPECT_EQ(Apply(t, Move(2, 0)), Table({{"c", "a", "b"}}));
+}
+
+TEST(MoveTest, SamePositionFails) {
+  Table t = {{"a", "b"}};
+  ExpectInvalid(t, Move(1, 1));
+}
+
+TEST(CopyTest, AppendsDuplicateAtEnd) {
+  Table t = {{"a", "b"}, {"c", "d"}};
+  EXPECT_EQ(Apply(t, Copy(0)), Table({{"a", "b", "a"}, {"c", "d", "c"}}));
+}
+
+// ---------------------------------------------------------------------------
+// Merge / Split
+// ---------------------------------------------------------------------------
+
+TEST(MergeTest, ConcatenatesAndAppends) {
+  Table t = {{"first", "last", "x"}};
+  EXPECT_EQ(Apply(t, Merge(0, 1, " ")), Table({{"x", "first last"}}));
+}
+
+TEST(MergeTest, EmptyGlue) {
+  Table t = {{"ab", "cd"}};
+  EXPECT_EQ(Apply(t, Merge(0, 1)), Table({{"abcd"}}));
+}
+
+TEST(MergeTest, OrderMatters) {
+  Table t = {{"a", "b"}};
+  EXPECT_EQ(Apply(t, Merge(1, 0)), Table({{"ba"}}));
+}
+
+TEST(MergeTest, SameColumnFails) {
+  Table t = {{"a", "b"}};
+  ExpectInvalid(t, Merge(0, 0));
+}
+
+TEST(SplitTest, SplitsInPlaceAtFirstOccurrence) {
+  // In-place semantics, consistent with Figure 9's worked example.
+  Table t = {{"x", "Tel:(800)645-8397"}};
+  EXPECT_EQ(Apply(t, Split(1, ":")),
+            Table({{"x", "Tel", "(800)645-8397"}}));
+}
+
+TEST(SplitTest, FirstOccurrenceOnly) {
+  Table t = {{"a:b:c"}};
+  EXPECT_EQ(Apply(t, Split(0, ":")), Table({{"a", "b:c"}}));
+}
+
+TEST(SplitTest, AbsentDelimiterYieldsEmptyRight) {
+  Table t = {{"abc"}, {"x:y"}};
+  EXPECT_EQ(Apply(t, Split(0, ":")), Table({{"abc", ""}, {"x", "y"}}));
+}
+
+TEST(SplitTest, EmptyDelimiterFails) {
+  Table t = {{"a"}};
+  ExpectInvalid(t, Split(0, ""));
+}
+
+TEST(SplitTest, KeepsInPlaceOrderForMiddleColumn) {
+  Table t = {{"a", "x-y", "z"}};
+  EXPECT_EQ(Apply(t, Split(1, "-")), Table({{"a", "x", "y", "z"}}));
+}
+
+// ---------------------------------------------------------------------------
+// Fold / Unfold
+// ---------------------------------------------------------------------------
+
+TEST(FoldTest, CollapsesColumnsIntoRows) {
+  Table t = {{"k1", "a", "b"}, {"k2", "c", "d"}};
+  EXPECT_EQ(Apply(t, Fold(1)),
+            Table({{"k1", "a"}, {"k1", "b"}, {"k2", "c"}, {"k2", "d"}}));
+}
+
+TEST(FoldTest, FoldAllColumnsFlattensRowMajor) {
+  Table t = {{"a", "b"}, {"c", "d"}};
+  EXPECT_EQ(Apply(t, Fold(0)), Table({{"a"}, {"b"}, {"c"}, {"d"}}));
+}
+
+TEST(FoldTest, WithHeaderEmitsHeaderValueColumn) {
+  Table t = {{"Country", "2019", "2020"},
+             {"Chad", "11", "12"},
+             {"Peru", "21", "22"}};
+  EXPECT_EQ(Apply(t, Fold(1, /*with_header=*/true)),
+            Table({{"Chad", "2019", "11"},
+                   {"Chad", "2020", "12"},
+                   {"Peru", "2019", "21"},
+                   {"Peru", "2020", "22"}}));
+}
+
+TEST(FoldTest, WithHeaderOnTwoRowTableIsTranspose) {
+  // The ambiguity behind pw1_transpose_matrix's 2-record requirement.
+  Table t = {{"s0", "10", "20"}, {"s1", "14", "25"}};
+  Table transposed = {{"s0", "s1"}, {"10", "14"}, {"20", "25"}};
+  EXPECT_EQ(Apply(t, Fold(0, /*with_header=*/true)), transposed);
+  EXPECT_EQ(Apply(t, Transpose()), transposed);
+}
+
+TEST(UnfoldTest, CrossTabulatesWithHeaderRow) {
+  // The motivating example's final step (Figure 2 includes a header row
+  // with an empty cell above the names).
+  Table t = {{"Niles C.", "Tel", "(800)645-8397"},
+             {"Niles C.", "Fax", "(907)586-7252"},
+             {"Jean H.", "Tel", "(918)781-4600"},
+             {"Jean H.", "Fax", "(918)781-4604"}};
+  EXPECT_EQ(Apply(t, Unfold(1, 2)),
+            Table({{"", "Tel", "Fax"},
+                   {"Niles C.", "(800)645-8397", "(907)586-7252"},
+                   {"Jean H.", "(918)781-4600", "(918)781-4604"}}));
+}
+
+TEST(UnfoldTest, MissingCombinationsLeftEmpty) {
+  Table t = {{"a", "k1", "1"}, {"b", "k2", "2"}};
+  EXPECT_EQ(Apply(t, Unfold(1, 2)),
+            Table({{"", "k1", "k2"}, {"a", "1", ""}, {"b", "", "2"}}));
+}
+
+TEST(UnfoldTest, NullHeaderValuesBecomeNullNamedColumn) {
+  // The broken Figure 4 situation: Unfold still *applies* (pruning, not
+  // the operator, rejects it during search), and the missing header value
+  // surfaces as a visible "null" column name, as in the paper's Figure 4.
+  Table t = {{"a", "", "1"}};
+  EXPECT_EQ(Apply(t, Unfold(1, 2)), Table({{"", "null"}, {"a", "1"}}));
+}
+
+TEST(UnfoldTest, MultipleKeyColumns) {
+  Table t = {{"d1", "alice", "k", "7"}, {"d1", "bob", "k", "8"}};
+  EXPECT_EQ(Apply(t, Unfold(2, 3)),
+            Table({{"", "", "k"}, {"d1", "alice", "7"}, {"d1", "bob", "8"}}));
+}
+
+TEST(UnfoldTest, SameColumnsFail) {
+  Table t = {{"a", "b"}};
+  ExpectInvalid(t, Unfold(1, 1));
+}
+
+// ---------------------------------------------------------------------------
+// Fill / Divide / Delete
+// ---------------------------------------------------------------------------
+
+TEST(FillTest, FillsFromAbove) {
+  Table t = {{"a", "1"}, {"", "2"}, {"b", "3"}, {"", "4"}};
+  EXPECT_EQ(Apply(t, Fill(0)),
+            Table({{"a", "1"}, {"a", "2"}, {"b", "3"}, {"b", "4"}}));
+}
+
+TEST(FillTest, LeadingEmptiesStayEmpty) {
+  Table t = {{"", "x"}, {"a", "y"}};
+  EXPECT_EQ(Apply(t, Fill(0)), Table({{"", "x"}, {"a", "y"}}));
+}
+
+TEST(DivideTest, RoutesByPredicateInPlace) {
+  Table t = {{"123", "x"}, {"abc", "y"}};
+  EXPECT_EQ(Apply(t, Divide(0, DividePredicate::kAllDigits)),
+            Table({{"123", "", "x"}, {"", "abc", "y"}}));
+}
+
+TEST(DivideTest, AlphaAndAlnumPredicates) {
+  Table t = {{"abc"}, {"a1"}, {"a-1"}};
+  EXPECT_EQ(Apply(t, Divide(0, DividePredicate::kAllAlpha)),
+            Table({{"abc", ""}, {"", "a1"}, {"", "a-1"}}));
+  EXPECT_EQ(Apply(t, Divide(0, DividePredicate::kAllAlnum)),
+            Table({{"abc", ""}, {"a1", ""}, {"", "a-1"}}));
+}
+
+TEST(DeleteTest, RemovesRowsWithEmptyCellInColumn) {
+  Table t = {{"a", "1"}, {"b", ""}, {"c", "3"}, {""}};
+  EXPECT_EQ(Apply(t, DeleteRows(1)), Table({{"a", "1"}, {"c", "3"}}));
+}
+
+TEST(DeleteTest, CanDeleteEveryRow) {
+  Table t = {{"", "x"}, {"", "y"}};
+  EXPECT_EQ(Apply(t, DeleteRows(0)).num_rows(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Extract / Transpose
+// ---------------------------------------------------------------------------
+
+TEST(ExtractTest, InsertsFirstMatchAfterColumn) {
+  Table t = {{"ID123x9", "k"}};
+  EXPECT_EQ(Apply(t, Extract(0, "[0-9]+")),
+            Table({{"ID123x9", "123", "k"}}));
+}
+
+TEST(ExtractTest, NoMatchYieldsEmpty) {
+  Table t = {{"abc"}};
+  EXPECT_EQ(Apply(t, Extract(0, "[0-9]+")), Table({{"abc", ""}}));
+}
+
+TEST(ExtractTest, CaptureGroupSelectsPortion) {
+  // Capture groups express the Appendix B prefix/suffix usage.
+  Table t = {{"rate=42;"}};
+  EXPECT_EQ(Apply(t, Extract(0, "rate=([0-9]+)")),
+            Table({{"rate=42;", "42"}}));
+}
+
+TEST(ExtractTest, BadRegexFails) {
+  Table t = {{"a"}};
+  ExpectInvalid(t, Extract(0, "["));
+}
+
+TEST(TransposeTest, SwapsRowsAndColumns) {
+  Table t = {{"a", "b", "c"}, {"d", "e", "f"}};
+  EXPECT_EQ(Apply(t, Transpose()),
+            Table({{"a", "d"}, {"b", "e"}, {"c", "f"}}));
+}
+
+TEST(TransposeTest, TwiceIsIdentityOnRectangularTables) {
+  Table t = {{"a", "b"}, {"c", "d"}, {"e", "f"}};
+  EXPECT_EQ(Apply(Apply(t, Transpose()), Transpose()), t);
+}
+
+TEST(TransposeTest, EmptyTable) {
+  EXPECT_EQ(Apply(Table(), Transpose()).num_rows(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Wrap variants
+// ---------------------------------------------------------------------------
+
+TEST(WrapColumnTest, ConcatenatesRowsWithEqualKey) {
+  Table t = {{"7", "a"}, {"7", "b"}, {"9", "c"}};
+  EXPECT_EQ(Apply(t, WrapColumn(0)),
+            Table({{"7", "a", "7", "b"}, {"9", "c"}}));
+}
+
+TEST(WrapColumnTest, NonAdjacentEqualKeysGroupTogether) {
+  Table t = {{"7", "a"}, {"9", "b"}, {"7", "c"}};
+  EXPECT_EQ(Apply(t, WrapColumn(0)),
+            Table({{"7", "a", "7", "c"}, {"9", "b"}}));
+}
+
+TEST(WrapEveryTest, ConcatenatesFixedBlocks) {
+  Table t = {{"a"}, {"b"}, {"c"}, {"d"}};
+  EXPECT_EQ(Apply(t, WrapEvery(2)), Table({{"a", "b"}, {"c", "d"}}));
+}
+
+TEST(WrapEveryTest, PartialFinalBlockKept) {
+  Table t = {{"a"}, {"b"}, {"c"}};
+  EXPECT_EQ(Apply(t, WrapEvery(2)), Table({{"a", "b"}, {"c"}}));
+}
+
+TEST(WrapEveryTest, KBelowTwoFails) {
+  Table t = {{"a"}};
+  ExpectInvalid(t, WrapEvery(1));
+  ExpectInvalid(t, WrapEvery(0));
+}
+
+TEST(WrapAllTest, SingleRowResult) {
+  Table t = {{"a", "b"}, {"c", "d"}};
+  EXPECT_EQ(Apply(t, WrapAll()), Table({{"a", "b", "c", "d"}}));
+}
+
+TEST(WrapAllTest, EmptyTableStaysEmpty) {
+  EXPECT_EQ(Apply(Table(), WrapAll()).num_rows(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-cutting: operators are pure (input table unchanged)
+// ---------------------------------------------------------------------------
+
+TEST(PurityTest, InputTableIsNotMutated) {
+  Table t = {{"a:b", "c"}};
+  Table copy = t;
+  (void)Apply(t, Split(0, ":"));
+  (void)Apply(t, Drop(1));
+  (void)Apply(t, Transpose());
+  EXPECT_EQ(t, copy);
+}
+
+TEST(DividePredicateTest, EvalMatchesCharClasses) {
+  EXPECT_TRUE(EvalDividePredicate(DividePredicate::kAllDigits, "042"));
+  EXPECT_FALSE(EvalDividePredicate(DividePredicate::kAllDigits, ""));
+  EXPECT_TRUE(EvalDividePredicate(DividePredicate::kAllAlpha, "xyz"));
+  EXPECT_TRUE(EvalDividePredicate(DividePredicate::kAllAlnum, "x1"));
+  EXPECT_FALSE(EvalDividePredicate(DividePredicate::kAllAlnum, "x 1"));
+}
+
+}  // namespace
+}  // namespace foofah

@@ -1,0 +1,99 @@
+#include "program/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "ops/operation.h"
+
+namespace foofah {
+namespace {
+
+TEST(ParserTest, ParsesFigure6Program) {
+  Result<Program> p = ParseProgram(
+      "t = split(t, 1, ':')\n"
+      "t = delete(t, 2)\n"
+      "t = fill(t, 0)\n"
+      "t = unfold(t, 1, 2)\n");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  ASSERT_EQ(p->size(), 4u);
+  EXPECT_EQ(p->operation(0), Split(1, ":"));
+  EXPECT_EQ(p->operation(1), DeleteRows(2));
+  EXPECT_EQ(p->operation(2), Fill(0));
+  EXPECT_EQ(p->operation(3), Unfold(1, 2));
+}
+
+TEST(ParserTest, AcceptsBareFormWithoutAssignmentOrTableArg) {
+  Result<Program> p = ParseProgram("split(1, ':')\ndrop(0)\n");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->operation(0), Split(1, ":"));
+  EXPECT_EQ(p->operation(1), Drop(0));
+}
+
+TEST(ParserTest, SkipsBlankLinesAndComments) {
+  Result<Program> p = ParseProgram("\n# comment\n  \ndrop(t, 1)\n");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->size(), 1u);
+}
+
+TEST(ParserTest, ParsesEveryOperator) {
+  Result<Program> p = ParseProgram(
+      "drop(0)\nmove(1, 0)\ncopy(2)\nmerge(0, 1, '-')\nmerge(0, 1)\n"
+      "split(0, ':')\nfold(1)\nfold(1, 1)\nunfold(1, 2)\nfill(0)\n"
+      "divide(0, 'digits')\ndelete(1)\nextract(0, '[0-9]+')\n"
+      "transpose()\nwrap(0)\nwrapevery(2)\nwrapall()\n");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p->size(), 17u);
+  EXPECT_EQ(p->operation(3), Merge(0, 1, "-"));
+  EXPECT_EQ(p->operation(4), Merge(0, 1, ""));
+  EXPECT_EQ(p->operation(7), Fold(1, true));
+  EXPECT_EQ(p->operation(10), Divide(0, DividePredicate::kAllDigits));
+}
+
+TEST(ParserTest, EscapeSequences) {
+  Result<Program> p =
+      ParseProgram("split(0, '\\n')\nsplit(0, '\\t')\nsplit(0, '\\'')\n");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->operation(0).text, "\n");
+  EXPECT_EQ(p->operation(1).text, "\t");
+  EXPECT_EQ(p->operation(2).text, "'");
+}
+
+TEST(ParserTest, RegexEscapesPassThrough) {
+  Result<Program> p = ParseProgram("extract(0, '[0-9]+\\.[0-9]+')\n");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->operation(0).text, "[0-9]+\\.[0-9]+");
+}
+
+TEST(ParserTest, RoundTripsSerializedPrograms) {
+  Program program({Split(1, ":"), Merge(0, 2, " "), Fold(3, true),
+                   Extract(0, "[A-Za-z]+"), WrapEvery(4), Transpose(),
+                   Divide(2, DividePredicate::kAllAlpha)});
+  Result<Program> back = ParseProgram(program.ToScript());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, program);
+}
+
+TEST(ParserTest, ErrorsCarryLineNumbers) {
+  Result<Program> p = ParseProgram("drop(0)\nbogus(1)\n");
+  ASSERT_FALSE(p.ok());
+  EXPECT_EQ(p.status().code(), StatusCode::kParseError);
+  EXPECT_NE(p.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(ParserTest, RejectsMalformedLines) {
+  EXPECT_FALSE(ParseProgram("drop 0\n").ok());          // Missing parens.
+  EXPECT_FALSE(ParseProgram("drop(0\n").ok());          // Unclosed.
+  EXPECT_FALSE(ParseProgram("drop(0) extra\n").ok());   // Trailing junk.
+  EXPECT_FALSE(ParseProgram("split(0, 'x\n").ok());     // Unterminated str.
+  EXPECT_FALSE(ParseProgram("drop('x')\n").ok());       // Wrong arg type.
+  EXPECT_FALSE(ParseProgram("divide(0, 'nope')\n").ok());
+  EXPECT_FALSE(ParseProgram("unfold(1)\n").ok());       // Missing arg.
+}
+
+TEST(ParserTest, EmptyScriptIsEmptyProgram) {
+  Result<Program> p = ParseProgram("");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->empty());
+}
+
+}  // namespace
+}  // namespace foofah

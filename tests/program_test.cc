@@ -1,0 +1,77 @@
+#include "program/program.h"
+
+#include <gtest/gtest.h>
+
+#include "ops/operation.h"
+
+namespace foofah {
+namespace {
+
+TEST(ProgramTest, ExecutesOperationsInSequence) {
+  // Appendix B Example 1's program on its example data.
+  Program program({Split(1, ","), Fold(1), DeleteRows(1)});
+  Table input = {{"Latimer", "George,Anna"},
+                 {"Smith", "Joan"},
+                 {"Bush", "John,Bob"}};
+  Result<Table> out = program.Execute(input);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, Table({{"Latimer", "George"},
+                         {"Latimer", "Anna"},
+                         {"Smith", "Joan"},
+                         {"Bush", "John"},
+                         {"Bush", "Bob"}}));
+}
+
+TEST(ProgramTest, EmptyProgramIsIdentity) {
+  Table t = {{"a"}};
+  Result<Table> out = Program().Execute(t);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, t);
+}
+
+TEST(ProgramTest, PropagatesStepFailure) {
+  Program program({Drop(0), Drop(5)});
+  Result<Table> out = program.Execute(Table({{"a", "b"}}));
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ProgramTest, TraceRecordsEveryIntermediateTable) {
+  Program program({Split(0, ":"), Drop(0)});
+  Result<std::vector<Table>> trace =
+      program.ExecuteWithTrace(Table({{"k:v"}}));
+  ASSERT_TRUE(trace.ok());
+  ASSERT_EQ(trace->size(), 3u);
+  EXPECT_EQ((*trace)[0], Table({{"k:v"}}));
+  EXPECT_EQ((*trace)[1], Table({{"k", "v"}}));
+  EXPECT_EQ((*trace)[2], Table({{"v"}}));
+}
+
+TEST(ProgramTest, ToScriptMatchesFigure6Layout) {
+  Program program({Split(1, ":"), DeleteRows(2), Fill(0), Unfold(1, 2)});
+  EXPECT_EQ(program.ToScript(),
+            "t = split(t, 1, ':')\n"
+            "t = delete(t, 2)\n"
+            "t = fill(t, 0)\n"
+            "t = unfold(t, 1, 2)\n");
+}
+
+TEST(ProgramTest, AppendGrowsProgram) {
+  Program program;
+  EXPECT_TRUE(program.empty());
+  program.Append(Drop(0));
+  program.Append(Transpose());
+  EXPECT_EQ(program.size(), 2u);
+  EXPECT_EQ(program.operation(1), Transpose());
+}
+
+TEST(ProgramTest, EqualityComparesOperations) {
+  Program a({Drop(0)});
+  Program b({Drop(0)});
+  Program c({Drop(1)});
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace foofah

@@ -1,0 +1,220 @@
+// Property-based sweeps over deterministically generated tables and
+// operations. Each suite states an invariant of the system and checks it
+// across a parameter grid (TEST_P / INSTANTIATE_TEST_SUITE_P).
+
+#include <gtest/gtest.h>
+
+#include "heuristic/heuristic.h"
+#include "table/csv.h"
+#include "heuristic/ted.h"
+#include "heuristic/ted_batch.h"
+#include "ops/enumerate.h"
+#include "ops/operators.h"
+#include "program/parser.h"
+#include "program/program.h"
+#include "search/search.h"
+
+namespace foofah {
+namespace {
+
+// Deterministic table generator: shape and contents derived from the seed.
+// Mixes empty cells, symbols, digits and words.
+Table MakeTable(int seed) {
+  const char* words[] = {"alpha", "beta",  "x:1",  "42",   "",
+                         "a-b",   "gamma", "7.5",  "key",  "v"};
+  int rows = 1 + seed % 3;
+  int cols = 1 + (seed / 3) % 4;
+  Table t;
+  for (int r = 0; r < rows; ++r) {
+    Table::Row row;
+    for (int c = 0; c < cols; ++c) {
+      row.push_back(words[(seed * 7 + r * 5 + c * 3) % 10]);
+    }
+    t.AppendRow(std::move(row));
+  }
+  return t;
+}
+
+class TableSweep : public testing::TestWithParam<int> {};
+
+TEST_P(TableSweep, HashAgreesWithContentEquality) {
+  Table a = MakeTable(GetParam());
+  Table b = MakeTable(GetParam() + 1);
+  EXPECT_EQ(a.Hash(), MakeTable(GetParam()).Hash());
+  if (a.ContentEquals(b)) {
+    EXPECT_EQ(a.Hash(), b.Hash());
+  }
+  // Padding with trailing empties never changes hash or equality.
+  Table padded = a;
+  padded.Rectangularize();
+  padded.set_cell(0, padded.num_cols(), "");
+  EXPECT_TRUE(a.ContentEquals(padded));
+  EXPECT_EQ(a.Hash(), padded.Hash());
+}
+
+TEST_P(TableSweep, HeuristicsVanishExactlyAtTheGoal) {
+  Table t = MakeTable(GetParam());
+  for (HeuristicKind kind : {HeuristicKind::kTedBatch, HeuristicKind::kTed,
+                             HeuristicKind::kNaiveRule}) {
+    EXPECT_EQ(MakeHeuristic(kind)->Estimate(t, t), 0)
+        << HeuristicKindName(kind) << " seed " << GetParam();
+  }
+}
+
+TEST_P(TableSweep, TedBatchNeverExceedsTed) {
+  Table a = MakeTable(GetParam());
+  Table b = MakeTable(GetParam() * 3 + 1);
+  TedResult ted = GreedyTed(a, b);
+  if (ted.cost == kInfiniteCost) return;
+  EXPECT_LE(BatchEditPath(ted.path).cost, ted.cost);
+  EXPECT_GE(BatchEditPath(ted.path).cost, 0);
+}
+
+TEST_P(TableSweep, TedPathCostMatchesReportedCost) {
+  Table a = MakeTable(GetParam());
+  Table b = MakeTable(GetParam() + 7);
+  TedResult r = GreedyTed(a, b);
+  if (r.cost == kInfiniteCost) return;
+  EXPECT_EQ(PathCost(r.path), r.cost);
+}
+
+TEST_P(TableSweep, CsvRoundTripPreservesContent) {
+  Table t = MakeTable(GetParam());
+  Result<Table> back = ParseCsv(ToCsv(t));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(t.ContentEquals(*back)) << "seed " << GetParam();
+  // Serialization is a fixpoint: csv(parse(csv(t))) == csv(t).
+  EXPECT_EQ(ToCsv(*back), ToCsv(t));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TableSweep, testing::Range(0, 30));
+
+// ---------------------------------------------------------------------------
+// Every enumerated candidate must apply cleanly and leave the input intact.
+// ---------------------------------------------------------------------------
+
+class EnumerationSweep : public testing::TestWithParam<int> {};
+
+TEST_P(EnumerationSweep, EnumeratedCandidatesApplyCleanly) {
+  Table state = MakeTable(GetParam());
+  Table goal = MakeTable(GetParam() + 11);
+  OperatorRegistry registry = OperatorRegistry::Default();
+  Table before = state;
+  for (const Operation& op : EnumerateCandidates(state, goal, registry)) {
+    Result<Table> out = ApplyOperation(state, op);
+    EXPECT_TRUE(out.ok()) << op.ToString() << " on seed " << GetParam()
+                          << ": " << out.status().ToString();
+  }
+  EXPECT_EQ(state, before);  // Candidates never mutate the state.
+}
+
+TEST_P(EnumerationSweep, SerializationRoundTripsThroughParser) {
+  Table state = MakeTable(GetParam());
+  Table goal = MakeTable(GetParam() + 11);
+  OperatorRegistry registry = OperatorRegistry::Default();
+  std::vector<Operation> candidates =
+      EnumerateCandidates(state, goal, registry);
+  Program program(candidates);
+  Result<Program> back = ParseProgram(program.ToScript());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, program);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EnumerationSweep, testing::Range(0, 18));
+
+// ---------------------------------------------------------------------------
+// Synthesis-by-construction: apply a known operation, then ask the search
+// to rediscover a program with the same effect.
+// ---------------------------------------------------------------------------
+
+struct KnownTask {
+  const char* name;
+  Table input;
+  Operation operation;
+};
+
+class RediscoverySweep : public testing::TestWithParam<int> {};
+
+KnownTask MakeKnownTask(int index) {
+  switch (index % 8) {
+    case 0:
+      return {"drop", Table({{"a", "b"}, {"c", "d"}}), Drop(1)};
+    case 1:
+      return {"move", Table({{"a", "b", "c"}}), Move(2, 0)};
+    case 2:
+      return {"split", Table({{"x:y"}, {"u:v"}}), Split(0, ":")};
+    case 3:
+      return {"fill",
+              Table({{"a", "1"}, {"", "2"}, {"b", "3"}, {"", "4"}}),
+              Fill(0)};
+    case 4:
+      return {"fold", Table({{"k", "a", "b"}, {"k2", "c", "d"}}), Fold(1)};
+    case 5:
+      return {"delete", Table({{"a", "1"}, {"b", ""}, {"c", "3"}}),
+              DeleteRows(1)};
+    case 6:
+      return {"transpose",
+              Table({{"a", "b"}, {"c", "d"}, {"e", "f"}}), Transpose()};
+    default:
+      return {"merge", Table({{"ab", "cd"}, {"ef", "gh"}}), Merge(0, 1)};
+  }
+}
+
+TEST_P(RediscoverySweep, SearchRediscoversAppliedOperation) {
+  KnownTask task = MakeKnownTask(GetParam());
+  Result<Table> goal = ApplyOperation(task.input, task.operation);
+  ASSERT_TRUE(goal.ok());
+  if (task.input.ContentEquals(*goal)) return;  // Degenerate case.
+  SearchOptions options;
+  options.max_expansions = 5000;
+  options.timeout_ms = 10'000;
+  SearchResult r = SynthesizeProgram(task.input, *goal, options);
+  ASSERT_TRUE(r.found) << task.name;
+  Result<Table> replay = r.program.Execute(task.input);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(*replay, *goal) << task.name;
+  EXPECT_LE(r.program.size(), 2u) << task.name << ":\n"
+                                  << r.program.ToScript();
+}
+
+INSTANTIATE_TEST_SUITE_P(Tasks, RediscoverySweep, testing::Range(0, 8));
+
+// ---------------------------------------------------------------------------
+// Pruning is lossless: for solvable two-step tasks, the pruned search finds
+// a program whenever the unpruned search does — and never a longer one.
+// ---------------------------------------------------------------------------
+
+class PruningLosslessSweep : public testing::TestWithParam<int> {};
+
+TEST_P(PruningLosslessSweep, PrunedSearchMatchesUnprunedOutcome) {
+  KnownTask first = MakeKnownTask(GetParam());
+  Result<Table> mid = ApplyOperation(first.input, first.operation);
+  ASSERT_TRUE(mid.ok());
+  // Chain a Drop of the first column as a second step where possible.
+  Result<Table> goal = ApplyOperation(*mid, Drop(0));
+  if (!goal.ok() || goal->num_cols() == 0 || goal->num_rows() == 0) return;
+  if (first.input.ContentEquals(*goal)) return;
+
+  SearchOptions pruned;
+  pruned.max_expansions = 20'000;
+  SearchOptions unpruned = pruned;
+  unpruned.pruning = PruningConfig::None();
+
+  SearchResult with = SynthesizeProgram(first.input, *goal, pruned);
+  SearchResult without = SynthesizeProgram(first.input, *goal, unpruned);
+  ASSERT_EQ(with.found, without.found) << first.name;
+  if (with.found) {
+    Result<Table> a = with.program.Execute(first.input);
+    Result<Table> b = without.program.Execute(first.input);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(*a, *goal);
+    EXPECT_EQ(*b, *goal);
+    // Pruning must not cost us solution quality.
+    EXPECT_LE(with.program.size(), without.program.size() + 1) << first.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Tasks, PruningLosslessSweep, testing::Range(0, 8));
+
+}  // namespace
+}  // namespace foofah

@@ -1,0 +1,199 @@
+#include "search/pruning.h"
+
+#include <gtest/gtest.h>
+
+#include "ops/operators.h"
+
+namespace foofah {
+namespace {
+
+PruneReason CheckAfter(const Table& parent, const Operation& op,
+                       const Table& goal,
+                       PruningConfig config = PruningConfig::Full()) {
+  Result<Table> child = ApplyOperation(parent, op);
+  EXPECT_TRUE(child.ok()) << child.status().ToString();
+  return PruneAfterApply(parent, *child, op, GoalCharSets::From(goal),
+                         config);
+}
+
+// ---------------------------------------------------------------------------
+// Global rules
+// ---------------------------------------------------------------------------
+
+TEST(MissingAlnumTest, PrunesWhenGoalCharacterVanishes) {
+  // Dropping the column holding the only 'z' kills every path to a goal
+  // that needs 'z'.
+  Table parent = {{"abc", "z"}};
+  Table goal = {{"z"}};
+  EXPECT_EQ(CheckAfter(parent, Drop(1), goal),
+            PruneReason::kMissingAlphanumerics);
+  EXPECT_EQ(CheckAfter(parent, Drop(0), goal), PruneReason::kKept);
+}
+
+TEST(MissingAlnumTest, SetSemanticsNotMultiset) {
+  // The goal needs two 'a's but the rule only tracks distinct characters.
+  Table parent = {{"a", "ab"}};
+  Table goal = {{"a", "a"}};
+  EXPECT_EQ(CheckAfter(parent, Drop(1), goal), PruneReason::kKept);
+}
+
+TEST(NoEffectTest, PrunesIdentityOperations) {
+  // Filling an already-full column changes nothing.
+  Table parent = {{"a", "1"}, {"b", "2"}};
+  Table goal = {{"a"}};
+  EXPECT_EQ(CheckAfter(parent, Fill(0), goal), PruneReason::kNoEffect);
+}
+
+TEST(NoEffectTest, KeepsEffectiveOperations) {
+  Table parent = {{"a", "1"}, {"", "2"}};
+  Table goal = {{"a", "1"}, {"a", "2"}};
+  EXPECT_EQ(CheckAfter(parent, Fill(0), goal), PruneReason::kKept);
+}
+
+TEST(NovelSymbolsTest, PrunesMergeIntroducingForeignGlue) {
+  Table parent = {{"a", "b"}};
+  Table goal = {{"a b"}};  // Goal contains space, not '-'.
+  EXPECT_EQ(CheckAfter(parent, Merge(0, 1, "-"), goal),
+            PruneReason::kNovelSymbols);
+  EXPECT_EQ(CheckAfter(parent, Merge(0, 1, " "), goal), PruneReason::kKept);
+}
+
+TEST(NovelSymbolsTest, SymbolsAlreadyInParentAreNotNovel) {
+  // The ':' survives from the parent; the operation did not introduce it.
+  Table parent = {{"a:b", "c"}};
+  Table goal = {{"b"}};  // Goal has no ':' at all.
+  EXPECT_EQ(CheckAfter(parent, Drop(1), goal), PruneReason::kKept);
+}
+
+// ---------------------------------------------------------------------------
+// Property-specific rules
+// ---------------------------------------------------------------------------
+
+TEST(EmptyColumnsTest, PrunesSplitOnAbsentDelimiter) {
+  // §4.3's example: "Split adds an empty column ... parameterized by a
+  // delimiter not present in the input column".
+  Table parent = {{"abc", "x-y"}};
+  Table goal = {{"abc", "x", "y"}};
+  EXPECT_EQ(CheckAfter(parent, Split(0, "-"), goal),
+            PruneReason::kEmptyColumns);
+  EXPECT_EQ(CheckAfter(parent, Split(1, "-"), goal), PruneReason::kKept);
+}
+
+TEST(EmptyColumnsTest, PrunesUselessDivide) {
+  // Every cell satisfies the predicate: the interior "false" column is all
+  // empty. (A trailing empty column would be caught by No Effect instead,
+  // since table equality ignores trailing empty cells.)
+  Table parent = {{"12", "x"}, {"34", "y"}};
+  Table goal = {{"12", "x"}, {"34", "y"}};
+  EXPECT_EQ(CheckAfter(parent, Divide(0, DividePredicate::kAllDigits), goal),
+            PruneReason::kEmptyColumns);
+}
+
+TEST(EmptyColumnsTest, PrunesNeverMatchingExtract) {
+  Table parent = {{"abc", "k"}};
+  Table goal = {{"abc", "k"}};
+  EXPECT_EQ(CheckAfter(parent, Extract(0, "[0-9]+"), goal),
+            PruneReason::kEmptyColumns);
+}
+
+TEST(EmptyColumnsTest, TrailingEmptyColumnIsNoEffectInstead) {
+  Table parent = {{"12"}, {"34"}};
+  Table goal = {{"12"}, {"34"}};
+  EXPECT_EQ(CheckAfter(parent, Divide(0, DividePredicate::kAllDigits), goal),
+            PruneReason::kNoEffect);
+}
+
+TEST(EmptyColumnsTest, DoesNotApplyToUnflaggedOperators) {
+  // Delete can legitimately leave an empty column; the rule ignores it.
+  Table parent = {{"a", ""}, {"", "x"}};
+  Table goal = {{"a"}};
+  EXPECT_EQ(CheckAfter(parent, DeleteRows(0), goal), PruneReason::kKept);
+}
+
+TEST(NullInColumnTest, RejectsUnfoldWithNullHeaderValues) {
+  // The Figure 4 trap: Unfold before Fill, with nulls in the header column.
+  Table parent = {{"n", "", "1"}};
+  PruningConfig config = PruningConfig::Full();
+  EXPECT_EQ(PruneBeforeApply(parent, Unfold(1, 2), config),
+            PruneReason::kNullInColumn);
+  Table filled = {{"n", "k", "1"}};
+  EXPECT_EQ(PruneBeforeApply(filled, Unfold(1, 2), config),
+            PruneReason::kKept);
+}
+
+TEST(NullInColumnTest, RejectsFoldWithNullKeys) {
+  Table parent = {{"", "a", "b"}};
+  PruningConfig config = PruningConfig::Full();
+  EXPECT_EQ(PruneBeforeApply(parent, Fold(1), config),
+            PruneReason::kNullInColumn);
+}
+
+TEST(NullInColumnTest, RejectsFoldHeaderWithNullHeaderRow) {
+  Table parent = {{"k", "h1", ""}, {"k2", "1", "2"}};
+  PruningConfig config = PruningConfig::Full();
+  EXPECT_EQ(PruneBeforeApply(parent, Fold(1, true), config),
+            PruneReason::kNullInColumn);
+  EXPECT_EQ(PruneBeforeApply(parent, Fold(1, false), config),
+            PruneReason::kKept);
+}
+
+TEST(NullInColumnTest, RejectsDivideOnColumnWithNulls) {
+  Table parent = {{"1"}, {""}};
+  PruningConfig config = PruningConfig::Full();
+  EXPECT_EQ(PruneBeforeApply(parent, Divide(0, DividePredicate::kAllDigits),
+                             config),
+            PruneReason::kNullInColumn);
+}
+
+// ---------------------------------------------------------------------------
+// Configuration switches (the Fig 12b ablation knobs)
+// ---------------------------------------------------------------------------
+
+TEST(ConfigTest, DisabledRulesDoNotFire) {
+  Table parent = {{"abc", "z"}};
+  Table goal = {{"z"}};
+  EXPECT_EQ(CheckAfter(parent, Drop(1), goal, PruningConfig::None()),
+            PruneReason::kKept);
+  EXPECT_EQ(CheckAfter(parent, Drop(1), goal, PruningConfig::PropertyOnly()),
+            PruneReason::kKept);
+  EXPECT_EQ(CheckAfter(parent, Drop(1), goal, PruningConfig::GlobalOnly()),
+            PruneReason::kMissingAlphanumerics);
+}
+
+TEST(ConfigTest, PropertyRulesIndependentOfGlobalRules) {
+  Table parent = {{"abc"}};
+  Table goal = {{"abc"}};
+  EXPECT_EQ(CheckAfter(parent, Split(0, "-"), goal,
+                       PruningConfig::PropertyOnly()),
+            PruneReason::kEmptyColumns);
+  EXPECT_EQ(CheckAfter(parent, Split(0, "-"), goal,
+                       PruningConfig::None()),
+            PruneReason::kKept);
+  PruningConfig none = PruningConfig::None();
+  EXPECT_EQ(PruneBeforeApply(Table({{"n", "", "1"}}), Unfold(1, 2), none),
+            PruneReason::kKept);
+}
+
+TEST(ConfigTest, PresetFlagValues) {
+  PruningConfig full = PruningConfig::Full();
+  EXPECT_TRUE(full.missing_alphanumerics && full.no_effect &&
+              full.novel_symbols && full.empty_columns &&
+              full.null_in_column);
+  PruningConfig none = PruningConfig::None();
+  EXPECT_FALSE(none.missing_alphanumerics || none.no_effect ||
+               none.novel_symbols || none.empty_columns ||
+               none.null_in_column);
+}
+
+TEST(PruneReasonNameTest, AllReasonsNamed) {
+  EXPECT_STREQ(PruneReasonName(PruneReason::kKept), "kept");
+  EXPECT_STREQ(PruneReasonName(PruneReason::kMissingAlphanumerics),
+               "missing_alnum");
+  EXPECT_STREQ(PruneReasonName(PruneReason::kNoEffect), "no_effect");
+  EXPECT_STREQ(PruneReasonName(PruneReason::kNovelSymbols), "novel_symbols");
+  EXPECT_STREQ(PruneReasonName(PruneReason::kEmptyColumns), "empty_columns");
+  EXPECT_STREQ(PruneReasonName(PruneReason::kNullInColumn), "null_in_column");
+}
+
+}  // namespace
+}  // namespace foofah

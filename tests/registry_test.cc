@@ -1,0 +1,91 @@
+#include "ops/registry.h"
+
+#include <gtest/gtest.h>
+
+namespace foofah {
+namespace {
+
+TEST(RegistryTest, DefaultEnablesThePaperLibrary) {
+  // The paper's full library (Table 2 + Wrap variants) is on; the
+  // extension operators this implementation adds beyond the paper are off
+  // until explicitly requested.
+  OperatorRegistry registry = OperatorRegistry::Default();
+  for (int i = 0; i <= static_cast<int>(OpCode::kWrapAll); ++i) {
+    EXPECT_TRUE(registry.IsEnabled(static_cast<OpCode>(i)))
+        << OpCodeName(static_cast<OpCode>(i));
+  }
+  EXPECT_FALSE(registry.IsEnabled(OpCode::kSplitAll));
+  EXPECT_FALSE(registry.IsEnabled(OpCode::kDeleteRow));
+  EXPECT_FALSE(registry.extract_patterns().empty());
+}
+
+TEST(RegistryTest, WithExtensionsEnablesEverything) {
+  OperatorRegistry registry = OperatorRegistry::WithExtensions();
+  for (int i = 0; i < kNumOpCodes; ++i) {
+    EXPECT_TRUE(registry.IsEnabled(static_cast<OpCode>(i)))
+        << OpCodeName(static_cast<OpCode>(i));
+  }
+}
+
+TEST(RegistryTest, WithoutWrapDisablesAllVariants) {
+  OperatorRegistry registry = OperatorRegistry::WithoutWrap();
+  EXPECT_FALSE(registry.IsEnabled(OpCode::kWrapColumn));
+  EXPECT_FALSE(registry.IsEnabled(OpCode::kWrapEvery));
+  EXPECT_FALSE(registry.IsEnabled(OpCode::kWrapAll));
+  EXPECT_TRUE(registry.IsEnabled(OpCode::kSplit));
+  EXPECT_TRUE(registry.IsEnabled(OpCode::kUnfold));
+}
+
+TEST(RegistryTest, WrapVariantSweepMatchesFigure12c) {
+  OperatorRegistry w1 = OperatorRegistry::WithWrapVariants(true, false, false);
+  EXPECT_TRUE(w1.IsEnabled(OpCode::kWrapColumn));
+  EXPECT_FALSE(w1.IsEnabled(OpCode::kWrapEvery));
+  OperatorRegistry w12 = OperatorRegistry::WithWrapVariants(true, true, false);
+  EXPECT_TRUE(w12.IsEnabled(OpCode::kWrapEvery));
+  EXPECT_FALSE(w12.IsEnabled(OpCode::kWrapAll));
+  OperatorRegistry w123 = OperatorRegistry::WithWrapVariants(true, true, true);
+  EXPECT_TRUE(w123.IsEnabled(OpCode::kWrapAll));
+}
+
+TEST(RegistryTest, EnableDisableToggle) {
+  OperatorRegistry registry = OperatorRegistry::Default();
+  registry.Disable(OpCode::kExtract);
+  EXPECT_FALSE(registry.IsEnabled(OpCode::kExtract));
+  registry.Enable(OpCode::kExtract);
+  EXPECT_TRUE(registry.IsEnabled(OpCode::kExtract));
+}
+
+TEST(RegistryTest, ExtractPatternsAreConfigurable) {
+  OperatorRegistry registry = OperatorRegistry::Default();
+  size_t before = registry.extract_patterns().size();
+  registry.AddExtractPattern("[A-Z]{2}[0-9]{4}");
+  EXPECT_EQ(registry.extract_patterns().size(), before + 1);
+  registry.ClearExtractPatterns();
+  EXPECT_TRUE(registry.extract_patterns().empty());
+}
+
+TEST(RegistryTest, EnabledNamesListsOperators) {
+  OperatorRegistry registry = OperatorRegistry::WithoutWrap();
+  std::vector<std::string> names = registry.EnabledNames();
+  EXPECT_EQ(names.size(), 12u);  // 15 opcodes minus 3 wrap variants.
+}
+
+TEST(PropertiesTest, EmptyColumnGenerators) {
+  EXPECT_TRUE(PropertiesOf(OpCode::kSplit).may_generate_empty_column);
+  EXPECT_TRUE(PropertiesOf(OpCode::kDivide).may_generate_empty_column);
+  EXPECT_TRUE(PropertiesOf(OpCode::kExtract).may_generate_empty_column);
+  EXPECT_TRUE(PropertiesOf(OpCode::kFold).may_generate_empty_column);
+  EXPECT_FALSE(PropertiesOf(OpCode::kDrop).may_generate_empty_column);
+  EXPECT_FALSE(PropertiesOf(OpCode::kTranspose).may_generate_empty_column);
+}
+
+TEST(PropertiesTest, NonNullColumnRequirements) {
+  // §4.3: "This applies to Unfold, Fold and Divide."
+  EXPECT_TRUE(PropertiesOf(OpCode::kUnfold).requires_non_null_column);
+  EXPECT_TRUE(PropertiesOf(OpCode::kFold).requires_non_null_column);
+  EXPECT_TRUE(PropertiesOf(OpCode::kDivide).requires_non_null_column);
+  EXPECT_FALSE(PropertiesOf(OpCode::kFill).requires_non_null_column);
+}
+
+}  // namespace
+}  // namespace foofah

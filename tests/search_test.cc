@@ -1,0 +1,287 @@
+#include "search/search.h"
+
+#include <gtest/gtest.h>
+
+namespace foofah {
+namespace {
+
+// Executes the found program and checks it maps input to goal — the §4.5
+// "correctness" guarantee.
+void ExpectCorrect(const SearchResult& result, const Table& input,
+                   const Table& goal) {
+  ASSERT_TRUE(result.found) << result.stats.ToString();
+  Result<Table> out = result.program.Execute(input);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(*out, goal) << result.program.ToScript();
+}
+
+TEST(SearchTest, IdenticalTablesYieldEmptyProgram) {
+  Table t = {{"a", "b"}};
+  SearchResult r = SynthesizeProgram(t, t);
+  ASSERT_TRUE(r.found);
+  EXPECT_TRUE(r.program.empty());
+  EXPECT_EQ(r.stats.nodes_expanded, 0u);
+}
+
+TEST(SearchTest, SingleDrop) {
+  Table in = {{"a", "junk"}, {"b", "junk"}};
+  Table out = {{"a"}, {"b"}};
+  SearchResult r = SynthesizeProgram(in, out);
+  ExpectCorrect(r, in, out);
+  EXPECT_EQ(r.program.size(), 1u);
+}
+
+TEST(SearchTest, SingleSplit) {
+  Table in = {{"Tel:(800)"}, {"Fax:(907)"}};
+  Table out = {{"Tel", "(800)"}, {"Fax", "(907)"}};
+  SearchResult r = SynthesizeProgram(in, out);
+  ExpectCorrect(r, in, out);
+  EXPECT_EQ(r.program.size(), 1u);
+  EXPECT_EQ(r.program.operation(0), Split(0, ":"));
+}
+
+TEST(SearchTest, MergeWithGlueFromGoal) {
+  Table in = {{"ann", "arbor"}};
+  Table out = {{"ann arbor"}};
+  SearchResult r = SynthesizeProgram(in, out);
+  ExpectCorrect(r, in, out);
+}
+
+TEST(SearchTest, TwoStepProgram) {
+  Table in = {{"k", "v", "x"}, {"k2", "v2", "x2"}};
+  Table out = {{"v"}, {"v2"}};
+  SearchResult r = SynthesizeProgram(in, out);
+  ExpectCorrect(r, in, out);
+  EXPECT_LE(r.program.size(), 2u);
+}
+
+TEST(SearchTest, MotivatingExampleFourSteps) {
+  Table in = {{"Bureau of I.A."},
+              {"Regional Director Numbers"},
+              {"Niles C.", "Tel:(800)645-8397"},
+              {"", "Fax:(907)586-7252"},
+              {""},
+              {"Jean H.", "Tel:(918)781-4600"},
+              {"", "Fax:(918)781-4604"}};
+  Table out = {{"", "Tel", "Fax"},
+               {"Niles C.", "(800)645-8397", "(907)586-7252"},
+               {"Jean H.", "(918)781-4600", "(918)781-4604"}};
+  SearchResult r = SynthesizeProgram(in, out);
+  ExpectCorrect(r, in, out);
+  EXPECT_EQ(r.program.size(), 4u);  // Matches Figure 6's length.
+}
+
+TEST(SearchTest, InfeasibleGoalFailsFast) {
+  // The goal needs characters the input lacks: h(v0) is infinite and the
+  // search returns immediately without expanding anything.
+  Table in = {{"abc"}};
+  Table out = {{"xyz"}};
+  SearchResult r = SynthesizeProgram(in, out);
+  EXPECT_FALSE(r.found);
+  EXPECT_EQ(r.stats.nodes_expanded, 0u);
+}
+
+// A goal whose TED is finite (every cell derivable by containment) but that
+// needs at least ~6 operations (a wrapall, drops, and four copies), so a
+// tightly budgeted search cannot finish. Reversed-content goals would exit
+// instantly instead, because h(v0) is already infinite.
+struct DeepTask {
+  Table in = {{"ab", "cd"}, {"ef", "gh"}};
+  Table out = {{"ab", "ab", "ab", "ab", "ab", "cd"}};
+};
+
+TEST(SearchTest, ExpansionBudgetIsHonored) {
+  DeepTask task;
+  SearchOptions options;
+  options.max_expansions = 10;
+  options.timeout_ms = 0;
+  SearchResult r = SynthesizeProgram(task.in, task.out, options);
+  EXPECT_FALSE(r.found);
+  EXPECT_TRUE(r.stats.budget_exhausted);
+  EXPECT_LE(r.stats.nodes_expanded, 10u);
+}
+
+TEST(SearchTest, TimeoutIsHonored) {
+  DeepTask task;
+  SearchOptions options;
+  options.timeout_ms = 50;
+  options.max_expansions = 0;
+  options.max_generated = 0;
+  SearchResult r = SynthesizeProgram(task.in, task.out, options);
+  EXPECT_FALSE(r.found);
+  EXPECT_TRUE(r.stats.timed_out);
+  EXPECT_LT(r.stats.elapsed_ms, 5000);
+}
+
+TEST(SearchTest, BfsFindsShortestProgram) {
+  Table in = {{"a", "junk"}};
+  Table out = {{"a"}};
+  SearchOptions options;
+  options.strategy = SearchStrategy::kBfs;
+  SearchResult r = SynthesizeProgram(in, out, options);
+  ExpectCorrect(r, in, out);
+  EXPECT_EQ(r.program.size(), 1u);
+}
+
+TEST(SearchTest, BfsWithoutPruningStillCorrect) {
+  Table in = {{"x:1"}, {"y:2"}};
+  Table out = {{"x", "1"}, {"y", "2"}};
+  SearchOptions options;
+  options.strategy = SearchStrategy::kBfs;
+  options.pruning = PruningConfig::None();
+  SearchResult r = SynthesizeProgram(in, out, options);
+  ExpectCorrect(r, in, out);
+  EXPECT_EQ(r.stats.total_pruned(), 0u);
+}
+
+TEST(SearchTest, EveryHeuristicSolvesSimpleTasks) {
+  Table in = {{"a", "b", "junk"}, {"c", "d", "junk"}};
+  Table out = {{"a", "b"}, {"c", "d"}};
+  for (HeuristicKind kind :
+       {HeuristicKind::kTedBatch, HeuristicKind::kTed,
+        HeuristicKind::kNaiveRule, HeuristicKind::kZero}) {
+    SearchOptions options;
+    options.heuristic = kind;
+    SearchResult r = SynthesizeProgram(in, out, options);
+    ExpectCorrect(r, in, out);
+  }
+}
+
+TEST(SearchTest, RestrictedRegistryLimitsPrograms) {
+  // With Transpose disabled, a transpose task needs Fold tricks or fails.
+  Table in = {{"a", "b"}, {"c", "d"}, {"e", "f"}};
+  Table out = {{"a", "c", "e"}, {"b", "d", "f"}};
+  OperatorRegistry no_transpose = OperatorRegistry::Default();
+  no_transpose.Disable(OpCode::kTranspose);
+  SearchOptions options;
+  options.registry = &no_transpose;
+  options.max_expansions = 300;
+  options.timeout_ms = 2000;
+  SearchResult restricted = SynthesizeProgram(in, out, options);
+  if (restricted.found) {
+    // Whatever it found, it must not be a bare Transpose.
+    EXPECT_FALSE(restricted.program.size() == 1 &&
+                 restricted.program.operation(0).op == OpCode::kTranspose);
+  }
+  SearchResult full = SynthesizeProgram(in, out);
+  ExpectCorrect(full, in, out);
+}
+
+TEST(SearchTest, StatsAccounting) {
+  Table in = {{"a", "junk"}};
+  Table out = {{"a"}};
+  SearchResult r = SynthesizeProgram(in, out);
+  EXPECT_GT(r.stats.candidates_tried, 0u);
+  EXPECT_GE(r.stats.candidates_tried,
+            r.stats.nodes_generated + r.stats.total_pruned());
+  std::string s = r.stats.ToString();
+  EXPECT_NE(s.find("expanded="), std::string::npos);
+}
+
+TEST(SearchTest, StrategyNames) {
+  EXPECT_STREQ(SearchStrategyName(SearchStrategy::kAStar), "astar");
+  EXPECT_STREQ(SearchStrategyName(SearchStrategy::kBfs), "bfs");
+}
+
+TEST(SearchTest, CollectsAlternativeSolutions) {
+  // Several distinct one-op programs map this pair (drop the junk column;
+  // or anything equivalent): ask for up to four.
+  Table in = {{"a", "b", "junk"}, {"c", "d", "junk"}};
+  Table out = {{"a", "b"}, {"c", "d"}};
+  SearchOptions options;
+  options.max_solutions = 4;
+  SearchResult r = SynthesizeProgram(in, out, options);
+  ASSERT_TRUE(r.found);
+  ASSERT_GE(r.alternatives.size(), 2u);
+  EXPECT_LE(r.alternatives.size(), 4u);
+  EXPECT_EQ(r.alternatives.front(), r.program);
+  // Every alternative is correct and they are pairwise distinct.
+  for (size_t i = 0; i < r.alternatives.size(); ++i) {
+    Result<Table> replay = r.alternatives[i].Execute(in);
+    ASSERT_TRUE(replay.ok());
+    EXPECT_EQ(*replay, out) << r.alternatives[i].ToScript();
+    for (size_t j = i + 1; j < r.alternatives.size(); ++j) {
+      EXPECT_FALSE(r.alternatives[i] == r.alternatives[j]);
+    }
+  }
+}
+
+TEST(SearchTest, SingleSolutionByDefault) {
+  Table in = {{"a", "junk"}};
+  Table out = {{"a"}};
+  SearchResult r = SynthesizeProgram(in, out);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.alternatives.size(), 1u);
+}
+
+TEST(SearchTest, IdentityPairReportsEmptyAlternative) {
+  Table t = {{"a"}};
+  SearchResult r = SynthesizeProgram(t, t);
+  ASSERT_TRUE(r.found);
+  ASSERT_EQ(r.alternatives.size(), 1u);
+  EXPECT_TRUE(r.alternatives[0].empty());
+}
+
+TEST(SearchTest, OversizeStatesAreSkipped) {
+  // With a tight cell cap, growth operators (Copy) produce oversize
+  // children that must be skipped, not kept. The two-step goal forces the
+  // search to fully enumerate the root's candidates, including Copy.
+  Table in = {{"a", "j1", "j2"}};
+  Table out = {{"a"}};
+  SearchOptions options;
+  options.max_state_cells = 3;
+  SearchResult r = SynthesizeProgram(in, out, options);
+  ASSERT_TRUE(r.found);  // The drop path shrinks the state and survives.
+  EXPECT_GT(r.stats.oversize_skipped, 0u);
+}
+
+TEST(SearchTest, WeightedAStarStillCorrect) {
+  Table in = {{"Niles C.", "Tel:(800)645"}, {"", "Fax:(907)586"}};
+  Table out = {{"Niles C.", "Tel", "(800)645"}, {"", "Fax", "(907)586"}};
+  for (double weight : {0.5, 2.0, 4.0}) {
+    SearchOptions options;
+    options.heuristic_weight = weight;
+    SearchResult r = SynthesizeProgram(in, out, options);
+    ASSERT_TRUE(r.found) << "weight " << weight;
+    Result<Table> replay = r.program.Execute(in);
+    ASSERT_TRUE(replay.ok());
+    EXPECT_EQ(*replay, out) << "weight " << weight;
+  }
+}
+
+TEST(SearchTest, TreeSearchWithoutDedupStillCorrect) {
+  Table in = {{"a", "junk", "b"}, {"c", "junk", "d"}};
+  Table out = {{"a", "b"}, {"c", "d"}};
+  SearchOptions options;
+  options.deduplicate_states = false;
+  SearchResult r = SynthesizeProgram(in, out, options);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.stats.duplicates_skipped, 0u);
+  Result<Table> replay = r.program.Execute(in);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(*replay, out);
+}
+
+TEST(SearchTest, DedupSkipsRevisitedStates) {
+  // Two commuting drops: drop(0);drop(0) and drop(1);drop(0) meet at the
+  // same intermediate states, so the graph search must skip duplicates.
+  Table in = {{"a", "b", "c"}, {"d", "e", "f"}};
+  Table out = {{"c"}, {"f"}};
+  SearchResult r = SynthesizeProgram(in, out);
+  ASSERT_TRUE(r.found);
+  EXPECT_GT(r.stats.duplicates_skipped, 0u);
+}
+
+TEST(SearchTest, DeterministicAcrossRuns) {
+  Table in = {{"Niles C.", "Tel:(800)645"}, {"", "Fax:(907)586"}};
+  Table out = {{"Niles C.", "Tel", "(800)645"},
+               {"", "Fax", "(907)586"}};
+  SearchResult a = SynthesizeProgram(in, out);
+  SearchResult b = SynthesizeProgram(in, out);
+  ASSERT_TRUE(a.found);
+  ASSERT_TRUE(b.found);
+  EXPECT_EQ(a.program, b.program);
+}
+
+}  // namespace
+}  // namespace foofah

@@ -1,0 +1,114 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace foofah {
+namespace {
+
+TEST(CharClassTest, AsciiAlnum) {
+  EXPECT_TRUE(IsAsciiAlnum('a'));
+  EXPECT_TRUE(IsAsciiAlnum('Z'));
+  EXPECT_TRUE(IsAsciiAlnum('5'));
+  EXPECT_FALSE(IsAsciiAlnum(' '));
+  EXPECT_FALSE(IsAsciiAlnum(':'));
+  EXPECT_FALSE(IsAsciiAlnum('\n'));
+}
+
+TEST(CharClassTest, PrintableSymbolExcludesSpaceAndAlnum) {
+  EXPECT_TRUE(IsPrintableSymbol(':'));
+  EXPECT_TRUE(IsPrintableSymbol('-'));
+  EXPECT_TRUE(IsPrintableSymbol('('));
+  EXPECT_FALSE(IsPrintableSymbol(' '));
+  EXPECT_FALSE(IsPrintableSymbol('a'));
+  EXPECT_FALSE(IsPrintableSymbol('7'));
+  EXPECT_FALSE(IsPrintableSymbol('\t'));
+}
+
+TEST(CharClassTest, AllDigitsRequiresNonEmpty) {
+  EXPECT_TRUE(AllDigits("0123"));
+  EXPECT_FALSE(AllDigits(""));
+  EXPECT_FALSE(AllDigits("12a"));
+  EXPECT_FALSE(AllDigits("1 2"));
+}
+
+TEST(CharClassTest, AllAlphaAndAlnum) {
+  EXPECT_TRUE(AllAlpha("abcXYZ"));
+  EXPECT_FALSE(AllAlpha("abc1"));
+  EXPECT_FALSE(AllAlpha(""));
+  EXPECT_TRUE(AllAlnum("a1b2"));
+  EXPECT_FALSE(AllAlnum("a-1"));
+}
+
+TEST(ContainmentTest, EitherDirection) {
+  EXPECT_TRUE(StringContainment("Tel:(800)645", "Tel"));
+  EXPECT_TRUE(StringContainment("Tel", "Tel:(800)645"));
+  EXPECT_TRUE(StringContainment("same", "same"));
+  EXPECT_FALSE(StringContainment("abc", "abd"));
+}
+
+TEST(ContainmentTest, EmptyStringIsContainedEverywhere) {
+  // The TED cost function adds its own emptiness guard on top of this.
+  EXPECT_TRUE(Contains("abc", ""));
+  EXPECT_TRUE(StringContainment("", "abc"));
+}
+
+TEST(SplitFirstTest, SplitsAtFirstOccurrence) {
+  auto [left, right] = SplitFirst("Tel:(800):x", ":");
+  EXPECT_EQ(left, "Tel");
+  EXPECT_EQ(right, "(800):x");
+}
+
+TEST(SplitFirstTest, AbsentDelimiterGivesWholeAndEmpty) {
+  auto [left, right] = SplitFirst("hello", "-");
+  EXPECT_EQ(left, "hello");
+  EXPECT_EQ(right, "");
+}
+
+TEST(SplitFirstTest, MultiCharDelimiter) {
+  auto [left, right] = SplitFirst("a::b", "::");
+  EXPECT_EQ(left, "a");
+  EXPECT_EQ(right, "b");
+}
+
+TEST(SplitAllTest, SplitsEveryOccurrence) {
+  std::vector<std::string> parts = SplitAll("a,b,,c", ",");
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(SplitAllTest, NoDelimiterYieldsSingleton) {
+  EXPECT_EQ(SplitAll("abc", "-").size(), 1u);
+}
+
+TEST(JoinTest, RoundTripsSplitAll) {
+  std::string s = "x|y|z";
+  EXPECT_EQ(Join(SplitAll(s, "|"), "|"), s);
+}
+
+TEST(TrimTest, RemovesSurroundingWhitespaceOnly) {
+  EXPECT_EQ(Trim("  a b \t\n"), "a b");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(CharSetTest, AlnumAndSymbolSets) {
+  std::set<char> alnum = AlnumChars("Tel:(80)a");
+  EXPECT_TRUE(alnum.count('T'));
+  EXPECT_TRUE(alnum.count('8'));
+  EXPECT_FALSE(alnum.count(':'));
+  std::set<char> symbols = SymbolChars("Tel:(80)a");
+  EXPECT_TRUE(symbols.count(':'));
+  EXPECT_TRUE(symbols.count('('));
+  EXPECT_FALSE(symbols.count('T'));
+}
+
+TEST(HashTest, DeterministicAndSeedSensitive) {
+  EXPECT_EQ(Fnv1aHash("abc"), Fnv1aHash("abc"));
+  EXPECT_NE(Fnv1aHash("abc"), Fnv1aHash("abd"));
+  EXPECT_NE(Fnv1aHash("abc", 1), Fnv1aHash("abc", 2));
+}
+
+}  // namespace
+}  // namespace foofah

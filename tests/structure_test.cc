@@ -1,0 +1,209 @@
+#include "profile/structure.h"
+
+#include <gtest/gtest.h>
+
+#include "ops/operators.h"
+#include "search/search.h"
+
+namespace foofah {
+namespace {
+
+using Class = TokenRun::Class;
+
+std::vector<Class> Classes(const ValueStructure& s) {
+  std::vector<Class> out;
+  for (const TokenRun& run : s) out.push_back(run.cls);
+  return out;
+}
+
+TEST(TokenizeTest, SplitsIntoClassRuns) {
+  ValueStructure s = Tokenize("Tel:(800)645");
+  ASSERT_EQ(s.size(), 6u);
+  EXPECT_EQ(Classes(s),
+            (std::vector<Class>{Class::kAlpha, Class::kSymbol, Class::kSymbol,
+                                Class::kDigits, Class::kSymbol,
+                                Class::kDigits}));
+  EXPECT_EQ(s[1].symbol, ':');
+  EXPECT_EQ(s[2].symbol, '(');
+  EXPECT_EQ(s[3].min_len, 3u);
+}
+
+TEST(TokenizeTest, RepeatedSymbolsFormOneRun) {
+  ValueStructure s = Tokenize("a--b");
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[1].cls, Class::kSymbol);
+  EXPECT_EQ(s[1].min_len, 2u);
+}
+
+TEST(TokenizeTest, DistinctSymbolsFormSeparateRuns) {
+  ValueStructure s = Tokenize(":-");
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0].symbol, ':');
+  EXPECT_EQ(s[1].symbol, '-');
+}
+
+TEST(TokenizeTest, SpacesAreTheirOwnClass) {
+  ValueStructure s = Tokenize("ab 12");
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[1].cls, Class::kSpace);
+}
+
+TEST(TokenizeTest, EmptyValue) { EXPECT_TRUE(Tokenize("").empty()); }
+
+TEST(InferStructureTest, MergesLengthRanges) {
+  Result<ValueStructure> s =
+      InferStructure({"ab:1", "xyz:42", "", "q:777"});
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  ASSERT_EQ(s->size(), 3u);
+  EXPECT_EQ((*s)[0].min_len, 1u);
+  EXPECT_EQ((*s)[0].max_len, 3u);
+  EXPECT_EQ((*s)[2].min_len, 1u);
+  EXPECT_EQ((*s)[2].max_len, 3u);
+}
+
+TEST(InferStructureTest, HeterogeneousValuesFail) {
+  EXPECT_FALSE(InferStructure({"ab:1", "ab-1"}).ok());   // Different symbol.
+  EXPECT_FALSE(InferStructure({"ab:1", "ab:cd"}).ok());  // Class mismatch.
+  EXPECT_FALSE(InferStructure({"ab", "ab:1"}).ok());     // Length mismatch.
+  EXPECT_FALSE(InferStructure({"", ""}).ok());           // Nothing to learn.
+}
+
+TEST(StructureToRegexTest, RendersAnchoredPattern) {
+  ValueStructure s = Tokenize("Tel:(800)645");
+  EXPECT_EQ(StructureToRegex(s), "^[A-Za-z]+:+\\(+[0-9]+\\)+[0-9]+$");
+}
+
+TEST(StructureToRegexTest, CaptureGroupSelectsRun) {
+  ValueStructure s = Tokenize("ab:12");
+  EXPECT_EQ(StructureToRegex(s, 2), "^[A-Za-z]+:+([0-9]+)$");
+  // The rendered pattern drives Extract correctly.
+  Table t = {{"xy:77"}};
+  Result<Table> out = ApplyOperation(t, Extract(0, StructureToRegex(s, 2)));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->cell(0, 1), "77");
+}
+
+TEST(ProfileColumnTest, UniformAndHeterogeneousColumns) {
+  Table t = {{"a:1", "x"}, {"bc:22", "1-2"}};
+  ColumnProfile c0 = ProfileColumn(t, 0);
+  EXPECT_TRUE(c0.uniform);
+  EXPECT_EQ(c0.non_empty_values, 2u);
+  EXPECT_EQ(c0.structure.size(), 3u);
+  ColumnProfile c1 = ProfileColumn(t, 1);
+  EXPECT_FALSE(c1.uniform);
+}
+
+TEST(RegistryInferenceTest, AddsCapturePatternsForDataRuns) {
+  Table input = {{"mr smith 42"}, {"ms jones 57"}};
+  OperatorRegistry base = OperatorRegistry::WithoutWrap();
+  base.ClearExtractPatterns();
+  OperatorRegistry enriched = RegistryWithInferredPatterns(input, base);
+  // Structure: alpha space alpha space digits -> three capture patterns.
+  EXPECT_EQ(enriched.extract_patterns().size(), 3u);
+  for (const std::string& pattern : enriched.extract_patterns()) {
+    EXPECT_EQ(pattern.front(), '^');
+    EXPECT_NE(pattern.find('('), std::string::npos);
+  }
+}
+
+TEST(RegistryInferenceTest, SkipsWeakEvidence) {
+  // One row: not enough evidence; single-run columns: nothing to extract.
+  Table one_row = {{"ab:12"}};
+  OperatorRegistry base = OperatorRegistry::WithoutWrap();
+  base.ClearExtractPatterns();
+  EXPECT_TRUE(
+      RegistryWithInferredPatterns(one_row, base).extract_patterns().empty());
+  Table single_run = {{"abc"}, {"de"}};
+  EXPECT_TRUE(RegistryWithInferredPatterns(single_run, base)
+                  .extract_patterns()
+                  .empty());
+}
+
+TEST(RegistryInferenceTest, PatternCapIsHonored) {
+  Table wide = {{"a:1", "b:2", "c:3", "d:4", "e:5", "f:6", "g:7", "h:8"},
+                {"x:9", "y:8", "z:7", "w:6", "v:5", "u:4", "t:3", "s:2"}};
+  OperatorRegistry base = OperatorRegistry::WithoutWrap();
+  base.ClearExtractPatterns();
+  OperatorRegistry enriched =
+      RegistryWithInferredPatterns(wide, base, /*max_patterns=*/5);
+  EXPECT_EQ(enriched.extract_patterns().size(), 5u);
+}
+
+TEST(RegistryInferenceTest, EndToEndAutoExtract) {
+  // Values with NO delimiter at all ("smith4200"): Split cannot apply, so
+  // only Extract can separate the runs — and the inferred column structure
+  // supplies the patterns nobody wrote by hand.
+  Table input = {{"smith4200"}, {"jones5700"}, {"brown9100"}};
+  Table output = {{"smith", "4200"}, {"jones", "5700"}, {"brown", "9100"}};
+  OperatorRegistry base = OperatorRegistry::Default();
+  base.ClearExtractPatterns();  // No built-in patterns at all.
+  OperatorRegistry enriched = RegistryWithInferredPatterns(input, base);
+  SearchOptions options;
+  options.registry = &enriched;
+  options.timeout_ms = 10'000;
+  options.max_expansions = 30'000;
+  SearchResult r = SynthesizeProgram(input, output, options);
+  ASSERT_TRUE(r.found) << r.stats.ToString();
+  Result<Table> replay = r.program.Execute(input);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(*replay, output) << r.program.ToScript();
+}
+
+TEST(DiscrepancyTest, FlagsDeviatingCells) {
+  Table t = {{"(800)645-8397", "a"},
+             {"(918)781-4600", "b"},
+             {"781-4604", "c"},  // Missing the area code.
+             {"(615)564-6500", "d"}};
+  std::vector<Discrepancy> found = DetectDiscrepancies(t);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].row, 2u);
+  EXPECT_EQ(found[0].col, 0u);
+  EXPECT_EQ(found[0].value, "781-4604");
+  EXPECT_EQ(found[0].expected_structure,
+            "^\\(+[0-9]+\\)+[0-9]+-+[0-9]+$");
+}
+
+TEST(DiscrepancyTest, CleanTableHasNone) {
+  Table t = {{"a:1", "x"}, {"bc:22", "y"}, {"d:3", "z"}};
+  EXPECT_TRUE(DetectDiscrepancies(t).empty());
+}
+
+TEST(DiscrepancyTest, EmptyCellsAreNotDiscrepancies) {
+  Table t = {{"a:1"}, {""}, {"b:2"}, {"c:3"}};
+  EXPECT_TRUE(DetectDiscrepancies(t).empty());
+}
+
+TEST(DiscrepancyTest, NoMajorityMeansNoReports) {
+  // Three shapes, one row each: nothing is "the" structure.
+  Table t = {{"abc"}, {"1-2"}, {"x:y:z"}};
+  EXPECT_TRUE(DetectDiscrepancies(t).empty());
+}
+
+TEST(DiscrepancyTest, MajorityThresholdIsConfigurable) {
+  // 50/50 split: no majority at the 0.6 default, reports at 0.5 — the
+  // modal shape wins and the other half is flagged.
+  Table t = {{"ab"}, {"cd"}, {"12"}, {"34"}, {"ef"}, {"56"}};
+  EXPECT_TRUE(DetectDiscrepancies(t, 0.6).empty());
+  std::vector<Discrepancy> loose = DetectDiscrepancies(t, 0.5);
+  EXPECT_EQ(loose.size(), 3u);
+}
+
+TEST(DiscrepancyTest, MultipleColumnsSortedInTableOrder) {
+  Table t = {{"a1", "x-y"}, {"b2", "9"}, {"??", "p-q"}, {"c3", "r-s"}};
+  std::vector<Discrepancy> found = DetectDiscrepancies(t);
+  ASSERT_EQ(found.size(), 2u);
+  EXPECT_EQ(found[0].row, 1u);  // "9" in column 1.
+  EXPECT_EQ(found[0].col, 1u);
+  EXPECT_EQ(found[1].row, 2u);  // "??" in column 0.
+  EXPECT_EQ(found[1].col, 0u);
+}
+
+TEST(DiscrepancyTest, ToStringNamesCellAndStructure) {
+  Discrepancy d{1, 2, "bad", "^[0-9]+$"};
+  EXPECT_EQ(d.ToString(),
+            "cell (1,2): \"bad\" does not match the column's majority "
+            "structure ^[0-9]+$");
+}
+
+}  // namespace
+}  // namespace foofah

@@ -1,0 +1,48 @@
+#include "table/table_diff.h"
+
+#include <gtest/gtest.h>
+
+namespace foofah {
+namespace {
+
+TEST(TableDiffTest, EqualTables) {
+  Table a = {{"x", "y"}};
+  TableDiff diff = DiffTables(a, a);
+  EXPECT_TRUE(diff.equal);
+  EXPECT_FALSE(diff.shape_mismatch);
+  EXPECT_TRUE(diff.cell_diffs.empty());
+  EXPECT_EQ(diff.ToString(), "tables are equal");
+}
+
+TEST(TableDiffTest, CellDifference) {
+  Table a = {{"x", "y"}};
+  Table b = {{"x", "z"}};
+  TableDiff diff = DiffTables(a, b);
+  EXPECT_FALSE(diff.equal);
+  EXPECT_FALSE(diff.shape_mismatch);
+  ASSERT_EQ(diff.cell_diffs.size(), 1u);
+  EXPECT_EQ(diff.cell_diffs[0].col, 1u);
+  EXPECT_EQ(diff.cell_diffs[0].expected, "y");
+  EXPECT_EQ(diff.cell_diffs[0].actual, "z");
+}
+
+TEST(TableDiffTest, ShapeMismatchReported) {
+  Table a = {{"x"}};
+  Table b = {{"x", "y"}, {"z"}};
+  TableDiff diff = DiffTables(a, b);
+  EXPECT_TRUE(diff.shape_mismatch);
+  EXPECT_EQ(diff.expected_rows, 1u);
+  EXPECT_EQ(diff.actual_rows, 2u);
+  EXPECT_NE(diff.ToString().find("shape mismatch"), std::string::npos);
+}
+
+TEST(TableDiffTest, CapsCellDiffCount) {
+  Table a = {{"a", "a", "a", "a", "a"}};
+  Table b = {{"b", "b", "b", "b", "b"}};
+  TableDiff diff = DiffTables(a, b, /*max_cell_diffs=*/2);
+  EXPECT_EQ(diff.cell_diffs.size(), 2u);
+  EXPECT_FALSE(diff.equal);
+}
+
+}  // namespace
+}  // namespace foofah

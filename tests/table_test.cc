@@ -1,0 +1,128 @@
+#include "table/table.h"
+
+#include <gtest/gtest.h>
+
+namespace foofah {
+namespace {
+
+TEST(TableTest, EmptyTable) {
+  Table t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.num_rows(), 0u);
+  EXPECT_EQ(t.num_cols(), 0u);
+  EXPECT_EQ(t.num_cells(), 0u);
+  EXPECT_TRUE(t.IsRectangular());
+}
+
+TEST(TableTest, LiteralBuilder) {
+  Table t = {{"a", "b"}, {"c", "d"}};
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.num_cols(), 2u);
+  EXPECT_EQ(t.cell(1, 0), "c");
+}
+
+TEST(TableTest, RaggedRowsReadAsEmpty) {
+  Table t = {{"a", "b", "c"}, {"d"}};
+  EXPECT_EQ(t.num_cols(), 3u);
+  EXPECT_EQ(t.cell(1, 1), "");
+  EXPECT_EQ(t.cell(1, 2), "");
+  EXPECT_EQ(t.cell(9, 9), "");  // Fully out of range.
+  EXPECT_FALSE(t.IsRectangular());
+}
+
+TEST(TableTest, SetCellExtendsRow) {
+  Table t = {{"a"}};
+  t.set_cell(0, 2, "z");
+  EXPECT_EQ(t.cell(0, 2), "z");
+  EXPECT_EQ(t.cell(0, 1), "");
+}
+
+TEST(TableTest, RectangularizePadsAllRows) {
+  Table t = {{"a", "b"}, {"c"}};
+  t.Rectangularize();
+  EXPECT_TRUE(t.IsRectangular());
+  EXPECT_EQ(t.row(1).size(), 2u);
+}
+
+TEST(TableTest, ColumnPredicates) {
+  Table t = {{"a", ""}, {"b", ""}, {"c", "x"}};
+  EXPECT_TRUE(t.ColumnHasNoNulls(0));
+  EXPECT_FALSE(t.ColumnHasNoNulls(1));
+  EXPECT_FALSE(t.ColumnIsEmpty(1));
+  Table u = {{"a", ""}, {"b", ""}};
+  EXPECT_TRUE(u.ColumnIsEmpty(1));
+  // Out-of-range columns read as all-empty.
+  EXPECT_FALSE(t.ColumnHasNoNulls(5));
+}
+
+TEST(TableTest, ColumnExtraction) {
+  Table t = {{"a", "1"}, {"b", "2"}, {"c"}};
+  std::vector<std::string> col = t.Column(1);
+  ASSERT_EQ(col.size(), 3u);
+  EXPECT_EQ(col[0], "1");
+  EXPECT_EQ(col[2], "");
+}
+
+TEST(TableTest, CharSets) {
+  Table t = {{"Tel:", "a1"}};
+  auto alnum = t.AlnumCharSet();
+  EXPECT_TRUE(alnum.count('T'));
+  EXPECT_TRUE(alnum.count('1'));
+  EXPECT_FALSE(alnum.count(':'));
+  auto symbols = t.SymbolCharSet();
+  EXPECT_TRUE(symbols.count(':'));
+  EXPECT_EQ(symbols.size(), 1u);
+}
+
+TEST(TableTest, ContentEqualsIgnoresTrailingEmptyCells) {
+  Table a = {{"x", ""}, {"y"}};
+  Table b = {{"x"}, {"y", "", ""}};
+  EXPECT_TRUE(a.ContentEquals(b));
+  EXPECT_TRUE(a == b);
+}
+
+TEST(TableTest, ContentEqualsDetectsDifferences) {
+  Table a = {{"x", "y"}};
+  EXPECT_FALSE(a.ContentEquals(Table({{"x", "z"}})));
+  EXPECT_FALSE(a.ContentEquals(Table({{"x"}})));        // Width differs.
+  EXPECT_FALSE(a.ContentEquals(Table({{"x", "y"}, {}})));  // Height differs.
+  // Leading empty cells are significant.
+  EXPECT_FALSE(Table({{"", "x"}}).ContentEquals(Table({{"x"}})));
+}
+
+TEST(TableTest, HashConsistentWithContentEquals) {
+  Table a = {{"x", ""}, {"y"}};
+  Table b = {{"x"}, {"y", ""}};
+  EXPECT_EQ(a.Hash(), b.Hash());
+  Table c = {{"x"}, {"z"}};
+  EXPECT_NE(a.Hash(), c.Hash());
+}
+
+TEST(TableTest, HashDistinguishesCellBoundaries) {
+  // "ab"+"c" vs "a"+"bc" must hash differently.
+  Table a = {{"ab", "c"}};
+  Table b = {{"a", "bc"}};
+  EXPECT_NE(a.Hash(), b.Hash());
+  // One row of two cells vs two rows of one cell.
+  Table c = {{"a", "b"}};
+  Table d = {{"a"}, {"b"}};
+  EXPECT_NE(c.Hash(), d.Hash());
+}
+
+TEST(TableTest, AppendRow) {
+  Table t;
+  t.AppendRow({"a", "b"});
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.cell(0, 1), "b");
+}
+
+TEST(TableTest, ToStringRendersGrid) {
+  Table t = {{"ab", "c"}};
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("ab"), std::string::npos);
+  EXPECT_NE(s.find("|"), std::string::npos);
+  EXPECT_EQ(Table().ToString(), "(empty table)\n");
+}
+
+}  // namespace
+}  // namespace foofah

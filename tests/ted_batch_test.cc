@@ -1,0 +1,196 @@
+#include "heuristic/ted_batch.h"
+
+#include <gtest/gtest.h>
+
+#include "heuristic/ted.h"
+
+namespace foofah {
+namespace {
+
+// §4.2.2's worked example: batching compacts the Figure 9 edit paths from
+// costs 12 / 9 / 18 down to 4 / 3 / 6.
+class Figure9BatchTest : public testing::Test {
+ protected:
+  Table ei_ = {{"Niles C.", "Tel:(800)645-8397"},
+               {"Jean H.", "Tel:(918)781-4600"},
+               {"Frank K.", "Tel:(615)564-6500"}};
+  Table c1_ = {{"Tel:(800)645-8397"},
+               {"Tel:(918)781-4600"},
+               {"Tel:(615)564-6500"}};
+  Table c2_ = {{"Niles", "C.", "Tel:(800)645-8397"},
+               {"Jean", "H.", "Tel:(918)781-4600"},
+               {"Frank", "K.", "Tel:(615)564-6500"}};
+  Table eo_ = {{"Tel", "(800)645-8397"},
+               {"Tel", "(918)781-4600"},
+               {"Tel", "(615)564-6500"}};
+};
+
+TEST_F(Figure9BatchTest, BatchedCostsMatchPaper) {
+  EXPECT_EQ(TedBatchCost(ei_, eo_), 4);
+  EXPECT_EQ(TedBatchCost(c1_, eo_), 3);
+  EXPECT_EQ(TedBatchCost(c2_, eo_), 6);
+}
+
+TEST_F(Figure9BatchTest, P0BatchesIntoFourGroups) {
+  // {p1..p4}: two transform batches, one move batch, one delete batch.
+  TedResult ted = GreedyTed(ei_, eo_);
+  TedBatchResult batched = BatchEditPath(ted.path);
+  EXPECT_EQ(batched.batches.size(), 4u);
+  int transform_batches = 0, move_batches = 0, delete_batches = 0;
+  for (const EditBatch& batch : batched.batches) {
+    EXPECT_EQ(batch.op_indices.size(), 3u);
+    switch (ted.path[batch.op_indices[0]].type) {
+      case EditType::kTransform: ++transform_batches; break;
+      case EditType::kMove: ++move_batches; break;
+      case EditType::kDelete: ++delete_batches; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(transform_batches, 2);
+  EXPECT_EQ(move_batches, 1);
+  EXPECT_EQ(delete_batches, 1);
+}
+
+TEST_F(Figure9BatchTest, BatchingNeverIncreasesCost) {
+  for (const Table* t : {&ei_, &c1_, &c2_}) {
+    TedResult ted = GreedyTed(*t, eo_);
+    EXPECT_LE(BatchEditPath(ted.path).cost, ted.cost);
+  }
+}
+
+TEST(BatchTest, EmptyPathCostsZero) {
+  TedBatchResult r = BatchEditPath({});
+  EXPECT_EQ(r.cost, 0);
+  EXPECT_TRUE(r.batches.empty());
+}
+
+EditOp MakeOp(EditType type, int sr, int sc, int dr, int dc) {
+  EditOp op;
+  op.type = type;
+  op.src_row = sr;
+  op.src_col = sc;
+  op.dst_row = dr;
+  op.dst_col = dc;
+  return op;
+}
+
+TEST(BatchTest, VerticalDeleteChainIsOneBatch) {
+  // Deletes of a whole column (Remove Vertical in Table 4).
+  EditPath path = {MakeOp(EditType::kDelete, 0, 1, -1, -1),
+                   MakeOp(EditType::kDelete, 1, 1, -1, -1),
+                   MakeOp(EditType::kDelete, 2, 1, -1, -1)};
+  TedBatchResult r = BatchEditPath(path);
+  EXPECT_EQ(r.cost, 1);
+  ASSERT_EQ(r.batches.size(), 1u);
+  EXPECT_EQ(r.batches[0].pattern, GeometricPattern::kRemoveVertical);
+}
+
+TEST(BatchTest, HorizontalDeleteChainIsOneBatch) {
+  // Deletes of a whole row (Remove Horizontal).
+  EditPath path = {MakeOp(EditType::kDelete, 2, 0, -1, -1),
+                   MakeOp(EditType::kDelete, 2, 1, -1, -1)};
+  TedBatchResult r = BatchEditPath(path);
+  EXPECT_EQ(r.cost, 1);
+  EXPECT_EQ(r.batches[0].pattern, GeometricPattern::kRemoveHorizontal);
+}
+
+TEST(BatchTest, GreedyPrefersLargerBatch) {
+  // The §4.2.2 Step 2 situation: an op belonging to both a size-3 vertical
+  // chain and a size-2 horizontal chain joins the larger one.
+  EditPath path = {
+      MakeOp(EditType::kTransform, 0, 1, 0, 0),  // In V2V chain AND One2H.
+      MakeOp(EditType::kTransform, 1, 1, 1, 0),
+      MakeOp(EditType::kTransform, 2, 1, 2, 0),
+      MakeOp(EditType::kTransform, 0, 1, 0, 1),  // One2H partner.
+  };
+  TedBatchResult r = BatchEditPath(path);
+  // Expect the size-3 V2V batch plus a singleton: cost 2.
+  EXPECT_EQ(r.cost, 2);
+  ASSERT_EQ(r.batches.size(), 2u);
+  EXPECT_EQ(r.batches[0].op_indices.size(), 3u);
+  EXPECT_EQ(r.batches[0].pattern,
+            GeometricPattern::kVerticalToVertical);
+}
+
+TEST(BatchTest, OneToVerticalChain) {
+  // One source cell feeding a column (Fill-like; One to Vertical).
+  EditPath path = {MakeOp(EditType::kTransform, 0, 0, 1, 0),
+                   MakeOp(EditType::kTransform, 0, 0, 2, 0),
+                   MakeOp(EditType::kTransform, 0, 0, 3, 0)};
+  TedBatchResult r = BatchEditPath(path);
+  EXPECT_EQ(r.cost, 1);
+  EXPECT_EQ(r.batches[0].pattern, GeometricPattern::kOneToVertical);
+}
+
+TEST(BatchTest, HorizontalToVerticalChain) {
+  // A row pivoting into a column (Fold/Transpose shape).
+  EditPath path = {MakeOp(EditType::kMove, 0, 0, 0, 0),
+                   MakeOp(EditType::kMove, 0, 1, 1, 0),
+                   MakeOp(EditType::kMove, 0, 2, 2, 0)};
+  TedBatchResult r = BatchEditPath(path);
+  EXPECT_EQ(r.cost, 1);
+  EXPECT_EQ(r.batches[0].pattern,
+            GeometricPattern::kHorizontalToVertical);
+}
+
+TEST(BatchTest, VerticalToHorizontalChain) {
+  // A column pivoting into a row (Unfold/Transpose shape).
+  EditPath path = {MakeOp(EditType::kMove, 0, 0, 0, 0),
+                   MakeOp(EditType::kMove, 1, 0, 0, 1),
+                   MakeOp(EditType::kMove, 2, 0, 0, 2)};
+  TedBatchResult r = BatchEditPath(path);
+  EXPECT_EQ(r.cost, 1);
+  EXPECT_EQ(r.batches[0].pattern,
+            GeometricPattern::kVerticalToHorizontal);
+}
+
+TEST(BatchTest, AddChainsBatchLikeRemovals) {
+  EditPath path = {MakeOp(EditType::kAdd, -1, -1, 0, 2),
+                   MakeOp(EditType::kAdd, -1, -1, 1, 2),
+                   MakeOp(EditType::kAdd, -1, -1, 2, 2)};
+  TedBatchResult r = BatchEditPath(path);
+  EXPECT_EQ(r.cost, 1);
+  EXPECT_EQ(r.batches[0].pattern, GeometricPattern::kAddVertical);
+}
+
+TEST(BatchTest, DifferentTypesNeverShareBatch) {
+  // A Move and a Transform with chained coordinates stay separate.
+  EditPath path = {MakeOp(EditType::kMove, 0, 0, 0, 0),
+                   MakeOp(EditType::kTransform, 1, 0, 1, 0)};
+  TedBatchResult r = BatchEditPath(path);
+  EXPECT_EQ(r.cost, 2);
+  EXPECT_EQ(r.batches.size(), 2u);
+}
+
+TEST(BatchTest, ScatteredOpsStaySingletons) {
+  EditPath path = {MakeOp(EditType::kDelete, 0, 0, -1, -1),
+                   MakeOp(EditType::kDelete, 2, 3, -1, -1),
+                   MakeOp(EditType::kDelete, 5, 1, -1, -1)};
+  EXPECT_EQ(BatchEditPath(path).cost, 3);
+}
+
+TEST(BatchTest, CoverIsCompleteAndDisjoint) {
+  Table in = {{"k1", "a", "b"}, {"k2", "c", "d"}};
+  Table out = {{"k1", "a"}, {"k1", "b"}, {"k2", "c"}, {"k2", "d"}};
+  TedResult ted = GreedyTed(in, out);
+  TedBatchResult batched = BatchEditPath(ted.path);
+  std::vector<int> seen(ted.path.size(), 0);
+  for (const EditBatch& batch : batched.batches) {
+    for (size_t i : batch.op_indices) ++seen[i];
+  }
+  for (size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], 1) << "op " << i << " covered " << seen[i] << " times";
+  }
+}
+
+TEST(BatchTest, InfeasibleTedPropagates) {
+  EXPECT_EQ(TedBatchCost(Table({{"a"}}), Table({{"zzz"}})), kInfiniteCost);
+}
+
+TEST(BatchTest, IdenticalTablesCostZero) {
+  Table t = {{"a", "b"}};
+  EXPECT_EQ(TedBatchCost(t, t), 0);
+}
+
+}  // namespace
+}  // namespace foofah

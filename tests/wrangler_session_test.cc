@@ -1,0 +1,133 @@
+#include "wrangler/session.h"
+
+#include <gtest/gtest.h>
+
+namespace foofah {
+namespace {
+
+Table ContactsRaw() {
+  return Table({{"Niles C.", "Tel:(800)645-8397"},
+                {"", "Fax:(907)586-7252"},
+                {"Jean H.", "Tel:(918)781-4600"},
+                {"", "Fax:(918)781-4604"}});
+}
+
+Table ContactsTarget() {
+  return Table({{"", "Tel", "Fax"},
+                {"Niles C.", "(800)645-8397", "(907)586-7252"},
+                {"Jean H.", "(918)781-4600", "(918)781-4604"}});
+}
+
+TEST(WranglerSessionTest, AppliesOperationsSequentially) {
+  WranglerSession session(ContactsRaw());
+  ASSERT_TRUE(session.Apply(Split(1, ":")).ok());
+  EXPECT_EQ(session.current().num_cols(), 3u);
+  ASSERT_TRUE(session.Apply(Fill(0)).ok());
+  EXPECT_EQ(session.current().cell(1, 0), "Niles C.");
+  EXPECT_EQ(session.step_count(), 2u);
+}
+
+TEST(WranglerSessionTest, InvalidOperationLeavesSessionUnchanged) {
+  WranglerSession session(ContactsRaw());
+  Table before = session.current();
+  Status s = session.Apply(Drop(9));
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(session.current(), before);
+  EXPECT_EQ(session.step_count(), 0u);
+}
+
+TEST(WranglerSessionTest, TheExampleOneBacktrackingStory) {
+  // §2: Bob unfolds before filling, gets the broken Figure 4 table (the
+  // blank names group under one key), backtracks, fills, then unfolds.
+  WranglerSession session(ContactsRaw());
+  ASSERT_TRUE(session.Apply(Split(1, ":")).ok());
+
+  // The premature Unfold: rows without a name collapse into one group.
+  ASSERT_TRUE(session.Apply(Unfold(1, 2)).ok());
+  Table broken = session.current();
+  EXPECT_NE(broken, ContactsTarget());
+
+  // Backtrack and do it right.
+  ASSERT_TRUE(session.Undo());
+  ASSERT_TRUE(session.Apply(Fill(0)).ok());
+  ASSERT_TRUE(session.Apply(Unfold(1, 2)).ok());
+  EXPECT_EQ(session.current(), ContactsTarget());
+  EXPECT_EQ(session.step_count(), 3u);
+}
+
+TEST(WranglerSessionTest, UndoRedoRoundTrip) {
+  WranglerSession session(Table({{"a", "b"}}));
+  ASSERT_TRUE(session.Apply(Drop(1)).ok());
+  EXPECT_TRUE(session.CanUndo());
+  EXPECT_FALSE(session.CanRedo());
+  ASSERT_TRUE(session.Undo());
+  EXPECT_EQ(session.current(), Table({{"a", "b"}}));
+  EXPECT_TRUE(session.CanRedo());
+  ASSERT_TRUE(session.Redo());
+  EXPECT_EQ(session.current(), Table({{"a"}}));
+  EXPECT_FALSE(session.Redo());
+  ASSERT_TRUE(session.Undo());
+  EXPECT_FALSE(session.Undo());
+}
+
+TEST(WranglerSessionTest, ApplyAfterUndoDropsRedoTail) {
+  WranglerSession session(Table({{"a", "b", "c"}}));
+  ASSERT_TRUE(session.Apply(Drop(0)).ok());
+  ASSERT_TRUE(session.Undo());
+  ASSERT_TRUE(session.Apply(Drop(2)).ok());
+  EXPECT_FALSE(session.CanRedo());
+  EXPECT_EQ(session.current(), Table({{"a", "b"}}));
+}
+
+TEST(WranglerSessionTest, ExportScriptMatchesAppliedOperations) {
+  WranglerSession session(ContactsRaw());
+  ASSERT_TRUE(session.Apply(Split(1, ":")).ok());
+  ASSERT_TRUE(session.Apply(Fill(0)).ok());
+  ASSERT_TRUE(session.Apply(Unfold(1, 2)).ok());
+  Program script = session.ExportScript();
+  ASSERT_EQ(script.size(), 3u);
+  // The exported script replays to the same table from the raw input.
+  Result<Table> replay = script.Execute(session.raw());
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(*replay, session.current());
+}
+
+TEST(WranglerSessionTest, ExportAfterUndoOnlyKeepsEffectiveSteps) {
+  WranglerSession session(Table({{"a", "b"}}));
+  ASSERT_TRUE(session.Apply(Drop(1)).ok());
+  ASSERT_TRUE(session.Undo());
+  EXPECT_TRUE(session.ExportScript().empty());
+}
+
+TEST(WranglerSessionTest, SuggestionsRankGoodStepsFirst) {
+  // From the split+filled contacts table, Unfold(1,2) completes the task:
+  // it must be the top suggestion toward the target.
+  WranglerSession session(ContactsRaw());
+  ASSERT_TRUE(session.Apply(Split(1, ":")).ok());
+  ASSERT_TRUE(session.Apply(Fill(0)).ok());
+  std::vector<Suggestion> suggestions =
+      session.SuggestNext(ContactsTarget(), 5);
+  ASSERT_FALSE(suggestions.empty());
+  EXPECT_EQ(suggestions[0].operation, Unfold(1, 2));
+  EXPECT_EQ(suggestions[0].distance, 0);
+  EXPECT_LE(suggestions.size(), 5u);
+  // Distances ascend.
+  for (size_t i = 1; i < suggestions.size(); ++i) {
+    EXPECT_LE(suggestions[i - 1].distance, suggestions[i].distance);
+  }
+}
+
+TEST(WranglerSessionTest, SuggestionsRespectRestrictedRegistry) {
+  OperatorRegistry no_unfold = OperatorRegistry::Default();
+  no_unfold.Disable(OpCode::kUnfold);
+  WranglerSession session(ContactsRaw(), &no_unfold);
+  ASSERT_TRUE(session.Apply(Split(1, ":")).ok());
+  for (const Suggestion& s : session.SuggestNext(ContactsTarget(), 20)) {
+    EXPECT_NE(s.operation.op, OpCode::kUnfold);
+  }
+  // Apply also refuses disabled operators.
+  EXPECT_FALSE(session.Apply(Unfold(1, 2)).ok());
+}
+
+}  // namespace
+}  // namespace foofah
