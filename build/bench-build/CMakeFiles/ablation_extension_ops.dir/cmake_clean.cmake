@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_extension_ops"
+  "../bench/ablation_extension_ops.pdb"
+  "CMakeFiles/ablation_extension_ops.dir/ablation_extension_ops.cc.o"
+  "CMakeFiles/ablation_extension_ops.dir/ablation_extension_ops.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_extension_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

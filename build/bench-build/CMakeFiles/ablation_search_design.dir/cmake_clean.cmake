@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_search_design"
+  "../bench/ablation_search_design.pdb"
+  "CMakeFiles/ablation_search_design.dir/ablation_search_design.cc.o"
+  "CMakeFiles/ablation_search_design.dir/ablation_search_design.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_search_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

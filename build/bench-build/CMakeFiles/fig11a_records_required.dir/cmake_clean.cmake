@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11a_records_required"
+  "../bench/fig11a_records_required.pdb"
+  "CMakeFiles/fig11a_records_required.dir/fig11a_records_required.cc.o"
+  "CMakeFiles/fig11a_records_required.dir/fig11a_records_required.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11a_records_required.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

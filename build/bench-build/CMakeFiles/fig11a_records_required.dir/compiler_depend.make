@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig11a_records_required.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11b_synthesis_time"
+  "../bench/fig11b_synthesis_time.pdb"
+  "CMakeFiles/fig11b_synthesis_time.dir/fig11b_synthesis_time.cc.o"
+  "CMakeFiles/fig11b_synthesis_time.dir/fig11b_synthesis_time.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11b_synthesis_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

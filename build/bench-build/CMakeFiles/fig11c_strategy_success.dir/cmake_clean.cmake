@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11c_strategy_success"
+  "../bench/fig11c_strategy_success.pdb"
+  "CMakeFiles/fig11c_strategy_success.dir/fig11c_strategy_success.cc.o"
+  "CMakeFiles/fig11c_strategy_success.dir/fig11c_strategy_success.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11c_strategy_success.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12a_strategy_times"
+  "../bench/fig12a_strategy_times.pdb"
+  "CMakeFiles/fig12a_strategy_times.dir/fig12a_strategy_times.cc.o"
+  "CMakeFiles/fig12a_strategy_times.dir/fig12a_strategy_times.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12a_strategy_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12b_pruning_ablation"
+  "../bench/fig12b_pruning_ablation.pdb"
+  "CMakeFiles/fig12b_pruning_ablation.dir/fig12b_pruning_ablation.cc.o"
+  "CMakeFiles/fig12b_pruning_ablation.dir/fig12b_pruning_ablation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12b_pruning_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

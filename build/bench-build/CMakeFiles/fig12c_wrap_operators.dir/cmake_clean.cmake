@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12c_wrap_operators"
+  "../bench/fig12c_wrap_operators.pdb"
+  "CMakeFiles/fig12c_wrap_operators.dir/fig12c_wrap_operators.cc.o"
+  "CMakeFiles/fig12c_wrap_operators.dir/fig12c_wrap_operators.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12c_wrap_operators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

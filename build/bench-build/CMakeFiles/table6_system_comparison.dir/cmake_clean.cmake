@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table6_system_comparison"
+  "../bench/table6_system_comparison.pdb"
+  "CMakeFiles/table6_system_comparison.dir/table6_system_comparison.cc.o"
+  "CMakeFiles/table6_system_comparison.dir/table6_system_comparison.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_system_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

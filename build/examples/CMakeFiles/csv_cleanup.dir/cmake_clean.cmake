@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_cleanup.dir/csv_cleanup.cpp.o"
+  "CMakeFiles/csv_cleanup.dir/csv_cleanup.cpp.o.d"
+  "csv_cleanup"
+  "csv_cleanup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_cleanup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/directory_listing.dir/directory_listing.cpp.o"
+  "CMakeFiles/directory_listing.dir/directory_listing.cpp.o.d"
+  "directory_listing"
+  "directory_listing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/directory_listing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/foofah_cli.dir/foofah_cli.cpp.o"
+  "CMakeFiles/foofah_cli.dir/foofah_cli.cpp.o.d"
+  "foofah_cli"
+  "foofah_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/foofah_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

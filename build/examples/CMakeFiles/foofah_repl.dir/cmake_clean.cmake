@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/foofah_repl.dir/foofah_repl.cpp.o"
+  "CMakeFiles/foofah_repl.dir/foofah_repl.cpp.o.d"
+  "foofah_repl"
+  "foofah_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/foofah_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

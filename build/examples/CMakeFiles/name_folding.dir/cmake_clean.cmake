@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/name_folding.dir/name_folding.cpp.o"
+  "CMakeFiles/name_folding.dir/name_folding.cpp.o.d"
+  "name_folding"
+  "name_folding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/name_folding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

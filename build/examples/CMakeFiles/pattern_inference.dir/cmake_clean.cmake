@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_inference.dir/pattern_inference.cpp.o"
+  "CMakeFiles/pattern_inference.dir/pattern_inference.cpp.o.d"
+  "pattern_inference"
+  "pattern_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_visualizer.dir/search_visualizer.cpp.o"
+  "CMakeFiles/search_visualizer.dir/search_visualizer.cpp.o.d"
+  "search_visualizer"
+  "search_visualizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_visualizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ted_explainer.dir/ted_explainer.cpp.o"
+  "CMakeFiles/ted_explainer.dir/ted_explainer.cpp.o.d"
+  "ted_explainer"
+  "ted_explainer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ted_explainer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

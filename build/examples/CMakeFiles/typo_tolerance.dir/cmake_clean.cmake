@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/typo_tolerance.dir/typo_tolerance.cpp.o"
+  "CMakeFiles/typo_tolerance.dir/typo_tolerance.cpp.o.d"
+  "typo_tolerance"
+  "typo_tolerance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/typo_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrangler_session.dir/wrangler_session.cpp.o"
+  "CMakeFiles/wrangler_session.dir/wrangler_session.cpp.o.d"
+  "wrangler_session"
+  "wrangler_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrangler_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

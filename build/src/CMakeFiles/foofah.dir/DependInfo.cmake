@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/progfromex.cc" "src/CMakeFiles/foofah.dir/baselines/progfromex.cc.o" "gcc" "src/CMakeFiles/foofah.dir/baselines/progfromex.cc.o.d"
+  "/root/repo/src/baselines/wrangler_effort.cc" "src/CMakeFiles/foofah.dir/baselines/wrangler_effort.cc.o" "gcc" "src/CMakeFiles/foofah.dir/baselines/wrangler_effort.cc.o.d"
+  "/root/repo/src/core/approximate.cc" "src/CMakeFiles/foofah.dir/core/approximate.cc.o" "gcc" "src/CMakeFiles/foofah.dir/core/approximate.cc.o.d"
+  "/root/repo/src/core/diagnose.cc" "src/CMakeFiles/foofah.dir/core/diagnose.cc.o" "gcc" "src/CMakeFiles/foofah.dir/core/diagnose.cc.o.d"
+  "/root/repo/src/core/driver.cc" "src/CMakeFiles/foofah.dir/core/driver.cc.o" "gcc" "src/CMakeFiles/foofah.dir/core/driver.cc.o.d"
+  "/root/repo/src/core/synthesizer.cc" "src/CMakeFiles/foofah.dir/core/synthesizer.cc.o" "gcc" "src/CMakeFiles/foofah.dir/core/synthesizer.cc.o.d"
+  "/root/repo/src/heuristic/edit_op.cc" "src/CMakeFiles/foofah.dir/heuristic/edit_op.cc.o" "gcc" "src/CMakeFiles/foofah.dir/heuristic/edit_op.cc.o.d"
+  "/root/repo/src/heuristic/exact_ted.cc" "src/CMakeFiles/foofah.dir/heuristic/exact_ted.cc.o" "gcc" "src/CMakeFiles/foofah.dir/heuristic/exact_ted.cc.o.d"
+  "/root/repo/src/heuristic/heuristic.cc" "src/CMakeFiles/foofah.dir/heuristic/heuristic.cc.o" "gcc" "src/CMakeFiles/foofah.dir/heuristic/heuristic.cc.o.d"
+  "/root/repo/src/heuristic/naive_heuristic.cc" "src/CMakeFiles/foofah.dir/heuristic/naive_heuristic.cc.o" "gcc" "src/CMakeFiles/foofah.dir/heuristic/naive_heuristic.cc.o.d"
+  "/root/repo/src/heuristic/ted.cc" "src/CMakeFiles/foofah.dir/heuristic/ted.cc.o" "gcc" "src/CMakeFiles/foofah.dir/heuristic/ted.cc.o.d"
+  "/root/repo/src/heuristic/ted_batch.cc" "src/CMakeFiles/foofah.dir/heuristic/ted_batch.cc.o" "gcc" "src/CMakeFiles/foofah.dir/heuristic/ted_batch.cc.o.d"
+  "/root/repo/src/ops/enumerate.cc" "src/CMakeFiles/foofah.dir/ops/enumerate.cc.o" "gcc" "src/CMakeFiles/foofah.dir/ops/enumerate.cc.o.d"
+  "/root/repo/src/ops/operation.cc" "src/CMakeFiles/foofah.dir/ops/operation.cc.o" "gcc" "src/CMakeFiles/foofah.dir/ops/operation.cc.o.d"
+  "/root/repo/src/ops/operators.cc" "src/CMakeFiles/foofah.dir/ops/operators.cc.o" "gcc" "src/CMakeFiles/foofah.dir/ops/operators.cc.o.d"
+  "/root/repo/src/ops/registry.cc" "src/CMakeFiles/foofah.dir/ops/registry.cc.o" "gcc" "src/CMakeFiles/foofah.dir/ops/registry.cc.o.d"
+  "/root/repo/src/profile/structure.cc" "src/CMakeFiles/foofah.dir/profile/structure.cc.o" "gcc" "src/CMakeFiles/foofah.dir/profile/structure.cc.o.d"
+  "/root/repo/src/program/describe.cc" "src/CMakeFiles/foofah.dir/program/describe.cc.o" "gcc" "src/CMakeFiles/foofah.dir/program/describe.cc.o.d"
+  "/root/repo/src/program/minimize.cc" "src/CMakeFiles/foofah.dir/program/minimize.cc.o" "gcc" "src/CMakeFiles/foofah.dir/program/minimize.cc.o.d"
+  "/root/repo/src/program/parser.cc" "src/CMakeFiles/foofah.dir/program/parser.cc.o" "gcc" "src/CMakeFiles/foofah.dir/program/parser.cc.o.d"
+  "/root/repo/src/program/program.cc" "src/CMakeFiles/foofah.dir/program/program.cc.o" "gcc" "src/CMakeFiles/foofah.dir/program/program.cc.o.d"
+  "/root/repo/src/scenarios/bundle.cc" "src/CMakeFiles/foofah.dir/scenarios/bundle.cc.o" "gcc" "src/CMakeFiles/foofah.dir/scenarios/bundle.cc.o.d"
+  "/root/repo/src/scenarios/corpus.cc" "src/CMakeFiles/foofah.dir/scenarios/corpus.cc.o" "gcc" "src/CMakeFiles/foofah.dir/scenarios/corpus.cc.o.d"
+  "/root/repo/src/scenarios/scenario.cc" "src/CMakeFiles/foofah.dir/scenarios/scenario.cc.o" "gcc" "src/CMakeFiles/foofah.dir/scenarios/scenario.cc.o.d"
+  "/root/repo/src/search/pruning.cc" "src/CMakeFiles/foofah.dir/search/pruning.cc.o" "gcc" "src/CMakeFiles/foofah.dir/search/pruning.cc.o.d"
+  "/root/repo/src/search/search.cc" "src/CMakeFiles/foofah.dir/search/search.cc.o" "gcc" "src/CMakeFiles/foofah.dir/search/search.cc.o.d"
+  "/root/repo/src/search/trace.cc" "src/CMakeFiles/foofah.dir/search/trace.cc.o" "gcc" "src/CMakeFiles/foofah.dir/search/trace.cc.o.d"
+  "/root/repo/src/table/csv.cc" "src/CMakeFiles/foofah.dir/table/csv.cc.o" "gcc" "src/CMakeFiles/foofah.dir/table/csv.cc.o.d"
+  "/root/repo/src/table/table.cc" "src/CMakeFiles/foofah.dir/table/table.cc.o" "gcc" "src/CMakeFiles/foofah.dir/table/table.cc.o.d"
+  "/root/repo/src/table/table_diff.cc" "src/CMakeFiles/foofah.dir/table/table_diff.cc.o" "gcc" "src/CMakeFiles/foofah.dir/table/table_diff.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/foofah.dir/util/status.cc.o" "gcc" "src/CMakeFiles/foofah.dir/util/status.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/foofah.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/foofah.dir/util/string_util.cc.o.d"
+  "/root/repo/src/wrangler/session.cc" "src/CMakeFiles/foofah.dir/wrangler/session.cc.o" "gcc" "src/CMakeFiles/foofah.dir/wrangler/session.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

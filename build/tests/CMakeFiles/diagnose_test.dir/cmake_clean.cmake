@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diagnose_test.dir/diagnose_test.cc.o"
+  "CMakeFiles/diagnose_test.dir/diagnose_test.cc.o.d"
+  "diagnose_test"
+  "diagnose_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagnose_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

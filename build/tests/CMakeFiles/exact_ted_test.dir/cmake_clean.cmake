@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exact_ted_test.dir/exact_ted_test.cc.o"
+  "CMakeFiles/exact_ted_test.dir/exact_ted_test.cc.o.d"
+  "exact_ted_test"
+  "exact_ted_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exact_ted_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

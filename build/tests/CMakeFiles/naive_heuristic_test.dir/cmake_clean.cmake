@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/naive_heuristic_test.dir/naive_heuristic_test.cc.o"
+  "CMakeFiles/naive_heuristic_test.dir/naive_heuristic_test.cc.o.d"
+  "naive_heuristic_test"
+  "naive_heuristic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/naive_heuristic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

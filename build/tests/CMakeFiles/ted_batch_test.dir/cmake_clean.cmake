@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ted_batch_test.dir/ted_batch_test.cc.o"
+  "CMakeFiles/ted_batch_test.dir/ted_batch_test.cc.o.d"
+  "ted_batch_test"
+  "ted_batch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ted_batch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ted_test.dir/ted_test.cc.o"
+  "CMakeFiles/ted_test.dir/ted_test.cc.o.d"
+  "ted_test"
+  "ted_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ted_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrangler_session_test.dir/wrangler_session_test.cc.o"
+  "CMakeFiles/wrangler_session_test.dir/wrangler_session_test.cc.o.d"
+  "wrangler_session_test"
+  "wrangler_session_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrangler_session_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
