@@ -118,6 +118,54 @@ void BM_SynthesizeMotivatingExample(benchmark::State& state) {
 }
 BENCHMARK(BM_SynthesizeMotivatingExample)->Unit(benchmark::kMillisecond);
 
+// Thread-count scaling of the parallel expansion engine on the motivating
+// example (cache on, the production configuration). threads:1 is the exact
+// legacy serial loop — the speedup trajectory of the PR is
+// BM_SynthesizeParallel/threads:4 vs threads:1.
+void BM_SynthesizeParallel(benchmark::State& state) {
+  Table in = MakeContactsInput(2);
+  Table out = MakeContactsOutput(2);
+  SearchOptions options;
+  options.num_threads = static_cast<int>(state.range(0));
+  Foofah foofah(options);
+  for (auto _ : state) {
+    SearchResult r = foofah.Synthesize(in, out);
+    benchmark::DoNotOptimize(r.found);
+  }
+}
+BENCHMARK(BM_SynthesizeParallel)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// Heuristic-memo ablation: cache:0 recomputes the TED dynamic program for
+// every estimated child, cache:1 memoizes by (state hash, goal hash).
+// With dedup:1 (graph search) the serial engine only estimates each unique
+// state once, so the memo mostly serves the parallel engine's pre-dedup
+// estimates; dedup:0 (tree search) re-reaches states through many paths
+// and is where the memo pays for itself even single-threaded.
+void BM_SynthesizeCacheAblation(benchmark::State& state) {
+  Table in = MakeContactsInput(2);
+  Table out = MakeContactsOutput(2);
+  SearchOptions options;
+  options.num_threads = 1;
+  options.cache_heuristic = state.range(0) != 0;
+  options.deduplicate_states = state.range(1) != 0;
+  options.max_expansions = 2'000;  // Bounds the dedup:0 blowup.
+  Foofah foofah(options);
+  for (auto _ : state) {
+    SearchResult r = foofah.Synthesize(in, out);
+    benchmark::DoNotOptimize(r.found);
+  }
+}
+BENCHMARK(BM_SynthesizeCacheAblation)
+    ->ArgNames({"cache", "dedup"})
+    ->ArgsProduct({{0, 1}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace foofah
 

@@ -6,6 +6,9 @@
 //       example and print it in the paper's surface syntax.
 //       Options:
 //         --timeout-ms N      per-search budget (default 60000)
+//         --threads N         expansion threads (default: all cores;
+//                             results are identical at any thread count)
+//         --no-cache          disable the heuristic memo
 //         --strategy S        astar | bfs            (default astar)
 //         --heuristic H       ted_batch | ted | rule | zero
 //         --alternatives K    collect up to K distinct programs
@@ -57,6 +60,7 @@ int Usage() {
                "[--timeout-ms N] [--strategy astar|bfs]\n"
                "      [--heuristic ted_batch|ted|rule|zero] "
                "[--alternatives K] [--minimize] [--infer-patterns]\n"
+               "      [--threads N] [--no-cache]\n"
                "  foofah_cli apply PROGRAM.txt DATA.csv\n"
                "  foofah_cli explain PROGRAM.txt\n"
                "  foofah_cli export-corpus DIR\n"
@@ -126,6 +130,12 @@ int Synthesize(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage();
       options.max_solutions = std::atoi(v);
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.num_threads = std::atoi(v);
+    } else if (arg == "--no-cache") {
+      options.cache_heuristic = false;
     } else if (arg == "--minimize") {
       minimize = true;
     } else if (arg == "--infer-patterns") {

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Repository check gate: normal build + full test suite, then a
+# ThreadSanitizer build running the concurrency-sensitive tests (the
+# parallel search engine, the heuristic memo, and the synthesis fuzzer).
+#
+# Usage: scripts/check.sh [--skip-tsan]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "== Release build + full ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "${JOBS}"
+ctest --test-dir build --output-on-failure -j "${JOBS}"
+
+if [[ "${1:-}" == "--skip-tsan" ]]; then
+  echo "== TSan stage skipped =="
+  exit 0
+fi
+
+echo "== ThreadSanitizer build + tsan-labeled tests =="
+cmake -B build-tsan -S . -DFOOFAH_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  >/dev/null
+cmake --build build-tsan -j "${JOBS}" \
+  --target parallel_search_test heuristic_cache_test synthesis_fuzz_test
+ctest --test-dir build-tsan --output-on-failure -L tsan -j "${JOBS}"
+
+echo "All checks passed."

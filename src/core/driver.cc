@@ -1,6 +1,9 @@
 #include "core/driver.h"
 
 #include <algorithm>
+#include <memory>
+
+#include "heuristic/heuristic_cache.h"
 
 namespace foofah {
 
@@ -26,6 +29,19 @@ DriverResult FindPerfectProgram(const ExampleBuilder& build_example,
                                 const Table& full_output,
                                 const DriverOptions& options) {
   DriverResult result;
+  // One heuristic memo for the whole protocol: each round grows the example
+  // by a record, but most intermediate tables of round k reappear in round
+  // k+1's search (the goal hash in the cache key separates the rounds'
+  // different goals), so later rounds start warm.
+  SearchOptions search_options = options.search;
+  std::unique_ptr<HeuristicCache> shared_cache;
+  if (search_options.cache_heuristic &&
+      search_options.heuristic_cache == nullptr) {
+    shared_cache = std::make_unique<HeuristicCache>(
+        search_options.heuristic_cache_capacity);
+    search_options.heuristic_cache = shared_cache.get();
+  }
+
   for (int records = 1; records <= options.max_records; ++records) {
     Result<ExamplePair> example = build_example(records);
     if (!example.ok()) break;  // The raw data has no more records to add.
@@ -33,7 +49,7 @@ DriverResult FindPerfectProgram(const ExampleBuilder& build_example,
     DriverRound round;
     round.records = records;
     round.search = SynthesizeProgram(example->input, example->output,
-                                     options.search);
+                                     search_options);
     if (round.search.found) {
       Result<Table> transformed = round.search.program.Execute(full_input);
       round.perfect =

@@ -1,0 +1,81 @@
+#include "heuristic/heuristic_cache.h"
+
+#include <algorithm>
+
+namespace foofah {
+
+namespace {
+size_t RoundUpToPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+HeuristicCache::HeuristicCache(size_t capacity, int num_shards) {
+  size_t shards = RoundUpToPowerOfTwo(
+      static_cast<size_t>(std::max(1, num_shards)));
+  shards_ = std::vector<Shard>(shards);
+  shard_mask_ = shards - 1;
+  shard_capacity_ = std::max<size_t>(1, (std::max<size_t>(1, capacity) +
+                                         shards - 1) / shards);
+}
+
+std::optional<double> HeuristicCache::Lookup(uint64_t state_hash,
+                                             uint64_t goal_hash) {
+  Key key{state_hash, goal_hash};
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+void HeuristicCache::Insert(uint64_t state_hash, uint64_t goal_hash,
+                            double estimate) {
+  Key key{state_hash, goal_hash};
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto [it, inserted] = shard.map.try_emplace(key, estimate);
+  if (!inserted) {
+    it->second = estimate;
+    return;
+  }
+  if (shard.map.size() > shard_capacity_) {
+    // Displace an arbitrary resident entry (not the one just added: begin()
+    // lands on the newest insert in practice, which would make a full shard
+    // thrash on its hottest keys).
+    auto victim = shard.map.begin();
+    if (victim->first == key) ++victim;
+    shard.map.erase(victim);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void HeuristicCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.clear();
+  }
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
+}
+
+HeuristicCache::Stats HeuristicCache::stats() const {
+  Stats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    stats.entries += shard.map.size();
+  }
+  return stats;
+}
+
+}  // namespace foofah

@@ -10,10 +10,12 @@
 #include <vector>
 
 #include "heuristic/edit_op.h"
+#include "heuristic/heuristic_cache.h"
 #include "ops/enumerate.h"
 #include "ops/operators.h"
 #include "search/trace.h"
 #include "table/table_diff.h"
+#include "util/thread_pool.h"
 
 namespace foofah {
 
@@ -32,6 +34,10 @@ std::string SearchStats::ToString() const {
   out << "expanded=" << nodes_expanded << " generated=" << nodes_generated
       << " tried=" << candidates_tried << " pruned=" << total_pruned()
       << " dup=" << duplicates_skipped << " elapsed_ms=" << elapsed_ms;
+  if (heuristic_cache_hits + heuristic_cache_misses > 0) {
+    out << " hcache=" << heuristic_cache_hits << "/"
+        << (heuristic_cache_hits + heuristic_cache_misses);
+  }
   if (timed_out) out << " TIMEOUT";
   if (budget_exhausted) out << " BUDGET";
   return out.str();
@@ -97,6 +103,35 @@ struct OpenEntry {
   }
 };
 
+/// How a candidate's side-effect-free evaluation ended. Everything here is
+/// computable from (parent state, candidate, goal) alone, which is what
+/// lets phase 2 of the expansion run on worker threads.
+enum class CandidateFate : uint8_t {
+  kPrunedBefore,  ///< Rejected by the pre-apply rule.
+  kApplyFailed,   ///< Operation parameters out of domain.
+  kOversize,      ///< Child exceeds max_state_cells.
+  kPrunedAfter,   ///< Rejected by a post-apply §4.3 rule.
+  kEvaluated,     ///< Child survived; `child` (and maybe `h`) are set.
+};
+
+/// Whether an estimate was served from the heuristic memo.
+enum class CacheOutcome : uint8_t { kNone = 0, kHit, kMiss };
+
+/// Per-candidate result slot. The parallel engine fans evaluation out into
+/// these (one per candidate, index-addressed, no sharing), then replays
+/// the slots serially in candidate order so every frontier push, counter
+/// increment and observer callback happens exactly as in the serial
+/// engine.
+struct CandidateOutcome {
+  CandidateFate fate = CandidateFate::kApplyFailed;
+  PruneReason reason = PruneReason::kKept;  ///< For the pruned fates.
+  Table child;                              ///< For kEvaluated.
+  bool is_goal = false;
+  bool has_h = false;  ///< True when `h` was precomputed in phase 2.
+  double h = 0;
+  CacheOutcome cache_outcome = CacheOutcome::kNone;
+};
+
 }  // namespace
 
 SearchResult SynthesizeProgram(const Table& input, const Table& goal,
@@ -115,6 +150,30 @@ SearchResult SynthesizeProgram(const Table& input, const Table& goal,
   std::unique_ptr<Heuristic> heuristic = MakeHeuristic(options.heuristic);
   const GoalCharSets goal_chars = GoalCharSets::From(goal);
 
+  // Heuristic memo: external when the caller shares one across searches,
+  // otherwise private to this run. Keyed by goal hash too, so a shared
+  // cache never leaks estimates between goals.
+  std::unique_ptr<HeuristicCache> owned_cache;
+  HeuristicCache* cache = nullptr;
+  if (options.cache_heuristic &&
+      options.strategy == SearchStrategy::kAStar) {
+    cache = options.heuristic_cache;
+    if (cache == nullptr) {
+      owned_cache =
+          std::make_unique<HeuristicCache>(options.heuristic_cache_capacity);
+      cache = owned_cache.get();
+    }
+  }
+  const uint64_t goal_hash = goal.Hash();
+
+  // Expansion pool: created once per search. num_threads == 1 (or a
+  // 1-core machine under the 0 = auto default) takes the serial path.
+  const int num_threads = options.num_threads > 0
+                              ? options.num_threads
+                              : ThreadPool::DefaultThreadCount();
+  std::unique_ptr<ThreadPool> pool;
+  if (num_threads > 1) pool = std::make_unique<ThreadPool>(num_threads);
+
   // Error-tolerant mode: a mistaken example cell may contain (or lack)
   // characters no reachable state can supply, so the content-based global
   // rules and the infinite-heuristic cutoffs must be relaxed — otherwise
@@ -129,10 +188,28 @@ SearchResult SynthesizeProgram(const Table& input, const Table& goal,
   // any realistic program length, but still explorable.
   const double infeasible_estimate =
       static_cast<double>(goal.num_cells()) + 8.0;
-  auto estimate = [&](const Table& state) {
-    double h = heuristic->Estimate(state, goal);
+  // Thread-safe (the memo is sharded and locked; heuristics are stateless).
+  auto estimate = [&](const Table& state, CacheOutcome* outcome) {
+    double h;
+    if (cache != nullptr) {
+      const uint64_t state_hash = state.Hash();
+      if (std::optional<double> memo = cache->Lookup(state_hash, goal_hash)) {
+        if (outcome != nullptr) *outcome = CacheOutcome::kHit;
+        h = *memo;
+      } else {
+        h = heuristic->Estimate(state, goal);
+        cache->Insert(state_hash, goal_hash, h);
+        if (outcome != nullptr) *outcome = CacheOutcome::kMiss;
+      }
+    } else {
+      h = heuristic->Estimate(state, goal);
+    }
     if (h == kInfiniteCost && tolerant) return infeasible_estimate;
     return h;
+  };
+  auto count_cache_outcome = [&](CacheOutcome outcome) {
+    if (outcome == CacheOutcome::kHit) ++result.stats.heuristic_cache_hits;
+    if (outcome == CacheOutcome::kMiss) ++result.stats.heuristic_cache_misses;
   };
 
   std::vector<Node> arena;
@@ -199,9 +276,11 @@ SearchResult SynthesizeProgram(const Table& input, const Table& goal,
   };
 
   {
+    CacheOutcome outcome = CacheOutcome::kNone;
     double h0 = options.strategy == SearchStrategy::kAStar
-                    ? estimate(input)
+                    ? estimate(input, &outcome)
                     : 0;
+    count_cache_outcome(outcome);
     if (h0 == kInfiniteCost) {
       // The goal needs information the input does not contain; no
       // transformation in this framework can reach it.
@@ -210,6 +289,10 @@ SearchResult SynthesizeProgram(const Table& input, const Table& goal,
     }
     push(0, h0);
   }
+
+  // Reused per expansion; slots are index-addressed so phase 2 threads
+  // never share one.
+  std::vector<CandidateOutcome> outcomes;
 
   while (!frontier_empty()) {
     if (options.timeout_ms > 0 && elapsed_ms() > options.timeout_ms) {
@@ -229,6 +312,7 @@ SearchResult SynthesizeProgram(const Table& input, const Table& goal,
                                  arena[current].depth);
     }
 
+    // ---- Phase 1 (serial): enumerate candidate arcs out of this state.
     // Copy: arena may reallocate while children are appended.
     const Table state = arena[current].table;
     std::vector<Operation> candidates =
@@ -237,38 +321,38 @@ SearchResult SynthesizeProgram(const Table& input, const Table& goal,
     // candidate's pruning checks.
     const ParentContext parent_context = ParentContext::From(state);
 
-    for (const Operation& candidate : candidates) {
-      ++result.stats.candidates_tried;
-
+    // ---- Phase 2: evaluate one candidate without side effects — prune,
+    // apply, size-filter, goal-test, and (in the parallel engine) estimate.
+    // Reads only search-constant state plus this expansion's parent facts;
+    // writes only its own slot, so any number of candidates evaluate
+    // concurrently.
+    auto evaluate = [&](const Operation& candidate, bool compute_h,
+                        CandidateOutcome& out) {
       PruneReason reason = PruneBeforeApply(state, candidate, pruning);
       if (reason != PruneReason::kKept) {
-        ++result.stats.pruned_by_reason[static_cast<int>(reason)];
-        if (options.observer != nullptr) {
-          options.observer->OnPrune(current, candidate, reason);
-        }
-        continue;
+        out.fate = CandidateFate::kPrunedBefore;
+        out.reason = reason;
+        return;
       }
 
       Result<Table> applied = ApplyOperation(state, candidate);
       if (!applied.ok()) {
-        ++result.stats.apply_failures;
-        continue;
+        out.fate = CandidateFate::kApplyFailed;
+        return;
       }
       Table child = std::move(applied).value();
 
       if (child.num_cells() > options.max_state_cells) {
-        ++result.stats.oversize_skipped;
-        continue;
+        out.fate = CandidateFate::kOversize;
+        return;
       }
 
       reason = PruneAfterApply(parent_context, child, candidate, goal_chars,
                                pruning);
       if (reason != PruneReason::kKept) {
-        ++result.stats.pruned_by_reason[static_cast<int>(reason)];
-        if (options.observer != nullptr) {
-          options.observer->OnPrune(current, candidate, reason);
-        }
-        continue;
+        out.fate = CandidateFate::kPrunedAfter;
+        out.reason = reason;
+        return;
       }
 
       // Goal test at generation time (§4.1: "If no child of v0 happens to
@@ -283,47 +367,111 @@ SearchResult SynthesizeProgram(const Table& input, const Table& goal,
         TableDiff diff = DiffTables(goal, child, options.goal_tolerance + 1);
         is_goal = diff.cell_diffs.size() <= options.goal_tolerance;
       }
+      out.is_goal = is_goal;
+
+      if (compute_h && !is_goal &&
+          options.strategy == SearchStrategy::kAStar) {
+        // Parallel engine: estimate before deduplication (the memo makes
+        // the duplicate case cheap). The estimate is a pure function of
+        // the child, so evaluating it for a child the serial replay later
+        // drops as a duplicate cannot change any outcome.
+        out.h = estimate(child, &out.cache_outcome);
+        out.has_h = true;
+      }
+      out.child = std::move(child);
+      out.fate = CandidateFate::kEvaluated;
+    };
+
+    // ---- Phase 3: replay one evaluated slot — every mutation of the
+    // search state (arena, seen-set, frontier, stats, observer) happens
+    // here, on the expansion thread, in candidate order. Returns false
+    // when the search is done (enough solutions / generation budget).
+    auto replay = [&](const Operation& candidate,
+                      CandidateOutcome& out) -> bool {
+      ++result.stats.candidates_tried;
+      switch (out.fate) {
+        case CandidateFate::kPrunedBefore:
+        case CandidateFate::kPrunedAfter:
+          ++result.stats.pruned_by_reason[static_cast<int>(out.reason)];
+          if (options.observer != nullptr) {
+            options.observer->OnPrune(current, candidate, out.reason);
+          }
+          return true;
+        case CandidateFate::kApplyFailed:
+          ++result.stats.apply_failures;
+          return true;
+        case CandidateFate::kOversize:
+          ++result.stats.oversize_skipped;
+          return true;
+        case CandidateFate::kEvaluated:
+          break;
+      }
 
       int child_index = static_cast<int>(arena.size());
-      if (!is_goal && options.deduplicate_states &&
-          !seen.Insert(child, child_index)) {
+      if (!out.is_goal && options.deduplicate_states &&
+          !seen.Insert(out.child, child_index)) {
         ++result.stats.duplicates_skipped;
         if (options.observer != nullptr) {
           options.observer->OnDuplicate(current, candidate);
         }
-        continue;
+        return true;
       }
 
-      arena.push_back(Node{std::move(child), current, candidate,
+      arena.push_back(Node{std::move(out.child), current, candidate,
                            arena[current].depth + 1});
       ++result.stats.nodes_generated;
 
-      if (is_goal) {
+      if (out.is_goal) {
         if (options.observer != nullptr) {
           options.observer->OnGenerate(child_index, current, candidate, 0,
                                        /*is_goal=*/true);
         }
         record_solution(child_index);
-        if (enough_solutions()) return finalize();
-        continue;  // Goal states are terminal: do not expand past them.
+        // Goal states are terminal: do not expand past them.
+        return !enough_solutions();
       }
 
       if (options.max_generated > 0 &&
           result.stats.nodes_generated >= options.max_generated) {
         result.stats.budget_exhausted = true;
-        return finalize();
+        return false;
       }
 
       double h = 0;
       if (options.strategy == SearchStrategy::kAStar) {
-        h = estimate(arena[child_index].table);
+        if (out.has_h) {
+          h = out.h;
+        } else {
+          // Serial engine: estimate after deduplication, exactly as the
+          // legacy single-threaded loop did.
+          h = estimate(arena[child_index].table, &out.cache_outcome);
+        }
+        count_cache_outcome(out.cache_outcome);
       }
       if (options.observer != nullptr) {
         options.observer->OnGenerate(child_index, current, candidate, h,
                                      /*is_goal=*/false);
       }
-      if (h == kInfiniteCost) continue;  // Goal unreachable from child.
+      if (h == kInfiniteCost) return true;  // Goal unreachable from child.
       push(child_index, h);
+      return true;
+    };
+
+    if (pool != nullptr && candidates.size() > 1) {
+      outcomes.assign(candidates.size(), CandidateOutcome{});
+      pool->ParallelFor(candidates.size(), [&](size_t i) {
+        evaluate(candidates[i], /*compute_h=*/true, outcomes[i]);
+      });
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        if (!replay(candidates[i], outcomes[i])) return finalize();
+      }
+    } else {
+      CandidateOutcome out;
+      for (const Operation& candidate : candidates) {
+        out = CandidateOutcome{};
+        evaluate(candidate, /*compute_h=*/false, out);
+        if (!replay(candidate, out)) return finalize();
+      }
     }
   }
 

@@ -15,6 +15,7 @@
 namespace foofah {
 
 class SearchObserver;  // search/trace.h
+class HeuristicCache;  // heuristic/heuristic_cache.h
 
 /// How the state space graph of Definition 4.1 is explored (§5.3).
 enum class SearchStrategy {
@@ -81,7 +82,36 @@ struct SearchOptions {
 
   /// Optional exploration observer (see search/trace.h); not owned, must
   /// outlive the search. Null disables all callbacks at zero cost.
+  /// Callbacks are always invoked serially on the expansion thread, in the
+  /// same candidate order as the single-threaded engine, regardless of
+  /// num_threads.
   SearchObserver* observer = nullptr;
+
+  /// Threads used to evaluate the candidates of one expansion (apply +
+  /// size filter + pruning + heuristic) in parallel. 0 means "use
+  /// hardware_concurrency"; 1 runs the exact legacy serial loop. Any
+  /// value yields bit-identical programs and pruning statistics: results
+  /// land in per-candidate slots and all frontier/accounting effects are
+  /// replayed serially in candidate order.
+  int num_threads = 0;
+
+  /// Memoize heuristic estimates by (state hash, goal hash). Duplicate
+  /// tables reached via different paths — and every re-expansion when
+  /// deduplicate_states is false — then skip the TED dynamic program
+  /// entirely. Estimates are pure functions of the key, so caching never
+  /// changes results; hit/miss counts land in SearchStats.
+  bool cache_heuristic = true;
+
+  /// Entry bound for the internally created heuristic cache (ignored when
+  /// heuristic_cache is supplied).
+  size_t heuristic_cache_capacity = 1u << 20;
+
+  /// Optional externally owned cache shared across searches (the §5.2
+  /// driver reuses one across its interaction rounds; goal hashes keep
+  /// different goals from colliding). Not owned, must outlive the search.
+  /// When null and cache_heuristic is true, the search creates a private
+  /// cache for its own duration.
+  HeuristicCache* heuristic_cache = nullptr;
 };
 
 /// Counters describing one search run.
@@ -93,6 +123,13 @@ struct SearchStats {
   uint64_t oversize_skipped = 0;
   uint64_t apply_failures = 0;  ///< Candidates with out-of-domain params.
   std::array<uint64_t, kNumPruneReasons> pruned_by_reason{};
+  /// Heuristic memoization counters (0/0 when the cache is disabled).
+  /// These are the only counters that may differ between thread counts:
+  /// the parallel engine evaluates heuristics before deduplication, the
+  /// serial engine after, so the hit/miss split can shift while every
+  /// estimate value — and therefore the search outcome — stays identical.
+  uint64_t heuristic_cache_hits = 0;
+  uint64_t heuristic_cache_misses = 0;
   double elapsed_ms = 0;
   bool timed_out = false;
   bool budget_exhausted = false;

@@ -17,7 +17,9 @@ size_t TrimmedLength(const Table::Row& row) {
 }
 }  // namespace
 
-Table::Table(std::vector<Row> rows) : rows_(std::move(rows)) {}
+Table::Table(std::vector<Row> rows) : rows_(std::move(rows)) {
+  for (const Row& row : rows_) cols_ = std::max(cols_, row.size());
+}
 
 Table::Table(std::initializer_list<std::initializer_list<const char*>> rows) {
   rows_.reserve(rows.size());
@@ -25,14 +27,9 @@ Table::Table(std::initializer_list<std::initializer_list<const char*>> rows) {
     Row r;
     r.reserve(row.size());
     for (const char* cell : row) r.emplace_back(cell);
+    cols_ = std::max(cols_, r.size());
     rows_.push_back(std::move(r));
   }
-}
-
-size_t Table::num_cols() const {
-  size_t cols = 0;
-  for (const Row& row : rows_) cols = std::max(cols, row.size());
-  return cols;
 }
 
 const std::string& Table::cell(size_t row, size_t col) const {
@@ -42,6 +39,7 @@ const std::string& Table::cell(size_t row, size_t col) const {
 
 void Table::set_cell(size_t row, size_t col, std::string value) {
   if (rows_[row].size() <= col) rows_[row].resize(col + 1);
+  cols_ = std::max(cols_, col + 1);
   rows_[row][col] = std::move(value);
 }
 
@@ -77,6 +75,15 @@ std::vector<std::string> Table::Column(size_t col) const {
   std::vector<std::string> out;
   out.reserve(num_rows());
   for (size_t r = 0; r < num_rows(); ++r) out.push_back(cell(r, col));
+  return out;
+}
+
+std::vector<std::string_view> Table::ColumnView(size_t col) const {
+  std::vector<std::string_view> out;
+  out.reserve(num_rows());
+  for (size_t r = 0; r < num_rows(); ++r) {
+    out.emplace_back(cell(r, col));
+  }
   return out;
 }
 

@@ -36,8 +36,11 @@ class Table {
   /// Number of rows.
   size_t num_rows() const { return rows_.size(); }
 
-  /// Width of the widest row (0 for an empty table).
-  size_t num_cols() const;
+  /// Width of the widest row (0 for an empty table). O(1): the width is
+  /// maintained eagerly across mutations (rows never shrink), so the hot
+  /// num_cells() size filter in the search no longer rescans every row
+  /// once per candidate.
+  size_t num_cols() const { return cols_; }
 
   /// Total number of cells within the logical num_rows x num_cols rectangle.
   size_t num_cells() const { return num_rows() * num_cols(); }
@@ -55,7 +58,10 @@ class Table {
   const std::vector<Row>& rows() const { return rows_; }
   const Row& row(size_t r) const { return rows_[r]; }
 
-  void AppendRow(Row row) { rows_.push_back(std::move(row)); }
+  void AppendRow(Row row) {
+    cols_ = std::max(cols_, row.size());
+    rows_.push_back(std::move(row));
+  }
 
   /// Pads every row with "" to the full table width, making the grid
   /// rectangular in place.
@@ -74,6 +80,10 @@ class Table {
 
   /// All cells of column `col` in row order, reading "" for short rows.
   std::vector<std::string> Column(size_t col) const;
+
+  /// Like Column but without copying cell contents: views into this
+  /// table's storage, valid until the table is mutated or destroyed.
+  std::vector<std::string_view> ColumnView(size_t col) const;
 
   /// The set of distinct alphanumeric characters over all cells. Used by the
   /// Missing-Alphanumerics pruning rule (§4.3).
@@ -101,6 +111,7 @@ class Table {
 
  private:
   std::vector<Row> rows_;
+  size_t cols_ = 0;  ///< Width of the widest row, kept current eagerly.
 };
 
 }  // namespace foofah

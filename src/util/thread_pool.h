@@ -1,0 +1,70 @@
+#ifndef FOOFAH_UTIL_THREAD_POOL_H_
+#define FOOFAH_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace foofah {
+
+/// A minimal fixed-size fork-join pool for data-parallel loops. Built for
+/// the search engine's expansion inner loop: the caller owns a batch of
+/// independent index-addressed work items, fans them out with ParallelFor,
+/// and continues serially once every item is done. There is no task queue
+/// and no work stealing — one job runs at a time, indices are handed out
+/// through a single atomic counter, and the calling thread participates,
+/// so a pool of size 1 degenerates to a plain serial loop with zero
+/// synchronization.
+///
+/// Tasks communicate failure through their result slots (Status or
+/// equivalent); they must not throw. The pool itself never throws.
+class ThreadPool {
+ public:
+  /// Creates a pool that runs jobs on `num_threads` threads total: the
+  /// calling thread plus `num_threads - 1` workers. Values below 2 spawn
+  /// no workers at all.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Invokes `body(i)` for every i in [0, count), spread across the pool,
+  /// and returns once all invocations have finished. The body may be
+  /// called concurrently from different threads with distinct indices;
+  /// iteration order is unspecified. Must not be called reentrantly from
+  /// inside a body, and the pool serves one ParallelFor at a time.
+  void ParallelFor(size_t count, const std::function<void(size_t)>& body);
+
+  /// Total threads participating in a job (workers + caller), >= 1.
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// The machine's hardware concurrency, clamped to >= 1 (the standard
+  /// permits hardware_concurrency() == 0 when unknown).
+  static int DefaultThreadCount();
+
+ private:
+  void WorkerLoop();
+  /// Drains indices from the shared counter until the job is exhausted.
+  void RunChunk();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // Signals workers: new job / shutdown.
+  std::condition_variable done_cv_;   // Signals caller: all workers done.
+  const std::function<void(size_t)>* body_ = nullptr;  // Guarded by job gen.
+  size_t count_ = 0;
+  std::atomic<size_t> next_{0};
+  size_t active_workers_ = 0;  // Workers yet to finish the current job.
+  uint64_t generation_ = 0;    // Bumped per job so workers never re-run one.
+  bool shutdown_ = false;
+};
+
+}  // namespace foofah
+
+#endif  // FOOFAH_UTIL_THREAD_POOL_H_

@@ -1,0 +1,122 @@
+#include "heuristic/heuristic_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace foofah {
+namespace {
+
+TEST(HeuristicCacheTest, MissThenHitAccounting) {
+  HeuristicCache cache;
+  EXPECT_FALSE(cache.Lookup(1, 2).has_value());
+  cache.Insert(1, 2, 3.5);
+  auto hit = cache.Lookup(1, 2);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 3.5);
+
+  HeuristicCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(HeuristicCacheTest, GoalHashSeparatesSearches) {
+  // The same state under two different goals must not share an estimate —
+  // this is what makes one cache safe to share across driver rounds.
+  HeuristicCache cache;
+  cache.Insert(/*state_hash=*/7, /*goal_hash=*/100, 1.0);
+  cache.Insert(/*state_hash=*/7, /*goal_hash=*/200, 9.0);
+  EXPECT_EQ(cache.Lookup(7, 100).value(), 1.0);
+  EXPECT_EQ(cache.Lookup(7, 200).value(), 9.0);
+  EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+TEST(HeuristicCacheTest, InsertOverwritesExistingKey) {
+  HeuristicCache cache;
+  cache.Insert(1, 1, 2.0);
+  cache.Insert(1, 1, 4.0);
+  EXPECT_EQ(cache.Lookup(1, 1).value(), 4.0);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(HeuristicCacheTest, ShardCountRoundsUpToPowerOfTwo) {
+  HeuristicCache cache(/*capacity=*/1024, /*num_shards=*/5);
+  EXPECT_EQ(cache.num_shards(), 8);
+  HeuristicCache one_shard(/*capacity=*/16, /*num_shards=*/1);
+  EXPECT_EQ(one_shard.num_shards(), 1);
+}
+
+TEST(HeuristicCacheTest, EvictionCapBoundsResidency) {
+  // Tiny cache: total capacity 32 spread over 4 shards. Inserting far more
+  // distinct keys must keep residency at or below capacity and report the
+  // displaced entries as evictions.
+  HeuristicCache cache(/*capacity=*/32, /*num_shards=*/4);
+  constexpr uint64_t kKeys = 10'000;
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    cache.Insert(k, /*goal_hash=*/42, static_cast<double>(k));
+  }
+  HeuristicCache::Stats stats = cache.stats();
+  EXPECT_LE(stats.entries, cache.capacity());
+  EXPECT_GT(stats.entries, 0u);
+  EXPECT_EQ(stats.evictions, kKeys - stats.entries);
+
+  // Resident survivors still return their exact value.
+  uint64_t verified = 0;
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    if (auto v = cache.Lookup(k, 42)) {
+      EXPECT_EQ(*v, static_cast<double>(k));
+      ++verified;
+    }
+  }
+  EXPECT_EQ(verified, stats.entries);
+}
+
+TEST(HeuristicCacheTest, ClearResetsEntriesAndCounters) {
+  HeuristicCache cache;
+  cache.Insert(1, 1, 1.0);
+  cache.Lookup(1, 1);
+  cache.Lookup(2, 2);
+  cache.Clear();
+  HeuristicCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_FALSE(cache.Lookup(1, 1).has_value());
+}
+
+TEST(HeuristicCacheTest, ConcurrentMixedUseIsSafeAndExact) {
+  // Hammer one cache from several threads with overlapping key ranges;
+  // every hit must carry the exact value its key was inserted with (the
+  // search relies on memo hits being indistinguishable from recomputes).
+  HeuristicCache cache(/*capacity=*/4096, /*num_shards=*/8);
+  constexpr int kThreads = 4;
+  constexpr uint64_t kKeysPerThread = 2'000;
+  std::vector<std::thread> threads;
+  std::atomic<uint64_t> mismatches{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &mismatches, t] {
+      for (uint64_t i = 0; i < kKeysPerThread; ++i) {
+        uint64_t key = (i + static_cast<uint64_t>(t) * 500) % 3'000;
+        if (auto v = cache.Lookup(key, 7)) {
+          if (*v != static_cast<double>(key) * 2.0) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        } else {
+          cache.Insert(key, 7, static_cast<double>(key) * 2.0);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+  HeuristicCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, kThreads * kKeysPerThread);
+}
+
+}  // namespace
+}  // namespace foofah

@@ -1,0 +1,218 @@
+// Determinism contract of the parallel expansion engine: any thread count
+// must produce bit-identical programs and search statistics (modulo the
+// heuristic-cache hit/miss split, which legitimately shifts because the
+// parallel engine estimates before deduplication). Also exercises the
+// ThreadPool primitive directly, since the search only ever drives it with
+// well-behaved batches.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#include "scenarios/corpus.h"
+#include "search/search.h"
+#include "util/thread_pool.h"
+
+namespace foofah {
+namespace {
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  constexpr size_t kCount = 10'000;
+  std::vector<std::atomic<int>> touched(kCount);
+  pool.ParallelFor(kCount, [&](size_t i) {
+    touched[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(touched[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, HandlesFewerItemsThanThreads) {
+  ThreadPool pool(8);
+  std::atomic<int> sum{0};
+  pool.ParallelFor(3, [&](size_t i) {
+    sum.fetch_add(static_cast<int>(i) + 1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 6);
+  pool.ParallelFor(0, [&](size_t) { FAIL() << "empty job ran a body"; });
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyJobs) {
+  ThreadPool pool(3);
+  std::atomic<uint64_t> total{0};
+  for (int job = 0; job < 200; ++job) {
+    pool.ParallelFor(17, [&](size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 200u * 17u);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  int sum = 0;  // No atomics needed: everything runs on this thread.
+  pool.ParallelFor(100, [&](size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum, 4950);
+}
+
+// Deterministic search configuration: wall-clock limits off, expansion
+// budget on, so every run explores the exact same graph prefix.
+SearchOptions DeterministicOptions(int num_threads) {
+  SearchOptions options;
+  options.timeout_ms = 0;
+  options.max_expansions = 30'000;
+  options.num_threads = num_threads;
+  return options;
+}
+
+void ExpectIdenticalOutcome(const SearchResult& serial,
+                            const SearchResult& parallel,
+                            const std::string& label) {
+  EXPECT_EQ(serial.found, parallel.found) << label;
+  EXPECT_EQ(serial.program, parallel.program) << label;
+  ASSERT_EQ(serial.alternatives.size(), parallel.alternatives.size()) << label;
+  for (size_t i = 0; i < serial.alternatives.size(); ++i) {
+    EXPECT_EQ(serial.alternatives[i], parallel.alternatives[i]) << label;
+  }
+  EXPECT_EQ(serial.stats.nodes_expanded, parallel.stats.nodes_expanded)
+      << label;
+  EXPECT_EQ(serial.stats.nodes_generated, parallel.stats.nodes_generated)
+      << label;
+  EXPECT_EQ(serial.stats.candidates_tried, parallel.stats.candidates_tried)
+      << label;
+  EXPECT_EQ(serial.stats.duplicates_skipped, parallel.stats.duplicates_skipped)
+      << label;
+  EXPECT_EQ(serial.stats.oversize_skipped, parallel.stats.oversize_skipped)
+      << label;
+  EXPECT_EQ(serial.stats.apply_failures, parallel.stats.apply_failures)
+      << label;
+  for (int r = 0; r < kNumPruneReasons; ++r) {
+    EXPECT_EQ(serial.stats.pruned_by_reason[r],
+              parallel.stats.pruned_by_reason[r])
+        << label << " prune reason " << r;
+  }
+  EXPECT_EQ(serial.stats.timed_out, parallel.stats.timed_out) << label;
+  EXPECT_EQ(serial.stats.budget_exhausted, parallel.stats.budget_exhausted)
+      << label;
+}
+
+// The full 50-scenario corpus, searched with 1, 2 and 8 threads: programs
+// and every pruning/accounting counter must match. Unsolvable scenarios
+// are included deliberately — they exhaust the expansion budget, so they
+// check that budget exits land on the identical candidate too.
+TEST(ParallelSearchTest, ThreadCountsAgreeOnFullCorpus) {
+  int covered = 0;
+  for (const Scenario& scenario : Corpus()) {
+    Result<ExamplePair> example =
+        scenario.MakeExample(std::min(2, scenario.total_records()));
+    ASSERT_TRUE(example.ok()) << scenario.name();
+
+    SearchOptions options = DeterministicOptions(1);
+    // Budget-bound runs (the unsolvable five) are the slow ones; a smaller
+    // deterministic cap keeps the full-corpus sweep fast without losing
+    // the budget-exit coverage.
+    if (!scenario.tags().solvable) options.max_expansions = 2'000;
+
+    SearchResult serial =
+        SynthesizeProgram(example->input, example->output, options);
+    for (int threads : {2, 8}) {
+      options.num_threads = threads;
+      SearchResult parallel =
+          SynthesizeProgram(example->input, example->output, options);
+      ExpectIdenticalOutcome(
+          serial, parallel,
+          scenario.name() + " threads=" + std::to_string(threads));
+    }
+    ++covered;
+  }
+  EXPECT_EQ(covered, 50);
+}
+
+// Tree-search mode (deduplication off) re-expands shared substructure —
+// the configuration the heuristic memo exists for — and must stay
+// deterministic too.
+TEST(ParallelSearchTest, AgreesWithDeduplicationDisabled) {
+  const Scenario* scenario = nullptr;
+  for (const Scenario& s : Corpus()) {
+    if (s.tags().solvable) {
+      scenario = &s;
+      break;
+    }
+  }
+  ASSERT_NE(scenario, nullptr);
+  Result<ExamplePair> example = scenario->MakeExample(1);
+  ASSERT_TRUE(example.ok());
+
+  SearchOptions serial_options = DeterministicOptions(1);
+  serial_options.deduplicate_states = false;
+  serial_options.max_expansions = 2'000;
+  SearchOptions parallel_options = serial_options;
+  parallel_options.num_threads = 4;
+
+  SearchResult serial =
+      SynthesizeProgram(example->input, example->output, serial_options);
+  SearchResult parallel =
+      SynthesizeProgram(example->input, example->output, parallel_options);
+  ExpectIdenticalOutcome(serial, parallel, scenario->name() + " no-dedup");
+}
+
+// BFS takes the non-heuristic frontier path; the phase split must not
+// disturb its FIFO order either.
+TEST(ParallelSearchTest, AgreesUnderBfsStrategy) {
+  const Scenario* scenario = nullptr;
+  for (const Scenario& s : Corpus()) {
+    if (s.tags().solvable) {
+      scenario = &s;
+      break;
+    }
+  }
+  ASSERT_NE(scenario, nullptr);
+  Result<ExamplePair> example = scenario->MakeExample(1);
+  ASSERT_TRUE(example.ok());
+
+  SearchOptions serial_options = DeterministicOptions(1);
+  serial_options.strategy = SearchStrategy::kBfs;
+  serial_options.max_expansions = 3'000;
+  SearchOptions parallel_options = serial_options;
+  parallel_options.num_threads = 4;
+
+  SearchResult serial =
+      SynthesizeProgram(example->input, example->output, serial_options);
+  SearchResult parallel =
+      SynthesizeProgram(example->input, example->output, parallel_options);
+  ExpectIdenticalOutcome(serial, parallel, scenario->name() + " bfs");
+}
+
+// The memo must be purely an accelerator: disabling it cannot change the
+// discovered program or the exploration statistics.
+TEST(ParallelSearchTest, HeuristicCacheDoesNotChangeResults) {
+  int covered = 0;
+  for (const Scenario& scenario : Corpus()) {
+    if (!scenario.tags().solvable) continue;
+    Result<ExamplePair> example = scenario.MakeExample(2);
+    ASSERT_TRUE(example.ok()) << scenario.name();
+
+    SearchOptions cached = DeterministicOptions(4);
+    SearchOptions uncached = cached;
+    uncached.cache_heuristic = false;
+
+    SearchResult with_cache =
+        SynthesizeProgram(example->input, example->output, cached);
+    SearchResult without_cache =
+        SynthesizeProgram(example->input, example->output, uncached);
+    ExpectIdenticalOutcome(without_cache, with_cache,
+                           scenario.name() + " cache ablation");
+    EXPECT_EQ(without_cache.stats.heuristic_cache_hits, 0u);
+    EXPECT_EQ(without_cache.stats.heuristic_cache_misses, 0u);
+    if (++covered == 5) break;
+  }
+  EXPECT_EQ(covered, 5);
+}
+
+}  // namespace
+}  // namespace foofah

@@ -90,6 +90,16 @@ SearchOptions FuzzOptions() {
   SearchOptions options;
   options.timeout_ms = 2'000;
   options.max_expansions = 8'000;
+#if defined(__SANITIZE_THREAD__)
+  // ThreadSanitizer slows the search ~10x; keep the expansion budget (the
+  // real fuzz bound) but widen the wall-clock limit so instrumented runs
+  // exercise the same search graph instead of timing out.
+  options.timeout_ms = 60'000;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+  options.timeout_ms = 60'000;
+#endif
+#endif
   return options;
 }
 

@@ -116,6 +116,38 @@ TEST(TableTest, AppendRow) {
   EXPECT_EQ(t.cell(0, 1), "b");
 }
 
+TEST(TableTest, NumColsTracksEveryMutationPath) {
+  // num_cols is maintained eagerly (O(1) reads on the search's hot size
+  // filter); every widening mutation must keep it current.
+  Table t;
+  EXPECT_EQ(t.num_cols(), 0u);
+  t.AppendRow({"a"});
+  EXPECT_EQ(t.num_cols(), 1u);
+  t.AppendRow({"b", "c", "d"});
+  EXPECT_EQ(t.num_cols(), 3u);
+  t.set_cell(0, 4, "wide");
+  EXPECT_EQ(t.num_cols(), 5u);
+  EXPECT_EQ(t.num_cells(), 10u);
+  t.Rectangularize();
+  EXPECT_EQ(t.num_cols(), 5u);
+
+  Table from_rows(std::vector<Table::Row>{{"x"}, {"y", "z"}});
+  EXPECT_EQ(from_rows.num_cols(), 2u);
+  Table from_list = {{"p", "q", "r"}, {"s"}};
+  EXPECT_EQ(from_list.num_cols(), 3u);
+}
+
+TEST(TableTest, ColumnViewMatchesColumnWithoutCopying) {
+  Table t = {{"a", "b"}, {"c"}, {"d", "e"}};
+  std::vector<std::string_view> view = t.ColumnView(1);
+  ASSERT_EQ(view.size(), 3u);
+  EXPECT_EQ(view[0], "b");
+  EXPECT_EQ(view[1], "");  // Short row reads as empty.
+  EXPECT_EQ(view[2], "e");
+  // Views alias the table's storage, not copies of it.
+  EXPECT_EQ(view[0].data(), t.cell(0, 1).data());
+}
+
 TEST(TableTest, ToStringRendersGrid) {
   Table t = {{"ab", "c"}};
   std::string s = t.ToString();
