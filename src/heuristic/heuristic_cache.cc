@@ -22,7 +22,8 @@ HeuristicCache::HeuristicCache(size_t capacity, int num_shards) {
 }
 
 std::optional<double> HeuristicCache::Lookup(uint64_t state_hash,
-                                             uint64_t goal_hash) {
+                                             uint64_t goal_hash,
+                                             uint64_t checksum) {
   Key key{state_hash, goal_hash};
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
@@ -31,18 +32,25 @@ std::optional<double> HeuristicCache::Lookup(uint64_t state_hash,
     misses_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
+  if (it->second.checksum != checksum) {
+    // Detected 64-bit hash collision: this entry belongs to a
+    // different-shaped state. Never serve it.
+    collisions_.fetch_add(1, std::memory_order_relaxed);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
   hits_.fetch_add(1, std::memory_order_relaxed);
-  return it->second;
+  return it->second.estimate;
 }
 
 void HeuristicCache::Insert(uint64_t state_hash, uint64_t goal_hash,
-                            double estimate) {
+                            uint64_t checksum, double estimate) {
   Key key{state_hash, goal_hash};
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
-  auto [it, inserted] = shard.map.try_emplace(key, estimate);
+  auto [it, inserted] = shard.map.try_emplace(key, Entry{estimate, checksum});
   if (!inserted) {
-    it->second = estimate;
+    it->second = Entry{estimate, checksum};
     return;
   }
   if (shard.map.size() > shard_capacity_) {
@@ -63,6 +71,7 @@ void HeuristicCache::Clear() {
   }
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
+  collisions_.store(0, std::memory_order_relaxed);
   evictions_.store(0, std::memory_order_relaxed);
 }
 
@@ -70,6 +79,7 @@ HeuristicCache::Stats HeuristicCache::stats() const {
   Stats stats;
   stats.hits = hits_.load(std::memory_order_relaxed);
   stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.collisions = collisions_.load(std::memory_order_relaxed);
   stats.evictions = evictions_.load(std::memory_order_relaxed);
   for (const Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);

@@ -18,7 +18,14 @@ namespace foofah {
 /// the full DP again. Heuristics are pure functions of (state, goal), so a
 /// memo hit is exact, not approximate; the only inaccuracy risk is a
 /// 128-bit key collision, which FNV-1a over full cell contents makes
-/// negligible for the table sizes Foofah targets.
+/// negligible for the table sizes Foofah targets. As a belt-and-braces
+/// guard, every entry also carries the caller's checksum (the state's
+/// shape fingerprint): a resident entry whose checksum disagrees with the
+/// lookup's is a detected collision and is reported as a miss (and counted
+/// in Stats::collisions) instead of silently serving another state's
+/// estimate. Only a same-shape content collision could still slip through;
+/// disabling the memo entirely (SearchOptions::cache_heuristic = false,
+/// `--no-cache` in the CLI) remains the escape hatch.
 ///
 /// The table is split into shards, each with its own mutex and map, so the
 /// parallel expansion threads rarely contend. Capacity is enforced per
@@ -35,7 +42,8 @@ class HeuristicCache {
   /// Aggregate counters since construction (or the last Clear()).
   struct Stats {
     uint64_t hits = 0;
-    uint64_t misses = 0;    ///< Lookups that found nothing.
+    uint64_t misses = 0;    ///< Lookups that found nothing (collisions incl.).
+    uint64_t collisions = 0; ///< Hash hits rejected by checksum mismatch.
     uint64_t evictions = 0; ///< Entries displaced by capacity pressure.
     size_t entries = 0;     ///< Currently resident estimates.
   };
@@ -52,13 +60,19 @@ class HeuristicCache {
   HeuristicCache& operator=(const HeuristicCache&) = delete;
 
   /// The cached estimate for (state_hash, goal_hash), or nullopt. Counts a
-  /// hit or a miss.
-  std::optional<double> Lookup(uint64_t state_hash, uint64_t goal_hash);
+  /// hit or a miss. A resident entry whose stored checksum differs from
+  /// `checksum` is a detected hash collision: it is reported as a miss
+  /// (plus a collision) rather than served.
+  std::optional<double> Lookup(uint64_t state_hash, uint64_t goal_hash,
+                               uint64_t checksum);
 
-  /// Memoizes `estimate`; overwrites any previous value for the key (the
-  /// value is identical anyway for a pure heuristic). Evicts when the
-  /// shard is at capacity.
-  void Insert(uint64_t state_hash, uint64_t goal_hash, double estimate);
+  /// Memoizes `estimate` tagged with `checksum`; overwrites any previous
+  /// value for the key (the value is identical anyway for a pure heuristic
+  /// unless the key collided, in which case last-writer-wins is as good as
+  /// any policy for an unrepresentable pair). Evicts when the shard is at
+  /// capacity.
+  void Insert(uint64_t state_hash, uint64_t goal_hash, uint64_t checksum,
+              double estimate);
 
   /// Drops every entry and resets the counters.
   void Clear();
@@ -86,9 +100,13 @@ class HeuristicCache {
       return static_cast<size_t>(x);
     }
   };
+  struct Entry {
+    double estimate;
+    uint64_t checksum;  ///< The state's shape fingerprint at insert time.
+  };
   struct Shard {
     mutable std::mutex mu;
-    std::unordered_map<Key, double, KeyHash> map;
+    std::unordered_map<Key, Entry, KeyHash> map;
   };
 
   Shard& ShardFor(const Key& key) {
@@ -102,6 +120,7 @@ class HeuristicCache {
   size_t shard_capacity_;
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> collisions_{0};
   std::atomic<uint64_t> evictions_{0};
 };
 

@@ -1,7 +1,9 @@
 #include "ops/operators.h"
 
 #include <map>
+#include <mutex>
 #include <regex>
+#include <shared_mutex>
 #include <sstream>
 #include <vector>
 
@@ -301,23 +303,37 @@ Result<Table> ApplyExtract(const Table& t, int col, const std::string& regex) {
     return BadColumn("extract", col, ncols);
   }
   // Compiled patterns are cached: the search loop re-applies the same small
-  // set of Extract candidates across many states. Leaked static per the
-  // style guide's static-storage-duration rules (never destroyed).
+  // set of Extract candidates across many states, and the parallel engine
+  // calls in from several pool workers at once, so the cache is guarded by
+  // a reader/writer lock. std::map never invalidates references on insert,
+  // so a pointer obtained under the lock stays valid for the match loop
+  // below (matching against a const std::regex is thread-safe). Leaked
+  // statics per the style guide's static-storage-duration rules (never
+  // destroyed).
+  static std::shared_mutex& cache_mu = *new std::shared_mutex();
   static auto& cache = *new std::map<std::string, std::regex>();
-  auto it = cache.find(regex);
-  if (it == cache.end()) {
+  const std::regex* re = nullptr;
+  {
+    std::shared_lock<std::shared_mutex> lock(cache_mu);
+    auto it = cache.find(regex);
+    if (it != cache.end()) re = &it->second;
+  }
+  if (re == nullptr) {
     std::regex compiled;
     // std::regex reports malformed patterns via regex_error; translate to a
-    // Status to keep the library exception-free at API boundaries.
+    // Status to keep the library exception-free at API boundaries. Compile
+    // outside the lock: only the map insert needs exclusivity.
     try {
       compiled.assign(regex, std::regex::ECMAScript);
     } catch (const std::regex_error& e) {
       return Status::InvalidArgument(std::string("extract: bad regex: ") +
                                      e.what());
     }
-    it = cache.emplace(regex, std::move(compiled)).first;
+    std::unique_lock<std::shared_mutex> lock(cache_mu);
+    // try_emplace keeps the first compilation if another thread raced us
+    // here; both compiled from the same string, so either is correct.
+    re = &cache.try_emplace(regex, std::move(compiled)).first->second;
   }
-  const std::regex& re = it->second;
   std::vector<Row> rows;
   rows.reserve(t.num_rows());
   for (size_t r = 0; r < t.num_rows(); ++r) {
@@ -329,7 +345,7 @@ Result<Table> ApplyExtract(const Table& t, int col, const std::string& regex) {
         std::smatch match;
         const std::string& value = t.cell(r, c);
         std::string extracted;
-        if (std::regex_search(value, match, re)) {
+        if (std::regex_search(value, match, *re)) {
           // A capture group, when present, selects the extracted portion
           // (supports the Appendix B "prefix/suffix" usage).
           extracted = match.size() > 1 && match[1].matched

@@ -41,7 +41,7 @@ std::string RunToRegex(const TokenRun& run) {
 
 }  // namespace
 
-ValueStructure Tokenize(const std::string& value) {
+ValueStructure Tokenize(std::string_view value) {
   ValueStructure structure;
   size_t i = 0;
   while (i < value.size()) {
@@ -63,10 +63,10 @@ ValueStructure Tokenize(const std::string& value) {
 }
 
 Result<ValueStructure> InferStructure(
-    const std::vector<std::string>& values) {
+    const std::vector<std::string_view>& values) {
   ValueStructure common;
   bool initialized = false;
-  for (const std::string& value : values) {
+  for (std::string_view value : values) {
     if (value.empty()) continue;
     ValueStructure structure = Tokenize(value);
     if (!initialized) {
@@ -105,8 +105,10 @@ std::string StructureToRegex(const ValueStructure& structure,
 
 ColumnProfile ProfileColumn(const Table& table, size_t col) {
   ColumnProfile profile;
-  std::vector<std::string> values = table.Column(col);
-  for (const std::string& value : values) {
+  // Zero-copy read: the views stay valid for the duration of this call and
+  // profiling only tokenizes, never mutates.
+  std::vector<std::string_view> values = table.ColumnView(col);
+  for (std::string_view value : values) {
     if (!value.empty()) ++profile.non_empty_values;
   }
   Result<ValueStructure> structure = InferStructure(values);

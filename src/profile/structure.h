@@ -2,6 +2,7 @@
 #define FOOFAH_PROFILE_STRUCTURE_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "ops/registry.h"
@@ -39,14 +40,16 @@ struct TokenRun {
 using ValueStructure = std::vector<TokenRun>;
 
 /// Tokenizes one value into class runs ("Tel:(800)" -> alpha ':' '(' digits
-/// ')'). Empty input yields an empty structure.
-ValueStructure Tokenize(const std::string& value);
+/// ')'). Empty input yields an empty structure. Takes a view: profiling
+/// reads cells through Table::ColumnView without copying them.
+ValueStructure Tokenize(std::string_view value);
 
 /// Infers the common structure of the non-empty values: all must share the
 /// same run-class sequence (lengths may vary and are merged into ranges).
 /// Fails with InvalidArgument when the values are structurally
 /// heterogeneous or all empty.
-Result<ValueStructure> InferStructure(const std::vector<std::string>& values);
+Result<ValueStructure> InferStructure(
+    const std::vector<std::string_view>& values);
 
 /// Renders a structure as an anchored ECMAScript regex; when `capture_run`
 /// is a valid index, that run becomes the single capture group (the

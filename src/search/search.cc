@@ -193,12 +193,17 @@ SearchResult SynthesizeProgram(const Table& input, const Table& goal,
     double h;
     if (cache != nullptr) {
       const uint64_t state_hash = state.Hash();
-      if (std::optional<double> memo = cache->Lookup(state_hash, goal_hash)) {
+      // Shape fingerprint rides along as a collision check: a memo entry
+      // whose fingerprint disagrees was written by a hash-colliding state
+      // and must not steer this one.
+      const uint64_t checksum = state.ShapeFingerprint();
+      if (std::optional<double> memo =
+              cache->Lookup(state_hash, goal_hash, checksum)) {
         if (outcome != nullptr) *outcome = CacheOutcome::kHit;
         h = *memo;
       } else {
         h = heuristic->Estimate(state, goal);
-        cache->Insert(state_hash, goal_hash, h);
+        cache->Insert(state_hash, goal_hash, checksum, h);
         if (outcome != nullptr) *outcome = CacheOutcome::kMiss;
       }
     } else {

@@ -124,6 +124,12 @@ uint64_t Table::Hash() const {
   return hash;
 }
 
+uint64_t Table::ShapeFingerprint() const {
+  uint64_t cells = 0;
+  for (const Row& row : rows_) cells += TrimmedLength(row);
+  return (static_cast<uint64_t>(rows_.size()) << 32) ^ cells;
+}
+
 bool Table::ContentEquals(const Table& other) const {
   if (num_rows() != other.num_rows()) return false;
   for (size_t r = 0; r < num_rows(); ++r) {

@@ -98,6 +98,13 @@ class Table {
   /// ContentEquals below).
   uint64_t Hash() const;
 
+  /// A cheap O(num_rows) shape fingerprint (row count combined with the
+  /// total logical row lengths), stable under ContentEquals like Hash().
+  /// Used as a secondary check on Hash()-keyed lookups: two tables that
+  /// collide in Hash() almost surely differ in shape, so a fingerprint
+  /// mismatch exposes the collision.
+  uint64_t ShapeFingerprint() const;
+
   /// Equality modulo trailing empty cells in each row: a ragged row and its
   /// padded counterpart are the same logical row.
   bool ContentEquals(const Table& other) const;

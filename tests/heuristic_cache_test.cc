@@ -11,9 +11,9 @@ namespace {
 
 TEST(HeuristicCacheTest, MissThenHitAccounting) {
   HeuristicCache cache;
-  EXPECT_FALSE(cache.Lookup(1, 2).has_value());
-  cache.Insert(1, 2, 3.5);
-  auto hit = cache.Lookup(1, 2);
+  EXPECT_FALSE(cache.Lookup(1, 2, 0).has_value());
+  cache.Insert(1, 2, 0, 3.5);
+  auto hit = cache.Lookup(1, 2, 0);
   ASSERT_TRUE(hit.has_value());
   EXPECT_EQ(*hit, 3.5);
 
@@ -28,20 +28,42 @@ TEST(HeuristicCacheTest, GoalHashSeparatesSearches) {
   // The same state under two different goals must not share an estimate —
   // this is what makes one cache safe to share across driver rounds.
   HeuristicCache cache;
-  cache.Insert(/*state_hash=*/7, /*goal_hash=*/100, 1.0);
-  cache.Insert(/*state_hash=*/7, /*goal_hash=*/200, 9.0);
-  EXPECT_EQ(cache.Lookup(7, 100).value(), 1.0);
-  EXPECT_EQ(cache.Lookup(7, 200).value(), 9.0);
+  cache.Insert(/*state_hash=*/7, /*goal_hash=*/100, /*checksum=*/0, 1.0);
+  cache.Insert(/*state_hash=*/7, /*goal_hash=*/200, /*checksum=*/0, 9.0);
+  EXPECT_EQ(cache.Lookup(7, 100, 0).value(), 1.0);
+  EXPECT_EQ(cache.Lookup(7, 200, 0).value(), 9.0);
   EXPECT_EQ(cache.stats().entries, 2u);
 }
 
 TEST(HeuristicCacheTest, InsertOverwritesExistingKey) {
   HeuristicCache cache;
-  cache.Insert(1, 1, 2.0);
-  cache.Insert(1, 1, 4.0);
-  EXPECT_EQ(cache.Lookup(1, 1).value(), 4.0);
+  cache.Insert(1, 1, 0, 2.0);
+  cache.Insert(1, 1, 0, 4.0);
+  EXPECT_EQ(cache.Lookup(1, 1, 0).value(), 4.0);
   EXPECT_EQ(cache.stats().entries, 1u);
   EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(HeuristicCacheTest, ChecksumMismatchRejectsCollidingEntry) {
+  // Two distinct states colliding in the 64-bit content hash present the
+  // same key with different shape fingerprints: the resident entry must
+  // not be served for the other state.
+  HeuristicCache cache;
+  cache.Insert(/*state_hash=*/11, /*goal_hash=*/5, /*checksum=*/100, 2.0);
+  EXPECT_FALSE(cache.Lookup(11, 5, /*checksum=*/999).has_value());
+  EXPECT_EQ(cache.Lookup(11, 5, /*checksum=*/100).value(), 2.0);
+
+  HeuristicCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.collisions, 1u);
+  EXPECT_EQ(stats.misses, 1u);  // The rejected lookup counts as a miss.
+  EXPECT_EQ(stats.hits, 1u);
+
+  // The colliding state's own insert overwrites (last-writer-wins) and is
+  // then served under its checksum only.
+  cache.Insert(11, 5, /*checksum=*/999, 7.0);
+  EXPECT_EQ(cache.Lookup(11, 5, 999).value(), 7.0);
+  EXPECT_FALSE(cache.Lookup(11, 5, 100).has_value());
+  EXPECT_EQ(cache.stats().entries, 1u);
 }
 
 TEST(HeuristicCacheTest, ShardCountRoundsUpToPowerOfTwo) {
@@ -58,7 +80,7 @@ TEST(HeuristicCacheTest, EvictionCapBoundsResidency) {
   HeuristicCache cache(/*capacity=*/32, /*num_shards=*/4);
   constexpr uint64_t kKeys = 10'000;
   for (uint64_t k = 0; k < kKeys; ++k) {
-    cache.Insert(k, /*goal_hash=*/42, static_cast<double>(k));
+    cache.Insert(k, /*goal_hash=*/42, /*checksum=*/0, static_cast<double>(k));
   }
   HeuristicCache::Stats stats = cache.stats();
   EXPECT_LE(stats.entries, cache.capacity());
@@ -68,7 +90,7 @@ TEST(HeuristicCacheTest, EvictionCapBoundsResidency) {
   // Resident survivors still return their exact value.
   uint64_t verified = 0;
   for (uint64_t k = 0; k < kKeys; ++k) {
-    if (auto v = cache.Lookup(k, 42)) {
+    if (auto v = cache.Lookup(k, 42, 0)) {
       EXPECT_EQ(*v, static_cast<double>(k));
       ++verified;
     }
@@ -78,15 +100,15 @@ TEST(HeuristicCacheTest, EvictionCapBoundsResidency) {
 
 TEST(HeuristicCacheTest, ClearResetsEntriesAndCounters) {
   HeuristicCache cache;
-  cache.Insert(1, 1, 1.0);
-  cache.Lookup(1, 1);
-  cache.Lookup(2, 2);
+  cache.Insert(1, 1, 0, 1.0);
+  cache.Lookup(1, 1, 0);
+  cache.Lookup(2, 2, 0);
   cache.Clear();
   HeuristicCache::Stats stats = cache.stats();
   EXPECT_EQ(stats.entries, 0u);
   EXPECT_EQ(stats.hits, 0u);
   EXPECT_EQ(stats.misses, 0u);
-  EXPECT_FALSE(cache.Lookup(1, 1).has_value());
+  EXPECT_FALSE(cache.Lookup(1, 1, 0).has_value());
 }
 
 TEST(HeuristicCacheTest, ConcurrentMixedUseIsSafeAndExact) {
@@ -102,12 +124,12 @@ TEST(HeuristicCacheTest, ConcurrentMixedUseIsSafeAndExact) {
     threads.emplace_back([&cache, &mismatches, t] {
       for (uint64_t i = 0; i < kKeysPerThread; ++i) {
         uint64_t key = (i + static_cast<uint64_t>(t) * 500) % 3'000;
-        if (auto v = cache.Lookup(key, 7)) {
+        if (auto v = cache.Lookup(key, 7, key)) {
           if (*v != static_cast<double>(key) * 2.0) {
             mismatches.fetch_add(1, std::memory_order_relaxed);
           }
         } else {
-          cache.Insert(key, 7, static_cast<double>(key) * 2.0);
+          cache.Insert(key, 7, key, static_cast<double>(key) * 2.0);
         }
       }
     });

@@ -9,8 +9,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <string>
 #include <vector>
 
+#include "ops/operators.h"
+#include "profile/structure.h"
 #include "scenarios/corpus.h"
 #include "search/search.h"
 #include "util/thread_pool.h"
@@ -186,6 +189,53 @@ TEST(ParallelSearchTest, AgreesUnderBfsStrategy) {
   SearchResult parallel =
       SynthesizeProgram(example->input, example->output, parallel_options);
   ExpectIdenticalOutcome(serial, parallel, scenario->name() + " bfs");
+}
+
+// ApplyExtract memoizes compiled regexes in a process-wide cache that the
+// pool workers read and populate concurrently. Hammering it with patterns
+// no other test uses puts several workers in the same pattern's
+// first-compilation window at once — the exact find/emplace race the
+// reader/writer lock exists for (and the path the TSAN run must see).
+TEST(ParallelSearchTest, ExtractRegexCacheIsThreadSafe) {
+  ThreadPool pool(8);
+  Table t({{"a1"}, {"b22"}, {"c333"}});
+  constexpr size_t kJobs = 64;
+  std::atomic<int> failures{0};
+  pool.ParallelFor(kJobs, [&](size_t i) {
+    // 8 distinct fresh patterns, each requested by ~8 jobs.
+    std::string pattern = "x?[0-9]{" + std::to_string(i % 8 + 1) + ",}";
+    Result<Table> out = ApplyOperation(t, Extract(0, pattern));
+    if (!out.ok()) failures.fetch_add(1, std::memory_order_relaxed);
+    // Malformed patterns exercise the compile-failure path concurrently;
+    // they must report InvalidArgument without poisoning the cache.
+    Result<Table> bad = ApplyOperation(t, Extract(0, "(unclosed"));
+    if (bad.ok()) failures.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// End-to-end Extract coverage for the parallel engine: inferred patterns
+// are unique to this input, and the highest thread count runs first, so
+// each pattern's first compilation happens inside a parallel expansion.
+TEST(ParallelSearchTest, InferredExtractPatternsAgreeAcrossThreads) {
+  Table input({{"ab:12"}, {"cd:34"}, {"ef:56"}});
+  Table goal({{"ab:12", "12"}, {"cd:34", "34"}, {"ef:56", "56"}});
+  OperatorRegistry registry =
+      RegistryWithInferredPatterns(input, OperatorRegistry::Default());
+  ASSERT_GT(registry.extract_patterns().size(),
+            OperatorRegistry::Default().extract_patterns().size());
+
+  SearchOptions options = DeterministicOptions(8);
+  options.registry = &registry;
+  SearchResult eight = SynthesizeProgram(input, goal, options);
+  EXPECT_TRUE(eight.found);
+  for (int threads : {2, 1}) {
+    options.num_threads = threads;
+    SearchResult other = SynthesizeProgram(input, goal, options);
+    ExpectIdenticalOutcome(other, eight,
+                           "inferred-extract threads=" +
+                               std::to_string(threads) + " vs 8");
+  }
 }
 
 // The memo must be purely an accelerator: disabling it cannot change the
