@@ -1,0 +1,65 @@
+#include "alloc_counter.h"
+
+#include <sys/resource.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace foofah::bench {
+namespace {
+
+// Relaxed is enough: the counters are read between workload phases on the
+// measuring thread, never used for synchronization.
+std::atomic<uint64_t> g_allocations{0};
+std::atomic<uint64_t> g_bytes{0};
+
+void* CountedAlloc(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(size, std::memory_order_relaxed);
+  if (void* p = std::malloc(size != 0 ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+}  // namespace
+
+AllocCounters AllocSnapshot() {
+  return AllocCounters{g_allocations.load(std::memory_order_relaxed),
+                       g_bytes.load(std::memory_order_relaxed)};
+}
+
+size_t PeakRssKb() {
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<size_t>(usage.ru_maxrss);  // Kilobytes on Linux.
+}
+
+}  // namespace foofah::bench
+
+// Replacement global allocation functions ([new.delete.single]): counting
+// wrappers around malloc/free. Over-aligned variants are not replaced —
+// nothing in the measured code path uses extended alignment, and the
+// default implementations stay consistent because these replacements use
+// plain malloc/free.
+void* operator new(std::size_t size) { return foofah::bench::CountedAlloc(size); }
+void* operator new[](std::size_t size) {
+  return foofah::bench::CountedAlloc(size);
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  foofah::bench::g_allocations.fetch_add(1, std::memory_order_relaxed);
+  foofah::bench::g_bytes.fetch_add(size, std::memory_order_relaxed);
+  return std::malloc(size != 0 ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t& tag) noexcept {
+  return operator new(size, tag);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}

@@ -1,0 +1,46 @@
+#ifndef FOOFAH_BENCH_ALLOC_COUNTER_H_
+#define FOOFAH_BENCH_ALLOC_COUNTER_H_
+
+// Process-wide heap-allocation and peak-RSS counters for the experiment
+// drivers and microbenchmarks. Linking alloc_counter.cc into a binary
+// replaces the global operator new/delete with counting versions; the
+// counters then measure every heap allocation the process makes (strings,
+// rows, spines, containers — the things a Table-copy-heavy search is made
+// of). The replacement is bench-only: the library and tests are never
+// linked against it.
+//
+// Usage:
+//   AllocCounters before = AllocSnapshot();
+//   ... workload ...
+//   AllocCounters delta = AllocSnapshot() - before;
+//   // delta.allocations, delta.bytes
+//
+// Peak RSS comes from getrusage(RUSAGE_SELF) and is monotone over the
+// process lifetime — report it once at the end of a driver, not as a
+// per-phase delta.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace foofah::bench {
+
+struct AllocCounters {
+  uint64_t allocations = 0;  ///< Calls to operator new / new[].
+  uint64_t bytes = 0;        ///< Sum of requested sizes.
+
+  AllocCounters operator-(const AllocCounters& other) const {
+    return AllocCounters{allocations - other.allocations,
+                         bytes - other.bytes};
+  }
+};
+
+/// Current totals since process start. All zeros unless alloc_counter.cc
+/// is linked into the binary (the counting operator new defines them).
+AllocCounters AllocSnapshot();
+
+/// Peak resident set size of this process in kilobytes (0 if unavailable).
+size_t PeakRssKb();
+
+}  // namespace foofah::bench
+
+#endif  // FOOFAH_BENCH_ALLOC_COUNTER_H_

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "alloc_counter.h"
 #include "core/driver.h"
 #include "scenarios/corpus.h"
 #include "search/search.h"
@@ -115,6 +116,20 @@ inline void PrintTimeCurveHeader() {
     std::printf(" %7d%%", percent);
   }
   std::printf("\n");
+}
+
+/// One-line resource footer for a driver or a phase of one: heap
+/// allocations/bytes since `since` and the process peak RSS so far. The
+/// search's dominant cost is allocation in successor states, so the
+/// figure drivers report it alongside their timing curves.
+inline void PrintResourceFooter(const char* label,
+                                const AllocCounters& since) {
+  AllocCounters delta = AllocSnapshot() - since;
+  std::printf(
+      "%-14s allocs=%llu alloc_mb=%.1f peak_rss_mb=%.1f\n", label,
+      static_cast<unsigned long long>(delta.allocations),
+      static_cast<double>(delta.bytes) / (1024.0 * 1024.0),
+      static_cast<double>(PeakRssKb()) / 1024.0);
 }
 
 }  // namespace foofah::bench

@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "alloc_counter.h"
 #include "core/synthesizer.h"
 #include "heuristic/naive_heuristic.h"
 #include "heuristic/ted.h"
@@ -37,6 +38,18 @@ Table MakeContactsOutput(int records) {
     t.AppendRow({"Person " + id, "(800)645-" + id, "(907)586-" + id});
   }
   return t;
+}
+
+/// Attaches per-iteration heap-allocation counters (count and KiB) for the
+/// work done since `before` — the regression signal for the copy-on-write
+/// table substrate, whose whole point is fewer successor allocations.
+void ReportAllocs(benchmark::State& state, const bench::AllocCounters& before) {
+  bench::AllocCounters delta = bench::AllocSnapshot() - before;
+  state.counters["allocs"] = benchmark::Counter(
+      static_cast<double>(delta.allocations), benchmark::Counter::kAvgIterations);
+  state.counters["allocKB"] = benchmark::Counter(
+      static_cast<double>(delta.bytes) / 1024.0,
+      benchmark::Counter::kAvgIterations);
 }
 
 void BM_GreedyTed(benchmark::State& state) {
@@ -107,14 +120,44 @@ void BM_TableHash(benchmark::State& state) {
 }
 BENCHMARK(BM_TableHash)->Arg(4)->Arg(32);
 
+// The successor-state pattern of the A* search: copy the parent table
+// wholesale (arena/state snapshot). Under the copy-on-write substrate this
+// is an O(1) handle copy instead of a deep clone of every cell.
+void BM_TableSuccessorCopy(benchmark::State& state) {
+  Table in = MakeContactsInput(static_cast<int>(state.range(0)));
+  bench::AllocCounters before = bench::AllocSnapshot();
+  for (auto _ : state) {
+    Table copy = in;
+    benchmark::DoNotOptimize(copy.num_cells());
+  }
+  ReportAllocs(state, before);
+}
+BENCHMARK(BM_TableSuccessorCopy)->Arg(4)->Arg(32)->Arg(256);
+
+// A row-removing operator: under copy-on-write the surviving rows are
+// shared handles, so the child allocates O(1) row storage instead of
+// deep-copying every surviving cell.
+void BM_ApplyDeleteRow(benchmark::State& state) {
+  Table in = MakeContactsInput(static_cast<int>(state.range(0)));
+  Operation op = DeleteRow(0);
+  bench::AllocCounters before = bench::AllocSnapshot();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ApplyOperation(in, op));
+  }
+  ReportAllocs(state, before);
+}
+BENCHMARK(BM_ApplyDeleteRow)->Arg(4)->Arg(32);
+
 void BM_SynthesizeMotivatingExample(benchmark::State& state) {
   Table in = MakeContactsInput(2);
   Table out = MakeContactsOutput(2);
   Foofah foofah;
+  bench::AllocCounters before = bench::AllocSnapshot();
   for (auto _ : state) {
     SearchResult r = foofah.Synthesize(in, out);
     benchmark::DoNotOptimize(r.found);
   }
+  ReportAllocs(state, before);
 }
 BENCHMARK(BM_SynthesizeMotivatingExample)->Unit(benchmark::kMillisecond);
 
@@ -128,10 +171,12 @@ void BM_SynthesizeParallel(benchmark::State& state) {
   SearchOptions options;
   options.num_threads = static_cast<int>(state.range(0));
   Foofah foofah(options);
+  bench::AllocCounters before = bench::AllocSnapshot();
   for (auto _ : state) {
     SearchResult r = foofah.Synthesize(in, out);
     benchmark::DoNotOptimize(r.found);
   }
+  ReportAllocs(state, before);
 }
 BENCHMARK(BM_SynthesizeParallel)
     ->ArgName("threads")

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Repository check gate: normal build + full test suite, then a
 # ThreadSanitizer build running the concurrency-sensitive tests (the
-# parallel search engine, the heuristic memo, and the synthesis fuzzer).
+# parallel search engine, the heuristic memo, and the synthesis fuzzer),
+# then an AddressSanitizer build running the memory-sensitive tests (the
+# copy-on-write table substrate and every operator path over it).
 #
-# Usage: scripts/check.sh [--skip-tsan]
+# Usage: scripts/check.sh [--skip-tsan] [--skip-asan]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -14,16 +16,37 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "${JOBS}"
 ctest --test-dir build --output-on-failure -j "${JOBS}"
 
-if [[ "${1:-}" == "--skip-tsan" ]]; then
+SKIP_TSAN=0
+SKIP_ASAN=0
+for arg in "$@"; do
+  case "${arg}" in
+    --skip-tsan) SKIP_TSAN=1 ;;
+    --skip-asan) SKIP_ASAN=1 ;;
+    *) echo "unknown option: ${arg}" >&2; exit 2 ;;
+  esac
+done
+
+if [[ "${SKIP_TSAN}" == 1 ]]; then
   echo "== TSan stage skipped =="
-  exit 0
+else
+  echo "== ThreadSanitizer build + tsan-labeled tests =="
+  cmake -B build-tsan -S . -DFOOFAH_TSAN=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build build-tsan -j "${JOBS}" \
+    --target parallel_search_test heuristic_cache_test synthesis_fuzz_test
+  ctest --test-dir build-tsan --output-on-failure -L tsan -j "${JOBS}"
 fi
 
-echo "== ThreadSanitizer build + tsan-labeled tests =="
-cmake -B build-tsan -S . -DFOOFAH_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  >/dev/null
-cmake --build build-tsan -j "${JOBS}" \
-  --target parallel_search_test heuristic_cache_test synthesis_fuzz_test
-ctest --test-dir build-tsan --output-on-failure -L tsan -j "${JOBS}"
+if [[ "${SKIP_ASAN}" == 1 ]]; then
+  echo "== ASan stage skipped =="
+else
+  echo "== AddressSanitizer build + asan-labeled tests =="
+  cmake -B build-asan -S . -DFOOFAH_ASAN=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build build-asan -j "${JOBS}" \
+    --target table_test table_diff_test operators_test operators_edge_test \
+    extension_ops_test table_cow_diff_test synthesis_fuzz_test
+  ctest --test-dir build-asan --output-on-failure -L asan -j "${JOBS}"
+fi
 
 echo "All checks passed."

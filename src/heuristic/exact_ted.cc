@@ -18,13 +18,17 @@ struct FlatCell {
 };
 
 std::vector<FlatCell> Flatten(const Table& t) {
+  static const std::string kEmpty;
   std::vector<FlatCell> cells;
   int nrows = static_cast<int>(t.num_rows());
   int ncols = static_cast<int>(t.num_cols());
   cells.reserve(static_cast<size_t>(nrows) * ncols);
   for (int r = 0; r < nrows; ++r) {
+    // Zero-copy row view into the shared CoW storage (see ted.cc).
+    const Table::Row& row = t.row(static_cast<size_t>(r));
+    int stored = static_cast<int>(row.size());
     for (int c = 0; c < ncols; ++c) {
-      cells.push_back(FlatCell{r, c, &t.cell(r, c)});
+      cells.push_back(FlatCell{r, c, c < stored ? &row[c] : &kEmpty});
     }
   }
   return cells;

@@ -16,13 +16,19 @@ struct Cell {
 };
 
 std::vector<Cell> Flatten(const Table& t) {
+  static const std::string kEmpty;
   std::vector<Cell> cells;
   int nrows = static_cast<int>(t.num_rows());
   int ncols = static_cast<int>(t.num_cols());
   cells.reserve(static_cast<size_t>(nrows) * ncols);
   for (int r = 0; r < nrows; ++r) {
+    // Zero-copy row view into the (possibly shared) CoW storage: one
+    // bounds decision per row instead of two per cell(r, c) call — this
+    // flattening fronts every TED estimate on the search's hot path.
+    const Table::Row& row = t.row(static_cast<size_t>(r));
+    int stored = static_cast<int>(row.size());
     for (int c = 0; c < ncols; ++c) {
-      cells.push_back(Cell{r, c, &t.cell(r, c)});
+      cells.push_back(Cell{r, c, c < stored ? &row[c] : &kEmpty});
     }
   }
   return cells;
@@ -77,6 +83,10 @@ TedResult GreedyTed(const Table& input, const Table& output) {
   std::vector<Cell> in_cells = Flatten(input);
   std::vector<Cell> out_cells = Flatten(output);
   std::vector<bool> used(in_cells.size(), false);
+  // Most output cells contribute one edit op (plus Deletes for unused
+  // input); reserving the common case keeps the hot path to one growth
+  // reallocation at most.
+  result.path.reserve(out_cells.size());
 
   for (const Cell& out : out_cells) {
     // Pass 1 (Algorithm 1 lines 8–12): cheapest sequence from an unused

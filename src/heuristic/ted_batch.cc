@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <array>
-#include <map>
 #include <tuple>
+#include <utility>
 
 #include "heuristic/ted.h"
 
@@ -66,46 +66,65 @@ TedBatchResult BatchEditPath(const EditPath& path) {
   if (path.empty()) return result;
 
   // Line 3: group ops by edit type (an op batches only with ops of its own
-  // type: "Move should not be in the same batch as Drop").
-  std::map<EditType, std::vector<size_t>> by_type;
+  // type: "Move should not be in the same batch as Drop"). Indexed by the
+  // contiguous EditType values, counted first so each group allocates
+  // exactly once; iteration below follows enum order, as the tree map
+  // this replaced did.
+  std::array<std::vector<size_t>, 4> by_type;
+  {
+    std::array<size_t, 4> counts{};
+    for (const EditOp& op : path) ++counts[static_cast<size_t>(op.type)];
+    for (size_t t = 0; t < by_type.size(); ++t) by_type[t].reserve(counts[t]);
+  }
   for (size_t i = 0; i < path.size(); ++i) {
-    by_type[path[i].type].push_back(i);
+    by_type[static_cast<size_t>(path[i].type)].push_back(i);
   }
 
   // Lines 4–6: candidate batches = maximal chains under each pattern.
   std::vector<EditBatch> candidates;
-  for (const auto& [type, indices] : by_type) {
+  for (const std::vector<size_t>& indices : by_type) {
+    if (indices.empty()) continue;
+    // Coordinate index for this type group, built ONCE — it does not
+    // depend on the pattern, and a node-per-op tree rebuilt inside the
+    // pattern loop dominated the allocation profile of every heuristic
+    // estimate on the search's hot path. Sorted flat pairs; on a
+    // duplicate key the earliest op wins, exactly as map::emplace did.
+    std::vector<std::pair<CoordKey, size_t>> by_key;
+    by_key.reserve(indices.size());
+    for (size_t i : indices) by_key.emplace_back(KeyOf(path[i]), i);
+    std::stable_sort(
+        by_key.begin(), by_key.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    by_key.erase(std::unique(by_key.begin(), by_key.end(),
+                             [](const auto& a, const auto& b) {
+                               return a.first == b.first;
+                             }),
+                 by_key.end());
+    auto find_key = [&by_key](const CoordKey& key) -> const size_t* {
+      auto it = std::lower_bound(
+          by_key.begin(), by_key.end(), key,
+          [](const auto& entry, const CoordKey& k) { return entry.first < k; });
+      if (it == by_key.end() || it->first != key) return nullptr;
+      return &it->second;
+    };
+
     for (const PatternSpec& spec : kPatterns) {
       if (!PatternApplies(spec, path[indices.front()])) continue;
-      std::map<CoordKey, size_t> by_key;
-      for (size_t i : indices) by_key.emplace(KeyOf(path[i]), i);
       for (size_t i : indices) {
         CoordKey key = KeyOf(path[i]);
         // Chain heads only: no predecessor under this pattern.
-        if (by_key.count(Advance(key, spec, -1)) > 0) continue;
+        if (find_key(Advance(key, spec, -1)) != nullptr) continue;
         EditBatch chain;
         chain.pattern = spec.pattern;
         CoordKey cursor = key;
-        auto it = by_key.find(cursor);
-        while (it != by_key.end()) {
-          chain.op_indices.push_back(it->second);
+        const size_t* hit = find_key(cursor);
+        while (hit != nullptr) {
+          chain.op_indices.push_back(*hit);
           cursor = Advance(cursor, spec, +1);
-          it = by_key.find(cursor);
+          hit = find_key(cursor);
         }
         if (chain.op_indices.size() >= 2) candidates.push_back(std::move(chain));
       }
-    }
-    // Singleton batches guarantee the greedy cover always completes. The
-    // pattern of a singleton is immaterial; pick by op shape for clarity.
-    for (size_t i : indices) {
-      EditBatch single;
-      single.pattern = path[i].type == EditType::kAdd
-                           ? GeometricPattern::kAddHorizontal
-                       : path[i].type == EditType::kDelete
-                           ? GeometricPattern::kRemoveHorizontal
-                           : GeometricPattern::kHorizontalToHorizontal;
-      single.op_indices = {i};
-      candidates.push_back(std::move(single));
     }
   }
 
@@ -127,6 +146,26 @@ TedBatchResult BatchEditPath(const EditPath& path) {
     if (!disjoint) continue;
     for (size_t i : candidate.op_indices) covered[i] = true;
     result.batches.push_back(std::move(candidate));
+  }
+
+  // Singleton batches guarantee the greedy cover always completes. Every
+  // multi-op chain outranks every singleton in the sort above, so covering
+  // the leftovers afterwards — in the same type-group-then-index order the
+  // sorted candidate list would have offered them — yields the identical
+  // cover without materializing a one-element batch per op up front. The
+  // pattern of a singleton is immaterial; pick by op shape for clarity.
+  for (const std::vector<size_t>& indices : by_type) {
+    for (size_t i : indices) {
+      if (covered[i]) continue;
+      EditBatch single;
+      single.pattern = path[i].type == EditType::kAdd
+                           ? GeometricPattern::kAddHorizontal
+                       : path[i].type == EditType::kDelete
+                           ? GeometricPattern::kRemoveHorizontal
+                           : GeometricPattern::kHorizontalToHorizontal;
+      single.op_indices = {i};
+      result.batches.push_back(std::move(single));
+    }
   }
 
   // Lines 12–17: final score = sum of mean op costs per batch.

@@ -1,5 +1,6 @@
 #include "ops/operators.h"
 
+#include <locale>
 #include <map>
 #include <mutex>
 #include <regex>
@@ -14,6 +15,23 @@ namespace foofah {
 namespace {
 
 using Row = Table::Row;
+
+// libstdc++'s classic-locale ctype<char> facet fills its narrow()/widen()
+// caches lazily and without synchronization, and std::regex compilation
+// drives both. When several pool workers hit a pattern's first
+// compilation at once (the cache below admits that on purpose — compiles
+// run outside the lock), the lazy fills race on the shared global facet.
+// Touching every char once at static-initialization time — strictly
+// single-threaded, sequenced before any ThreadPool exists — completes the
+// caches up front, so workers only ever read them.
+[[maybe_unused]] const bool kCtypeCachesWarmed = [] {
+  const auto& facet = std::use_facet<std::ctype<char>>(std::locale::classic());
+  for (int c = 0; c < 256; ++c) {
+    facet.narrow(static_cast<char>(c), '\0');
+    facet.widen(static_cast<char>(c));
+  }
+  return true;
+}();
 
 Status BadColumn(const char* op, int col, size_t ncols) {
   std::ostringstream msg;
@@ -240,19 +258,20 @@ Result<Table> ApplyFill(const Table& t, int col) {
   if (col < 0 || static_cast<size_t>(col) >= ncols) {
     return BadColumn("fill", col, ncols);
   }
-  std::vector<Row> rows;
-  rows.reserve(t.num_rows());
+  // Copy-on-write: start from an O(1) snapshot of the parent and detach
+  // only the rows actually filled. Rows whose cell is already set — and
+  // empty cells with nothing above them to fill from — stay shared.
+  Table out = t;
   std::string last;
   for (size_t r = 0; r < t.num_rows(); ++r) {
-    Row row = FullRow(t, r, ncols);
-    if (row[col].empty()) {
-      row[col] = last;
+    const std::string& value = t.cell(r, static_cast<size_t>(col));
+    if (value.empty()) {
+      if (!last.empty()) out.set_cell(r, static_cast<size_t>(col), last);
     } else {
-      last = row[col];
+      last = value;
     }
-    rows.push_back(std::move(row));
   }
-  return Table(std::move(rows));
+  return out;
 }
 
 Result<Table> ApplyDivide(const Table& t, int col, DividePredicate predicate) {
@@ -289,12 +308,17 @@ Result<Table> ApplyDelete(const Table& t, int col) {
   if (col < 0 || static_cast<size_t>(col) >= ncols) {
     return BadColumn("delete", col, ncols);
   }
-  std::vector<Row> rows;
+  // Copy-on-write: survivors are shared handles, not padded deep copies.
+  // The child's num_cols() is recomputed from the survivors, so dropping
+  // the widest rows narrows the table instead of inheriting a stale
+  // parent width (see Table's width invariant).
+  Table out;
+  out.ReserveRows(t.num_rows());
   for (size_t r = 0; r < t.num_rows(); ++r) {
-    if (t.cell(r, col).empty()) continue;
-    rows.push_back(FullRow(t, r, ncols));
+    if (t.cell(r, static_cast<size_t>(col)).empty()) continue;
+    out.AppendSharedRow(t.row_handle(r));
   }
-  return Table(std::move(rows));
+  return out;
 }
 
 Result<Table> ApplyExtract(const Table& t, int col, const std::string& regex) {
@@ -461,14 +485,11 @@ Result<Table> ApplyDeleteRow(const Table& t, int row_index) {
         << t.num_rows() << ")";
     return Status::InvalidArgument(msg.str());
   }
-  std::vector<Row> rows;
-  rows.reserve(t.num_rows() - 1);
-  for (size_t r = 0; r < t.num_rows(); ++r) {
-    if (r != static_cast<size_t>(row_index)) {
-      rows.push_back(FullRow(t, r, t.num_cols()));
-    }
-  }
-  return Table(std::move(rows));
+  // Copy-on-write: O(1) snapshot, then drop the one row. Survivors stay
+  // shared and unpadded; RemoveRow recomputes the width from them.
+  Table out = t;
+  out.RemoveRow(static_cast<size_t>(row_index));
+  return out;
 }
 
 Result<Table> ApplyWrapAll(const Table& t) {

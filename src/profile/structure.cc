@@ -137,8 +137,11 @@ std::vector<Discrepancy> DetectDiscrepancies(const Table& table,
     std::vector<size_t> counts;
     std::vector<std::vector<size_t>> members;  // Row indexes per shape.
     size_t non_empty = 0;
-    for (size_t row = 0; row < table.num_rows(); ++row) {
-      const std::string& value = table.cell(row, col);
+    // Zero-copy views into the shared CoW row storage: one column walk
+    // instead of a bounds-checked cell() lookup per row.
+    const std::vector<std::string_view> column = table.ColumnView(col);
+    for (size_t row = 0; row < column.size(); ++row) {
+      std::string_view value = column[row];
       if (value.empty()) continue;
       ++non_empty;
       ValueStructure shape = Tokenize(value);
@@ -174,8 +177,8 @@ std::vector<Discrepancy> DetectDiscrepancies(const Table& table,
     for (size_t s = 0; s < shapes.size(); ++s) {
       if (s == best) continue;
       for (size_t row : members[s]) {
-        discrepancies.push_back(Discrepancy{row, col, table.cell(row, col),
-                                            expected});
+        discrepancies.push_back(
+            Discrepancy{row, col, std::string(column[row]), expected});
       }
     }
   }

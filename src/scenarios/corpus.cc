@@ -267,7 +267,7 @@ std::vector<Scenario> BuildCorpus() {
       },
       5,
       [](const Table& raw) {
-        std::vector<Row> rows(raw.rows());
+        std::vector<Row> rows = raw.CopyRows();
         std::stable_sort(rows.begin(), rows.end(),
                          [](const Row& a, const Row& b) {
                            return std::stoi(a[1]) > std::stoi(b[1]);

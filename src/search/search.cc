@@ -195,7 +195,12 @@ SearchResult SynthesizeProgram(const Table& input, const Table& goal,
       const uint64_t state_hash = state.Hash();
       // Shape fingerprint rides along as a collision check: a memo entry
       // whose fingerprint disagrees was written by a hash-colliding state
-      // and must not steer this one.
+      // — or by a content-equal table with a different stored width,
+      // whose estimate legitimately differs — and must not steer this
+      // one. Keeping the memo keyed by the exact stored shape is what
+      // makes cached estimates pure, and the search thread-count
+      // deterministic (the engines populate the memo in different
+      // orders).
       const uint64_t checksum = state.ShapeFingerprint();
       if (std::optional<double> memo =
               cache->Lookup(state_hash, goal_hash, checksum)) {
@@ -318,7 +323,9 @@ SearchResult SynthesizeProgram(const Table& input, const Table& goal,
     }
 
     // ---- Phase 1 (serial): enumerate candidate arcs out of this state.
-    // Copy: arena may reallocate while children are appended.
+    // Snapshot: arena may reallocate while children are appended. Under
+    // the copy-on-write substrate this is an O(1) handle copy — no cells
+    // are cloned, and the pool workers read the shared immutable rows.
     const Table state = arena[current].table;
     std::vector<Operation> candidates =
         EnumerateCandidates(state, goal, registry);

@@ -17,42 +17,112 @@ size_t TrimmedLength(const Table::Row& row) {
 }
 }  // namespace
 
-Table::Table(std::vector<Row> rows) : rows_(std::move(rows)) {
-  for (const Row& row : rows_) cols_ = std::max(cols_, row.size());
-}
-
-Table::Table(std::initializer_list<std::initializer_list<const char*>> rows) {
-  rows_.reserve(rows.size());
-  for (const auto& row : rows) {
-    Row r;
-    r.reserve(row.size());
-    for (const char* cell : row) r.emplace_back(cell);
-    cols_ = std::max(cols_, r.size());
-    rows_.push_back(std::move(r));
+Table::Table(std::vector<Row> rows) {
+  if (rows.empty()) return;
+  spine_ = std::make_shared<Spine>();
+  spine_->reserve(rows.size());
+  for (Row& row : rows) {
+    cols_ = std::max(cols_, row.size());
+    spine_->push_back(std::make_shared<Row>(std::move(row)));
   }
 }
 
+Table::Table(std::initializer_list<std::initializer_list<const char*>> rows) {
+  if (rows.size() == 0) return;
+  spine_ = std::make_shared<Spine>();
+  spine_->reserve(rows.size());
+  for (const auto& row : rows) {
+    auto r = std::make_shared<Row>();
+    r->reserve(row.size());
+    for (const char* cell : row) r->emplace_back(cell);
+    cols_ = std::max(cols_, r->size());
+    spine_->push_back(std::move(r));
+  }
+}
+
+Table::Spine& Table::MutableSpine() {
+  if (spine_ == nullptr) {
+    spine_ = std::make_shared<Spine>();
+  } else if (spine_.use_count() != 1) {
+    // Detach: copy the handles (refcount bumps), not the rows.
+    spine_ = std::make_shared<Spine>(*spine_);
+  }
+  return *spine_;
+}
+
+Table::Row& Table::MutableRow(size_t r) {
+  Spine& spine = MutableSpine();
+  std::shared_ptr<Row>& handle = spine[r];
+  // use_count() == 1 means this spine — exclusively ours after
+  // MutableSpine() — holds the only reference anywhere, so writing in
+  // place cannot be observed by another table or thread.
+  if (handle.use_count() != 1) handle = std::make_shared<Row>(*handle);
+  return *handle;
+}
+
 const std::string& Table::cell(size_t row, size_t col) const {
-  if (row >= rows_.size() || col >= rows_[row].size()) return kEmptyCell;
-  return rows_[row][col];
+  if (row >= num_rows()) return kEmptyCell;
+  const Row& stored = *(*spine_)[row];
+  if (col >= stored.size()) return kEmptyCell;
+  return stored[col];
 }
 
 void Table::set_cell(size_t row, size_t col, std::string value) {
-  if (rows_[row].size() <= col) rows_[row].resize(col + 1);
+  Row& stored = MutableRow(row);
+  if (stored.size() <= col) stored.resize(col + 1);
   cols_ = std::max(cols_, col + 1);
-  rows_[row][col] = std::move(value);
+  stored[col] = std::move(value);
 }
+
+Table::RowsRange Table::rows() const {
+  if (spine_ == nullptr) return RowsRange(nullptr, 0);
+  return RowsRange(spine_->data(), spine_->size());
+}
+
+std::vector<Table::Row> Table::CopyRows() const {
+  std::vector<Row> out;
+  out.reserve(num_rows());
+  for (const Row& row : rows()) out.push_back(row);
+  return out;
+}
+
+void Table::AppendRow(Row row) {
+  cols_ = std::max(cols_, row.size());
+  MutableSpine().push_back(std::make_shared<Row>(std::move(row)));
+}
+
+void Table::AppendSharedRow(RowHandle row) {
+  cols_ = std::max(cols_, row->size());
+  // The spine's element type is non-const so *exclusively owned* rows can
+  // be written in place; shared ones are never written (MutableRow
+  // detaches first), so adopting an externally shared const row is safe.
+  MutableSpine().push_back(std::const_pointer_cast<Row>(std::move(row)));
+}
+
+void Table::RemoveRow(size_t r) {
+  Spine& spine = MutableSpine();
+  spine.erase(spine.begin() + static_cast<ptrdiff_t>(r));
+  // Rows never shrink, but removing one can: rescan for the exact width.
+  cols_ = 0;
+  for (const std::shared_ptr<Row>& row : spine) {
+    cols_ = std::max(cols_, row->size());
+  }
+}
+
+void Table::ReserveRows(size_t n) { MutableSpine().reserve(n); }
 
 void Table::Rectangularize() {
   size_t cols = num_cols();
-  for (Row& row : rows_) row.resize(cols);
+  for (size_t r = 0; r < num_rows(); ++r) {
+    if ((*spine_)[r]->size() < cols) MutableRow(r).resize(cols);
+  }
 }
 
 bool Table::IsRectangular() const {
-  if (rows_.empty()) return true;
-  size_t width = rows_[0].size();
-  for (const Row& row : rows_) {
-    if (row.size() != width) return false;
+  if (empty()) return true;
+  size_t width = row(0).size();
+  for (const Row& r : rows()) {
+    if (r.size() != width) return false;
   }
   return true;
 }
@@ -89,7 +159,7 @@ std::vector<std::string_view> Table::ColumnView(size_t col) const {
 
 std::set<char> Table::AlnumCharSet() const {
   std::set<char> out;
-  for (const Row& row : rows_) {
+  for (const Row& row : rows()) {
     for (const std::string& cell : row) {
       for (char c : cell) {
         if (IsAsciiAlnum(c)) out.insert(c);
@@ -101,7 +171,7 @@ std::set<char> Table::AlnumCharSet() const {
 
 std::set<char> Table::SymbolCharSet() const {
   std::set<char> out;
-  for (const Row& row : rows_) {
+  for (const Row& row : rows()) {
     for (const std::string& cell : row) {
       for (char c : cell) {
         if (IsPrintableSymbol(c)) out.insert(c);
@@ -113,7 +183,7 @@ std::set<char> Table::SymbolCharSet() const {
 
 uint64_t Table::Hash() const {
   uint64_t hash = Fnv1aHash("table");
-  for (const Row& row : rows_) {
+  for (const Row& row : rows()) {
     size_t len = TrimmedLength(row);
     for (size_t c = 0; c < len; ++c) {
       hash = Fnv1aHash(row[c], hash);
@@ -126,18 +196,22 @@ uint64_t Table::Hash() const {
 
 uint64_t Table::ShapeFingerprint() const {
   uint64_t cells = 0;
-  for (const Row& row : rows_) cells += TrimmedLength(row);
-  return (static_cast<uint64_t>(rows_.size()) << 32) ^ cells;
+  for (const Row& row : rows()) cells += TrimmedLength(row);
+  return (static_cast<uint64_t>(num_rows()) << 42) ^
+         (static_cast<uint64_t>(num_cols()) << 21) ^ cells;
 }
 
 bool Table::ContentEquals(const Table& other) const {
   if (num_rows() != other.num_rows()) return false;
   for (size_t r = 0; r < num_rows(); ++r) {
-    size_t la = TrimmedLength(rows_[r]);
-    size_t lb = TrimmedLength(other.rows_[r]);
+    const Row& a = row(r);
+    const Row& b = other.row(r);
+    if (&a == &b) continue;  // Shared storage: trivially equal.
+    size_t la = TrimmedLength(a);
+    size_t lb = TrimmedLength(b);
     if (la != lb) return false;
     for (size_t c = 0; c < la; ++c) {
-      if (rows_[r][c] != other.rows_[r][c]) return false;
+      if (a[c] != b[c]) return false;
     }
   }
   return true;
@@ -163,7 +237,7 @@ std::string Table::ToString() const {
     }
     out += "\n";
   }
-  if (rows_.empty()) out = "(empty table)\n";
+  if (empty()) out = "(empty table)\n";
   return out;
 }
 

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <initializer_list>
+#include <memory>
 #include <set>
 #include <string>
 #include <string_view>
@@ -19,9 +20,45 @@ namespace foofah {
 /// Rows may have different lengths (raw spreadsheet exports often do);
 /// `num_cols()` reports the widest row, and `cell(r, c)` reads out of the
 /// logical rectangle, returning "" for positions a short row does not cover.
+///
+/// ## Copy-on-write storage
+///
+/// The grid is a refcounted *spine* (vector of row handles) whose rows are
+/// themselves refcounted blocks. Copying a Table copies one handle — O(1),
+/// no cell is cloned — which is what makes the A* search affordable: every
+/// successor state snapshots its parent, and most Potter's Wheel operators
+/// touch only a few rows.
+///
+/// Mutations detach exactly what they write: the spine when rows are
+/// added/removed/replaced, plus the individual rows written. A row (or
+/// spine) with other owners is never modified in place.
+///
+/// Thread-safety: same contract as a standard container — concurrent
+/// readers of one Table object are safe, a writer needs exclusive access
+/// to its Table *object*. Sharing of the underlying row storage across
+/// Table objects on different threads is always safe: shared blocks are
+/// immutable, refcounts are atomic, and a writer mutates a block in place
+/// only when its refcount is 1 — i.e. when no other Table (on any thread)
+/// can reach it.
+///
+/// ## Width invariant
+///
+/// `num_cols()` always equals the size of the widest *stored* row, exactly
+/// — never stale, never an over-approximation. Widening mutations
+/// (`AppendRow`, `set_cell`) grow it in O(1); row-removing mutations
+/// (`RemoveRow`) rescan the survivors so the width can shrink. Stored rows
+/// may carry trailing empty cells (an operator can legitimately produce
+/// them), and logical equality (`ContentEquals`, `Hash`) ignores trailing
+/// empties — so two content-equal tables may still report different
+/// widths. Row-removing *operators* (Delete, DeleteRow) share surviving
+/// rows unpadded, so their results report the survivors' true width
+/// instead of inheriting the parent's.
 class Table {
  public:
   using Row = std::vector<std::string>;
+  /// An immutable, shareable row. Handles obtained from one table may be
+  /// appended to another (`AppendSharedRow`) without copying cells.
+  using RowHandle = std::shared_ptr<const Row>;
 
   /// An empty table (no rows).
   Table() = default;
@@ -34,37 +71,109 @@ class Table {
   Table(std::initializer_list<std::initializer_list<const char*>> rows);
 
   /// Number of rows.
-  size_t num_rows() const { return rows_.size(); }
+  size_t num_rows() const { return spine_ == nullptr ? 0 : spine_->size(); }
 
-  /// Width of the widest row (0 for an empty table). O(1): the width is
-  /// maintained eagerly across mutations (rows never shrink), so the hot
-  /// num_cells() size filter in the search no longer rescans every row
-  /// once per candidate.
+  /// Width of the widest stored row (0 for an empty table). O(1): the
+  /// width is maintained eagerly across mutations (see the class comment's
+  /// width invariant), so the hot num_cells() size filter in the search
+  /// never rescans rows.
   size_t num_cols() const { return cols_; }
 
   /// Total number of cells within the logical num_rows x num_cols rectangle.
   size_t num_cells() const { return num_rows() * num_cols(); }
 
-  bool empty() const { return rows_.empty(); }
+  bool empty() const { return num_rows() == 0; }
 
   /// Cell accessor; returns "" for any position outside the stored rows
-  /// (ragged rows or entirely out-of-range coordinates).
+  /// (ragged rows or entirely out-of-range coordinates). The reference is
+  /// valid until this table is mutated or destroyed.
   const std::string& cell(size_t row, size_t col) const;
 
   /// Writes `value` at (row, col), extending the row with empty cells as
-  /// needed. `row` must be < num_rows().
+  /// needed. `row` must be < num_rows(). Detaches only the written row
+  /// (plus the spine): sibling snapshots sharing this table's storage are
+  /// unaffected.
   void set_cell(size_t row, size_t col, std::string value);
 
-  const std::vector<Row>& rows() const { return rows_; }
-  const Row& row(size_t r) const { return rows_[r]; }
+  /// Row accessor; the reference is valid until this table is mutated or
+  /// destroyed (the row block itself outlives the table while shared).
+  const Row& row(size_t r) const { return *(*spine_)[r]; }
 
-  void AppendRow(Row row) {
-    cols_ = std::max(cols_, row.size());
-    rows_.push_back(std::move(row));
-  }
+  /// The refcounted handle of row `r` — share it into another table with
+  /// AppendSharedRow to reuse the storage.
+  RowHandle row_handle(size_t r) const { return (*spine_)[r]; }
+
+  /// Lightweight row range (`for (const Table::Row& row : t.rows())`).
+  /// Iterators are invalidated by any mutation of this table.
+  class RowsRange {
+   public:
+    class iterator {
+     public:
+      using iterator_category = std::forward_iterator_tag;
+      using value_type = Row;
+      using difference_type = std::ptrdiff_t;
+      using pointer = const Row*;
+      using reference = const Row&;
+
+      iterator() = default;
+      explicit iterator(const std::shared_ptr<Row>* p) : p_(p) {}
+      reference operator*() const { return **p_; }
+      pointer operator->() const { return p_->get(); }
+      iterator& operator++() {
+        ++p_;
+        return *this;
+      }
+      iterator operator++(int) {
+        iterator copy = *this;
+        ++p_;
+        return copy;
+      }
+      friend bool operator==(const iterator& a, const iterator& b) {
+        return a.p_ == b.p_;
+      }
+      friend bool operator!=(const iterator& a, const iterator& b) {
+        return a.p_ != b.p_;
+      }
+
+     private:
+      const std::shared_ptr<Row>* p_ = nullptr;
+    };
+
+    iterator begin() const { return iterator(first_); }
+    iterator end() const { return iterator(first_ + count_); }
+    size_t size() const { return count_; }
+    bool empty() const { return count_ == 0; }
+
+   private:
+    friend class Table;
+    RowsRange(const std::shared_ptr<Row>* first, size_t count)
+        : first_(first), count_(count) {}
+    const std::shared_ptr<Row>* first_;
+    size_t count_;
+  };
+
+  RowsRange rows() const;
+
+  /// Deep-copies the rows into a plain vector (the pre-CoW representation;
+  /// used by code that needs to rearrange whole rows).
+  std::vector<Row> CopyRows() const;
+
+  /// Appends a row by value.
+  void AppendRow(Row row);
+
+  /// Appends a row by handle, sharing its storage — O(1), no cell copies.
+  void AppendSharedRow(RowHandle row);
+
+  /// Removes row `r` (must be < num_rows()) and rescans the survivors so
+  /// num_cols() reflects them exactly (the width can shrink).
+  void RemoveRow(size_t r);
+
+  /// Reserves spine capacity for `n` rows.
+  void ReserveRows(size_t n);
 
   /// Pads every row with "" to the full table width, making the grid
-  /// rectangular in place.
+  /// rectangular in place. Detaches only the rows actually shorter than
+  /// the width.
   void Rectangularize();
 
   /// True when every row has the same length (possibly zero rows).
@@ -98,11 +207,16 @@ class Table {
   /// ContentEquals below).
   uint64_t Hash() const;
 
-  /// A cheap O(num_rows) shape fingerprint (row count combined with the
-  /// total logical row lengths), stable under ContentEquals like Hash().
-  /// Used as a secondary check on Hash()-keyed lookups: two tables that
-  /// collide in Hash() almost surely differ in shape, so a fingerprint
-  /// mismatch exposes the collision.
+  /// A cheap O(num_rows) fingerprint of the exact stored shape: row count,
+  /// stored width, and total logical row lengths. Used as a secondary
+  /// check on Hash()-keyed heuristic-memo lookups, where it must separate
+  /// two kinds of neighbors: Hash() collisions between different contents,
+  /// and — unlike Hash()/ContentEquals — content-equal tables with
+  /// different stored widths. The TED heuristic reads every row out to
+  /// num_cols(), so its estimate is a function of the stored shape, not
+  /// the content class; a memo entry keyed only by content could serve a
+  /// wider/narrower representative's estimate and silently steer the
+  /// search differently between runs.
   uint64_t ShapeFingerprint() const;
 
   /// Equality modulo trailing empty cells in each row: a ragged row and its
@@ -117,8 +231,22 @@ class Table {
   std::string ToString() const;
 
  private:
-  std::vector<Row> rows_;
-  size_t cols_ = 0;  ///< Width of the widest row, kept current eagerly.
+  /// The spine stores mutably-typed pointers so an exclusively-owned row
+  /// can be written in place; constness is enforced at the API: every
+  /// outbound handle is const, and every write path goes through
+  /// MutableRow, which detaches any block it does not own exclusively.
+  using Spine = std::vector<std::shared_ptr<Row>>;
+
+  /// Spine with this table as sole owner (detached if shared, created if
+  /// absent); safe to structurally modify afterwards.
+  Spine& MutableSpine();
+
+  /// Row `r` with this table as sole owner of both spine and row block;
+  /// safe to write afterwards.
+  Row& MutableRow(size_t r);
+
+  std::shared_ptr<Spine> spine_;  ///< Null means zero rows.
+  size_t cols_ = 0;  ///< Width of the widest stored row, kept exact.
 };
 
 }  // namespace foofah

@@ -226,6 +226,22 @@ TEST(DeleteTest, CanDeleteEveryRow) {
   EXPECT_EQ(Apply(t, DeleteRows(0)).num_rows(), 0u);
 }
 
+TEST(DeleteTest, WidthReflectsSurvivorsOnly) {
+  // Row-removing operators share survivor rows unpadded, so num_cols is
+  // recomputed from what survives — deleting the widest row narrows the
+  // result (table.h's width invariant; previously the parent width stuck).
+  Table t = {{"a", "1"}, {"", "x", "y", "z"}, {"c", "3"}};
+  Table kept = Apply(t, DeleteRows(0));
+  EXPECT_EQ(kept.num_rows(), 2u);
+  EXPECT_EQ(kept.num_cols(), 2u);
+
+  Table wide = {{"a", "b", "c", "d"}, {"x", "y"}};
+  EXPECT_EQ(Apply(wide, DeleteRow(0)).num_cols(), 2u);
+  // Survivor rows are shared handles, not copies.
+  Table narrowed = Apply(wide, DeleteRow(0));
+  EXPECT_EQ(narrowed.row_handle(0).get(), wide.row_handle(1).get());
+}
+
 // ---------------------------------------------------------------------------
 // Extract / Transpose
 // ---------------------------------------------------------------------------

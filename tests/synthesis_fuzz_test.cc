@@ -14,8 +14,12 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "ops/enumerate.h"
 #include "ops/operators.h"
+#include "scenarios/corpus.h"
 #include "search/search.h"
 
 namespace foofah {
@@ -50,6 +54,29 @@ Table RandomTable(Lcg* rng) {
   return t;
 }
 
+/// Ragged-table generator: rows of uneven stored length, interior empty
+/// cells, and multi-byte UTF-8 content. This is the distribution the
+/// copy-on-write substrate must not regress on — short rows exercise the
+/// out-of-rectangle read paths, empty cells the Delete/Fill sharing
+/// paths, and unicode the byte-oriented char-set pruning (multi-byte
+/// sequences are neither ASCII alnum nor printable symbols).
+Table RandomRaggedTable(Lcg* rng) {
+  const char* values[] = {"ada",  "héllo", "東京", "42",  "",    "naïve",
+                          "x",    "αβγ",   "k:v", "7:30", "",    "ok✓"};
+  int rows = 2 + static_cast<int>(rng->Next(3));
+  Table t;
+  for (int r = 0; r < rows; ++r) {
+    // 1..4 stored cells per row, independent of the other rows.
+    int cols = 1 + static_cast<int>(rng->Next(4));
+    Table::Row row;
+    for (int c = 0; c < cols; ++c) {
+      row.push_back(values[rng->Next(12)]);
+    }
+    t.AppendRow(std::move(row));
+  }
+  return t;
+}
+
 struct FuzzCase {
   Table input;
   Table goal;
@@ -61,12 +88,31 @@ struct FuzzCase {
   bool used_divide = false;
 };
 
+/// Applies up to `max_ops` random in-domain operations to fuzz.goal.
+void BuildGoal(FuzzCase* fuzz, Lcg* rng, int max_ops);
+
 FuzzCase MakeCase(int seed, int max_ops) {
   Lcg rng(static_cast<uint64_t>(seed) + 17);
   FuzzCase fuzz;
   fuzz.input = RandomTable(&rng);
-  OperatorRegistry registry = OperatorRegistry::Default();
   fuzz.goal = fuzz.input;
+  BuildGoal(&fuzz, &rng, max_ops);
+  return fuzz;
+}
+
+FuzzCase MakeRaggedCase(int seed, int max_ops) {
+  Lcg rng(static_cast<uint64_t>(seed) + 4242);
+  FuzzCase fuzz;
+  fuzz.input = RandomRaggedTable(&rng);
+  fuzz.goal = fuzz.input;
+  BuildGoal(&fuzz, &rng, max_ops);
+  return fuzz;
+}
+
+void BuildGoal(FuzzCase* fuzz_ptr, Lcg* rng_ptr, int max_ops) {
+  FuzzCase& fuzz = *fuzz_ptr;
+  Lcg& rng = *rng_ptr;
+  OperatorRegistry registry = OperatorRegistry::Default();
   for (int step = 0; step < max_ops; ++step) {
     std::vector<Operation> candidates =
         EnumerateCandidates(fuzz.goal, fuzz.goal, registry);
@@ -83,7 +129,6 @@ FuzzCase MakeCase(int seed, int max_ops) {
     fuzz.used_divide = fuzz.used_divide || chosen.op == OpCode::kDivide;
     ++fuzz.applied;
   }
-  return fuzz;
 }
 
 SearchOptions FuzzOptions() {
@@ -145,6 +190,90 @@ TEST(SynthesisFuzzTest, TwoOpGoalsMostlySolvedAndAlwaysCorrect) {
   // Random reshapes are adversarial; a healthy majority must still work.
   EXPECT_GE(solved * 100, attempted * 70)
       << "solved " << solved << "/" << attempted;
+}
+
+/// Deterministic options for thread-sweep comparisons: no wall clock (a
+/// timer firing at different expansions would legitimately change the
+/// outcome), bounded purely by expansion count.
+SearchOptions SweepOptions(int num_threads, uint64_t max_expansions) {
+  SearchOptions options;
+  options.timeout_ms = 0;
+  options.max_expansions = max_expansions;
+  options.num_threads = num_threads;
+  return options;
+}
+
+/// Asserts two runs are bit-identical: found flag, program text, and every
+/// counter except the heuristic cache split (the parallel engine estimates
+/// before dedup, the serial one after — see SearchStats) and elapsed_ms.
+void ExpectSameOutcome(const SearchResult& serial,
+                       const SearchResult& parallel,
+                       const std::string& context) {
+  ASSERT_EQ(serial.found, parallel.found) << context;
+  EXPECT_EQ(serial.program.ToScript(), parallel.program.ToScript()) << context;
+  const SearchStats& a = serial.stats;
+  const SearchStats& b = parallel.stats;
+  EXPECT_EQ(a.nodes_expanded, b.nodes_expanded) << context;
+  EXPECT_EQ(a.nodes_generated, b.nodes_generated) << context;
+  EXPECT_EQ(a.candidates_tried, b.candidates_tried) << context;
+  EXPECT_EQ(a.duplicates_skipped, b.duplicates_skipped) << context;
+  EXPECT_EQ(a.oversize_skipped, b.oversize_skipped) << context;
+  EXPECT_EQ(a.apply_failures, b.apply_failures) << context;
+  EXPECT_EQ(a.timed_out, b.timed_out) << context;
+  EXPECT_EQ(a.budget_exhausted, b.budget_exhausted) << context;
+  for (size_t i = 0; i < a.pruned_by_reason.size(); ++i) {
+    EXPECT_EQ(a.pruned_by_reason[i], b.pruned_by_reason[i])
+        << context << " prune reason " << i;
+  }
+}
+
+TEST(SynthesisFuzzTest, RaggedUnicodeGoalsIdenticalAcrossThreadCounts) {
+  // Ragged rows + empty cells + multi-byte UTF-8 drive the CoW sharing
+  // paths hardest: short rows are read past their stored length, Delete
+  // shares survivor handles unpadded, and Fill detaches individual rows.
+  // The parallel engine must stay bit-identical to serial on all of it.
+  int attempted = 0;
+  for (int seed = 0; seed < 20; ++seed) {
+    FuzzCase fuzz = MakeRaggedCase(seed, /*max_ops=*/2);
+    if (fuzz.input.ContentEquals(fuzz.goal)) continue;
+    ++attempted;
+    // A small budget keeps unsolved adversarial goals cheap (identical
+    // budget exhaustion is part of the contract); the ~10x tsan run
+    // shares this bound.
+    SearchResult serial = SynthesizeProgram(fuzz.input, fuzz.goal,
+                                            SweepOptions(1, 400));
+    SearchResult threaded = SynthesizeProgram(fuzz.input, fuzz.goal,
+                                              SweepOptions(8, 400));
+    std::string context = "ragged seed " + std::to_string(seed);
+    ExpectSameOutcome(serial, threaded, context);
+    if (serial.found) {
+      Result<Table> replay = serial.program.Execute(fuzz.input);
+      ASSERT_TRUE(replay.ok()) << context << "\n" << serial.program.ToScript();
+      EXPECT_EQ(*replay, fuzz.goal) << context;
+    }
+  }
+  ASSERT_GT(attempted, 12);
+}
+
+TEST(SynthesisFuzzTest, CorpusSweepIdenticalAcrossThreadCounts) {
+  // Every corpus scenario, 1 thread vs 8: the CoW substrate shares each
+  // expanded state's rows across all pool workers simultaneously, and the
+  // programs and stats must not notice. The expansion cap keeps unsolved
+  // scenarios bounded (and tsan runtime tolerable); identical budget
+  // exhaustion is itself part of the contract being checked.
+  int scenarios = 0;
+  for (const Scenario& scenario : Corpus()) {
+    Result<ExamplePair> example =
+        scenario.MakeExample(std::min(2, scenario.total_records()));
+    ASSERT_TRUE(example.ok()) << scenario.name();
+    ++scenarios;
+    SearchResult serial = SynthesizeProgram(example->input, example->output,
+                                            SweepOptions(1, 250));
+    SearchResult threaded = SynthesizeProgram(example->input, example->output,
+                                              SweepOptions(8, 250));
+    ExpectSameOutcome(serial, threaded, scenario.name());
+  }
+  EXPECT_EQ(scenarios, 50);
 }
 
 }  // namespace

@@ -1,0 +1,237 @@
+// Differential validation of the copy-on-write table substrate: every
+// operator result must be *stored-layout identical* to the same operator
+// run against a retained deep-copy reference table, and no mutation of a
+// child may ever reach back into a parent snapshot through the shared row
+// storage (aliasing leak). Randomized operator chains (seeded, and shrunk
+// to a minimal failing subsequence on divergence) run over every corpus
+// scenario's input table, so the sharing paths see the full shape
+// distribution of the evaluation workload — ragged exports, fold/unfold
+// reshapes, wide wrap results.
+//
+// CLX-style rationale: a representation change in a PBE engine must ship
+// with a verifiable equivalence check against the old semantics. The
+// deep-copy reference here *is* the old semantics (value rows, no
+// sharing), rebuilt fresh before every application so it cannot alias.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ops/enumerate.h"
+#include "ops/operators.h"
+#include "program/describe.h"
+#include "scenarios/corpus.h"
+#include "table/table.h"
+
+namespace foofah {
+namespace {
+
+/// Minimal deterministic LCG (independent of global RNG state).
+class Lcg {
+ public:
+  explicit Lcg(uint64_t seed) : state_(seed * 2654435761u + 1) {}
+  uint32_t Next(uint32_t bound) {
+    state_ = state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<uint32_t>((state_ >> 33) % bound);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+using DeepRows = std::vector<Table::Row>;
+
+/// True when `t`'s stored layout — row count, every row's stored length,
+/// every cell — exactly matches the deep snapshot. Stricter than
+/// ContentEquals: trailing empty cells must match too, so a padding
+/// divergence between the CoW and reference paths cannot hide.
+bool StoredEquals(const Table& t, const DeepRows& rows) {
+  if (t.num_rows() != rows.size()) return false;
+  for (size_t r = 0; r < rows.size(); ++r) {
+    if (t.row(r) != rows[r]) return false;
+  }
+  return true;
+}
+
+std::string DescribeChain(const std::vector<Operation>& ops) {
+  std::string out;
+  for (const Operation& op : ops) {
+    out += DescribeOperation(op);
+    out += "; ";
+  }
+  return out;
+}
+
+/// Replays `ops` over `input` twice — once chained on CoW tables, once
+/// against a reference rebuilt from a deep snapshot before every step —
+/// and checks stored equality after each step plus aliasing-freedom of
+/// every retained parent at the end. Returns the index of the first
+/// diverging op, or -1 when the chain is clean. Ops whose preconditions
+/// fail (both sides must agree on that, too) are skipped.
+int FirstDivergence(const Table& input, const std::vector<Operation>& ops) {
+  struct Retained {
+    Table table;
+    DeepRows snapshot;
+  };
+  std::vector<Retained> retained;
+  Table current = input;
+  retained.push_back({current, current.CopyRows()});
+
+  for (size_t i = 0; i < ops.size(); ++i) {
+    // The reference is deep-rebuilt from the snapshot: value rows, no
+    // storage shared with any CoW table.
+    Table reference(DeepRows(retained.back().snapshot));
+    Result<Table> cow = ApplyOperation(current, ops[i]);
+    Result<Table> ref = ApplyOperation(reference, ops[i]);
+    if (cow.ok() != ref.ok()) return static_cast<int>(i);
+    if (!cow.ok()) continue;
+    if (cow->num_cols() != ref->num_cols()) return static_cast<int>(i);
+    if (!StoredEquals(*cow, ref->CopyRows())) return static_cast<int>(i);
+    current = std::move(cow).value();
+    retained.push_back({current, current.CopyRows()});
+  }
+
+  // Aliasing check: applying the whole chain must not have changed any
+  // retained intermediate through shared rows.
+  for (size_t i = 0; i < retained.size(); ++i) {
+    if (!StoredEquals(retained[i].table, retained[i].snapshot)) {
+      return static_cast<int>(ops.size());  // Leak, not a step divergence.
+    }
+  }
+  return -1;
+}
+
+/// Delta-debugging shrink: greedily drop ops while the chain still fails,
+/// so the assertion message carries a minimal reproducer.
+std::vector<Operation> Shrink(const Table& input,
+                              std::vector<Operation> ops) {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (size_t i = 0; i < ops.size(); ++i) {
+      std::vector<Operation> fewer = ops;
+      fewer.erase(fewer.begin() + static_cast<ptrdiff_t>(i));
+      if (FirstDivergence(input, fewer) >= 0) {
+        ops = std::move(fewer);
+        progress = true;
+        break;
+      }
+    }
+  }
+  return ops;
+}
+
+/// Picks a random in-domain operator chain by enumerating candidates at
+/// each intermediate state (the same generator distribution the search
+/// walks), keeping intermediate tables small.
+std::vector<Operation> RandomChain(const Table& input, uint64_t seed,
+                                   int max_ops) {
+  Lcg rng(seed);
+  OperatorRegistry registry = OperatorRegistry::Default();
+  std::vector<Operation> ops;
+  Table current = input;
+  for (int step = 0; step < max_ops; ++step) {
+    std::vector<Operation> candidates =
+        EnumerateCandidates(current, current, registry);
+    if (candidates.empty()) break;
+    const Operation& chosen =
+        candidates[rng.Next(static_cast<uint32_t>(candidates.size()))];
+    Result<Table> next = ApplyOperation(current, chosen);
+    if (!next.ok()) continue;
+    if (next->num_cells() > 600 || next->num_rows() == 0 ||
+        next->num_cols() == 0) {
+      continue;
+    }
+    ops.push_back(chosen);
+    current = std::move(next).value();
+  }
+  return ops;
+}
+
+TEST(TableCowDiffTest, RandomOperatorChainsMatchDeepCopyReferenceOnCorpus) {
+  int scenarios = 0;
+  int chains = 0;
+  for (const Scenario& scenario : Corpus()) {
+    Result<ExamplePair> example =
+        scenario.MakeExample(std::min(2, scenario.total_records()));
+    ASSERT_TRUE(example.ok()) << scenario.name();
+    ++scenarios;
+    for (uint64_t seed = 0; seed < 2; ++seed) {
+      std::vector<Operation> ops =
+          RandomChain(example->input, seed * 131 + scenarios, /*max_ops=*/6);
+      if (ops.empty()) continue;
+      ++chains;
+      int diverged = FirstDivergence(example->input, ops);
+      if (diverged >= 0) {
+        std::vector<Operation> minimal = Shrink(example->input, ops);
+        FAIL() << scenario.name() << " seed " << seed
+               << ": CoW/reference divergence at op " << diverged << " of ["
+               << DescribeChain(ops) << "]\nminimal reproducer: ["
+               << DescribeChain(minimal) << "]\ninput:\n"
+               << example->input.ToString();
+      }
+    }
+  }
+  EXPECT_EQ(scenarios, 50);
+  EXPECT_GT(chains, 80);  // The generator must actually produce chains.
+}
+
+TEST(TableCowDiffTest, MutatingChildNeverChangesParentSnapshot) {
+  for (const Scenario& scenario : Corpus()) {
+    Result<ExamplePair> example =
+        scenario.MakeExample(std::min(2, scenario.total_records()));
+    ASSERT_TRUE(example.ok()) << scenario.name();
+    const Table& parent = example->input;
+    if (parent.num_rows() == 0) continue;
+    DeepRows snapshot = parent.CopyRows();
+
+    // Every direct mutator, driven through a handle-sharing copy.
+    Table child = parent;
+    child.set_cell(0, 0, "MUTATED");
+    child.set_cell(parent.num_rows() - 1, parent.num_cols() + 2, "WIDE");
+    child.AppendRow({"extra", "row"});
+    child.AppendSharedRow(child.row_handle(0));
+    child.RemoveRow(0);
+    child.Rectangularize();
+    ASSERT_TRUE(StoredEquals(parent, snapshot))
+        << scenario.name() << ": parent changed by child mutation\n"
+        << parent.ToString();
+
+    // And the reverse direction: a parent mutation after the copy must
+    // not reach the child's snapshot.
+    Table base = parent;
+    Table frozen = base;
+    DeepRows frozen_snapshot = frozen.CopyRows();
+    base.set_cell(0, 0, "PARENT-SIDE");
+    base.Rectangularize();
+    ASSERT_TRUE(StoredEquals(frozen, frozen_snapshot))
+        << scenario.name() << ": copy changed by original's mutation";
+  }
+}
+
+TEST(TableCowDiffTest, RowRemovingOperatorsRecomputeWidthLikeReference) {
+  // The width invariant, differentially: after Delete/DeleteRow the CoW
+  // result must report the same num_cols as a deep-copy reference run —
+  // and that width reflects the *surviving* rows only.
+  Table t;
+  t.AppendRow({"a", "b", "c", "d"});
+  t.AppendRow({"x", ""});
+  t.AppendRow({"y", "z"});
+
+  Result<Table> deleted = ApplyOperation(t, DeleteRow(0));
+  ASSERT_TRUE(deleted.ok());
+  EXPECT_EQ(deleted->num_cols(), 2u);  // The 4-wide row is gone.
+
+  Result<Table> filtered = ApplyOperation(t, DeleteRows(1));
+  ASSERT_TRUE(filtered.ok());  // Drops the row with the empty cell.
+  EXPECT_EQ(filtered->num_rows(), 2u);
+  EXPECT_EQ(filtered->num_cols(), 4u);  // Widest survivor still present.
+
+  Result<Table> narrowed = ApplyOperation(*filtered, DeleteRow(0));
+  ASSERT_TRUE(narrowed.ok());
+  EXPECT_EQ(narrowed->num_cols(), 2u);
+}
+
+}  // namespace
+}  // namespace foofah

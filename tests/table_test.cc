@@ -148,6 +148,92 @@ TEST(TableTest, ColumnViewMatchesColumnWithoutCopying) {
   EXPECT_EQ(view[0].data(), t.cell(0, 1).data());
 }
 
+TEST(TableTest, CopyIsHandleSharingNotCellCopying) {
+  Table parent = {{"a", "b"}, {"c", "d"}};
+  Table child = parent;
+  // The copy shares the parent's immutable row blocks — same handles,
+  // same addresses, no cells cloned.
+  EXPECT_EQ(child.row_handle(0).get(), parent.row_handle(0).get());
+  EXPECT_EQ(child.row_handle(1).get(), parent.row_handle(1).get());
+  EXPECT_EQ(&child.row(0), &parent.row(0));
+}
+
+TEST(TableTest, SetCellDetachesOnlyTheWrittenRow) {
+  Table parent = {{"a", "b"}, {"c", "d"}, {"e", "f"}};
+  Table child = parent;
+  child.set_cell(1, 0, "X");
+  // The written row detached; the others still share storage.
+  EXPECT_NE(child.row_handle(1).get(), parent.row_handle(1).get());
+  EXPECT_EQ(child.row_handle(0).get(), parent.row_handle(0).get());
+  EXPECT_EQ(child.row_handle(2).get(), parent.row_handle(2).get());
+  // And the parent never sees the write.
+  EXPECT_EQ(parent.cell(1, 0), "c");
+  EXPECT_EQ(child.cell(1, 0), "X");
+}
+
+TEST(TableTest, AppendSharedRowSharesTheHandle) {
+  Table src = {{"a", "b", "c"}};
+  Table dst = {{"x"}};
+  dst.AppendSharedRow(src.row_handle(0));
+  EXPECT_EQ(dst.row_handle(1).get(), src.row_handle(0).get());
+  EXPECT_EQ(dst.num_cols(), 3u);  // Width grew to the shared row's length.
+  // Writing through dst detaches its copy; src is untouched.
+  dst.set_cell(1, 0, "MUT");
+  EXPECT_EQ(src.cell(0, 0), "a");
+  EXPECT_NE(dst.row_handle(1).get(), src.row_handle(0).get());
+}
+
+TEST(TableTest, RemoveRowShrinksNumCols) {
+  // num_cols always equals the widest *stored* row — removing the widest
+  // row narrows the table (the invariant documented in table.h; the
+  // pre-CoW implementation left num_cols stale here).
+  Table t = {{"a", "b", "c", "d"}, {"x", "y"}, {"z"}};
+  EXPECT_EQ(t.num_cols(), 4u);
+  t.RemoveRow(0);
+  EXPECT_EQ(t.num_cols(), 2u);
+  t.RemoveRow(0);
+  EXPECT_EQ(t.num_cols(), 1u);
+  t.RemoveRow(0);
+  EXPECT_EQ(t.num_cols(), 0u);
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(TableTest, RectangularizeDetachesOnlyShortRows) {
+  Table parent = {{"a", "b"}, {"c"}};
+  Table child = parent;
+  child.Rectangularize();
+  // The full-width row is untouched and still shared; only the padded row
+  // was detached.
+  EXPECT_EQ(child.row_handle(0).get(), parent.row_handle(0).get());
+  EXPECT_NE(child.row_handle(1).get(), parent.row_handle(1).get());
+  EXPECT_EQ(parent.row(1).size(), 1u);  // Parent layout unchanged.
+  EXPECT_EQ(child.row(1).size(), 2u);
+}
+
+TEST(TableTest, MutationAfterCopyNeverLeaksEitherDirection) {
+  Table original = {{"a", "b"}, {"c", "d"}};
+  Table copy = original;
+  original.AppendRow({"e", "f"});
+  original.set_cell(0, 0, "A");
+  EXPECT_EQ(copy.num_rows(), 2u);
+  EXPECT_EQ(copy.cell(0, 0), "a");
+  copy.RemoveRow(1);
+  copy.set_cell(0, 1, "B");
+  EXPECT_EQ(original.num_rows(), 3u);
+  EXPECT_EQ(original.cell(0, 0), "A");
+  EXPECT_EQ(original.cell(0, 1), "b");
+  EXPECT_EQ(original.cell(1, 0), "c");
+}
+
+TEST(TableTest, CopyRowsIsADeepSnapshot) {
+  Table t = {{"a", "b"}, {"c"}};
+  std::vector<Table::Row> rows = t.CopyRows();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1].size(), 1u);  // Stored layout, not padded.
+  rows[0][0] = "MUT";
+  EXPECT_EQ(t.cell(0, 0), "a");  // Snapshot does not alias the table.
+}
+
 TEST(TableTest, ToStringRendersGrid) {
   Table t = {{"ab", "c"}};
   std::string s = t.ToString();

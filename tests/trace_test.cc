@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
+#include "program/describe.h"
 #include "search/search.h"
 
 namespace foofah {
@@ -77,6 +81,78 @@ TEST(TraceTest, CapBoundsRecordedNodes) {
   ASSERT_TRUE(r.found);
   EXPECT_LE(recorder.recorded_nodes(), 16u);
   EXPECT_NE(recorder.ToDot().find("events beyond cap"), std::string::npos);
+}
+
+/// Stringifies every callback into one flat event log — order included.
+/// Used to pin down the contract in SearchOptions::observer: callbacks
+/// fire serially on the expansion thread in the single-threaded engine's
+/// candidate order, no matter how many pool workers evaluate candidates.
+class EventLogObserver : public SearchObserver {
+ public:
+  void OnExpand(int node, const Table& state, uint32_t depth) override {
+    events_.push_back("expand n" + std::to_string(node) + " depth " +
+                      std::to_string(depth) + " hash " +
+                      std::to_string(state.Hash()));
+  }
+  void OnGenerate(int node, int parent, const Operation& operation,
+                  double heuristic, bool is_goal) override {
+    events_.push_back("generate n" + std::to_string(node) + " parent n" +
+                      std::to_string(parent) + " " +
+                      DescribeOperation(operation) + " h=" +
+                      std::to_string(heuristic) +
+                      (is_goal ? " GOAL" : ""));
+  }
+  void OnPrune(int parent, const Operation& operation,
+               PruneReason reason) override {
+    events_.push_back("prune parent n" + std::to_string(parent) + " " +
+                      DescribeOperation(operation) + " reason " +
+                      PruneReasonName(reason));
+  }
+  void OnDuplicate(int parent, const Operation& operation) override {
+    events_.push_back("duplicate parent n" + std::to_string(parent) + " " +
+                      DescribeOperation(operation));
+  }
+
+  const std::vector<std::string>& events() const { return events_; }
+
+ private:
+  std::vector<std::string> events_;
+};
+
+TEST(TraceTest, EventSequenceIdenticalAcrossThreadCounts) {
+  // The motivating contacts example: a real multi-step search with
+  // expansions, prunes, and duplicates. The full event stream — ids,
+  // order, heuristic values, prune reasons — must be byte-identical
+  // between the serial engine and the 8-worker pool, because CoW states
+  // shared across workers and serial replay of accounting guarantee it.
+  Table in = {{"Niles C.", "Tel:(800)645-8397"},
+              {"", "Fax:(907)586-7252"},
+              {"Jean H.", "Tel:(918)781-4600"},
+              {"", "Fax:(918)781-4604"}};
+  Table out = {{"", "Tel", "Fax"},
+               {"Niles C.", "(800)645-8397", "(907)586-7252"},
+               {"Jean H.", "(918)781-4600", "(918)781-4604"}};
+
+  auto run = [&](int num_threads) {
+    EventLogObserver log;
+    SearchOptions options;
+    options.timeout_ms = 0;  // Deterministic: bounded by expansions only.
+    options.max_expansions = 2'000;
+    options.num_threads = num_threads;
+    options.observer = &log;
+    SearchResult r = SynthesizeProgram(in, out, options);
+    EXPECT_TRUE(r.found);
+    return std::make_pair(r.program.ToScript(), log.events());
+  };
+
+  auto [serial_program, serial_events] = run(1);
+  auto [threaded_program, threaded_events] = run(8);
+  EXPECT_EQ(serial_program, threaded_program);
+  ASSERT_FALSE(serial_events.empty());
+  ASSERT_EQ(serial_events.size(), threaded_events.size());
+  for (size_t i = 0; i < serial_events.size(); ++i) {
+    ASSERT_EQ(serial_events[i], threaded_events[i]) << "event " << i;
+  }
 }
 
 TEST(TraceTest, NullObserverIsSupported) {
