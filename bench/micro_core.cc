@@ -211,6 +211,51 @@ BENCHMARK(BM_SynthesizeCacheAblation)
     ->ArgsProduct({{0, 1}, {0, 1}})
     ->Unit(benchmark::kMillisecond);
 
+// Deadline-bounded synthesis on a workload the search cannot finish (a 5x5
+// scrambled grid with a finite heuristic — the cancellation suite's hard
+// example). Every iteration runs to the deadline, so the interesting
+// numbers are the counters: the distribution of the overshoot past the
+// deadline (max and mean, in ms), which the robustness suite bounds at
+// 250 ms. Wall-clock per iteration ≈ deadline + overshoot.
+void BM_SynthesizeWithDeadline(benchmark::State& state) {
+  Table in({{"aa", "bb", "cc", "dd", "ee"},
+            {"ff", "gg", "hh", "ii", "jj"},
+            {"kk", "ll", "mm", "nn", "oo"},
+            {"pp", "qq", "rr", "ss", "tt"},
+            {"uu", "vv", "ww", "xx", "yy"}});
+  Table out({{"gg", "uu", "nn", "cc", "qq"},
+             {"yy", "aa", "ll", "tt", "hh"},
+             {"dd", "rr", "jj", "vv", "kk"},
+             {"oo", "ee", "ww", "bb", "ss"},
+             {"mm", "xx", "ff", "ii", "pp"}});
+  SearchOptions options;
+  options.timeout_ms = state.range(0);
+  options.max_expansions = 0;
+  double overshoot_max = 0;
+  double overshoot_sum = 0;
+  int64_t timed_out_runs = 0;
+  for (auto _ : state) {
+    SearchResult r = SynthesizeProgram(in, out, options);
+    benchmark::DoNotOptimize(r.found);
+    if (r.stats.timed_out) {
+      ++timed_out_runs;
+      overshoot_sum += r.stats.overshoot_ms;
+      if (r.stats.overshoot_ms > overshoot_max) {
+        overshoot_max = r.stats.overshoot_ms;
+      }
+    }
+  }
+  state.counters["overshoot_max_ms"] = overshoot_max;
+  state.counters["overshoot_mean_ms"] =
+      timed_out_runs > 0 ? overshoot_sum / timed_out_runs : 0;
+}
+BENCHMARK(BM_SynthesizeWithDeadline)
+    ->ArgName("deadline_ms")
+    ->Arg(25)
+    ->Arg(100)
+    ->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace foofah
 

@@ -160,6 +160,14 @@ int Synthesize(int argc, char** argv) {
          foofah::DiagnoseExample(*input, *output)) {
       std::fprintf(stderr, "  %s\n", diagnostic.ToString().c_str());
     }
+    if (result.anytime.available) {
+      std::fprintf(stderr,
+                   "partial program (estimated distance %.0f -> %.0f, %zu "
+                   "residual cell diffs):\n",
+                   result.anytime.input_h, result.anytime.h,
+                   result.anytime.residual.cell_diffs.size());
+      std::printf("%s", result.anytime.program.ToScript().c_str());
+    }
     return 1;
   }
   std::vector<std::string> scripts;

@@ -1,11 +1,16 @@
 #!/usr/bin/env bash
 # Repository check gate: normal build + full test suite, then a
 # ThreadSanitizer build running the concurrency-sensitive tests (the
-# parallel search engine, the heuristic memo, and the synthesis fuzzer),
-# then an AddressSanitizer build running the memory-sensitive tests (the
-# copy-on-write table substrate and every operator path over it).
+# parallel search engine, the heuristic memo, the synthesis fuzzer, and
+# the cancellation/fault suites), then an AddressSanitizer build running
+# the memory-sensitive tests (the copy-on-write table substrate and every
+# operator path over it), then a fault-injection build (ASan +
+# FOOFAH_FAULT_INJECTION=ON) running the faultinject-labeled robustness
+# suite — deadline overshoot bounds and cancel-at-every-failure-point
+# sweeps. The TSan stage also compiles the fault points in, so the same
+# sweeps run under both sanitizers.
 #
-# Usage: scripts/check.sh [--skip-tsan] [--skip-asan]
+# Usage: scripts/check.sh [--skip-tsan] [--skip-asan] [--skip-fault]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -18,10 +23,12 @@ ctest --test-dir build --output-on-failure -j "${JOBS}"
 
 SKIP_TSAN=0
 SKIP_ASAN=0
+SKIP_FAULT=0
 for arg in "$@"; do
   case "${arg}" in
     --skip-tsan) SKIP_TSAN=1 ;;
     --skip-asan) SKIP_ASAN=1 ;;
+    --skip-fault) SKIP_FAULT=1 ;;
     *) echo "unknown option: ${arg}" >&2; exit 2 ;;
   esac
 done
@@ -30,10 +37,11 @@ if [[ "${SKIP_TSAN}" == 1 ]]; then
   echo "== TSan stage skipped =="
 else
   echo "== ThreadSanitizer build + tsan-labeled tests =="
-  cmake -B build-tsan -S . -DFOOFAH_TSAN=ON \
+  cmake -B build-tsan -S . -DFOOFAH_TSAN=ON -DFOOFAH_FAULT_INJECTION=ON \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build build-tsan -j "${JOBS}" \
-    --target parallel_search_test heuristic_cache_test synthesis_fuzz_test
+    --target parallel_search_test heuristic_cache_test synthesis_fuzz_test \
+    cancellation_test fault_injection_test
   ctest --test-dir build-tsan --output-on-failure -L tsan -j "${JOBS}"
 fi
 
@@ -45,8 +53,20 @@ else
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build build-asan -j "${JOBS}" \
     --target table_test table_diff_test operators_test operators_edge_test \
-    extension_ops_test table_cow_diff_test synthesis_fuzz_test
+    extension_ops_test table_cow_diff_test synthesis_fuzz_test \
+    cancellation_test
   ctest --test-dir build-asan --output-on-failure -L asan -j "${JOBS}"
+fi
+
+if [[ "${SKIP_FAULT}" == 1 ]]; then
+  echo "== Fault-injection stage skipped =="
+else
+  echo "== Fault-injection build (ASan) + faultinject-labeled tests =="
+  cmake -B build-fault -S . -DFOOFAH_ASAN=ON -DFOOFAH_FAULT_INJECTION=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build build-fault -j "${JOBS}" \
+    --target fault_injection_test cancellation_test
+  ctest --test-dir build-fault --output-on-failure -L faultinject -j "${JOBS}"
 fi
 
 echo "All checks passed."

@@ -33,6 +33,7 @@ TolerantResult SynthesizeTolerant(const Table& input_example,
 
   if (options.max_example_errors == 0) {
     result.stats = exact.stats;
+    result.anytime = std::move(exact.anytime);
     return result;
   }
 
@@ -42,7 +43,18 @@ TolerantResult SynthesizeTolerant(const Table& input_example,
   SearchResult tolerant = SynthesizeProgram(input_example, output_example,
                                             tolerant_options);
   result.stats = tolerant.stats;
-  if (!tolerant.found) return result;
+  if (!tolerant.found) {
+    // Neither phase produced a program: surface the more promising
+    // partial answer (the phases may have truncated at different depths).
+    if (exact.anytime.available &&
+        (!tolerant.anytime.available ||
+         exact.anytime.h < tolerant.anytime.h)) {
+      result.anytime = std::move(exact.anytime);
+    } else {
+      result.anytime = std::move(tolerant.anytime);
+    }
+    return result;
+  }
 
   result.found = true;
   result.program = std::move(tolerant.program);

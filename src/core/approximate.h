@@ -47,6 +47,12 @@ struct TolerantResult {
   /// Stats of the phase that produced the program (exact phase when exact,
   /// tolerant phase otherwise).
   SearchStats stats;
+  /// Partial §4.5 progress when BOTH phases ran out of budget without a
+  /// program: the more promising anytime result of the two (lower h wins).
+  /// The caller can accept `anytime.program` as a prefix and attack the
+  /// residual diff — see DiagnoseResidual in core/diagnose.h. Unset when
+  /// `found`.
+  AnytimeResult anytime;
 };
 
 /// The §7 future-work mode: "generate useful programs even when the user's

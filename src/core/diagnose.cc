@@ -57,8 +57,42 @@ const char* DiagnosticKindName(DiagnosticKind kind) {
       return "unproducible_cell";
     case DiagnosticKind::kLikelyTypo:
       return "likely_typo";
+    case DiagnosticKind::kResidualCell:
+      return "residual_cell";
   }
   return "unknown";
+}
+
+std::vector<ExampleDiagnostic> DiagnoseResidual(const AnytimeResult& anytime) {
+  std::vector<ExampleDiagnostic> diagnostics;
+  if (!anytime.available) return diagnostics;
+  {
+    // Table-level header: how much of the distance the partial program
+    // already covers, so the user knows accepting it is worthwhile.
+    ExampleDiagnostic d;
+    d.kind = DiagnosticKind::kResidualCell;
+    std::ostringstream message;
+    message << "a partial program of " << anytime.program.size()
+            << " operation(s) reduces the estimated distance to the output "
+               "from "
+            << anytime.input_h << " to " << anytime.h
+            << "; the cells below remain wrong";
+    d.message = message.str();
+    diagnostics.push_back(std::move(d));
+  }
+  for (const CellDiff& cell : anytime.residual.cell_diffs) {
+    ExampleDiagnostic d;
+    d.kind = DiagnosticKind::kResidualCell;
+    d.row = cell.row;
+    d.col = cell.col;
+    d.cell_anchored = true;
+    std::ostringstream message;
+    message << "the partial program leaves \"" << cell.actual
+            << "\" where the example wants \"" << cell.expected << "\"";
+    d.message = message.str();
+    diagnostics.push_back(std::move(d));
+  }
+  return diagnostics;
 }
 
 std::string ExampleDiagnostic::ToString() const {

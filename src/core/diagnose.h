@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "search/search.h"
 #include "table/table.h"
 
 namespace foofah {
@@ -22,10 +23,14 @@ enum class DiagnosticKind {
   /// An unproducible output cell is within edit distance 1 of producible
   /// content — very likely a typo (§4.5: "typos, copy-paste-mistakes").
   kLikelyTypo,
+  /// A cell the best anytime (partial) program still gets wrong — see
+  /// DiagnoseResidual. Points the user at the remaining work after a
+  /// budget-truncated synthesis.
+  kResidualCell,
 };
 
 /// "empty_example" / "missing_characters" / "unproducible_cell" /
-/// "likely_typo".
+/// "likely_typo" / "residual_cell".
 const char* DiagnosticKindName(DiagnosticKind kind);
 
 /// One detected problem, anchored to an output-example cell when
@@ -51,6 +56,15 @@ struct ExampleDiagnostic {
 /// it does not guarantee synthesis succeeds.
 std::vector<ExampleDiagnostic> DiagnoseExample(const Table& input_example,
                                                const Table& output_example);
+
+/// Renders a truncated search's anytime result as cell-anchored
+/// diagnostics: one kResidualCell entry per cell its partial program still
+/// gets wrong, plus a summary of the heuristic progress made. This seeds
+/// the §4.5 decomposition loop — "accept these N steps, then give an
+/// example for the remaining cells" — so a deadline or budget stop
+/// degrades into concrete next actions instead of a bare timeout. Empty
+/// when `anytime.available` is false.
+std::vector<ExampleDiagnostic> DiagnoseResidual(const AnytimeResult& anytime);
 
 }  // namespace foofah
 

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "heuristic/heuristic_cache.h"
+#include "util/cancellation.h"
 
 namespace foofah {
 
@@ -42,7 +43,27 @@ DriverResult FindPerfectProgram(const ExampleBuilder& build_example,
     search_options.heuristic_cache = shared_cache.get();
   }
 
+  // One cancellation token for the whole protocol: the total deadline is
+  // armed here once, every round's search tightens it further with its own
+  // timeout_ms, and a fired token (deadline, budget, or external cancel)
+  // stops both the current round mid-evaluation and the round loop.
+  CancellationToken owned_token;
+  CancellationToken* cancel = options.cancel;
+  if (cancel == nullptr && options.total_timeout_ms > 0) {
+    cancel = &owned_token;
+  }
+  if (cancel != nullptr) {
+    if (options.total_timeout_ms > 0) {
+      cancel->TightenDeadlineAfterMs(options.total_timeout_ms);
+    }
+    search_options.cancel = cancel;
+  }
+
   for (int records = 1; records <= options.max_records; ++records) {
+    if (cancel != nullptr && cancel->IsCancelled()) {
+      result.cancelled = true;
+      break;
+    }
     Result<ExamplePair> example = build_example(records);
     if (!example.ok()) break;  // The raw data has no more records to add.
 
@@ -50,6 +71,13 @@ DriverResult FindPerfectProgram(const ExampleBuilder& build_example,
     round.records = records;
     round.search = SynthesizeProgram(example->input, example->output,
                                      search_options);
+    // Carry the most promising partial answer across rounds so a fully
+    // truncated protocol still reports §4.5-consumable progress.
+    if (!round.search.found && round.search.anytime.available &&
+        (!result.anytime.available ||
+         round.search.anytime.h < result.anytime.h)) {
+      result.anytime = round.search.anytime;
+    }
     if (round.search.found) {
       Result<Table> transformed = round.search.program.Execute(full_input);
       round.perfect =
@@ -65,6 +93,11 @@ DriverResult FindPerfectProgram(const ExampleBuilder& build_example,
       break;
     }
   }
+  if (!result.perfect && cancel != nullptr && cancel->IsCancelled()) {
+    result.cancelled = true;
+  }
+  // A perfect program makes partial progress moot.
+  if (result.perfect) result.anytime = AnytimeResult{};
   return result;
 }
 

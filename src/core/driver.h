@@ -30,6 +30,17 @@ struct DriverOptions {
   /// Largest example (in records) to try before giving up. The paper's
   /// experiments never needed more than 3; Fig 11a buckets 1 / 2 / failed.
   int max_records = 3;
+  /// Wall-clock budget for the WHOLE protocol (all rounds together), in
+  /// milliseconds; 0 disables. Implemented by tightening one shared
+  /// CancellationToken threaded through every round's search, so the
+  /// protocol deadline interrupts a round mid-evaluation — it composes
+  /// with (and never loosens) the per-round `search.timeout_ms`.
+  int64_t total_timeout_ms = 0;
+  /// Optional externally owned token shared across rounds (not owned,
+  /// must outlive the call): lets a UI abort the whole protocol and lets
+  /// callers impose node/memory budgets spanning rounds. When null and
+  /// total_timeout_ms > 0 the driver creates a private one.
+  CancellationToken* cancel = nullptr;
 };
 
 /// One interaction round of the protocol.
@@ -49,6 +60,14 @@ struct DriverResult {
   int records_used = 0;
   Program program;
   std::vector<DriverRound> rounds;
+  /// True when the shared cancellation token fired (protocol deadline,
+  /// budget, or external cancel) before a perfect program was found.
+  bool cancelled = false;
+  /// Best partial progress across all truncated rounds (lowest h wins;
+  /// see AnytimeResult): what the §4.5 loop decomposes instead of
+  /// reporting a bare failure. `available == false` when some round found
+  /// an exact program or no round made strict progress.
+  AnytimeResult anytime;
 
   /// Worst and average per-interaction synthesis time over all rounds
   /// (the Fig 11b measurements).

@@ -24,23 +24,27 @@ namespace {
 
 class TedBatchHeuristic : public Heuristic {
  public:
-  double Estimate(const Table& state, const Table& goal) const override {
-    return TedBatchCost(state, goal);
+  double Estimate(const Table& state, const Table& goal,
+                  const CancellationToken* cancel) const override {
+    return TedBatchCost(state, goal, cancel);
   }
   std::string name() const override { return "ted_batch"; }
 };
 
 class TedHeuristic : public Heuristic {
  public:
-  double Estimate(const Table& state, const Table& goal) const override {
-    return GreedyTed(state, goal).cost;
+  double Estimate(const Table& state, const Table& goal,
+                  const CancellationToken* cancel) const override {
+    return GreedyTed(state, goal, cancel).cost;
   }
   std::string name() const override { return "ted"; }
 };
 
 class RuleHeuristic : public Heuristic {
  public:
-  double Estimate(const Table& state, const Table& goal) const override {
+  // The rule heuristic is a handful of column scans — too cheap to poll.
+  double Estimate(const Table& state, const Table& goal,
+                  const CancellationToken*) const override {
     return NaiveRuleHeuristic(state, goal);
   }
   std::string name() const override { return "rule"; }
@@ -48,7 +52,10 @@ class RuleHeuristic : public Heuristic {
 
 class ZeroHeuristic : public Heuristic {
  public:
-  double Estimate(const Table&, const Table&) const override { return 0; }
+  double Estimate(const Table&, const Table&,
+                  const CancellationToken*) const override {
+    return 0;
+  }
   std::string name() const override { return "zero"; }
 };
 

@@ -8,6 +8,8 @@
 
 namespace foofah {
 
+class CancellationToken;
+
 /// Which heuristic function h(n) guides the A* search (§4.2, §5.3).
 enum class HeuristicKind {
   /// Table Edit Distance Batch (Algorithm 2) — the paper's contribution.
@@ -32,7 +34,17 @@ class Heuristic {
 
   /// h(state); may return kInfiniteCost when no transformation without new
   /// information can reach `goal`.
-  virtual double Estimate(const Table& state, const Table& goal) const = 0;
+  ///
+  /// `cancel` (optional, not owned) is polled inside the costlier
+  /// implementations' inner loops (TED's greedy matching, TED-Batch's
+  /// per-pattern scan) so a deadline interrupts an estimate mid-DP. When
+  /// the token fires the returned value is garbage — callers must check
+  /// the token and discard (in particular: never cache) such an estimate.
+  /// The default argument keeps the interface source-compatible for
+  /// callers that never cancel. Overrides inherit the default through the
+  /// base declaration; they do not restate it.
+  virtual double Estimate(const Table& state, const Table& goal,
+                          const CancellationToken* cancel = nullptr) const = 0;
 
   /// Stable identifier for experiment output.
   virtual std::string name() const = 0;

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "util/cancellation.h"
 #include "util/string_util.h"
 
 namespace foofah {
@@ -78,7 +79,8 @@ double TransformSequenceCost(const std::string& src, int src_row, int src_col,
   return cost;
 }
 
-TedResult GreedyTed(const Table& input, const Table& output) {
+TedResult GreedyTed(const Table& input, const Table& output,
+                    const CancellationToken* cancel) {
   TedResult result;
   std::vector<Cell> in_cells = Flatten(input);
   std::vector<Cell> out_cells = Flatten(output);
@@ -88,7 +90,15 @@ TedResult GreedyTed(const Table& input, const Table& output) {
   // reallocation at most.
   result.path.reserve(out_cells.size());
 
+  // Poll the token on a stride: each output cell costs an O(input cells)
+  // scan, so checking every 8th keeps both the overshoot and the polling
+  // overhead (one clock read per check) negligible.
+  size_t polls = 0;
   for (const Cell& out : out_cells) {
+    if (cancel != nullptr && (++polls & 0x7) == 0 && cancel->IsCancelled()) {
+      result.cost = kInfiniteCost;
+      return result;
+    }
     // Pass 1 (Algorithm 1 lines 8–12): cheapest sequence from an unused
     // input cell, scanning in row-major order so ties pick the earlier cell.
     double best_cost = kInfiniteCost;

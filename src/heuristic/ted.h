@@ -8,6 +8,8 @@
 
 namespace foofah {
 
+class CancellationToken;
+
 /// Result of the greedy Table Edit Distance approximation.
 struct TedResult {
   /// Total cost of the discovered edit path; kInfiniteCost when some output
@@ -40,7 +42,14 @@ double TransformSequenceCost(const std::string& src, int src_row, int src_col,
 /// Reproduces the paper's worked example exactly: for the task of Figure 9
 /// the discovered paths for (ei, c1, c2) cost 12, 9 and 18 (our unit tests
 /// assert these values).
-TedResult GreedyTed(const Table& input, const Table& output);
+///
+/// `cancel` (optional, not owned) is polled every few output cells so a
+/// deadline interrupts the O(cells^2) greedy matching mid-table. When the
+/// token fires the function returns promptly with cost = kInfiniteCost and
+/// a truncated path; callers must treat that result as garbage — check the
+/// token, never cache or act on an estimate computed under cancellation.
+TedResult GreedyTed(const Table& input, const Table& output,
+                    const CancellationToken* cancel = nullptr);
 
 }  // namespace foofah
 

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "heuristic/ted.h"
+#include "util/cancellation.h"
 
 namespace foofah {
 
@@ -61,7 +62,8 @@ bool PatternApplies(const PatternSpec& spec, const EditOp& op) {
 
 }  // namespace
 
-TedBatchResult BatchEditPath(const EditPath& path) {
+TedBatchResult BatchEditPath(const EditPath& path,
+                             const CancellationToken* cancel) {
   TedBatchResult result;
   if (path.empty()) return result;
 
@@ -109,6 +111,14 @@ TedBatchResult BatchEditPath(const EditPath& path) {
     };
 
     for (const PatternSpec& spec : kPatterns) {
+      // Per-pattern poll: each pattern's chain scan is O(group size * log),
+      // the costliest indivisible step of the batching, so checking here
+      // bounds the deadline overshoot to one scan.
+      if (cancel != nullptr && cancel->IsCancelled()) {
+        result.cost = kInfiniteCost;
+        result.batches.clear();
+        return result;
+      }
       if (!PatternApplies(spec, path[indices.front()])) continue;
       for (size_t i : indices) {
         CoordKey key = KeyOf(path[i]);
@@ -177,10 +187,11 @@ TedBatchResult BatchEditPath(const EditPath& path) {
   return result;
 }
 
-double TedBatchCost(const Table& input, const Table& output) {
-  TedResult ted = GreedyTed(input, output);
+double TedBatchCost(const Table& input, const Table& output,
+                    const CancellationToken* cancel) {
+  TedResult ted = GreedyTed(input, output, cancel);
   if (ted.cost == kInfiniteCost) return kInfiniteCost;
-  return BatchEditPath(ted.path).cost;
+  return BatchEditPath(ted.path, cancel).cost;
 }
 
 }  // namespace foofah

@@ -8,6 +8,8 @@
 
 namespace foofah {
 
+class CancellationToken;
+
 /// The geometric patterns of Table 4, applied to the (src, dst) coordinate
 /// deltas of consecutive ops in a candidate batch. `kAddHorizontal` /
 /// `kAddVertical` extend the table's Remove patterns to Add ops (which the
@@ -49,11 +51,20 @@ struct TedBatchResult {
 ///
 /// On the paper's worked example (Figure 9/10) this compacts path costs
 /// 12 / 9 / 18 to 4 / 3 / 6, as our tests assert.
-TedBatchResult BatchEditPath(const EditPath& path);
+///
+/// `cancel` (optional, not owned) is polled between the per-pattern chain
+/// scans (Table 4 has ten patterns per type group) so a deadline interrupts
+/// the batching mid-path. A result computed under a fired token is garbage
+/// (cost forced to kInfiniteCost, batches truncated) — callers must check
+/// the token before using or caching it.
+TedBatchResult BatchEditPath(const EditPath& path,
+                             const CancellationToken* cancel = nullptr);
 
 /// Convenience: GreedyTed + BatchEditPath. Returns kInfiniteCost when the
-/// greedy TED is infeasible.
-double TedBatchCost(const Table& input, const Table& output);
+/// greedy TED is infeasible, or when `cancel` fires mid-computation (the
+/// caller distinguishes the two by checking the token).
+double TedBatchCost(const Table& input, const Table& output,
+                    const CancellationToken* cancel = nullptr);
 
 }  // namespace foofah
 

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <vector>
 
+#include "util/fault_injection.h"
 #include "util/string_util.h"
 
 namespace foofah {
@@ -344,6 +345,13 @@ Result<Table> ApplyExtract(const Table& t, int col, const std::string& regex) {
   }
   if (re == nullptr) {
     std::regex compiled;
+    // Injected compile failure, taking the same error path a malformed
+    // pattern would (the point sits before the cache insert, so the
+    // failure is not sticky for later calls with the same pattern).
+    if (FOOFAH_FAULT_FAIL(fault_points::kRegexCompile)) {
+      return Status::InvalidArgument(
+          "extract: bad regex: injected compile failure");
+    }
     // std::regex reports malformed patterns via regex_error; translate to a
     // Status to keep the library exception-free at API boundaries. Compile
     // outside the lock: only the map insert needs exclusivity.

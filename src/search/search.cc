@@ -15,6 +15,8 @@
 #include "ops/operators.h"
 #include "search/trace.h"
 #include "table/table_diff.h"
+#include "util/cancellation.h"
+#include "util/fault_injection.h"
 #include "util/thread_pool.h"
 
 namespace foofah {
@@ -39,7 +41,9 @@ std::string SearchStats::ToString() const {
         << (heuristic_cache_hits + heuristic_cache_misses);
   }
   if (timed_out) out << " TIMEOUT";
+  if (timed_out && overshoot_ms > 0) out << " overshoot_ms=" << overshoot_ms;
   if (budget_exhausted) out << " BUDGET";
+  if (cancelled) out << " CANCELLED";
   return out.str();
 }
 
@@ -130,6 +134,11 @@ struct CandidateOutcome {
   bool has_h = false;  ///< True when `h` was precomputed in phase 2.
   double h = 0;
   CacheOutcome cache_outcome = CacheOutcome::kNone;
+  /// True once evaluation ran to a definitive fate. Stays false for slots
+  /// a fired CancellationToken abandoned (never dispatched, or
+  /// interrupted mid-estimate); such slots hold garbage and the
+  /// cancellation replay skips them.
+  bool complete = false;
 };
 
 }  // namespace
@@ -144,6 +153,40 @@ SearchResult SynthesizeProgram(const Table& input, const Table& goal,
   };
 
   SearchResult result;
+
+  // Cooperative stop: the caller's shared token when given, else a private
+  // one armed only when a timeout applies. `cancel` stays null when
+  // neither exists, keeping the unlimited configuration (timeout_ms == 0,
+  // e.g. the thread-count determinism tests) completely clock-free.
+  // Tightening (rather than overwriting) the deadline composes a caller's
+  // protocol-wide budget with the per-search timeout: the stricter wins.
+  CancellationToken owned_token;
+  CancellationToken* cancel = options.cancel;
+  if (cancel == nullptr && options.timeout_ms > 0) cancel = &owned_token;
+  if (cancel != nullptr && options.timeout_ms > 0) {
+    cancel->TightenDeadlineAfterMs(options.timeout_ms);
+  }
+  // Maps the token's stop reason onto the stats flags. Call only after
+  // IsCancelled() returned true (reason() does not poll the clock).
+  auto note_cancel = [&]() {
+    if (cancel == nullptr) return;
+    switch (cancel->reason()) {
+      case CancelReason::kDeadline:
+        result.stats.timed_out = true;
+        result.stats.overshoot_ms = cancel->OvershootMs();
+        break;
+      case CancelReason::kExternal:
+        result.stats.cancelled = true;
+        break;
+      case CancelReason::kNodeBudget:
+      case CancelReason::kMemoryBudget:
+        result.stats.budget_exhausted = true;
+        break;
+      case CancelReason::kNone:
+        break;
+    }
+  };
+
   OperatorRegistry default_registry = OperatorRegistry::Default();
   const OperatorRegistry& registry =
       options.registry != nullptr ? *options.registry : default_registry;
@@ -191,6 +234,7 @@ SearchResult SynthesizeProgram(const Table& input, const Table& goal,
   // Thread-safe (the memo is sharded and locked; heuristics are stateless).
   auto estimate = [&](const Table& state, CacheOutcome* outcome) {
     double h;
+    FOOFAH_FAULT_HIT(fault_points::kHeuristicEstimate);
     if (cache != nullptr) {
       const uint64_t state_hash = state.Hash();
       // Shape fingerprint rides along as a collision check: a memo entry
@@ -207,12 +251,21 @@ SearchResult SynthesizeProgram(const Table& input, const Table& goal,
         if (outcome != nullptr) *outcome = CacheOutcome::kHit;
         h = *memo;
       } else {
-        h = heuristic->Estimate(state, goal);
-        cache->Insert(state_hash, goal_hash, checksum, h);
-        if (outcome != nullptr) *outcome = CacheOutcome::kMiss;
+        h = heuristic->Estimate(state, goal, cancel);
+        // A fired token makes the estimate garbage mid-DP: never let it
+        // poison the memo — cached estimates must stay pure functions of
+        // the key. The insert fault point models a failed/evicted insert,
+        // which likewise silently skips (the cache is an accelerator, so
+        // results must not change — the fault sweep asserts exactly that).
+        if (cancel == nullptr || !cancel->IsCancelled()) {
+          if (!FOOFAH_FAULT_FAIL(fault_points::kHeuristicCacheInsert)) {
+            cache->Insert(state_hash, goal_hash, checksum, h);
+          }
+          if (outcome != nullptr) *outcome = CacheOutcome::kMiss;
+        }
       }
     } else {
-      h = heuristic->Estimate(state, goal);
+      h = heuristic->Estimate(state, goal, cancel);
     }
     if (h == kInfiniteCost && tolerant) return infeasible_estimate;
     return h;
@@ -246,10 +299,32 @@ SearchResult SynthesizeProgram(const Table& input, const Table& goal,
     return static_cast<int>(result.alternatives.size()) >=
            std::max(1, options.max_solutions);
   };
+  // Anytime bookkeeping (A* only — BFS carries no h): the frontier node
+  // with the strictly lowest heuristic estimate seen so far. Node 0 with
+  // best_h == root h means "no state beat the input yet".
+  double root_h = 0;
+  double best_anytime_h = 0;
+  int best_anytime_node = 0;
+
   auto finalize = [&]() {
     if (!result.alternatives.empty()) {
       result.found = true;
       result.program = result.alternatives.front();
+    }
+    // A premature stop surrenders the frontier as an anytime result: the
+    // path to the explored state judged closest to the goal, plus the
+    // residual diff the §4.5 loop can decompose. Requires strict progress
+    // (h < root h) so the "partial program" is never the empty one.
+    if (!result.found && best_anytime_node != 0 &&
+        (result.stats.timed_out || result.stats.budget_exhausted ||
+         result.stats.cancelled)) {
+      result.anytime.available = true;
+      result.anytime.program = ReconstructProgram(arena, best_anytime_node);
+      result.anytime.table = arena[best_anytime_node].table;
+      result.anytime.h = best_anytime_h;
+      result.anytime.input_h = root_h;
+      result.anytime.residual =
+          DiffTables(goal, result.anytime.table, /*max_cell_diffs=*/64);
     }
     result.stats.elapsed_ms = elapsed_ms();
     return result;
@@ -263,6 +338,12 @@ SearchResult SynthesizeProgram(const Table& input, const Table& goal,
 
   auto push = [&](int node, double h) {
     if (options.strategy == SearchStrategy::kAStar) {
+      // Strict improvement + serial push order make the anytime pick
+      // deterministic at any thread count (pushes happen in replay order).
+      if (h < best_anytime_h) {
+        best_anytime_h = h;
+        best_anytime_node = node;
+      }
       astar_open.push(OpenEntry{
           arena[node].depth + options.heuristic_weight * h,
           arena[node].depth, seq++, node});
@@ -290,6 +371,12 @@ SearchResult SynthesizeProgram(const Table& input, const Table& goal,
     double h0 = options.strategy == SearchStrategy::kAStar
                     ? estimate(input, &outcome)
                     : 0;
+    if (cancel != nullptr && cancel->IsCancelled()) {
+      // The very first estimate outran the deadline. Report the stop
+      // reason instead of misreading the garbage h0 as unreachable.
+      note_cancel();
+      return finalize();
+    }
     count_cache_outcome(outcome);
     if (h0 == kInfiniteCost) {
       // The goal needs information the input does not contain; no
@@ -297,6 +384,8 @@ SearchResult SynthesizeProgram(const Table& input, const Table& goal,
       result.stats.elapsed_ms = elapsed_ms();
       return result;
     }
+    root_h = h0;
+    best_anytime_h = h0;
     push(0, h0);
   }
 
@@ -305,8 +394,11 @@ SearchResult SynthesizeProgram(const Table& input, const Table& goal,
   std::vector<CandidateOutcome> outcomes;
 
   while (!frontier_empty()) {
-    if (options.timeout_ms > 0 && elapsed_ms() > options.timeout_ms) {
-      result.stats.timed_out = true;
+    // The token subsumes the old between-rounds elapsed check (it owns the
+    // deadline whenever timeout_ms > 0) and additionally fires mid-round:
+    // per candidate, per parallel slot, and inside the TED inner loops.
+    if (cancel != nullptr && cancel->IsCancelled()) {
+      note_cancel();
       break;
     }
     if (options.max_expansions > 0 &&
@@ -317,6 +409,10 @@ SearchResult SynthesizeProgram(const Table& input, const Table& goal,
 
     const int current = pop();
     ++result.stats.nodes_expanded;
+    if (cancel != nullptr && cancel->CountNode()) {
+      note_cancel();
+      break;
+    }
     if (options.observer != nullptr) {
       options.observer->OnExpand(current, arena[current].table,
                                  arena[current].depth);
@@ -340,22 +436,29 @@ SearchResult SynthesizeProgram(const Table& input, const Table& goal,
     // concurrently.
     auto evaluate = [&](const Operation& candidate, bool compute_h,
                         CandidateOutcome& out) {
+      // A fired token abandons the slot: `complete` stays false and the
+      // cancellation replay skips it.
+      if (cancel != nullptr && cancel->IsCancelled()) return;
+
       PruneReason reason = PruneBeforeApply(state, candidate, pruning);
       if (reason != PruneReason::kKept) {
         out.fate = CandidateFate::kPrunedBefore;
         out.reason = reason;
+        out.complete = true;
         return;
       }
 
       Result<Table> applied = ApplyOperation(state, candidate);
       if (!applied.ok()) {
         out.fate = CandidateFate::kApplyFailed;
+        out.complete = true;
         return;
       }
       Table child = std::move(applied).value();
 
       if (child.num_cells() > options.max_state_cells) {
         out.fate = CandidateFate::kOversize;
+        out.complete = true;
         return;
       }
 
@@ -364,6 +467,7 @@ SearchResult SynthesizeProgram(const Table& input, const Table& goal,
       if (reason != PruneReason::kKept) {
         out.fate = CandidateFate::kPrunedAfter;
         out.reason = reason;
+        out.complete = true;
         return;
       }
 
@@ -388,10 +492,13 @@ SearchResult SynthesizeProgram(const Table& input, const Table& goal,
         // the child, so evaluating it for a child the serial replay later
         // drops as a duplicate cannot change any outcome.
         out.h = estimate(child, &out.cache_outcome);
+        // Interrupted mid-DP: out.h is garbage. Leave the slot incomplete.
+        if (cancel != nullptr && cancel->IsCancelled()) return;
         out.has_h = true;
       }
       out.child = std::move(child);
       out.fate = CandidateFate::kEvaluated;
+      out.complete = true;
     };
 
     // ---- Phase 3: replay one evaluated slot — every mutation of the
@@ -432,6 +539,13 @@ SearchResult SynthesizeProgram(const Table& input, const Table& goal,
       arena.push_back(Node{std::move(out.child), current, candidate,
                            arena[current].depth + 1});
       ++result.stats.nodes_generated;
+      if (cancel != nullptr) {
+        // Approximate retained footprint of the kept state. The CoW
+        // substrate shares row storage between parent and child, so this
+        // intentionally over-counts; the memory budget is a blowup guard,
+        // not an accountant.
+        cancel->ChargeMemory(64 + 32 * arena.back().table.num_cells());
+      }
 
       if (out.is_goal) {
         if (options.observer != nullptr) {
@@ -457,6 +571,12 @@ SearchResult SynthesizeProgram(const Table& input, const Table& goal,
           // Serial engine: estimate after deduplication, exactly as the
           // legacy single-threaded loop did.
           h = estimate(arena[child_index].table, &out.cache_outcome);
+          if (cancel != nullptr && cancel->IsCancelled()) {
+            // The estimate is garbage. Keep the child off the frontier
+            // (it already sits in the arena/seen-set, which is harmless)
+            // and let the caller observe the stop.
+            return true;
+          }
         }
         count_cache_outcome(out.cache_outcome);
       }
@@ -471,17 +591,35 @@ SearchResult SynthesizeProgram(const Table& input, const Table& goal,
 
     if (pool != nullptr && candidates.size() > 1) {
       outcomes.assign(candidates.size(), CandidateOutcome{});
-      pool->ParallelFor(candidates.size(), [&](size_t i) {
-        evaluate(candidates[i], /*compute_h=*/true, outcomes[i]);
-      });
+      pool->ParallelFor(
+          candidates.size(),
+          [&](size_t i) {
+            evaluate(candidates[i], /*compute_h=*/true, outcomes[i]);
+          },
+          cancel);
+      if (cancel != nullptr && cancel->IsCancelled()) {
+        // Salvage the fully evaluated slots — in candidate order, so the
+        // replays stay deterministic — to enrich the anytime frontier,
+        // then stop. Abandoned/interrupted slots hold garbage; skip them.
+        for (size_t i = 0; i < candidates.size(); ++i) {
+          if (!outcomes[i].complete) continue;
+          if (!replay(candidates[i], outcomes[i])) return finalize();
+        }
+        note_cancel();
+        break;
+      }
       for (size_t i = 0; i < candidates.size(); ++i) {
         if (!replay(candidates[i], outcomes[i])) return finalize();
       }
     } else {
       CandidateOutcome out;
       for (const Operation& candidate : candidates) {
+        // Per-candidate poll: a deadline interrupts mid-round instead of
+        // waiting for the next expansion (the loop head notes the reason).
+        if (cancel != nullptr && cancel->IsCancelled()) break;
         out = CandidateOutcome{};
         evaluate(candidate, /*compute_h=*/false, out);
+        if (!out.complete) break;  // Interrupted mid-evaluation.
         if (!replay(candidate, out)) return finalize();
       }
     }

@@ -10,12 +10,14 @@
 #include "program/program.h"
 #include "search/pruning.h"
 #include "table/table.h"
+#include "table/table_diff.h"
 #include "util/status.h"
 
 namespace foofah {
 
-class SearchObserver;  // search/trace.h
-class HeuristicCache;  // heuristic/heuristic_cache.h
+class SearchObserver;      // search/trace.h
+class HeuristicCache;      // heuristic/heuristic_cache.h
+class CancellationToken;   // util/cancellation.h
 
 /// How the state space graph of Definition 4.1 is explored (§5.3).
 enum class SearchStrategy {
@@ -40,7 +42,22 @@ struct SearchOptions {
 
   /// Wall-clock budget in milliseconds; 0 disables the time limit.
   /// (The paper uses 60 s per interaction in §5.2 and 300 s in §5.3.)
+  /// Enforced through a CancellationToken polled per expansion, per
+  /// candidate, and inside the TED heuristics' inner loops, so the
+  /// overshoot past the deadline is bounded by one indivisible evaluation
+  /// step (well under the documented 250 ms epsilon) rather than by a
+  /// whole expansion round.
   int64_t timeout_ms = 60'000;
+
+  /// Optional shared cancellation token (see util/cancellation.h); not
+  /// owned, must outlive the search. Lets a driver impose one protocol-
+  /// wide deadline / node / memory budget across rounds, or a UI thread
+  /// abort a running synthesis. When timeout_ms > 0 the search tightens
+  /// this token's deadline (creating a private token when none is given),
+  /// so both limits apply — the stricter wins. A fired token ends the
+  /// search cooperatively; the partial frontier is surfaced through
+  /// SearchResult::anytime.
+  CancellationToken* cancel = nullptr;
   /// Maximum number of node expansions; 0 disables the cap.
   uint64_t max_expansions = 200'000;
   /// Maximum number of generated (kept) states; 0 disables the cap.
@@ -133,6 +150,14 @@ struct SearchStats {
   double elapsed_ms = 0;
   bool timed_out = false;
   bool budget_exhausted = false;
+  /// True when an external RequestCancel() (not a deadline or budget)
+  /// ended the search.
+  bool cancelled = false;
+  /// How far past the armed deadline the search ran before the expiry was
+  /// observed, in ms. Only meaningful when timed_out; the robustness suite
+  /// asserts this stays under 250 ms corpus-wide even with a slowed-down
+  /// heuristic.
+  double overshoot_ms = 0;
 
   uint64_t total_pruned() const {
     uint64_t total = 0;
@@ -142,6 +167,34 @@ struct SearchStats {
 
   /// One-line summary for experiment logs.
   std::string ToString() const;
+};
+
+/// Best-effort partial answer from a search that ran out of budget: the
+/// program of the frontier node the heuristic judged closest to the goal,
+/// plus the table it produces and the residual diff still separating that
+/// table from the goal. This is what the §4.5 user-effort loop needs to
+/// degrade gracefully — the user (or core/approximate and core/diagnose)
+/// can accept the partial program and work on the residual instead of
+/// getting a bare timeout.
+struct AnytimeResult {
+  /// True when the search ended prematurely (deadline, budget, external
+  /// cancel) with at least one explored state strictly closer to the goal
+  /// (lower h) than the input itself. A* only: BFS carries no h.
+  bool available = false;
+  /// Path from the input to the best frontier state; never empty when
+  /// `available` (the input itself never qualifies).
+  Program program;
+  /// The best frontier state — `program` applied to the input.
+  Table table;
+  /// Heuristic distance from `table` to the goal; strictly less than
+  /// `input_h`.
+  double h = 0;
+  /// Heuristic distance from the untransformed input to the goal, for
+  /// progress reporting ("reduced estimated distance from 14 to 5").
+  double input_h = 0;
+  /// Cell-level diff of goal vs `table`: what the partial program still
+  /// fails to produce. Bounded to the differ's default cap.
+  TableDiff residual;
 };
 
 /// Outcome of one synthesis search.
@@ -156,6 +209,10 @@ struct SearchResult {
   /// discovery order — best-first order under the active strategy. Has
   /// more than one element only when SearchOptions::max_solutions > 1.
   std::vector<Program> alternatives;
+  /// Partial progress when the search ended on a deadline / budget /
+  /// cancel without finding an exact program. Unset (`available == false`)
+  /// whenever `found` is true or the search exhausted the space cleanly.
+  AnytimeResult anytime;
   SearchStats stats;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/fault_injection.h"
 #include "util/string_util.h"
 
 namespace foofah {
@@ -45,6 +46,7 @@ Table::Spine& Table::MutableSpine() {
     spine_ = std::make_shared<Spine>();
   } else if (spine_.use_count() != 1) {
     // Detach: copy the handles (refcount bumps), not the rows.
+    FOOFAH_FAULT_HIT(fault_points::kTableDetachSpine);
     spine_ = std::make_shared<Spine>(*spine_);
   }
   return *spine_;
@@ -56,7 +58,10 @@ Table::Row& Table::MutableRow(size_t r) {
   // use_count() == 1 means this spine — exclusively ours after
   // MutableSpine() — holds the only reference anywhere, so writing in
   // place cannot be observed by another table or thread.
-  if (handle.use_count() != 1) handle = std::make_shared<Row>(*handle);
+  if (handle.use_count() != 1) {
+    FOOFAH_FAULT_HIT(fault_points::kTableDetachRow);
+    handle = std::make_shared<Row>(*handle);
+  }
   return *handle;
 }
 

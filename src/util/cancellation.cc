@@ -1,0 +1,83 @@
+#include "util/cancellation.h"
+
+#include <algorithm>
+
+namespace foofah {
+
+const char* CancelReasonName(CancelReason reason) {
+  switch (reason) {
+    case CancelReason::kNone:
+      return "none";
+    case CancelReason::kExternal:
+      return "external";
+    case CancelReason::kDeadline:
+      return "deadline";
+    case CancelReason::kNodeBudget:
+      return "node_budget";
+    case CancelReason::kMemoryBudget:
+      return "memory_budget";
+  }
+  return "unknown";
+}
+
+void CancellationToken::Trip(CancelReason reason, int64_t observed_ns) const {
+  uint8_t expected = 0;
+  if (reason_.compare_exchange_strong(expected, static_cast<uint8_t>(reason),
+                                      std::memory_order_acq_rel)) {
+    tripped_at_ns_.store(observed_ns, std::memory_order_release);
+  }
+}
+
+void CancellationToken::TightenDeadline(Clock::time_point deadline) {
+  int64_t target = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       deadline.time_since_epoch())
+                       .count();
+  int64_t current = deadline_ns_.load(std::memory_order_relaxed);
+  while (target < current &&
+         !deadline_ns_.compare_exchange_weak(current, target,
+                                             std::memory_order_relaxed)) {
+    // current reloaded by the failed CAS; loop until ours is not earlier.
+  }
+}
+
+void CancellationToken::TightenDeadlineAfterMs(int64_t ms) {
+  TightenDeadline(Clock::now() + std::chrono::milliseconds(ms));
+}
+
+bool CancellationToken::CountNode(uint64_t n) {
+  uint64_t total = nodes_.fetch_add(n, std::memory_order_relaxed) + n;
+  uint64_t budget = node_budget_.load(std::memory_order_relaxed);
+  if (budget != 0 && total > budget) {
+    Trip(CancelReason::kNodeBudget, NowNs());
+  }
+  return IsCancelled();
+}
+
+bool CancellationToken::ChargeMemory(uint64_t bytes) {
+  uint64_t total = memory_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  uint64_t budget = memory_budget_.load(std::memory_order_relaxed);
+  if (budget != 0 && total > budget) {
+    Trip(CancelReason::kMemoryBudget, NowNs());
+  }
+  return IsCancelled();
+}
+
+bool CancellationToken::IsCancelled() const {
+  if (reason_.load(std::memory_order_acquire) != 0) return true;
+  int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+  if (deadline == kNoDeadline) return false;
+  int64_t now = NowNs();
+  if (now < deadline) return false;
+  Trip(CancelReason::kDeadline, now);
+  return true;
+}
+
+double CancellationToken::OvershootMs() const {
+  if (reason() != CancelReason::kDeadline) return 0.0;
+  int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+  int64_t observed = tripped_at_ns_.load(std::memory_order_acquire);
+  if (deadline == kNoDeadline || observed <= deadline) return 0.0;
+  return static_cast<double>(observed - deadline) / 1e6;
+}
+
+}  // namespace foofah

@@ -1,0 +1,145 @@
+#ifndef FOOFAH_UTIL_CANCELLATION_H_
+#define FOOFAH_UTIL_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace foofah {
+
+/// Why a CancellationToken fired. Checked by the search engine to map a
+/// cooperative stop onto the right SearchStats flag (timed_out /
+/// cancelled / budget_exhausted).
+enum class CancelReason : uint8_t {
+  kNone = 0,          ///< Token has not fired.
+  kExternal = 1,      ///< RequestCancel() was called (user abort).
+  kDeadline = 2,      ///< The wall-clock deadline passed.
+  kNodeBudget = 3,    ///< CountNode() exceeded the node budget.
+  kMemoryBudget = 4,  ///< ChargeMemory() exceeded the byte budget.
+};
+
+/// Returns a short stable name for a cancel reason ("external",
+/// "deadline", ...), for log lines and test failure messages.
+const char* CancelReasonName(CancelReason reason);
+
+/// Cooperative cancellation shared across the synthesis stack.
+///
+/// One token is threaded from the driver through Search, ThreadPool task
+/// bodies, and the TED heuristics' inner loops; each layer polls
+/// IsCancelled() at its natural granularity (per expansion, per candidate,
+/// per DP cell batch) so a deadline interrupts work mid-evaluation with
+/// bounded overshoot instead of waiting for the next serial round. The
+/// token aggregates four stop conditions:
+///
+///  - an absolute wall-clock deadline (steady_clock; see TightenDeadline),
+///  - an external cancel (RequestCancel),
+///  - a generated-node budget (SetNodeBudget / CountNode), and
+///  - an approximate memory budget in bytes (SetMemoryBudget /
+///    ChargeMemory).
+///
+/// The first condition observed wins and is latched: reason() never
+/// changes once set, and IsCancelled() stays true forever after (tokens
+/// are single-shot; create a fresh one per protocol run). All members are
+/// lock-free atomics, so polling from pool workers and the caller
+/// concurrently is safe and cheap — the fast path of IsCancelled() is one
+/// relaxed load when no deadline is armed, plus one steady_clock read when
+/// one is.
+class CancellationToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancellationToken() = default;
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  /// Fires the token with CancelReason::kExternal (no-op if already
+  /// fired). Safe from any thread, including signal-adjacent contexts —
+  /// it is a single atomic store chain.
+  void RequestCancel() { Trip(CancelReason::kExternal, NowNs()); }
+
+  /// Arms (or tightens) the wall-clock deadline: the new deadline is
+  /// min(existing, `deadline`). Deadlines only ever move earlier so a
+  /// driver-level protocol budget composes with a per-round timeout — the
+  /// stricter of the two wins.
+  void TightenDeadline(Clock::time_point deadline);
+
+  /// Convenience: TightenDeadline(now + ms). Non-positive ms arms a
+  /// deadline in the immediate past (the next poll fires).
+  void TightenDeadlineAfterMs(int64_t ms);
+
+  /// Caps the number of nodes charged via CountNode(); 0 disables.
+  void SetNodeBudget(uint64_t max_nodes) {
+    node_budget_.store(max_nodes, std::memory_order_relaxed);
+  }
+
+  /// Caps the bytes charged via ChargeMemory(); 0 disables.
+  void SetMemoryBudget(uint64_t max_bytes) {
+    memory_budget_.store(max_bytes, std::memory_order_relaxed);
+  }
+
+  /// Charges `n` nodes against the node budget and returns IsCancelled().
+  /// The budget fires when the running total exceeds the cap.
+  bool CountNode(uint64_t n = 1);
+
+  /// Charges `bytes` against the memory budget and returns IsCancelled().
+  bool ChargeMemory(uint64_t bytes);
+
+  /// True once any stop condition has been observed. When a deadline is
+  /// armed this also performs the clock check, so the first caller to
+  /// poll after the deadline passes is the one that trips the token.
+  bool IsCancelled() const;
+
+  /// The latched stop condition, or kNone. Does not poll the clock —
+  /// call IsCancelled() first when a deadline may have just expired.
+  CancelReason reason() const {
+    return static_cast<CancelReason>(reason_.load(std::memory_order_acquire));
+  }
+
+  /// True if TightenDeadline has ever been called.
+  bool has_deadline() const {
+    return deadline_ns_.load(std::memory_order_relaxed) != kNoDeadline;
+  }
+
+  /// How far past the armed deadline the token was when the expiry was
+  /// first observed, in milliseconds. 0 unless reason() == kDeadline.
+  /// This is the per-run overshoot sample the deadline benchmarks and the
+  /// corpus overshoot regression aggregate.
+  double OvershootMs() const;
+
+  /// Total nodes charged so far (for stats, not control flow).
+  uint64_t nodes_charged() const {
+    return nodes_.load(std::memory_order_relaxed);
+  }
+
+  /// Total bytes charged so far (for stats, not control flow).
+  uint64_t memory_charged() const {
+    return memory_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr int64_t kNoDeadline = INT64_MAX;
+
+  static int64_t NowNs() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               Clock::now().time_since_epoch())
+        .count();
+  }
+
+  /// Latches `reason` if the token has not fired yet; records the
+  /// observation timestamp for OvershootMs().
+  void Trip(CancelReason reason, int64_t observed_ns) const;
+
+  // All state is mutable because IsCancelled() — logically const — is the
+  // poll that latches a deadline expiry.
+  mutable std::atomic<uint8_t> reason_{0};
+  mutable std::atomic<int64_t> deadline_ns_{kNoDeadline};
+  mutable std::atomic<int64_t> tripped_at_ns_{0};
+  mutable std::atomic<uint64_t> nodes_{0};
+  std::atomic<uint64_t> node_budget_{0};
+  mutable std::atomic<uint64_t> memory_{0};
+  std::atomic<uint64_t> memory_budget_{0};
+};
+
+}  // namespace foofah
+
+#endif  // FOOFAH_UTIL_CANCELLATION_H_

@@ -1,0 +1,83 @@
+#include "util/fault_injection.h"
+
+#include <algorithm>
+
+namespace foofah {
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+const std::vector<std::string>& FaultInjector::KnownPoints() {
+  static const std::vector<std::string>* points = [] {
+    auto* list = new std::vector<std::string>{
+        fault_points::kTableDetachSpine,    fault_points::kTableDetachRow,
+        fault_points::kRegexCompile,        fault_points::kPoolDispatch,
+        fault_points::kHeuristicCacheInsert, fault_points::kHeuristicEstimate,
+    };
+    std::sort(list->begin(), list->end());
+    return list;
+  }();
+  return *points;
+}
+
+void FaultInjector::ArmFailure(std::string_view point, uint64_t nth_hit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PointState& state = points_[std::string(point)];
+  state.fail_at_hit = state.hits + nth_hit;
+  state.fail_always = false;
+}
+
+void FaultInjector::ArmFailureAlways(std::string_view point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PointState& state = points_[std::string(point)];
+  state.fail_at_hit = 0;
+  state.fail_always = true;
+}
+
+void FaultInjector::ArmCallback(std::string_view point,
+                                std::function<void()> callback) {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_[std::string(point)].callback =
+      std::make_shared<std::function<void()>>(std::move(callback));
+}
+
+void FaultInjector::Disarm(std::string_view point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(std::string(point));
+  if (it == points_.end()) return;
+  it->second.fail_at_hit = 0;
+  it->second.fail_always = false;
+  it->second.callback.reset();
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.clear();
+}
+
+uint64_t FaultInjector::HitCount(std::string_view point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(std::string(point));
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+bool FaultInjector::ShouldFail(const char* point) {
+  std::shared_ptr<std::function<void()>> callback;
+  bool fail = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PointState& state = points_[point];
+    ++state.hits;
+    fail = state.fail_always ||
+           (state.fail_at_hit != 0 && state.hits == state.fail_at_hit);
+    callback = state.callback;
+  }
+  // Outside the lock: the callback may sleep (slow-heuristic tests), fire
+  // a CancellationToken, or hit further fault points without deadlocking.
+  if (callback != nullptr && *callback) (*callback)();
+  return fail;
+}
+
+}  // namespace foofah

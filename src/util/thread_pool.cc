@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "util/cancellation.h"
+#include "util/fault_injection.h"
+
 namespace foofah {
 
 int ThreadPool::DefaultThreadCount() {
@@ -27,9 +30,13 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::RunChunk() {
-  // count_ and body_ are stable for the duration of a job: ParallelFor
-  // only rewrites them after every participant has checked out below.
+  // count_, body_ and cancel_ are stable for the duration of a job:
+  // ParallelFor only rewrites them after every participant has checked
+  // out below.
   for (;;) {
+    // A fired token stops index handout: the remaining queue is abandoned
+    // wholesale rather than drained one no-op at a time.
+    if (cancel_ != nullptr && cancel_->IsCancelled()) return;
     size_t index = next_.fetch_add(1, std::memory_order_relaxed);
     if (index >= count_) return;
     (*body_)(index);
@@ -56,15 +63,21 @@ void ThreadPool::WorkerLoop() {
 }
 
 void ThreadPool::ParallelFor(size_t count,
-                             const std::function<void(size_t)>& body) {
+                             const std::function<void(size_t)>& body,
+                             const CancellationToken* cancel) {
   if (count == 0) return;
   if (workers_.empty() || count == 1) {
-    for (size_t i = 0; i < count; ++i) body(i);
+    for (size_t i = 0; i < count; ++i) {
+      if (cancel != nullptr && cancel->IsCancelled()) return;
+      body(i);
+    }
     return;
   }
+  FOOFAH_FAULT_HIT(fault_points::kPoolDispatch);
   {
     std::lock_guard<std::mutex> lock(mu_);
     body_ = &body;
+    cancel_ = cancel;
     count_ = count;
     next_.store(0, std::memory_order_relaxed);
     active_workers_ = workers_.size();
@@ -75,6 +88,7 @@ void ThreadPool::ParallelFor(size_t count,
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [&] { return active_workers_ == 0; });
   body_ = nullptr;
+  cancel_ = nullptr;
 }
 
 }  // namespace foofah

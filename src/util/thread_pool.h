@@ -11,6 +11,8 @@
 
 namespace foofah {
 
+class CancellationToken;
+
 /// A minimal fixed-size fork-join pool for data-parallel loops. Built for
 /// the search engine's expansion inner loop: the caller owns a batch of
 /// independent index-addressed work items, fans them out with ParallelFor,
@@ -38,7 +40,16 @@ class ThreadPool {
   /// called concurrently from different threads with distinct indices;
   /// iteration order is unspecified. Must not be called reentrantly from
   /// inside a body, and the pool serves one ParallelFor at a time.
-  void ParallelFor(size_t count, const std::function<void(size_t)>& body);
+  ///
+  /// When `cancel` is non-null and fires mid-job, participants stop
+  /// drawing new indices: bodies already running finish normally, queued
+  /// (not yet dispatched) indices are abandoned, and ParallelFor still
+  /// returns only after every participant has checked out — so there is
+  /// no deadlock, no leaked in-flight body, and the pool is immediately
+  /// reusable for the next job. Callers must treat the result slots of
+  /// abandoned indices as never written.
+  void ParallelFor(size_t count, const std::function<void(size_t)>& body,
+                   const CancellationToken* cancel = nullptr);
 
   /// Total threads participating in a job (workers + caller), >= 1.
   int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
@@ -58,6 +69,7 @@ class ThreadPool {
   std::condition_variable work_cv_;   // Signals workers: new job / shutdown.
   std::condition_variable done_cv_;   // Signals caller: all workers done.
   const std::function<void(size_t)>* body_ = nullptr;  // Guarded by job gen.
+  const CancellationToken* cancel_ = nullptr;          // Guarded by job gen.
   size_t count_ = 0;
   std::atomic<size_t> next_{0};
   size_t active_workers_ = 0;  // Workers yet to finish the current job.

@@ -6,6 +6,7 @@
 #include "heuristic/ted_batch.h"
 #include "ops/enumerate.h"
 #include "ops/operators.h"
+#include "util/cancellation.h"
 
 namespace foofah {
 
@@ -50,15 +51,19 @@ Program WranglerSession::ExportScript() const {
   return Program(std::move(operations));
 }
 
-std::vector<Suggestion> WranglerSession::SuggestNext(const Table& target,
-                                                     size_t k) const {
+std::vector<Suggestion> WranglerSession::SuggestNext(
+    const Table& target, size_t k, const CancellationToken* cancel) const {
   std::vector<Suggestion> suggestions;
   for (const Operation& candidate :
        EnumerateCandidates(current(), target, *registry_)) {
+    if (cancel != nullptr && cancel->IsCancelled()) break;
     Result<Table> child = ApplyOperation(current(), candidate);
     if (!child.ok()) continue;
     if (child->ContentEquals(current())) continue;  // No effect.
-    double distance = TedBatchCost(*child, target);
+    double distance = TedBatchCost(*child, target, cancel);
+    // A fired token makes the distance garbage: drop it and return the
+    // candidates scored so far.
+    if (cancel != nullptr && cancel->IsCancelled()) break;
     if (distance == kInfiniteCost) continue;
     suggestions.push_back(Suggestion{candidate, distance});
   }

@@ -11,6 +11,8 @@
 
 namespace foofah {
 
+class CancellationToken;  // util/cancellation.h
+
 /// A ranked next-step suggestion (see WranglerSession::SuggestNext).
 struct Suggestion {
   Operation operation;
@@ -76,7 +78,15 @@ class WranglerSession {
   /// Ranks candidate next operations by the TED Batch distance from their
   /// result to `target`, ascending; returns at most `k`. Candidates whose
   /// result is unchanged or whose distance is infinite are omitted.
-  std::vector<Suggestion> SuggestNext(const Table& target, size_t k) const;
+  ///
+  /// `cancel` (optional, not owned) bounds an interactive assistant's
+  /// latency: when the token fires mid-enumeration the already-scored
+  /// candidates are ranked and returned (a prefix of the full suggestion
+  /// set — possibly empty), so the UI thread is never stuck behind a
+  /// slow TED evaluation.
+  std::vector<Suggestion> SuggestNext(
+      const Table& target, size_t k,
+      const CancellationToken* cancel = nullptr) const;
 
  private:
   struct Step {

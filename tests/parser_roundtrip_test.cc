@@ -1,0 +1,137 @@
+// Satellite guarantee: every program the system synthesizes — final driver
+// programs, per-round programs, collected alternatives, ground-truth
+// programs, and budget-truncated anytime programs — survives a
+// parse(ToScript(p)) round trip unchanged. This pins the parser and the
+// printer to each other over the full operator vocabulary the corpus
+// actually exercises (not just hand-written parser_test fixtures), so a
+// synthesized script saved to disk always reloads into the identical
+// program.
+
+#include "program/parser.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/driver.h"
+#include "program/program.h"
+#include "scenarios/corpus.h"
+#include "search/search.h"
+
+namespace foofah {
+namespace {
+
+void ExpectRoundTrips(const Program& program, const std::string& context) {
+  std::string script = program.ToScript();
+  Result<Program> reparsed = ParseProgram(script);
+  ASSERT_TRUE(reparsed.ok())
+      << context << ": " << reparsed.status().message() << "\nscript:\n"
+      << script;
+  EXPECT_EQ(*reparsed, program) << context << "\nscript:\n" << script;
+}
+
+DriverOptions RoundTripDriverOptions() {
+  DriverOptions options;
+  options.search.timeout_ms = 10'000;
+  options.search.max_expansions = 30'000;
+  options.max_records = 3;
+  return options;
+}
+
+class CorpusRoundTripTest : public testing::TestWithParam<const Scenario*> {};
+
+TEST_P(CorpusRoundTripTest, TruthProgramRoundTrips) {
+  const Scenario& scenario = *GetParam();
+  if (!scenario.truth().has_value()) return;
+  ExpectRoundTrips(*scenario.truth(), scenario.name() + ": truth");
+}
+
+TEST_P(CorpusRoundTripTest, EverySynthesizedProgramRoundTrips) {
+  const Scenario& scenario = *GetParam();
+  DriverResult result =
+      FindPerfectProgram(scenario.AsExampleBuilder(), scenario.FullInput(),
+                         scenario.FullOutput(), RoundTripDriverOptions());
+  if (scenario.tags().solvable) {
+    ASSERT_TRUE(result.perfect) << scenario.name();
+    ExpectRoundTrips(result.program, scenario.name() + ": final program");
+  }
+  // Also every intermediate round's program (rounds whose program failed on
+  // the full data never become `result.program`, but their scripts must
+  // still round-trip — the §4.5 validation workflow shows them to users).
+  for (const DriverRound& round : result.rounds) {
+    if (!round.search.found) continue;
+    ExpectRoundTrips(round.search.program,
+                     scenario.name() + ": round " +
+                         std::to_string(round.records) + " program");
+    for (size_t i = 0; i < round.search.alternatives.size(); ++i) {
+      ExpectRoundTrips(round.search.alternatives[i],
+                       scenario.name() + ": round " +
+                           std::to_string(round.records) + " alternative " +
+                           std::to_string(i));
+    }
+  }
+}
+
+TEST_P(CorpusRoundTripTest, AnytimeProgramsRoundTrip) {
+  // Budget-truncated searches surface partial programs (AnytimeResult);
+  // those are shown to — and may be accepted by — the user, so they must
+  // round-trip like any finished program.
+  const Scenario& scenario = *GetParam();
+  Result<ExamplePair> example = scenario.MakeExample(1);
+  ASSERT_TRUE(example.ok()) << scenario.name();
+  SearchOptions options;
+  options.timeout_ms = 0;
+  options.max_expansions = 40;
+  options.num_threads = 1;
+  SearchResult result = SynthesizeProgram(example->input, example->output,
+                                          options);
+  if (result.found) {
+    ExpectRoundTrips(result.program, scenario.name() + ": truncated exact");
+  } else if (result.anytime.available) {
+    ExpectRoundTrips(result.anytime.program,
+                     scenario.name() + ": anytime program");
+  }
+}
+
+std::string ScenarioName(const testing::TestParamInfo<const Scenario*>& info) {
+  return info.param->name();
+}
+
+std::vector<const Scenario*> AllScenarios() {
+  std::vector<const Scenario*> out;
+  for (const Scenario& s : Corpus()) out.push_back(&s);
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFifty, CorpusRoundTripTest,
+                         testing::ValuesIn(AllScenarios()), ScenarioName);
+
+TEST(AlternativesRoundTripTest, CollectedAlternativesAllRoundTrip) {
+  // max_solutions > 1 fills SearchResult::alternatives with distinct
+  // correct programs; each must round-trip.
+  const Scenario* solvable = nullptr;
+  for (const Scenario& s : Corpus()) {
+    if (s.tags().solvable) {
+      solvable = &s;
+      break;
+    }
+  }
+  ASSERT_NE(solvable, nullptr);
+  Result<ExamplePair> example = solvable->MakeExample(1);
+  ASSERT_TRUE(example.ok());
+  SearchOptions options;
+  options.timeout_ms = 10'000;
+  options.max_solutions = 3;
+  SearchResult result = SynthesizeProgram(example->input, example->output,
+                                          options);
+  ASSERT_TRUE(result.found) << solvable->name();
+  ASSERT_FALSE(result.alternatives.empty());
+  for (size_t i = 0; i < result.alternatives.size(); ++i) {
+    ExpectRoundTrips(result.alternatives[i],
+                     solvable->name() + ": alternative " + std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace foofah

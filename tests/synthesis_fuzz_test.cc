@@ -135,13 +135,16 @@ SearchOptions FuzzOptions() {
   SearchOptions options;
   options.timeout_ms = 2'000;
   options.max_expansions = 8'000;
-#if defined(__SANITIZE_THREAD__)
-  // ThreadSanitizer slows the search ~10x; keep the expansion budget (the
-  // real fuzz bound) but widen the wall-clock limit so instrumented runs
-  // exercise the same search graph instead of timing out.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+  // The sanitizers slow the search several-fold (TSan ~10x, ASan ~3x);
+  // keep the expansion budget (the real fuzz bound) but widen the
+  // wall-clock limit so instrumented runs exercise the same search graph
+  // instead of timing out — the deadline now interrupts mid-evaluation,
+  // so a slowed run can no longer finish an over-budget expansion "for
+  // free".
   options.timeout_ms = 60'000;
 #elif defined(__has_feature)
-#if __has_feature(thread_sanitizer)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
   options.timeout_ms = 60'000;
 #endif
 #endif
