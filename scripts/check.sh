@@ -10,7 +10,12 @@
 # sweeps. The TSan stage also compiles the fault points in, so the same
 # sweeps run under both sanitizers.
 #
+# Stage 5 reuses the TSan + fault-injection configuration to run the
+# stress-labeled synthesis-service suite: concurrent soak over the corpus,
+# fault-pinned overload shedding, and worker-count determinism.
+#
 # Usage: scripts/check.sh [--skip-tsan] [--skip-asan] [--skip-fault]
+#                         [--skip-stress]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -24,11 +29,13 @@ ctest --test-dir build --output-on-failure -j "${JOBS}"
 SKIP_TSAN=0
 SKIP_ASAN=0
 SKIP_FAULT=0
+SKIP_STRESS=0
 for arg in "$@"; do
   case "${arg}" in
     --skip-tsan) SKIP_TSAN=1 ;;
     --skip-asan) SKIP_ASAN=1 ;;
     --skip-fault) SKIP_FAULT=1 ;;
+    --skip-stress) SKIP_STRESS=1 ;;
     *) echo "unknown option: ${arg}" >&2; exit 2 ;;
   esac
 done
@@ -41,7 +48,7 @@ else
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build build-tsan -j "${JOBS}" \
     --target parallel_search_test heuristic_cache_test synthesis_fuzz_test \
-    cancellation_test fault_injection_test
+    cancellation_test fault_injection_test wrangler_session_test service_test
   ctest --test-dir build-tsan --output-on-failure -L tsan -j "${JOBS}"
 fi
 
@@ -54,7 +61,7 @@ else
   cmake --build build-asan -j "${JOBS}" \
     --target table_test table_diff_test operators_test operators_edge_test \
     extension_ops_test table_cow_diff_test synthesis_fuzz_test \
-    cancellation_test
+    cancellation_test service_soak_test
   ctest --test-dir build-asan --output-on-failure -L asan -j "${JOBS}"
 fi
 
@@ -65,8 +72,20 @@ else
   cmake -B build-fault -S . -DFOOFAH_ASAN=ON -DFOOFAH_FAULT_INJECTION=ON \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build build-fault -j "${JOBS}" \
-    --target fault_injection_test cancellation_test
+    --target fault_injection_test cancellation_test service_test \
+    wrangler_session_test
   ctest --test-dir build-fault --output-on-failure -L faultinject -j "${JOBS}"
+fi
+
+if [[ "${SKIP_STRESS}" == 1 ]]; then
+  echo "== Stress stage skipped =="
+else
+  echo "== Service stress suite (TSan + fault injection) =="
+  cmake -B build-tsan -S . -DFOOFAH_TSAN=ON -DFOOFAH_FAULT_INJECTION=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build build-tsan -j "${JOBS}" \
+    --target service_test service_soak_test ladder_test wrangler_session_test
+  ctest --test-dir build-tsan --output-on-failure -L stress -j "${JOBS}"
 fi
 
 echo "All checks passed."

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <string>
 
 #include "heuristic/heuristic_cache.h"
 #include "util/cancellation.h"
@@ -98,6 +99,27 @@ DriverResult FindPerfectProgram(const ExampleBuilder& build_example,
   }
   // A perfect program makes partial progress moot.
   if (result.perfect) result.anytime = AnytimeResult{};
+
+  // Typed outcome (one canonical mapping; see util/cancellation.h).
+  if (result.perfect) {
+    result.status = Status::OK();
+  } else if (result.cancelled && cancel != nullptr) {
+    result.status = StatusFromCancelReason(cancel->reason(), "driver");
+  } else {
+    bool any_truncated = false;
+    for (const DriverRound& round : result.rounds) {
+      any_truncated |= round.search.stats.timed_out ||
+                       round.search.stats.budget_exhausted ||
+                       round.search.stats.cancelled;
+    }
+    result.status =
+        any_truncated
+            ? Status::ResourceExhausted(
+                  "driver: search budget exhausted without a perfect program")
+            : Status::NotFound("driver: no perfect program within " +
+                               std::to_string(options.max_records) +
+                               " example records");
+  }
   return result;
 }
 

@@ -63,6 +63,14 @@ struct DriverResult {
   /// True when the shared cancellation token fired (protocol deadline,
   /// budget, or external cancel) before a perfect program was found.
   bool cancelled = false;
+  /// Typed outcome, mapped through the canonical StatusFromCancelReason
+  /// table: OK when perfect; kCancelled when an external RequestCancel
+  /// ended the protocol; kResourceExhausted when a deadline or budget did
+  /// (or when every round ran out of search budget); kNotFound when the
+  /// protocol cleanly ran out of records/rounds without a perfect program.
+  /// Service-layer callers branch on this instead of re-deriving the
+  /// outcome from the bool flags.
+  Status status;
   /// Best partial progress across all truncated rounds (lowest h wins;
   /// see AnytimeResult): what the §4.5 loop decomposes instead of
   /// reporting a bare failure. `available == false` when some round found

@@ -162,9 +162,21 @@ SearchResult SynthesizeProgram(const Table& input, const Table& goal,
   // protocol-wide budget with the per-search timeout: the stricter wins.
   CancellationToken owned_token;
   CancellationToken* cancel = options.cancel;
-  if (cancel == nullptr && options.timeout_ms > 0) cancel = &owned_token;
+  const bool needs_token = options.timeout_ms > 0 ||
+                           options.node_budget > 0 ||
+                           options.memory_budget > 0;
+  if (cancel == nullptr && needs_token) cancel = &owned_token;
   if (cancel != nullptr && options.timeout_ms > 0) {
     cancel->TightenDeadlineAfterMs(options.timeout_ms);
+  }
+  // Budget plumbing: nonzero option budgets are armed on the token (and
+  // override a shared token's own budgets — callers picking per-search
+  // budgets, like the degradation ladder, pass a fresh token per run).
+  if (cancel != nullptr && options.node_budget > 0) {
+    cancel->SetNodeBudget(options.node_budget);
+  }
+  if (cancel != nullptr && options.memory_budget > 0) {
+    cancel->SetMemoryBudget(options.memory_budget);
   }
   // Maps the token's stop reason onto the stats flags. Call only after
   // IsCancelled() returned true (reason() does not poll the clock).

@@ -58,6 +58,21 @@ struct SearchOptions {
   /// search cooperatively; the partial frontier is surfaced through
   /// SearchResult::anytime.
   CancellationToken* cancel = nullptr;
+
+  /// Generated-node budget charged through the cancellation token
+  /// (CancellationToken::SetNodeBudget); 0 leaves the token's own budget
+  /// untouched. Unlike max_expansions (a plain counter check between
+  /// expansions), the token budget composes with an externally shared
+  /// token and surfaces as CancelReason::kNodeBudget — the degradation
+  /// ladder uses it as its deterministic per-rung budget. When set on a
+  /// search with a shared token, it overrides that token's node budget.
+  uint64_t node_budget = 0;
+
+  /// Approximate memory budget in bytes charged through the token
+  /// (CancellationToken::SetMemoryBudget); 0 leaves the token untouched.
+  /// Same composition rules as node_budget.
+  uint64_t memory_budget = 0;
+
   /// Maximum number of node expansions; 0 disables the cap.
   uint64_t max_expansions = 200'000;
   /// Maximum number of generated (kept) states; 0 disables the cap.

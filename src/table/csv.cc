@@ -2,8 +2,17 @@
 
 #include <fstream>
 #include <sstream>
+#include <string>
 
 namespace foofah {
+
+namespace {
+
+std::string AtPosition(size_t line, size_t col) {
+  return "line " + std::to_string(line) + ", column " + std::to_string(col);
+}
+
+}  // namespace
 
 Result<Table> ParseCsv(std::string_view text, const CsvOptions& options) {
   std::vector<Table::Row> rows;
@@ -12,45 +21,102 @@ Result<Table> ParseCsv(std::string_view text, const CsvOptions& options) {
   bool in_quotes = false;
   bool row_started = false;
 
+  // 1-based position of text[i] within the physical line, for error
+  // context. cell_* remembers where the current cell started; quote_*
+  // where an open quote started (so an unterminated quote points at its
+  // opening, possibly megabytes before end of input).
+  size_t line = 1, col = 1;
+  size_t cell_line = 1, cell_col = 1;
+  size_t quote_line = 1, quote_col = 1;
+
+  // Consumes n bytes starting at text[i], updating line/col. Only ever
+  // called with the bytes actually inspected, so '\n' accounting is exact.
   size_t i = 0;
+  auto advance = [&](size_t n) {
+    for (size_t k = 0; k < n; ++k) {
+      if (text[i + k] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    i += n;
+  };
+  auto start_next_cell = [&]() {
+    cell_line = line;
+    cell_col = col;
+  };
+  auto cell_over_cap = [&]() {
+    return options.max_cell_bytes != 0 && cell.size() > options.max_cell_bytes;
+  };
+
   while (i < text.size()) {
     char c = text[i];
+    if (c == '\0') {
+      return Status::ParseError("embedded NUL byte at " +
+                                AtPosition(line, col));
+    }
     if (in_quotes) {
       if (c == options.quote) {
         if (i + 1 < text.size() && text[i + 1] == options.quote) {
           cell += options.quote;  // Escaped quote.
-          i += 2;
+          if (cell_over_cap()) {
+            return Status::ParseError(
+                "cell starting at " + AtPosition(cell_line, cell_col) +
+                " exceeds max_cell_bytes (" +
+                std::to_string(options.max_cell_bytes) + ")");
+          }
+          advance(2);
           continue;
         }
         in_quotes = false;
-        ++i;
+        advance(1);
         continue;
       }
       cell += c;
-      ++i;
+      if (cell_over_cap()) {
+        return Status::ParseError(
+            "cell starting at " + AtPosition(cell_line, cell_col) +
+            " exceeds max_cell_bytes (" +
+            std::to_string(options.max_cell_bytes) + ")");
+      }
+      advance(1);
       continue;
     }
     if (c == options.quote && cell.empty()) {
       in_quotes = true;
       row_started = true;
-      ++i;
+      quote_line = line;
+      quote_col = col;
+      cell_line = line;
+      cell_col = col;
+      advance(1);
       continue;
     }
     if (c == options.delimiter) {
       row.push_back(std::move(cell));
       cell.clear();
       row_started = true;
-      ++i;
+      advance(1);
+      start_next_cell();
       continue;
     }
     if (c == '\r') {
-      ++i;  // Swallow; the matching '\n' (if any) terminates the record.
+      // Swallow; the matching '\n' (if any) terminates the record. A lone
+      // CR (classic adversarial / old-Mac line ending) terminates it too
+      // instead of leaking a control byte into the cell.
+      ++i;
+      ++col;
       if (i >= text.size() || text[i] != '\n') {
         row.push_back(std::move(cell));
         cell.clear();
         rows.push_back(std::move(row));
         row.clear();
         row_started = false;
+        ++line;
+        col = 1;
+        start_next_cell();
       }
       continue;
     }
@@ -60,15 +126,25 @@ Result<Table> ParseCsv(std::string_view text, const CsvOptions& options) {
       rows.push_back(std::move(row));
       row.clear();
       row_started = false;
-      ++i;
+      advance(1);
+      start_next_cell();
       continue;
     }
+    if (cell.empty()) start_next_cell();
     cell += c;
+    if (cell_over_cap()) {
+      return Status::ParseError(
+          "cell starting at " + AtPosition(cell_line, cell_col) +
+          " exceeds max_cell_bytes (" +
+          std::to_string(options.max_cell_bytes) + ")");
+    }
     row_started = true;
-    ++i;
+    advance(1);
   }
   if (in_quotes) {
-    return Status::ParseError("unterminated quoted cell in CSV input");
+    return Status::ParseError(
+        "unterminated quoted cell in CSV input (quote opened at " +
+        AtPosition(quote_line, quote_col) + ")");
   }
   if (row_started || !cell.empty() || !row.empty()) {
     row.push_back(std::move(cell));

@@ -17,11 +17,26 @@ struct CsvOptions {
   /// When true, a trailing newline at end of input does not produce an
   /// empty final record.
   bool ignore_trailing_newline = true;
+  /// Cells longer than this many bytes are a ParseError — a guard against
+  /// adversarial inputs smuggling multi-megabyte single cells (e.g. an
+  /// unclosed quote swallowing the rest of a huge file into one cell,
+  /// which would then be hashed and diffed at full size by every search
+  /// state). 0 disables the cap.
+  size_t max_cell_bytes = 4u << 20;  // 4 MiB
 };
 
 /// Parses CSV text into a Table. Cells may be quoted; quoted cells may
-/// contain the delimiter, newlines, and doubled quotes. Returns ParseError
-/// on an unterminated quoted cell.
+/// contain the delimiter, newlines, and doubled quotes.
+///
+/// Hardened against adversarial input: every failure is a typed ParseError
+/// carrying line/column context (1-based, bytes within the physical line)
+/// instead of a degenerate table or an unbounded allocation —
+///  - an unterminated quoted cell reports where the quote opened,
+///  - an embedded NUL byte (never legal CSV text; a classic smuggling
+///    vector for downstream C string handling) reports its position,
+///  - a cell exceeding CsvOptions::max_cell_bytes reports where the cell
+///    started.
+/// A lone CR (not followed by LF) terminates the record, as before.
 Result<Table> ParseCsv(std::string_view text, const CsvOptions& options = {});
 
 /// Serializes a table to CSV text. Cells containing the delimiter, the

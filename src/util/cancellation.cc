@@ -20,6 +20,32 @@ const char* CancelReasonName(CancelReason reason) {
   return "unknown";
 }
 
+Status StatusFromCancelReason(CancelReason reason, std::string_view context) {
+  auto with_context = [&context](const char* what) {
+    std::string msg;
+    if (!context.empty()) {
+      msg.append(context);
+      msg.append(": ");
+    }
+    msg.append(what);
+    return msg;
+  };
+  switch (reason) {
+    case CancelReason::kNone:
+      return Status::OK();
+    case CancelReason::kExternal:
+      return Status::Cancelled(with_context("cancelled by caller"));
+    case CancelReason::kDeadline:
+      return Status::ResourceExhausted(with_context("deadline expired"));
+    case CancelReason::kNodeBudget:
+      return Status::ResourceExhausted(with_context("node budget exhausted"));
+    case CancelReason::kMemoryBudget:
+      return Status::ResourceExhausted(
+          with_context("memory budget exhausted"));
+  }
+  return Status::Internal(with_context("unknown cancel reason"));
+}
+
 void CancellationToken::Trip(CancelReason reason, int64_t observed_ns) const {
   uint8_t expected = 0;
   if (reason_.compare_exchange_strong(expected, static_cast<uint8_t>(reason),

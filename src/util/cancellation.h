@@ -4,6 +4,10 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
 
 namespace foofah {
 
@@ -21,6 +25,23 @@ enum class CancelReason : uint8_t {
 /// Returns a short stable name for a cancel reason ("external",
 /// "deadline", ...), for log lines and test failure messages.
 const char* CancelReasonName(CancelReason reason);
+
+/// The one canonical CancelReason → Status mapping, used by every layer
+/// that turns a cooperative stop into a typed error (driver, degradation
+/// ladder, synthesis service):
+///
+///   kNone         → OK
+///   kExternal     → kCancelled        (abandoned on purpose)
+///   kDeadline     → kResourceExhausted ("deadline expired")
+///   kNodeBudget   → kResourceExhausted ("node budget exhausted")
+///   kMemoryBudget → kResourceExhausted ("memory budget exhausted")
+///
+/// `context` prefixes the message ("search: deadline expired"); empty
+/// omits the prefix. Keeping this in one place stops callers from folding
+/// an external cancel into kResourceExhausted (or inventing per-layer
+/// spellings of the same stop).
+Status StatusFromCancelReason(CancelReason reason,
+                              std::string_view context = {});
 
 /// Cooperative cancellation shared across the synthesis stack.
 ///

@@ -15,6 +15,8 @@ const std::vector<std::string>& FaultInjector::KnownPoints() {
         fault_points::kTableDetachSpine,    fault_points::kTableDetachRow,
         fault_points::kRegexCompile,        fault_points::kPoolDispatch,
         fault_points::kHeuristicCacheInsert, fault_points::kHeuristicEstimate,
+        fault_points::kServerAdmit,         fault_points::kServerDispatch,
+        fault_points::kWranglerApply,
     };
     std::sort(list->begin(), list->end());
     return list;

@@ -34,6 +34,20 @@ inline constexpr const char* kHeuristicCacheInsert = "heuristic/cache_insert";
 /// Callbacks here are how tests plant a slow heuristic for deadline
 /// overshoot regressions.
 inline constexpr const char* kHeuristicEstimate = "search/heuristic_estimate";
+/// SynthesisService admission check (server/service.cc), hit once per
+/// Submit considered for admission. A forced failure sheds the request as
+/// if the queue were full; callbacks let tests pin admission interleaving.
+inline constexpr const char* kServerAdmit = "server/admit";
+/// SynthesisService worker dispatch of a popped request
+/// (server/service.cc), hit after the request leaves the queue and before
+/// the ladder runs. A forced failure drops the dispatch: the request
+/// completes with a typed kUnavailable instead of running; callbacks are
+/// how tests park every worker to pin queue occupancy.
+inline constexpr const char* kServerDispatch = "server/dispatch";
+/// WranglerSession::Apply between the single-owner guard acquire and the
+/// history mutation (wrangler/session.cc). Callbacks let tests hold one
+/// call open while a second thread's call must observe kUnavailable.
+inline constexpr const char* kWranglerApply = "wrangler/apply";
 }  // namespace fault_points
 
 /// Deterministic fault-injection registry.

@@ -1,0 +1,73 @@
+#ifndef FOOFAH_UTIL_RETRY_H_
+#define FOOFAH_UTIL_RETRY_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+
+namespace foofah {
+
+/// Deterministic exponential backoff schedule for retrying kUnavailable
+/// rejections (admission-queue shedding, contended single-owner objects).
+/// Pure arithmetic — no clock, no randomness — so tests can assert the
+/// exact schedule and the degradation ladder's budget decay can reuse it.
+struct BackoffPolicy {
+  /// Delay before the first retry (attempt 0), in milliseconds.
+  int64_t initial_delay_ms = 10;
+  /// Growth factor between consecutive retries; values <= 1 make the
+  /// schedule flat.
+  double multiplier = 2.0;
+  /// Upper clamp on any single delay.
+  int64_t max_delay_ms = 2'000;
+  /// Total tries (first attempt + retries). <= 1 disables retrying.
+  int max_attempts = 5;
+
+  /// Delay to sleep before retry number `attempt` (0-based: attempt 0 is
+  /// the wait between the first failure and the first retry). Clamped to
+  /// [0, max_delay_ms]; saturates instead of overflowing for large
+  /// attempt counts.
+  int64_t DelayForAttemptMs(int attempt) const {
+    if (attempt < 0) attempt = 0;
+    double delay = static_cast<double>(initial_delay_ms);
+    for (int i = 0; i < attempt; ++i) {
+      delay *= multiplier;
+      if (delay >= static_cast<double>(max_delay_ms)) {
+        return std::max<int64_t>(0, max_delay_ms);
+      }
+    }
+    int64_t clamped = static_cast<int64_t>(delay);
+    return std::clamp<int64_t>(clamped, 0, max_delay_ms);
+  }
+
+  /// Like DelayForAttemptMs but never below a server-provided retry-after
+  /// hint (e.g. ServiceResponse::retry_after_ms); still clamped to
+  /// max_delay_ms so a hostile hint cannot stall the client forever.
+  int64_t DelayWithHintMs(int attempt, int64_t retry_after_hint_ms) const {
+    return std::clamp<int64_t>(
+        std::max(DelayForAttemptMs(attempt), retry_after_hint_ms), 0,
+        max_delay_ms);
+  }
+};
+
+/// Runs `attempt(i)` up to `policy.max_attempts` times, sleeping between
+/// tries via `sleep_ms(delay)`. After each try, `retry_hint(result)` decides
+/// whether to retry: a negative value stops (the result is final), a
+/// non-negative value is the server's retry-after hint in ms (0 = none).
+/// Returns the last result. `sleep_ms` is injected so unit tests can record
+/// the schedule instead of actually sleeping.
+template <typename AttemptFn, typename RetryHintFn, typename SleepFn>
+auto RetryWithBackoff(const BackoffPolicy& policy, AttemptFn&& attempt,
+                      RetryHintFn&& retry_hint, SleepFn&& sleep_ms) {
+  auto result = attempt(0);
+  for (int i = 1; i < policy.max_attempts; ++i) {
+    int64_t hint = retry_hint(result);
+    if (hint < 0) break;
+    sleep_ms(policy.DelayWithHintMs(i - 1, hint));
+    result = attempt(i);
+  }
+  return result;
+}
+
+}  // namespace foofah
+
+#endif  // FOOFAH_UTIL_RETRY_H_

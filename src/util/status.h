@@ -26,6 +26,15 @@ enum class StatusCode {
   kUnimplemented,
   /// Anything else.
   kInternal,
+  /// The caller (or its owner) cancelled the operation before it finished.
+  /// Distinct from kResourceExhausted: the work was abandoned on purpose,
+  /// not stopped by a budget.
+  kCancelled,
+  /// The service is temporarily unable to take the work (admission queue
+  /// full, in-flight budget exceeded, shutting down, or a contended
+  /// single-owner object). Retrying after a backoff is expected to
+  /// succeed; see util/retry.h.
+  kUnavailable,
 };
 
 /// Returns a short human-readable name for `code` ("OK", "InvalidArgument"...).
@@ -63,6 +72,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -7,8 +7,36 @@
 #include "ops/enumerate.h"
 #include "ops/operators.h"
 #include "util/cancellation.h"
+#include "util/fault_injection.h"
 
 namespace foofah {
+
+namespace {
+
+/// RAII try-acquire of the session's single-owner flag. `acquired == false`
+/// means another thread's call is mid-flight: the loser must bail out
+/// without touching session state.
+struct OwnerGuard {
+  explicit OwnerGuard(std::atomic<bool>& flag)
+      : flag_(flag),
+        acquired(!flag.exchange(true, std::memory_order_acquire)) {}
+  ~OwnerGuard() {
+    if (acquired) flag_.store(false, std::memory_order_release);
+  }
+  OwnerGuard(const OwnerGuard&) = delete;
+  OwnerGuard& operator=(const OwnerGuard&) = delete;
+
+  std::atomic<bool>& flag_;
+  const bool acquired;
+};
+
+Status ConcurrentMisuse() {
+  return Status::Unavailable(
+      "WranglerSession is single-owner: another call is in progress "
+      "(retry after it returns)");
+}
+
+}  // namespace
 
 WranglerSession::WranglerSession(Table raw, const OperatorRegistry* registry)
     : registry_(registry), default_registry_(OperatorRegistry::Default()) {
@@ -17,6 +45,11 @@ WranglerSession::WranglerSession(Table raw, const OperatorRegistry* registry)
 }
 
 Status WranglerSession::Apply(const Operation& operation) {
+  OwnerGuard guard(busy_);
+  if (!guard.acquired) return ConcurrentMisuse();
+  // Held-open point for the overlap regression test: a callback here keeps
+  // this call in flight while a second thread's call must be rejected.
+  FOOFAH_FAULT_HIT(fault_points::kWranglerApply);
   if (!registry_->IsEnabled(operation.op)) {
     return Status::InvalidArgument(
         std::string("operator not in this session's library: ") +
@@ -31,12 +64,16 @@ Status WranglerSession::Apply(const Operation& operation) {
 }
 
 bool WranglerSession::Undo() {
+  OwnerGuard guard(busy_);
+  if (!guard.acquired) return false;  // Overlapping call; see class doc.
   if (!CanUndo()) return false;
   --position_;
   return true;
 }
 
 bool WranglerSession::Redo() {
+  OwnerGuard guard(busy_);
+  if (!guard.acquired) return false;  // Overlapping call; see class doc.
   if (!CanRedo()) return false;
   ++position_;
   return true;
@@ -54,6 +91,8 @@ Program WranglerSession::ExportScript() const {
 std::vector<Suggestion> WranglerSession::SuggestNext(
     const Table& target, size_t k, const CancellationToken* cancel) const {
   std::vector<Suggestion> suggestions;
+  OwnerGuard guard(busy_);
+  if (!guard.acquired) return suggestions;  // Overlapping call.
   for (const Operation& candidate :
        EnumerateCandidates(current(), target, *registry_)) {
     if (cancel != nullptr && cancel->IsCancelled()) break;

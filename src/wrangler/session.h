@@ -1,6 +1,7 @@
 #ifndef FOOFAH_WRANGLER_SESSION_H_
 #define FOOFAH_WRANGLER_SESSION_H_
 
+#include <atomic>
 #include <vector>
 
 #include "ops/operation.h"
@@ -32,6 +33,17 @@ struct Suggestion {
 /// UIST'11 — the paper's [16]): it ranks the operator library's candidate
 /// next steps by how much closer (under TED Batch) their result is to a
 /// target table the user sketches.
+///
+/// Threading contract: a session is SINGLE-OWNER — exactly one thread may
+/// drive it at a time (the interactive UI thread it models). The session
+/// is not a concurrent data structure; instead it *detects* overlapping
+/// calls from multiple threads and rejects the loser with a typed error
+/// rather than corrupting the step history: Apply returns kUnavailable,
+/// Undo/Redo return false, and SuggestNext returns no suggestions. A
+/// rejected call leaves the session exactly as it was; retry after the
+/// owning call returns (see util/retry.h). Accessors (current, raw,
+/// step_count, ExportScript) are not guarded — calling them concurrently
+/// with a mutating call is still a contract violation.
 class WranglerSession {
  public:
   /// Starts a session over `raw`. The registry, when given, must outlive
@@ -57,7 +69,8 @@ class WranglerSession {
 
   /// Applies an operation to the current table. Discards any redo tail.
   /// Fails (leaving the session unchanged) when the operation's parameters
-  /// are out of domain for the current table.
+  /// are out of domain for the current table, or with kUnavailable when
+  /// another thread's call is in progress (single-owner contract above).
   Status Apply(const Operation& operation);
 
   bool CanUndo() const { return position_ > 0; }
@@ -98,6 +111,11 @@ class WranglerSession {
   OperatorRegistry default_registry_;
   std::vector<Step> history_;
   size_t position_ = 0;  // Index into history_ of the current table.
+  /// Single-owner misuse detector: held for the duration of every
+  /// Apply/Undo/Redo/SuggestNext call; a failed try-acquire is an
+  /// overlapping call from another thread. Mutable so the const
+  /// SuggestNext can participate.
+  mutable std::atomic<bool> busy_{false};
 };
 
 }  // namespace foofah

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 namespace foofah {
 namespace {
 
@@ -49,6 +51,98 @@ TEST(CsvParseTest, UnterminatedQuoteIsParseError) {
   Result<Table> t = ParseCsv("\"abc\n");
   ASSERT_FALSE(t.ok());
   EXPECT_EQ(t.status().code(), StatusCode::kParseError);
+}
+
+// --- Adversarial input hardening ----------------------------------------
+
+TEST(CsvAdversarialTest, UnterminatedQuoteReportsOpeningPosition) {
+  // The quote opens on line 2, column 3; the error must say so instead of
+  // pointing at end-of-input (which may be megabytes later).
+  Result<Table> t = ParseCsv("a,b\nx,\"never closed\nmore\n");
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kParseError);
+  EXPECT_NE(t.status().message().find("line 2, column 3"), std::string::npos)
+      << t.status().ToString();
+}
+
+TEST(CsvAdversarialTest, EmbeddedNulIsParseErrorWithPosition) {
+  std::string text = "a,b\nc,d\n";
+  text[6] = '\0';  // The 'd' on line 2, column 3.
+  Result<Table> t = ParseCsv(text);
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kParseError);
+  EXPECT_NE(t.status().message().find("NUL"), std::string::npos);
+  EXPECT_NE(t.status().message().find("line 2, column 3"), std::string::npos)
+      << t.status().ToString();
+}
+
+TEST(CsvAdversarialTest, NulInsideQuotedCellIsAlsoRejected) {
+  std::string text = "\"a";
+  text += '\0';
+  text += "b\"\n";
+  Result<Table> t = ParseCsv(text);
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kParseError);
+  EXPECT_NE(t.status().message().find("NUL"), std::string::npos);
+}
+
+TEST(CsvAdversarialTest, LoneCarriageReturnTerminatesRecord) {
+  // Old-Mac line endings: a CR with no LF ends the record rather than
+  // leaking a control byte into the cell.
+  Result<Table> t = ParseCsv("a,b\rc,d\r");
+  ASSERT_TRUE(t.ok());
+  ASSERT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->cell(0, 1), "b");
+  EXPECT_EQ(t->cell(1, 0), "c");
+}
+
+TEST(CsvAdversarialTest, OversizedUnquotedCellIsParseError) {
+  CsvOptions options;
+  options.max_cell_bytes = 8;
+  Result<Table> ok = ParseCsv("12345678,b\n", options);
+  EXPECT_TRUE(ok.ok());  // Exactly at the cap is fine.
+  Result<Table> t = ParseCsv("b,123456789\n", options);
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kParseError);
+  EXPECT_NE(t.status().message().find("max_cell_bytes"), std::string::npos);
+  EXPECT_NE(t.status().message().find("line 1, column 3"), std::string::npos)
+      << t.status().ToString();
+}
+
+TEST(CsvAdversarialTest, OversizedQuotedCellIsParseError) {
+  CsvOptions options;
+  options.max_cell_bytes = 4;
+  Result<Table> t = ParseCsv("\"abcdefgh\"\n", options);
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kParseError);
+  EXPECT_NE(t.status().message().find("max_cell_bytes"), std::string::npos);
+}
+
+TEST(CsvAdversarialTest, MultiMegabyteCellRejectedByDefaultCap) {
+  // An unclosed-quote-style payload: one cell larger than the default
+  // 4 MiB cap must come back as a typed error, not a degenerate table.
+  std::string huge(5u << 20, 'x');
+  Result<Table> t = ParseCsv("\"" + huge + "\"\n");
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kParseError);
+  // A large-but-legal cell under the cap still parses.
+  std::string fine(1u << 20, 'y');
+  Result<Table> ok = ParseCsv(fine + ",b\n");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->cell(0, 0).size(), fine.size());
+}
+
+TEST(CsvAdversarialTest, QuoteStormDoesNotCrash) {
+  // Pathological runs of quotes: every outcome must be a typed Result.
+  for (int n = 1; n <= 64; ++n) {
+    std::string storm(static_cast<size_t>(n), '"');
+    Result<Table> t = ParseCsv(storm + "\n");
+    if (t.ok()) {
+      EXPECT_LE(t->num_rows(), 2u);
+    } else {
+      EXPECT_EQ(t.status().code(), StatusCode::kParseError);
+    }
+  }
 }
 
 TEST(CsvParseTest, CustomDelimiter) {

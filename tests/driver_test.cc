@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/synthesizer.h"
+#include "util/cancellation.h"
 
 namespace foofah {
 namespace {
@@ -98,6 +99,67 @@ TEST(DriverTest, StopsWhenBuilderRunsOutOfRecords) {
                                       DriverOptions{});
   EXPECT_FALSE(r.perfect);
   EXPECT_EQ(r.rounds.size(), 1u);
+}
+
+TEST(DriverTest, TypedStatusMatchesOutcome) {
+  // Perfect protocol → OK.
+  ExamplePair full = FillExample(5);
+  DriverResult ok = FindPerfectProgram(
+      [](int records) -> Result<ExamplePair> { return FillExample(records); },
+      full.input, full.output, DriverOptions{});
+  ASSERT_TRUE(ok.perfect);
+  EXPECT_TRUE(ok.status.ok());
+
+  // External cancel before the first round → kCancelled, never folded
+  // into kResourceExhausted (the canonical mapping).
+  CancellationToken token;
+  token.RequestCancel();
+  DriverOptions cancelled_options;
+  cancelled_options.cancel = &token;
+  DriverResult cancelled = FindPerfectProgram(
+      [](int records) -> Result<ExamplePair> { return FillExample(records); },
+      full.input, full.output, cancelled_options);
+  EXPECT_FALSE(cancelled.perfect);
+  EXPECT_TRUE(cancelled.cancelled);
+  EXPECT_EQ(cancelled.status.code(), StatusCode::kCancelled);
+
+  // Clean exhaustion of an unsolvable task → kNotFound (no budget stop).
+  auto unsolvable = [](int records) -> Result<ExamplePair> {
+    if (records > 1) return Status::InvalidArgument("only one record");
+    return ExamplePair{Table({{"x"}}), Table({{"y"}})};
+  };
+  DriverResult not_found = FindPerfectProgram(
+      unsolvable, Table({{"x"}}), Table({{"y"}}), DriverOptions{});
+  EXPECT_FALSE(not_found.perfect);
+  EXPECT_EQ(not_found.status.code(), StatusCode::kNotFound);
+}
+
+TEST(DriverTest, BudgetStopReportsResourceExhausted) {
+  // A node budget small enough that the round truncates mid-search. The
+  // budget fires through the token, so the typed status must say
+  // kResourceExhausted (not kCancelled, not kNotFound).
+  ExamplePair full = FillExample(5);
+  DriverOptions options;
+  options.search.node_budget = 1;
+  options.search.timeout_ms = 0;
+  // A trivially solvable-by-empty-program round would finish before the
+  // budget bites, so demand a transformation: drop column 1.
+  auto build = [](int records) -> Result<ExamplePair> {
+    Table input;
+    Table output;
+    for (int i = 0; i < records; ++i) {
+      std::string v = std::to_string(10 + i);
+      input.AppendRow({"k" + v, "junk", v});
+      output.AppendRow({v});
+    }
+    return ExamplePair{input, output};
+  };
+  Result<ExamplePair> example = build(3);
+  DriverResult r =
+      FindPerfectProgram(build, example->input, example->output, options);
+  if (!r.perfect) {
+    EXPECT_EQ(r.status.code(), StatusCode::kResourceExhausted);
+  }
 }
 
 TEST(DriverTest, TimingAggregates) {

@@ -24,8 +24,10 @@
 #include "ops/operators.h"
 #include "scenarios/corpus.h"
 #include "search/search.h"
+#include "server/service.h"
 #include "table/table.h"
 #include "util/cancellation.h"
+#include "wrangler/session.h"
 
 namespace foofah {
 namespace {
@@ -238,6 +240,23 @@ TEST_F(FaultInjectionTest, CancelFiredAtEveryFailurePointTerminatesCleanly) {
     (void)ApplyOperation(shared, Fill(1));
     std::string pattern = "sw[0-9]point" + std::to_string(i);
     (void)ApplyOperation(shared, Extract(0, pattern));
+
+    // Single-owner session traffic (wrangler/apply) and one admission-
+    // controlled service request (server/admit, then server/dispatch on
+    // the worker). Whatever the armed point does, the service must hand
+    // back a typed response rather than hang or crash.
+    WranglerSession session(shared);
+    (void)session.Apply(Fill(1));
+    {
+      ServiceOptions service_options;
+      service_options.num_workers = 1;
+      SynthesisService sweep_service(service_options);
+      SynthesisRequest request;
+      request.input = Table({{"a", "junk"}, {"b", "junk"}});
+      request.output = Table({{"a"}, {"b"}});
+      ServiceResponse response = sweep_service.Synthesize(std::move(request));
+      EXPECT_NE(response.status.code(), StatusCode::kInternal);
+    }
 
     // A threaded synthesis under the same token.
     SearchOptions options;

@@ -1,0 +1,115 @@
+#include "util/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace foofah {
+namespace {
+
+TEST(BackoffPolicyTest, ExponentialScheduleWithClamp) {
+  BackoffPolicy policy;
+  policy.initial_delay_ms = 10;
+  policy.multiplier = 2.0;
+  policy.max_delay_ms = 100;
+  EXPECT_EQ(policy.DelayForAttemptMs(0), 10);
+  EXPECT_EQ(policy.DelayForAttemptMs(1), 20);
+  EXPECT_EQ(policy.DelayForAttemptMs(2), 40);
+  EXPECT_EQ(policy.DelayForAttemptMs(3), 80);
+  EXPECT_EQ(policy.DelayForAttemptMs(4), 100);  // Clamped.
+  EXPECT_EQ(policy.DelayForAttemptMs(60), 100);  // No overflow at depth.
+  EXPECT_EQ(policy.DelayForAttemptMs(-3), 10);   // Negative treated as 0.
+}
+
+TEST(BackoffPolicyTest, FlatScheduleWhenMultiplierIsOne) {
+  BackoffPolicy policy;
+  policy.initial_delay_ms = 7;
+  policy.multiplier = 1.0;
+  policy.max_delay_ms = 100;
+  EXPECT_EQ(policy.DelayForAttemptMs(0), 7);
+  EXPECT_EQ(policy.DelayForAttemptMs(9), 7);
+}
+
+TEST(BackoffPolicyTest, HintRaisesButNeverExceedsClamp) {
+  BackoffPolicy policy;
+  policy.initial_delay_ms = 10;
+  policy.max_delay_ms = 500;
+  EXPECT_EQ(policy.DelayWithHintMs(0, 0), 10);
+  EXPECT_EQ(policy.DelayWithHintMs(0, 250), 250);
+  EXPECT_EQ(policy.DelayWithHintMs(0, 9'999), 500);  // Hostile hint clamped.
+}
+
+TEST(RetryWithBackoffTest, StopsOnFirstSuccess) {
+  BackoffPolicy policy;
+  policy.max_attempts = 5;
+  std::vector<int64_t> slept;
+  int calls = 0;
+  Status result = RetryWithBackoff(
+      policy,
+      [&calls](int) {
+        ++calls;
+        return calls < 3 ? Status::Unavailable("busy") : Status::OK();
+      },
+      [](const Status& s) -> int64_t {
+        return s.code() == StatusCode::kUnavailable ? 0 : -1;
+      },
+      [&slept](int64_t ms) { slept.push_back(ms); });
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(calls, 3);
+  // Two sleeps, exponential: attempt 0 then attempt 1 of the schedule.
+  ASSERT_EQ(slept.size(), 2u);
+  EXPECT_EQ(slept[0], policy.DelayForAttemptMs(0));
+  EXPECT_EQ(slept[1], policy.DelayForAttemptMs(1));
+}
+
+TEST(RetryWithBackoffTest, GivesUpAfterMaxAttempts) {
+  BackoffPolicy policy;
+  policy.max_attempts = 3;
+  int calls = 0;
+  Status result = RetryWithBackoff(
+      policy,
+      [&calls](int) {
+        ++calls;
+        return Status::Unavailable("still busy");
+      },
+      [](const Status&) -> int64_t { return 0; }, [](int64_t) {});
+  EXPECT_EQ(result.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryWithBackoffTest, HonorsRetryAfterHint) {
+  BackoffPolicy policy;
+  policy.initial_delay_ms = 5;
+  policy.max_delay_ms = 1'000;
+  policy.max_attempts = 2;
+  std::vector<int64_t> slept;
+  RetryWithBackoff(
+      policy, [](int) { return Status::Unavailable("shed"); },
+      [](const Status&) -> int64_t { return 120; },  // Server says 120 ms.
+      [&slept](int64_t ms) { slept.push_back(ms); });
+  ASSERT_EQ(slept.size(), 1u);
+  EXPECT_EQ(slept[0], 120);
+}
+
+TEST(RetryWithBackoffTest, NonRetryableResultIsFinal) {
+  BackoffPolicy policy;
+  policy.max_attempts = 5;
+  int calls = 0;
+  Status result = RetryWithBackoff(
+      policy,
+      [&calls](int) {
+        ++calls;
+        return Status::InvalidArgument("bad request");
+      },
+      [](const Status& s) -> int64_t {
+        return s.code() == StatusCode::kUnavailable ? 0 : -1;
+      },
+      [](int64_t) { FAIL() << "must not sleep for a final result"; });
+  EXPECT_EQ(result.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace foofah

@@ -1,0 +1,217 @@
+// Multi-threaded soak of the SynthesisService over the benchmark corpus:
+// many concurrent clients, mixed deadlines from 5 ms to 2 s, a small
+// worker pool with a small admission queue so shedding genuinely happens.
+// The contract under test is the robustness tentpole: every submission
+// gets exactly one *typed* response, the service's accounting balances to
+// zero afterwards, and (with wall-clock-free budgets) per-request results
+// are bit-identical whatever the worker count.
+
+#include "server/service.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <iterator>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "scenarios/corpus.h"
+#include "util/retry.h"
+
+namespace foofah {
+namespace {
+
+// Deadlines cycled deterministically across requests (ms): from "barely
+// enough to dispatch" to "comfortable".
+constexpr int64_t kDeadlinesMs[] = {5, 20, 100, 500, 2'000};
+
+TEST(ServiceSoakTest, EveryResponseIsTypedUnderConcurrentLoad) {
+  constexpr int kClients = 8;
+  constexpr int kPasses = 2;  // Each scenario requested twice.
+
+  ServiceOptions options;
+  options.num_workers = 4;
+  options.queue_capacity = 12;
+  options.retry_after_base_ms = 2;
+  options.base_search.node_budget = 2'000;  // Bounds each rung's work.
+  SynthesisService service(options);
+
+  const std::vector<Scenario>& corpus = Corpus();
+  const int total = static_cast<int>(corpus.size()) * kPasses;
+
+  std::atomic<int> next{0};
+  std::atomic<int> untyped{0};
+  std::atomic<int> shape_violations{0};
+  std::mutex histogram_mu;
+  std::map<StatusCode, int> histogram;
+
+  auto client = [&] {
+    for (;;) {
+      const int index = next.fetch_add(1);
+      if (index >= total) return;
+      const Scenario& scenario =
+          corpus[static_cast<size_t>(index) % corpus.size()];
+      auto example = scenario.MakeExample(1);
+      ASSERT_TRUE(example.ok()) << scenario.name();
+
+      SynthesisRequest request;
+      request.input = example->input;
+      request.output = example->output;
+      request.tag = scenario.name();
+      request.deadline_ms =
+          kDeadlinesMs[static_cast<size_t>(index) % std::size(kDeadlinesMs)];
+
+      // Shed submissions are retried a couple of times per the server's
+      // hint; a still-shed final answer is an acceptable typed outcome.
+      BackoffPolicy backoff;
+      backoff.initial_delay_ms = 1;
+      backoff.max_attempts = 3;
+      ServiceResponse response = RetryWithBackoff(
+          backoff, [&](int) { return service.Synthesize(request); },
+          [](const ServiceResponse& r) -> int64_t {
+            return r.status.code() == StatusCode::kUnavailable
+                       ? r.retry_after_ms
+                       : -1;
+          },
+          [](int64_t ms) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+          });
+
+      const StatusCode code = response.status.code();
+      const bool typed =
+          code == StatusCode::kOk || code == StatusCode::kResourceExhausted ||
+          code == StatusCode::kCancelled || code == StatusCode::kUnavailable ||
+          code == StatusCode::kNotFound;
+      if (!typed) untyped.fetch_add(1);
+      if (response.found != response.status.ok()) shape_violations.fetch_add(1);
+      if (response.anytime.available &&
+          response.anytime.h >= response.anytime.input_h) {
+        shape_violations.fetch_add(1);
+      }
+      if (response.tag != scenario.name()) shape_violations.fetch_add(1);
+      {
+        std::lock_guard<std::mutex> lock(histogram_mu);
+        ++histogram[code];
+      }
+    }
+  };
+
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) clients.emplace_back(client);
+  for (std::thread& t : clients) t.join();
+
+  EXPECT_EQ(untyped.load(), 0) << "responses outside the typed contract";
+  EXPECT_EQ(shape_violations.load(), 0);
+
+  // Accounting balances: everything admitted completed, nothing leaked.
+  const SynthesisService::Stats stats = service.stats();
+  EXPECT_EQ(stats.submitted, stats.admitted + stats.shed);
+  EXPECT_EQ(stats.completed, stats.admitted);
+  EXPECT_EQ(stats.outstanding, 0u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_EQ(stats.inflight_bytes, 0u);
+  // The load genuinely exercised the service: most requests solved.
+  EXPECT_GT(stats.found, 0u);
+
+  // For the log: the outcome mix this run produced.
+  for (const auto& [code, count] : histogram) {
+    std::printf("  %-18s %d\n", StatusCodeName(code), count);
+  }
+  service.Shutdown();
+}
+
+// --- Determinism across worker counts -----------------------------------
+
+struct ResponseFingerprint {
+  StatusCode code = StatusCode::kOk;
+  bool found = false;
+  int winning_rung = -1;
+  std::string script;
+  size_t attempt_count = 0;
+  std::vector<uint64_t> nodes_expanded;
+  bool anytime_available = false;
+  double anytime_h = 0;
+
+  bool operator==(const ResponseFingerprint& other) const {
+    return code == other.code && found == other.found &&
+           winning_rung == other.winning_rung && script == other.script &&
+           attempt_count == other.attempt_count &&
+           nodes_expanded == other.nodes_expanded &&
+           anytime_available == other.anytime_available &&
+           anytime_h == other.anytime_h;
+  }
+};
+
+ResponseFingerprint Fingerprint(const ServiceResponse& response) {
+  ResponseFingerprint fp;
+  fp.code = response.status.code();
+  fp.found = response.found;
+  fp.winning_rung = response.winning_rung;
+  fp.script = response.program.ToScript();
+  fp.attempt_count = response.attempts.size();
+  for (const LadderAttempt& attempt : response.attempts) {
+    fp.nodes_expanded.push_back(attempt.stats.nodes_expanded);
+  }
+  fp.anytime_available = response.anytime.available;
+  fp.anytime_h = response.anytime.available ? response.anytime.h : 0;
+  return fp;
+}
+
+/// Runs every corpus scenario through a service with `num_workers` and
+/// wall-clock-free budgets (node budget only, no deadline, capacity large
+/// enough that nothing sheds), returning one fingerprint per scenario.
+std::vector<ResponseFingerprint> RunCorpus(int num_workers) {
+  const std::vector<Scenario>& corpus = Corpus();
+  ServiceOptions options;
+  options.num_workers = num_workers;
+  options.queue_capacity = corpus.size() + 1;  // No shedding.
+  options.max_inflight_bytes = 0;              // No byte shedding either.
+  options.default_deadline_ms = 0;             // No wall clock anywhere.
+  options.base_search.node_budget = 1'000;
+  options.base_search.timeout_ms = 0;
+  SynthesisService service(options);
+
+  std::vector<SynthesisService::Ticket> tickets;
+  tickets.reserve(corpus.size());
+  for (const Scenario& scenario : corpus) {
+    auto example = scenario.MakeExample(1);
+    EXPECT_TRUE(example.ok()) << scenario.name();
+    SynthesisRequest request;
+    request.input = example->input;
+    request.output = example->output;
+    request.tag = scenario.name();
+    tickets.push_back(service.Submit(std::move(request)));
+  }
+  std::vector<ResponseFingerprint> fingerprints;
+  fingerprints.reserve(tickets.size());
+  for (SynthesisService::Ticket& ticket : tickets) {
+    fingerprints.push_back(Fingerprint(ticket.Wait()));
+  }
+  return fingerprints;
+}
+
+TEST(ServiceSoakTest, ResultsAreBitIdenticalAcrossWorkerCounts) {
+  const std::vector<ResponseFingerprint> one_worker = RunCorpus(1);
+  const std::vector<Scenario>& corpus = Corpus();
+  ASSERT_EQ(one_worker.size(), corpus.size());
+  for (int workers : {2, 8}) {
+    const std::vector<ResponseFingerprint> many = RunCorpus(workers);
+    ASSERT_EQ(many.size(), one_worker.size());
+    for (size_t i = 0; i < many.size(); ++i) {
+      EXPECT_TRUE(many[i] == one_worker[i])
+          << corpus[i].name() << " diverged between 1 and " << workers
+          << " workers: rung " << one_worker[i].winning_rung << " vs "
+          << many[i].winning_rung << ", script [" << one_worker[i].script
+          << "] vs [" << many[i].script << "]";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace foofah

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/cancellation.h"
+
 namespace foofah {
 namespace {
 
@@ -21,6 +23,8 @@ TEST(StatusTest, FactoryMethodsSetCodeAndMessage) {
   EXPECT_EQ(Status::ParseError("syntax").code(), StatusCode::kParseError);
   EXPECT_EQ(Status::Unimplemented("todo").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(Status::Internal("bug").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Cancelled("stop").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::Unavailable("busy").code(), StatusCode::kUnavailable);
   EXPECT_EQ(Status::InvalidArgument("bad").message(), "bad");
 }
 
@@ -45,6 +49,40 @@ TEST(StatusCodeNameTest, CoversAllCodes) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kParseError), "ParseError");
   EXPECT_STREQ(StatusCodeName(StatusCode::kUnimplemented), "Unimplemented");
   EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCancelled), "Cancelled");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "Unavailable");
+}
+
+TEST(StatusFromCancelReasonTest, MapsEveryReasonConsistently) {
+  EXPECT_TRUE(StatusFromCancelReason(CancelReason::kNone).ok());
+  EXPECT_EQ(StatusFromCancelReason(CancelReason::kExternal).code(),
+            StatusCode::kCancelled);
+  EXPECT_EQ(StatusFromCancelReason(CancelReason::kDeadline).code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(StatusFromCancelReason(CancelReason::kNodeBudget).code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(StatusFromCancelReason(CancelReason::kMemoryBudget).code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(StatusFromCancelReasonTest, ContextPrefixesTheMessage) {
+  Status s = StatusFromCancelReason(CancelReason::kDeadline, "search");
+  EXPECT_EQ(s.message(), "search: deadline expired");
+  Status bare = StatusFromCancelReason(CancelReason::kExternal);
+  EXPECT_EQ(bare.message(), "cancelled by caller");
+}
+
+TEST(StatusFromCancelReasonTest, MatchesAFiredTokensReason) {
+  CancellationToken token;
+  token.RequestCancel();
+  EXPECT_EQ(StatusFromCancelReason(token.reason()).code(),
+            StatusCode::kCancelled);
+
+  CancellationToken budget;
+  budget.SetNodeBudget(1);
+  budget.CountNode(2);
+  EXPECT_EQ(StatusFromCancelReason(budget.reason()).code(),
+            StatusCode::kResourceExhausted);
 }
 
 TEST(ResultTest, HoldsValue) {

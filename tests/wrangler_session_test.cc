@@ -2,6 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/fault_injection.h"
+
 namespace foofah {
 namespace {
 
@@ -127,6 +135,103 @@ TEST(WranglerSessionTest, SuggestionsRespectRestrictedRegistry) {
   }
   // Apply also refuses disabled operators.
   EXPECT_FALSE(session.Apply(Unfold(1, 2)).ok());
+}
+
+// --- Single-owner contract under concurrent misuse -----------------------
+
+// Deterministic overlap: a fault-injection callback holds one Apply open
+// mid-call while the main thread's Apply / Undo / SuggestNext must all be
+// rejected with the documented typed errors — and the step history must
+// come out exactly as if only the owning call had run.
+TEST(WranglerSessionConcurrencyTest, OverlappingCallsAreRejectedTyped) {
+#ifndef FOOFAH_FAULT_INJECTION
+  GTEST_SKIP() << "requires -DFOOFAH_FAULT_INJECTION=ON";
+#else
+  FaultInjector::Instance().Reset();
+  WranglerSession session(ContactsRaw());
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool inside = false;    // First Apply reached the held-open point.
+  bool release = false;   // Main thread finished its rejected calls.
+  bool first_hit = true;  // Only the first Apply parks (later ones pass).
+  FaultInjector::Instance().ArmCallback(fault_points::kWranglerApply, [&] {
+    std::unique_lock<std::mutex> lock(mu);
+    if (!first_hit) return;
+    first_hit = false;
+    inside = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return release; });
+  });
+
+  std::thread owner([&session] {
+    EXPECT_TRUE(session.Apply(Split(1, ":")).ok());
+  });
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return inside; });
+  }
+  // The owning Apply is parked inside the session: every overlapping call
+  // must lose, typed, without touching state.
+  Status overlapped = session.Apply(Fill(0));
+  EXPECT_EQ(overlapped.code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(session.Undo());
+  EXPECT_FALSE(session.Redo());
+  EXPECT_TRUE(session.SuggestNext(ContactsTarget(), 3).empty());
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+    cv.notify_all();
+  }
+  owner.join();
+  FaultInjector::Instance().Reset();
+
+  // Only the owning Apply took effect; the session is intact and usable.
+  EXPECT_EQ(session.step_count(), 1u);
+  EXPECT_EQ(session.current().num_cols(), 3u);
+  EXPECT_TRUE(session.Apply(Fill(0)).ok());
+  EXPECT_EQ(session.step_count(), 2u);
+#endif  // FOOFAH_FAULT_INJECTION
+}
+
+// Unpinned hammer (runs in every build, meaningful under TSan): N threads
+// race Apply; every call either succeeds or reports kUnavailable, and the
+// final step count equals the number of successes — no lost or phantom
+// steps, no corrupted history.
+TEST(WranglerSessionConcurrencyTest, RacingAppliesNeverCorruptHistory) {
+  constexpr int kThreads = 4;
+  constexpr int kAttemptsPerThread = 50;
+  WranglerSession session(ContactsRaw());
+  std::atomic<int> successes{0};
+  std::atomic<int> rejected{0};
+  std::atomic<int> ready{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      ++ready;
+      while (ready.load() < kThreads) {
+      }  // Start barrier maximizes overlap.
+      for (int i = 0; i < kAttemptsPerThread; ++i) {
+        // Fill(0) is always in-domain for the contacts table, so every
+        // outcome is either OK or the typed single-owner rejection.
+        Status s = session.Apply(Fill(0));
+        if (s.ok()) {
+          ++successes;
+        } else {
+          ASSERT_EQ(s.code(), StatusCode::kUnavailable) << s.ToString();
+          ++rejected;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(successes + rejected, kThreads * kAttemptsPerThread);
+  EXPECT_EQ(session.step_count(), static_cast<size_t>(successes.load()));
+  // The history replays cleanly end to end.
+  Result<Table> replay = session.ExportScript().Execute(session.raw());
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(*replay, session.current());
 }
 
 }  // namespace
