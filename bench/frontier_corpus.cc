@@ -1,0 +1,260 @@
+// Frontier-parallelism corpus benchmark with machine-readable emission.
+//
+// Measures every corpus scenario's 2-record example pair under three
+// engine configurations —
+//   t1_k1  threads=1, K=1   the classic serial A* loop (baseline)
+//   t8_k1  threads=8, K=1   parallel candidate evaluation only (PR 1)
+//   t8_k8  threads=8, K=8   speculative K-way frontier batches
+// — and writes the results (per-scenario ns/op, solved flags, heap
+// allocations, peak RSS, slowest-quartile aggregates and speedups) to
+// BENCH_search.json so the perf trajectory is tracked across PRs. The
+// three configurations return bit-identical programs and stats (see
+// tests/frontier_parallel_test.cc); only wall-clock may differ.
+//
+// Usage:
+//   frontier_corpus [--out <path>] [--reps N]   full sweep, writes JSON
+//   frontier_corpus --smoke                     one quick measurement of
+//                                               the BM_SynthesizeFrontierK
+//                                               workload (contacts example,
+//                                               threads=8/K=8); prints
+//                                               `smoke_ms=<x>` for the
+//                                               scripts/check.sh stage-6
+//                                               regression gate.
+//
+// Budgets come from bench_common.h (FOOFAH_BENCH_TIMEOUT_MS /
+// FOOFAH_BENCH_EXPANSIONS); timing is best-of-`reps` (FOOFAH_BENCH_REPS,
+// default 3) to damp scheduler noise.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "scenarios/corpus.h"
+#include "search/search.h"
+
+namespace foofah::bench {
+namespace {
+
+struct Config {
+  const char* name;
+  int threads;
+  int width;
+};
+
+constexpr Config kConfigs[] = {
+    {"t1_k1", 1, 1},
+    {"t8_k1", 8, 1},
+    {"t8_k8", 8, 8},
+};
+constexpr size_t kNumConfigs = sizeof(kConfigs) / sizeof(kConfigs[0]);
+
+struct ScenarioRow {
+  std::string name;
+  double ms[kNumConfigs] = {0, 0, 0};
+  bool solved[kNumConfigs] = {false, false, false};
+};
+
+SearchOptions OptionsFor(const Config& config) {
+  SearchOptions options = BudgetedOptions();
+  options.num_threads = config.threads;
+  options.expansion_width = config.width;
+  return options;
+}
+
+/// Best-of-`reps` wall-clock of one synthesis run, in milliseconds.
+double TimeOne(const Table& input, const Table& output,
+               const SearchOptions& options, int reps, bool* solved) {
+  double best = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto start = std::chrono::steady_clock::now();
+    SearchResult result = SynthesizeProgram(input, output, options);
+    auto end = std::chrono::steady_clock::now();
+    double ms = std::chrono::duration<double, std::milli>(end - start).count();
+    if (rep == 0 || ms < best) best = ms;
+    if (solved != nullptr) *solved = result.found;
+  }
+  return best;
+}
+
+/// The stage-6 smoke workload: the motivating contacts example at the
+/// production configuration (threads=8, K=8) — the same workload
+/// micro_core's BM_SynthesizeFrontierK/K:8/threads:8 runs. Must stay in
+/// sync with the `smoke_ms` field the full sweep writes, since
+/// scripts/check.sh compares the two.
+double SmokeMs(int reps) {
+  const Scenario* scenario = FindScenario("wrangler3_contacts");
+  if (scenario == nullptr) return -1;
+  Result<ExamplePair> example =
+      scenario->MakeExample(std::min(2, scenario->total_records()));
+  if (!example.ok()) return -1;
+  SearchOptions options = OptionsFor(kConfigs[2]);
+  bool solved = false;
+  double ms = TimeOne(example->input, example->output, options, reps, &solved);
+  return solved ? ms : -1;
+}
+
+int RunSmoke(int reps) {
+  double ms = SmokeMs(reps);
+  if (ms < 0) {
+    std::fprintf(stderr, "smoke workload failed to synthesize\n");
+    return 1;
+  }
+  std::printf("smoke_ms=%.3f\n", ms);
+  return 0;
+}
+
+void WriteJson(const char* path, const std::vector<ScenarioRow>& rows,
+               const std::vector<size_t>& quartile, int reps,
+               const AllocCounters& alloc_delta, double smoke_ms) {
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return;
+  }
+  SearchOptions budget = BudgetedOptions();
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"frontier_corpus\",\n");
+  // Speedups are only meaningful relative to this: a single-core host
+  // measures pure batching overhead, not parallel speedup.
+  std::fprintf(out, "  \"host_cores\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(out,
+               "  \"budget\": {\"timeout_ms\": %lld, \"max_expansions\": "
+               "%llu, \"reps\": %d},\n",
+               static_cast<long long>(budget.timeout_ms),
+               static_cast<unsigned long long>(budget.max_expansions), reps);
+  std::fprintf(out, "  \"configs\": [");
+  for (size_t c = 0; c < kNumConfigs; ++c) {
+    std::fprintf(out, "%s\"%s\"", c == 0 ? "" : ", ", kConfigs[c].name);
+  }
+  std::fprintf(out, "],\n");
+
+  std::fprintf(out, "  \"scenarios\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const ScenarioRow& row = rows[i];
+    std::fprintf(out, "    {\"name\": \"%s\"", row.name.c_str());
+    for (size_t c = 0; c < kNumConfigs; ++c) {
+      std::fprintf(out, ", \"%s_ns_per_op\": %.0f, \"%s_solved\": %s",
+                   kConfigs[c].name, row.ms[c] * 1e6, kConfigs[c].name,
+                   row.solved[c] ? "true" : "false");
+    }
+    std::fprintf(out, "}%s\n", i + 1 == rows.size() ? "" : ",");
+  }
+  std::fprintf(out, "  ],\n");
+
+  double quartile_total[kNumConfigs] = {0, 0, 0};
+  for (size_t index : quartile) {
+    for (size_t c = 0; c < kNumConfigs; ++c) {
+      quartile_total[c] += rows[index].ms[c];
+    }
+  }
+  std::fprintf(out, "  \"slowest_quartile\": {\n");
+  std::fprintf(out, "    \"count\": %zu,\n", quartile.size());
+  std::fprintf(out, "    \"names\": [");
+  for (size_t i = 0; i < quartile.size(); ++i) {
+    std::fprintf(out, "%s\"%s\"", i == 0 ? "" : ", ",
+                 rows[quartile[i]].name.c_str());
+  }
+  std::fprintf(out, "],\n");
+  for (size_t c = 0; c < kNumConfigs; ++c) {
+    std::fprintf(out, "    \"total_ms_%s\": %.1f,\n", kConfigs[c].name,
+                 quartile_total[c]);
+  }
+  std::fprintf(out, "    \"speedup_t8_k8_vs_t1_k1\": %.2f,\n",
+               quartile_total[2] > 0 ? quartile_total[0] / quartile_total[2]
+                                     : 0.0);
+  std::fprintf(out, "    \"speedup_t8_k8_vs_t8_k1\": %.2f\n",
+               quartile_total[2] > 0 ? quartile_total[1] / quartile_total[2]
+                                     : 0.0);
+  std::fprintf(out, "  },\n");
+
+  std::fprintf(out,
+               "  \"alloc\": {\"allocations\": %llu, \"mb\": %.1f},\n",
+               static_cast<unsigned long long>(alloc_delta.allocations),
+               static_cast<double>(alloc_delta.bytes) / (1024.0 * 1024.0));
+  std::fprintf(out, "  \"peak_rss_mb\": %.1f,\n",
+               static_cast<double>(PeakRssKb()) / 1024.0);
+  std::fprintf(out, "  \"smoke_ms\": %.3f\n", smoke_ms);
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", path);
+}
+
+int RunSweep(const char* out_path, int reps) {
+  std::vector<ScenarioRow> rows;
+  AllocCounters before = AllocSnapshot();
+  for (const Scenario& scenario : Corpus()) {
+    int records = std::min(2, scenario.total_records());
+    Result<ExamplePair> example = scenario.MakeExample(records);
+    if (!example.ok()) continue;
+    ScenarioRow row;
+    row.name = scenario.name();
+    for (size_t c = 0; c < kNumConfigs; ++c) {
+      row.ms[c] = TimeOne(example->input, example->output,
+                          OptionsFor(kConfigs[c]), reps, &row.solved[c]);
+    }
+    std::printf("%-28s t1_k1=%8.1fms  t8_k1=%8.1fms  t8_k8=%8.1fms%s\n",
+                row.name.c_str(), row.ms[0], row.ms[1], row.ms[2],
+                row.solved[0] ? "" : "  (unsolved)");
+    rows.push_back(std::move(row));
+  }
+  AllocCounters delta = AllocSnapshot() - before;
+
+  // Slowest quartile by the serial baseline: the scenarios the ROADMAP's
+  // scaling-ceiling complaint is about, and where frontier batches have
+  // actual queue depth to chew through.
+  std::vector<size_t> order(rows.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return rows[a].ms[0] > rows[b].ms[0];
+  });
+  size_t quartile_count = std::max<size_t>(1, rows.size() / 4);
+  std::vector<size_t> quartile(order.begin(),
+                               order.begin() + static_cast<long>(quartile_count));
+
+  double totals[kNumConfigs] = {0, 0, 0};
+  for (size_t index : quartile) {
+    for (size_t c = 0; c < kNumConfigs; ++c) totals[c] += rows[index].ms[c];
+  }
+  std::printf(
+      "slowest quartile (%zu scenarios): t1_k1=%.1fms t8_k1=%.1fms "
+      "t8_k8=%.1fms  speedup(t8_k8 vs t1_k1)=%.2fx  (vs t8_k1)=%.2fx\n",
+      quartile.size(), totals[0], totals[1], totals[2],
+      totals[2] > 0 ? totals[0] / totals[2] : 0.0,
+      totals[2] > 0 ? totals[1] / totals[2] : 0.0);
+
+  double smoke_ms = SmokeMs(reps);
+  WriteJson(out_path, rows, quartile, reps, delta, smoke_ms);
+  return 0;
+}
+
+}  // namespace
+}  // namespace foofah::bench
+
+int main(int argc, char** argv) {
+  const char* out_path = "BENCH_search.json";
+  int reps = static_cast<int>(foofah::bench::EnvInt("FOOFAH_BENCH_REPS", 3));
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--out <path>] [--reps N]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (reps < 1) reps = 1;
+  if (smoke) return foofah::bench::RunSmoke(reps);
+  return foofah::bench::RunSweep(out_path, reps);
+}

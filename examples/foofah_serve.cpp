@@ -8,6 +8,12 @@
 //
 // Usage: foofah_serve [--workers N] [--queue N] [--clients N]
 //                     [--scenarios N] [--deadline-ms N] [--node-budget N]
+//                     [--portfolio]
+//
+// --portfolio races each request's ladder rungs concurrently on the
+// shared deadline instead of descending sequentially (first conclusive
+// rung cancels the cheaper ones) — compare the reported latency
+// percentiles with and without it to see the p99 effect.
 
 #include <algorithm>
 #include <atomic>
@@ -34,6 +40,13 @@ int FlagValue(int argc, char** argv, const char* name, int fallback) {
   return fallback;
 }
 
+bool HasFlag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -50,12 +63,14 @@ int main(int argc, char** argv) {
   const int num_scenarios = FlagValue(argc, argv, "--scenarios", 50);
   const int deadline_ms = FlagValue(argc, argv, "--deadline-ms", 500);
   const int node_budget = FlagValue(argc, argv, "--node-budget", 20'000);
+  const bool portfolio = HasFlag(argc, argv, "--portfolio");
 
   foofah::ServiceOptions options;
   options.num_workers = num_workers;
   options.queue_capacity = static_cast<size_t>(queue_capacity);
   options.default_deadline_ms = deadline_ms;
   options.base_search.node_budget = static_cast<uint64_t>(node_budget);
+  options.portfolio = portfolio;
   SynthesisService service(options);
 
   const std::vector<Scenario>& corpus = Corpus();
@@ -63,11 +78,13 @@ int main(int argc, char** argv) {
       std::min<int>(num_scenarios, static_cast<int>(corpus.size()));
 
   std::printf("foofah_serve: %d clients x %d scenarios, %d workers, "
-              "queue capacity %d, deadline %d ms\n\n",
-              num_clients, total, num_workers, queue_capacity, deadline_ms);
+              "queue capacity %d, deadline %d ms, %s ladder\n\n",
+              num_clients, total, num_workers, queue_capacity, deadline_ms,
+              portfolio ? "portfolio (racing)" : "sequential");
 
   std::mutex out_mu;
   std::map<StatusCode, int> outcome_counts;
+  std::vector<double> latencies_ms;  // queue + run per completed request.
   std::atomic<int> retried{0};
   std::atomic<int> next_index{0};
 
@@ -108,6 +125,7 @@ int main(int argc, char** argv) {
 
       std::lock_guard<std::mutex> lock(out_mu);
       ++outcome_counts[response.status.code()];
+      latencies_ms.push_back(response.queue_ms + response.run_ms);
       const char* shape =
           response.found
               ? (response.winning_rung > 0 ? "degraded" : "full")
@@ -139,6 +157,19 @@ int main(int argc, char** argv) {
   std::printf("\nOutcome histogram:\n");
   for (const auto& [code, count] : outcome_counts) {
     std::printf("  %-18s %d\n", foofah::StatusCodeName(code), count);
+  }
+  if (!latencies_ms.empty()) {
+    std::sort(latencies_ms.begin(), latencies_ms.end());
+    auto percentile = [&](double p) {
+      size_t k = static_cast<size_t>(p * static_cast<double>(
+                                             latencies_ms.size() - 1));
+      return latencies_ms[k];
+    };
+    std::printf("\nEnd-to-end latency (queue + run, %zu requests):\n",
+                latencies_ms.size());
+    std::printf("  p50=%6.1fms  p90=%6.1fms  p99=%6.1fms  max=%6.1fms\n",
+                percentile(0.50), percentile(0.90), percentile(0.99),
+                latencies_ms.back());
   }
   service.Shutdown();
   return 0;

@@ -14,8 +14,12 @@
 # stress-labeled synthesis-service suite: concurrent soak over the corpus,
 # fault-pinned overload shedding, and worker-count determinism.
 #
+# Stage 6 is a quick perf smoke: the BM_SynthesizeFrontierK workload is
+# timed against the smoke_ms baseline checked into BENCH_search.json and
+# a >25% regression fails the gate (FOOFAH_SKIP_PERF_SMOKE=1 skips it).
+#
 # Usage: scripts/check.sh [--skip-tsan] [--skip-asan] [--skip-fault]
-#                         [--skip-stress]
+#                         [--skip-stress] [--skip-perf]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -30,12 +34,14 @@ SKIP_TSAN=0
 SKIP_ASAN=0
 SKIP_FAULT=0
 SKIP_STRESS=0
+SKIP_PERF="${FOOFAH_SKIP_PERF_SMOKE:-0}"
 for arg in "$@"; do
   case "${arg}" in
     --skip-tsan) SKIP_TSAN=1 ;;
     --skip-asan) SKIP_ASAN=1 ;;
     --skip-fault) SKIP_FAULT=1 ;;
     --skip-stress) SKIP_STRESS=1 ;;
+    --skip-perf) SKIP_PERF=1 ;;
     *) echo "unknown option: ${arg}" >&2; exit 2 ;;
   esac
 done
@@ -47,7 +53,8 @@ else
   cmake -B build-tsan -S . -DFOOFAH_TSAN=ON -DFOOFAH_FAULT_INJECTION=ON \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build build-tsan -j "${JOBS}" \
-    --target parallel_search_test heuristic_cache_test synthesis_fuzz_test \
+    --target parallel_search_test frontier_parallel_test \
+    heuristic_cache_test synthesis_fuzz_test \
     cancellation_test fault_injection_test wrangler_session_test service_test
   ctest --test-dir build-tsan --output-on-failure -L tsan -j "${JOBS}"
 fi
@@ -86,6 +93,32 @@ else
   cmake --build build-tsan -j "${JOBS}" \
     --target service_test service_soak_test ladder_test wrangler_session_test
   ctest --test-dir build-tsan --output-on-failure -L stress -j "${JOBS}"
+fi
+
+# Stage 6: quick perf smoke against the checked-in baseline. Runs the
+# BM_SynthesizeFrontierK workload (contacts example, threads=8/K=8,
+# best-of-5) via the frontier_corpus driver and fails on a >25% wall-clock
+# regression vs. the `smoke_ms` recorded in BENCH_search.json. Skippable
+# for machines with noisy clocks: FOOFAH_SKIP_PERF_SMOKE=1 or --skip-perf.
+if [[ "${SKIP_PERF}" == 1 ]]; then
+  echo "== Perf smoke skipped =="
+else
+  echo "== Perf smoke: BM_SynthesizeFrontierK workload vs BENCH_search.json =="
+  cmake --build build -j "${JOBS}" --target frontier_corpus
+  baseline="$(sed -n 's/.*"smoke_ms": \([0-9.]*\).*/\1/p' BENCH_search.json)"
+  current="$(./build/bench/frontier_corpus --smoke --reps 5 \
+    | sed -n 's/smoke_ms=\([0-9.]*\)/\1/p')"
+  if [[ -z "${baseline}" || -z "${current}" ]]; then
+    echo "perf smoke: missing baseline or measurement" >&2
+    exit 1
+  fi
+  if ! awk -v c="${current}" -v b="${baseline}" \
+      'BEGIN { exit !(c <= b * 1.25) }'; then
+    echo "perf smoke regression: smoke_ms=${current}" \
+         "> baseline ${baseline} * 1.25" >&2
+    exit 1
+  fi
+  echo "perf smoke ok: smoke_ms=${current} (baseline ${baseline})"
 fi
 
 echo "All checks passed."

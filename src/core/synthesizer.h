@@ -30,7 +30,9 @@ class Foofah {
   Foofah() = default;
 
   /// Custom search configuration (strategy, heuristic, pruning, registry,
-  /// budgets). `options.registry`, if set, must outlive this object.
+  /// budgets, and the parallelism knobs `num_threads` /
+  /// `expansion_width`, which never change results — only wall-clock).
+  /// `options.registry`, if set, must outlive this object.
   explicit Foofah(SearchOptions options) : options_(options) {}
 
   const SearchOptions& options() const { return options_; }

@@ -40,6 +40,9 @@ std::string SearchStats::ToString() const {
     out << " hcache=" << heuristic_cache_hits << "/"
         << (heuristic_cache_hits + heuristic_cache_misses);
   }
+  if (speculative_expansions > 0) {
+    out << " spec=" << speculative_discards << "/" << speculative_expansions;
+  }
   if (timed_out) out << " TIMEOUT";
   if (timed_out && overshoot_ms > 0) out << " overshoot_ms=" << overshoot_ms;
   if (budget_exhausted) out << " BUDGET";
@@ -139,6 +142,21 @@ struct CandidateOutcome {
   /// interrupted mid-estimate); such slots hold garbage and the
   /// cancellation replay skips them.
   bool complete = false;
+};
+
+/// One member of a speculative expansion batch (expansion_width > 1): a
+/// frontier node popped ahead of its confirmed turn, with everything its
+/// commit will need. `entry` keeps the original A* queue entry verbatim —
+/// the invalidation check compares it against the live frontier top, and a
+/// restore re-pushes it with its original seq so the tie-break order is
+/// exactly what a K=1 run would see.
+struct SpecNode {
+  OpenEntry entry{};
+  int node = -1;
+  Table state;
+  ParentContext context;
+  std::vector<Operation> candidates;
+  std::vector<CandidateOutcome> outcomes;
 };
 
 }  // namespace
@@ -401,9 +419,182 @@ SearchResult SynthesizeProgram(const Table& input, const Table& goal,
     push(0, h0);
   }
 
+  // ---- Phase 2: evaluate one candidate without side effects — prune,
+  // apply, size-filter, goal-test, and (in the parallel engine) estimate.
+  // Reads only search-constant state plus the owning expansion's parent
+  // facts; writes only its own slot, so any number of candidates — from
+  // one node, or from every node of a speculative batch — evaluate
+  // concurrently.
+  auto evaluate = [&](const Table& state, const ParentContext& parent_context,
+                      const Operation& candidate, bool compute_h,
+                      CandidateOutcome& out) {
+    // A fired token abandons the slot: `complete` stays false and the
+    // cancellation replay skips it.
+    if (cancel != nullptr && cancel->IsCancelled()) return;
+
+    PruneReason reason = PruneBeforeApply(state, candidate, pruning);
+    if (reason != PruneReason::kKept) {
+      out.fate = CandidateFate::kPrunedBefore;
+      out.reason = reason;
+      out.complete = true;
+      return;
+    }
+
+    Result<Table> applied = ApplyOperation(state, candidate);
+    if (!applied.ok()) {
+      out.fate = CandidateFate::kApplyFailed;
+      out.complete = true;
+      return;
+    }
+    Table child = std::move(applied).value();
+
+    if (child.num_cells() > options.max_state_cells) {
+      out.fate = CandidateFate::kOversize;
+      out.complete = true;
+      return;
+    }
+
+    reason = PruneAfterApply(parent_context, child, candidate, goal_chars,
+                             pruning);
+    if (reason != PruneReason::kKept) {
+      out.fate = CandidateFate::kPrunedAfter;
+      out.reason = reason;
+      out.complete = true;
+      return;
+    }
+
+    // Goal test at generation time (§4.1: "If no child of v0 happens to
+    // be the goal state ..."): with unit arc costs, the first goal child
+    // found along the best-first order is the answer. With a non-zero
+    // tolerance, a same-shape state within that many differing cells
+    // also counts (the §7 error-tolerant mode).
+    bool is_goal = child.ContentEquals(goal);
+    if (!is_goal && options.goal_tolerance > 0 &&
+        child.num_rows() == goal.num_rows() &&
+        child.num_cols() == goal.num_cols()) {
+      TableDiff diff = DiffTables(goal, child, options.goal_tolerance + 1);
+      is_goal = diff.cell_diffs.size() <= options.goal_tolerance;
+    }
+    out.is_goal = is_goal;
+
+    if (compute_h && !is_goal &&
+        options.strategy == SearchStrategy::kAStar) {
+      // Parallel engine: estimate before deduplication (the memo makes
+      // the duplicate case cheap). The estimate is a pure function of
+      // the child, so evaluating it for a child the serial replay later
+      // drops as a duplicate cannot change any outcome.
+      out.h = estimate(child, &out.cache_outcome);
+      // Interrupted mid-DP: out.h is garbage. Leave the slot incomplete.
+      if (cancel != nullptr && cancel->IsCancelled()) return;
+      out.has_h = true;
+    }
+    out.child = std::move(child);
+    out.fate = CandidateFate::kEvaluated;
+    out.complete = true;
+  };
+
+  // ---- Phase 3: replay one evaluated slot — every mutation of the
+  // search state (arena, seen-set, frontier, stats, observer) happens
+  // here, on the expansion thread, in candidate order within pop order.
+  // `current` is the node whose expansion produced the slot. Returns
+  // false when the search is done (enough solutions / generation budget).
+  auto replay = [&](int current, const Operation& candidate,
+                    CandidateOutcome& out) -> bool {
+    ++result.stats.candidates_tried;
+    switch (out.fate) {
+      case CandidateFate::kPrunedBefore:
+      case CandidateFate::kPrunedAfter:
+        ++result.stats.pruned_by_reason[static_cast<int>(out.reason)];
+        if (options.observer != nullptr) {
+          options.observer->OnPrune(current, candidate, out.reason);
+        }
+        return true;
+      case CandidateFate::kApplyFailed:
+        ++result.stats.apply_failures;
+        return true;
+      case CandidateFate::kOversize:
+        ++result.stats.oversize_skipped;
+        return true;
+      case CandidateFate::kEvaluated:
+        break;
+    }
+
+    int child_index = static_cast<int>(arena.size());
+    if (!out.is_goal && options.deduplicate_states &&
+        !seen.Insert(out.child, child_index)) {
+      ++result.stats.duplicates_skipped;
+      if (options.observer != nullptr) {
+        options.observer->OnDuplicate(current, candidate);
+      }
+      return true;
+    }
+
+    arena.push_back(Node{std::move(out.child), current, candidate,
+                         arena[current].depth + 1});
+    ++result.stats.nodes_generated;
+    if (cancel != nullptr) {
+      // Approximate retained footprint of the kept state. The CoW
+      // substrate shares row storage between parent and child, so this
+      // intentionally over-counts; the memory budget is a blowup guard,
+      // not an accountant.
+      cancel->ChargeMemory(64 + 32 * arena.back().table.num_cells());
+    }
+
+    if (out.is_goal) {
+      if (options.observer != nullptr) {
+        options.observer->OnGenerate(child_index, current, candidate, 0,
+                                     /*is_goal=*/true);
+      }
+      record_solution(child_index);
+      // Goal states are terminal: do not expand past them.
+      return !enough_solutions();
+    }
+
+    if (options.max_generated > 0 &&
+        result.stats.nodes_generated >= options.max_generated) {
+      result.stats.budget_exhausted = true;
+      return false;
+    }
+
+    double h = 0;
+    if (options.strategy == SearchStrategy::kAStar) {
+      if (out.has_h) {
+        h = out.h;
+      } else {
+        // Serial engine: estimate after deduplication, exactly as the
+        // legacy single-threaded loop did.
+        h = estimate(arena[child_index].table, &out.cache_outcome);
+        if (cancel != nullptr && cancel->IsCancelled()) {
+          // The estimate is garbage. Keep the child off the frontier
+          // (it already sits in the arena/seen-set, which is harmless)
+          // and let the caller observe the stop.
+          return true;
+        }
+      }
+      count_cache_outcome(out.cache_outcome);
+    }
+    if (options.observer != nullptr) {
+      options.observer->OnGenerate(child_index, current, candidate, h,
+                                   /*is_goal=*/false);
+    }
+    if (h == kInfiniteCost) return true;  // Goal unreachable from child.
+    push(child_index, h);
+    return true;
+  };
+
   // Reused per expansion; slots are index-addressed so phase 2 threads
   // never share one.
   std::vector<CandidateOutcome> outcomes;
+
+  // Speculative K-way expansion state (expansion_width > 1), reused per
+  // iteration. `work` flattens the batch into (member, candidate) items so
+  // one ParallelFor spans every candidate of every popped node — the whole
+  // point of the batch: enough independent items to keep all pool workers
+  // busy even when a single node enumerates few candidates.
+  const int width = std::max(1, options.expansion_width);
+  const bool astar = options.strategy == SearchStrategy::kAStar;
+  std::vector<SpecNode> batch;
+  std::vector<std::pair<size_t, size_t>> work;
 
   while (!frontier_empty()) {
     // The token subsumes the old between-rounds elapsed check (it owns the
@@ -419,222 +610,220 @@ SearchResult SynthesizeProgram(const Table& input, const Table& goal,
       break;
     }
 
-    const int current = pop();
-    ++result.stats.nodes_expanded;
-    if (cancel != nullptr && cancel->CountNode()) {
-      note_cancel();
-      break;
-    }
-    if (options.observer != nullptr) {
-      options.observer->OnExpand(current, arena[current].table,
-                                 arena[current].depth);
-    }
-
-    // ---- Phase 1 (serial): enumerate candidate arcs out of this state.
-    // Snapshot: arena may reallocate while children are appended. Under
-    // the copy-on-write substrate this is an O(1) handle copy — no cells
-    // are cloned, and the pool workers read the shared immutable rows.
-    const Table state = arena[current].table;
-    std::vector<Operation> candidates =
-        EnumerateCandidates(state, goal, registry);
-    // Parent facts (symbol bitmap, empty-column count) are shared by every
-    // candidate's pruning checks.
-    const ParentContext parent_context = ParentContext::From(state);
-
-    // ---- Phase 2: evaluate one candidate without side effects — prune,
-    // apply, size-filter, goal-test, and (in the parallel engine) estimate.
-    // Reads only search-constant state plus this expansion's parent facts;
-    // writes only its own slot, so any number of candidates evaluate
-    // concurrently.
-    auto evaluate = [&](const Operation& candidate, bool compute_h,
-                        CandidateOutcome& out) {
-      // A fired token abandons the slot: `complete` stays false and the
-      // cancellation replay skips it.
-      if (cancel != nullptr && cancel->IsCancelled()) return;
-
-      PruneReason reason = PruneBeforeApply(state, candidate, pruning);
-      if (reason != PruneReason::kKept) {
-        out.fate = CandidateFate::kPrunedBefore;
-        out.reason = reason;
-        out.complete = true;
-        return;
-      }
-
-      Result<Table> applied = ApplyOperation(state, candidate);
-      if (!applied.ok()) {
-        out.fate = CandidateFate::kApplyFailed;
-        out.complete = true;
-        return;
-      }
-      Table child = std::move(applied).value();
-
-      if (child.num_cells() > options.max_state_cells) {
-        out.fate = CandidateFate::kOversize;
-        out.complete = true;
-        return;
-      }
-
-      reason = PruneAfterApply(parent_context, child, candidate, goal_chars,
-                               pruning);
-      if (reason != PruneReason::kKept) {
-        out.fate = CandidateFate::kPrunedAfter;
-        out.reason = reason;
-        out.complete = true;
-        return;
-      }
-
-      // Goal test at generation time (§4.1: "If no child of v0 happens to
-      // be the goal state ..."): with unit arc costs, the first goal child
-      // found along the best-first order is the answer. With a non-zero
-      // tolerance, a same-shape state within that many differing cells
-      // also counts (the §7 error-tolerant mode).
-      bool is_goal = child.ContentEquals(goal);
-      if (!is_goal && options.goal_tolerance > 0 &&
-          child.num_rows() == goal.num_rows() &&
-          child.num_cols() == goal.num_cols()) {
-        TableDiff diff = DiffTables(goal, child, options.goal_tolerance + 1);
-        is_goal = diff.cell_diffs.size() <= options.goal_tolerance;
-      }
-      out.is_goal = is_goal;
-
-      if (compute_h && !is_goal &&
-          options.strategy == SearchStrategy::kAStar) {
-        // Parallel engine: estimate before deduplication (the memo makes
-        // the duplicate case cheap). The estimate is a pure function of
-        // the child, so evaluating it for a child the serial replay later
-        // drops as a duplicate cannot change any outcome.
-        out.h = estimate(child, &out.cache_outcome);
-        // Interrupted mid-DP: out.h is garbage. Leave the slot incomplete.
-        if (cancel != nullptr && cancel->IsCancelled()) return;
-        out.has_h = true;
-      }
-      out.child = std::move(child);
-      out.fate = CandidateFate::kEvaluated;
-      out.complete = true;
-    };
-
-    // ---- Phase 3: replay one evaluated slot — every mutation of the
-    // search state (arena, seen-set, frontier, stats, observer) happens
-    // here, on the expansion thread, in candidate order. Returns false
-    // when the search is done (enough solutions / generation budget).
-    auto replay = [&](const Operation& candidate,
-                      CandidateOutcome& out) -> bool {
-      ++result.stats.candidates_tried;
-      switch (out.fate) {
-        case CandidateFate::kPrunedBefore:
-        case CandidateFate::kPrunedAfter:
-          ++result.stats.pruned_by_reason[static_cast<int>(out.reason)];
-          if (options.observer != nullptr) {
-            options.observer->OnPrune(current, candidate, out.reason);
-          }
-          return true;
-        case CandidateFate::kApplyFailed:
-          ++result.stats.apply_failures;
-          return true;
-        case CandidateFate::kOversize:
-          ++result.stats.oversize_skipped;
-          return true;
-        case CandidateFate::kEvaluated:
-          break;
-      }
-
-      int child_index = static_cast<int>(arena.size());
-      if (!out.is_goal && options.deduplicate_states &&
-          !seen.Insert(out.child, child_index)) {
-        ++result.stats.duplicates_skipped;
-        if (options.observer != nullptr) {
-          options.observer->OnDuplicate(current, candidate);
-        }
-        return true;
-      }
-
-      arena.push_back(Node{std::move(out.child), current, candidate,
-                           arena[current].depth + 1});
-      ++result.stats.nodes_generated;
-      if (cancel != nullptr) {
-        // Approximate retained footprint of the kept state. The CoW
-        // substrate shares row storage between parent and child, so this
-        // intentionally over-counts; the memory budget is a blowup guard,
-        // not an accountant.
-        cancel->ChargeMemory(64 + 32 * arena.back().table.num_cells());
-      }
-
-      if (out.is_goal) {
-        if (options.observer != nullptr) {
-          options.observer->OnGenerate(child_index, current, candidate, 0,
-                                       /*is_goal=*/true);
-        }
-        record_solution(child_index);
-        // Goal states are terminal: do not expand past them.
-        return !enough_solutions();
-      }
-
-      if (options.max_generated > 0 &&
-          result.stats.nodes_generated >= options.max_generated) {
-        result.stats.budget_exhausted = true;
-        return false;
-      }
-
-      double h = 0;
-      if (options.strategy == SearchStrategy::kAStar) {
-        if (out.has_h) {
-          h = out.h;
-        } else {
-          // Serial engine: estimate after deduplication, exactly as the
-          // legacy single-threaded loop did.
-          h = estimate(arena[child_index].table, &out.cache_outcome);
-          if (cancel != nullptr && cancel->IsCancelled()) {
-            // The estimate is garbage. Keep the child off the frontier
-            // (it already sits in the arena/seen-set, which is harmless)
-            // and let the caller observe the stop.
-            return true;
-          }
-        }
-        count_cache_outcome(out.cache_outcome);
-      }
-      if (options.observer != nullptr) {
-        options.observer->OnGenerate(child_index, current, candidate, h,
-                                     /*is_goal=*/false);
-      }
-      if (h == kInfiniteCost) return true;  // Goal unreachable from child.
-      push(child_index, h);
-      return true;
-    };
-
-    if (pool != nullptr && candidates.size() > 1) {
-      outcomes.assign(candidates.size(), CandidateOutcome{});
-      pool->ParallelFor(
-          candidates.size(),
-          [&](size_t i) {
-            evaluate(candidates[i], /*compute_h=*/true, outcomes[i]);
-          },
-          cancel);
-      if (cancel != nullptr && cancel->IsCancelled()) {
-        // Salvage the fully evaluated slots — in candidate order, so the
-        // replays stay deterministic — to enrich the anytime frontier,
-        // then stop. Abandoned/interrupted slots hold garbage; skip them.
-        for (size_t i = 0; i < candidates.size(); ++i) {
-          if (!outcomes[i].complete) continue;
-          if (!replay(candidates[i], outcomes[i])) return finalize();
-        }
+    if (width == 1) {
+      const int current = pop();
+      ++result.stats.nodes_expanded;
+      if (cancel != nullptr && cancel->CountNode()) {
         note_cancel();
         break;
       }
-      for (size_t i = 0; i < candidates.size(); ++i) {
-        if (!replay(candidates[i], outcomes[i])) return finalize();
+      if (options.observer != nullptr) {
+        options.observer->OnExpand(current, arena[current].table,
+                                   arena[current].depth);
       }
-    } else {
-      CandidateOutcome out;
-      for (const Operation& candidate : candidates) {
-        // Per-candidate poll: a deadline interrupts mid-round instead of
-        // waiting for the next expansion (the loop head notes the reason).
-        if (cancel != nullptr && cancel->IsCancelled()) break;
-        out = CandidateOutcome{};
-        evaluate(candidate, /*compute_h=*/false, out);
-        if (!out.complete) break;  // Interrupted mid-evaluation.
-        if (!replay(candidate, out)) return finalize();
+
+      // ---- Phase 1 (serial): enumerate candidate arcs out of this state.
+      // Snapshot: arena may reallocate while children are appended. Under
+      // the copy-on-write substrate this is an O(1) handle copy — no cells
+      // are cloned, and the pool workers read the shared immutable rows.
+      const Table state = arena[current].table;
+      std::vector<Operation> candidates =
+          EnumerateCandidates(state, goal, registry);
+      // Parent facts (symbol bitmap, empty-column count) are shared by
+      // every candidate's pruning checks.
+      const ParentContext parent_context = ParentContext::From(state);
+
+      if (pool != nullptr && candidates.size() > 1) {
+        outcomes.assign(candidates.size(), CandidateOutcome{});
+        pool->ParallelFor(
+            candidates.size(),
+            [&](size_t i) {
+              evaluate(state, parent_context, candidates[i],
+                       /*compute_h=*/true, outcomes[i]);
+            },
+            cancel);
+        if (cancel != nullptr && cancel->IsCancelled()) {
+          // Salvage the fully evaluated slots — in candidate order, so the
+          // replays stay deterministic — to enrich the anytime frontier,
+          // then stop. Abandoned/interrupted slots hold garbage; skip them.
+          for (size_t i = 0; i < candidates.size(); ++i) {
+            if (!outcomes[i].complete) continue;
+            if (!replay(current, candidates[i], outcomes[i])) {
+              return finalize();
+            }
+          }
+          note_cancel();
+          break;
+        }
+        for (size_t i = 0; i < candidates.size(); ++i) {
+          if (!replay(current, candidates[i], outcomes[i])) {
+            return finalize();
+          }
+        }
+      } else {
+        CandidateOutcome out;
+        for (const Operation& candidate : candidates) {
+          // Per-candidate poll: a deadline interrupts mid-round instead of
+          // waiting for the next expansion (the loop head notes the
+          // reason).
+          if (cancel != nullptr && cancel->IsCancelled()) break;
+          out = CandidateOutcome{};
+          evaluate(state, parent_context, candidate, /*compute_h=*/false,
+                   out);
+          if (!out.complete) break;  // Interrupted mid-evaluation.
+          if (!replay(current, candidate, out)) return finalize();
+        }
+      }
+      continue;
+    }
+
+    // ---- Speculative K-way expansion (the frontier-parallel engine) ----
+    //
+    // Pop up to `width` frontier nodes and evaluate all of their
+    // candidates concurrently, then commit each node serially in pop
+    // order. A commit is only applied after re-checking that the node is
+    // still what a K=1 run would pop next; everything else about the
+    // commit is byte-for-byte the K=1 sequence above, so results are
+    // bit-identical across every (num_threads, expansion_width) pair.
+    batch.clear();
+    while (static_cast<int>(batch.size()) < width && !frontier_empty()) {
+      SpecNode spec;
+      if (astar) {
+        spec.entry = astar_open.top();
+        astar_open.pop();
+        spec.node = spec.entry.node;
+      } else {
+        // BFS pops from the front and pushes children at the back, so a
+        // K-prefix of the FIFO is exactly the next K expansions of a K=1
+        // run: batched BFS commits can never be invalidated.
+        spec.node = bfs_open.front();
+        bfs_open.pop_front();
+      }
+      spec.state = arena[spec.node].table;
+      spec.candidates = EnumerateCandidates(spec.state, goal, registry);
+      spec.outcomes.assign(spec.candidates.size(), CandidateOutcome{});
+      batch.push_back(std::move(spec));
+    }
+    // Contexts last: ParentContext points at the member's state table, so
+    // it must be built after the batch vector stops moving SpecNodes.
+    for (SpecNode& spec : batch) {
+      spec.context = ParentContext::From(spec.state);
+    }
+    // Member 0 is not speculative — a K=1 run pops it too.
+    result.stats.speculative_expansions += batch.size() - 1;
+
+    work.clear();
+    for (size_t j = 0; j < batch.size(); ++j) {
+      for (size_t i = 0; i < batch[j].candidates.size(); ++i) {
+        work.emplace_back(j, i);
       }
     }
+    auto evaluate_item = [&](size_t w) {
+      const auto [j, i] = work[w];
+      evaluate(batch[j].state, batch[j].context, batch[j].candidates[i],
+               /*compute_h=*/true, batch[j].outcomes[i]);
+    };
+    if (pool != nullptr && work.size() > 1) {
+      pool->ParallelFor(work.size(), evaluate_item, cancel);
+    } else {
+      for (size_t w = 0; w < work.size(); ++w) {
+        if (cancel != nullptr && cancel->IsCancelled()) break;
+        evaluate_item(w);
+      }
+    }
+
+    // Serial commit, pop order. Members that never commit are discarded
+    // speculation; member 0 never counts (its evaluation is work a K=1
+    // run does too).
+    auto discard_from = [&](size_t first) {
+      for (size_t k = std::max<size_t>(first, 1); k < batch.size(); ++k) {
+        ++result.stats.speculative_discards;
+        if (options.observer != nullptr) {
+          options.observer->OnSpeculationDiscarded(batch[k].node);
+        }
+      }
+    };
+    bool search_done = false;  // Stop reason latched; leave the main loop.
+    bool finished = false;     // Replay said done; return finalize().
+    for (size_t j = 0; j < batch.size(); ++j) {
+      SpecNode& spec = batch[j];
+      if (j > 0) {
+        // The loop-head checks a K=1 run performs before this pop.
+        if (cancel != nullptr && cancel->IsCancelled()) {
+          note_cancel();
+          discard_from(j);
+          search_done = true;
+          break;
+        }
+        if (options.max_expansions > 0 &&
+            result.stats.nodes_expanded >= options.max_expansions) {
+          result.stats.budget_exhausted = true;
+          discard_from(j);
+          search_done = true;
+          break;
+        }
+        // Invalidation: an earlier commit pushed a child that outranks
+        // this entry, so a K=1 run would pop that child next instead.
+        // Restore this member and every later one verbatim — original f /
+        // depth / seq, no anytime or counter side effects, exactly the
+        // queue a K=1 run would hold — and end the batch. (The members
+        // were popped in priority order, so the first outranked one
+        // invalidates the whole tail.)
+        if (astar && !astar_open.empty() && spec.entry > astar_open.top()) {
+          for (size_t k = j; k < batch.size(); ++k) {
+            astar_open.push(batch[k].entry);
+          }
+          discard_from(j);
+          break;
+        }
+      }
+
+      ++result.stats.nodes_expanded;
+      if (cancel != nullptr && cancel->CountNode()) {
+        note_cancel();
+        discard_from(j);  // This member's children are dropped too.
+        search_done = true;
+        break;
+      }
+      if (options.observer != nullptr) {
+        options.observer->OnExpand(spec.node, arena[spec.node].table,
+                                   arena[spec.node].depth);
+      }
+
+      if (cancel != nullptr && cancel->IsCancelled()) {
+        // Fired during the batch evaluation: salvage this member's fully
+        // evaluated slots in candidate order (the K=1 pool path does the
+        // same), then stop; later members never commit.
+        for (size_t i = 0; i < spec.candidates.size(); ++i) {
+          if (!spec.outcomes[i].complete) continue;
+          if (!replay(spec.node, spec.candidates[i], spec.outcomes[i])) {
+            finished = true;
+            break;
+          }
+        }
+        if (!finished) note_cancel();
+        discard_from(j + 1);
+        search_done = true;
+        break;
+      }
+
+      for (size_t i = 0; i < spec.candidates.size(); ++i) {
+        // No cancel fired, so every slot of this member ran to a
+        // definitive fate (ParallelFor covers all indices when its token
+        // stays quiet).
+        if (!replay(spec.node, spec.candidates[i], spec.outcomes[i])) {
+          finished = true;
+          break;
+        }
+      }
+      if (finished) {
+        discard_from(j + 1);
+        search_done = true;
+        break;
+      }
+    }
+    if (finished) return finalize();
+    if (search_done) break;
   }
 
   return finalize();

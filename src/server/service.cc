@@ -35,13 +35,14 @@ struct SynthesisService::RequestState {
   /// armed deadline while the request waits in the queue.
   CancellationToken cancel;
 
-  /// The active rung's private token while a ladder search is mid-flight
-  /// (published by the ladder's on_rung_token hook), so an external
-  /// cancel interrupts the search instead of waiting for the rung
-  /// boundary. Guarded by token_mu; only valid between the publish and
-  /// the matching nullptr publish.
+  /// The private tokens of rung searches currently mid-flight (published
+  /// by the ladder's on_rung_token hook), so an external cancel
+  /// interrupts the searches instead of waiting for a rung boundary.
+  /// Sequential mode holds at most one entry; portfolio mode one per
+  /// racing rung. Guarded by token_mu; each pointer is only valid between
+  /// its active publish and the matching inactive publish.
   std::mutex token_mu;
-  CancellationToken* active_rung_token = nullptr;
+  std::vector<CancellationToken*> active_rung_tokens;
 
   /// Completion latch.
   std::mutex mu;
@@ -77,12 +78,12 @@ bool SynthesisService::Ticket::IsReady() const {
 
 void SynthesisService::Ticket::Cancel() const {
   state_->cancel.RequestCancel();
-  // Propagate into a rung search already running. The publish hook
+  // Propagate into rung searches already running. The publish hook
   // re-checks the request token under token_mu, so a cancel landing
   // between a rung's start and its publish still reaches it.
   std::lock_guard<std::mutex> lock(state_->token_mu);
-  if (state_->active_rung_token != nullptr) {
-    state_->active_rung_token->RequestCancel();
+  for (CancellationToken* token : state_->active_rung_tokens) {
+    token->RequestCancel();
   }
 }
 
@@ -268,31 +269,45 @@ void SynthesisService::Dispatch(const std::shared_ptr<RequestState>& state) {
   if (!state->request.allow_degradation) ladder.rungs.resize(1);
   ladder.cancel = &state->cancel;
   ladder.deadline = state->deadline;
+  ladder.portfolio = options_.portfolio;
   if (state->deadline.has_value()) {
-    // Split the time still left across the rungs proportionally to their
-    // budget scales, so rung 0 cannot eat the whole deadline and leave
-    // the cheaper rungs stillborn. The configured per-rung timeout still
-    // caps rung 0 when it is tighter.
     double remaining_ms = ElapsedMs(state->dispatch_time, *state->deadline);
     if (remaining_ms < 1) remaining_ms = 1;
-    double scale_sum = 0;
-    for (const LadderRung& rung : ladder.rungs) {
-      scale_sum += std::max(rung.budget_scale, 0.0);
+    int64_t slice_ms;
+    if (ladder.portfolio) {
+      // Racing rungs share the wall clock: every rung gets all the time
+      // still left (the absolute deadline caps them anyway).
+      slice_ms = std::max<int64_t>(1, static_cast<int64_t>(remaining_ms));
+    } else {
+      // Sequential descent: split the time still left across the rungs
+      // proportionally to their budget scales, so rung 0 cannot eat the
+      // whole deadline and leave the cheaper rungs stillborn.
+      double scale_sum = 0;
+      for (const LadderRung& rung : ladder.rungs) {
+        scale_sum += std::max(rung.budget_scale, 0.0);
+      }
+      if (scale_sum <= 0) scale_sum = 1;
+      slice_ms =
+          std::max<int64_t>(1, static_cast<int64_t>(remaining_ms / scale_sum));
     }
-    if (scale_sum <= 0) scale_sum = 1;
-    const int64_t slice_ms =
-        std::max<int64_t>(1, static_cast<int64_t>(remaining_ms / scale_sum));
+    // The configured per-rung timeout still caps rung 0 when tighter.
     if (ladder.base.timeout_ms <= 0 || slice_ms < ladder.base.timeout_ms) {
       ladder.base.timeout_ms = slice_ms;
     }
   }
-  ladder.on_rung_token = [state](CancellationToken* token) {
+  ladder.on_rung_token = [state](int /*rung*/, CancellationToken* token,
+                                 bool active) {
     std::lock_guard<std::mutex> lock(state->token_mu);
-    state->active_rung_token = token;
-    // A Ticket::Cancel that landed before this publish saw a null rung
-    // pointer; forward it now so the fresh rung token starts fired.
-    if (token != nullptr && state->cancel.IsCancelled()) {
-      token->RequestCancel();
+    if (active) {
+      state->active_rung_tokens.push_back(token);
+      // A Ticket::Cancel that landed before this publish missed the rung
+      // pointer; forward it now so the fresh rung token starts fired.
+      if (state->cancel.IsCancelled()) token->RequestCancel();
+    } else {
+      state->active_rung_tokens.erase(
+          std::remove(state->active_rung_tokens.begin(),
+                      state->active_rung_tokens.end(), token),
+          state->active_rung_tokens.end());
     }
   };
 
@@ -355,8 +370,8 @@ void SynthesisService::Shutdown() {
       for (RequestState* executing : executing_) {
         executing->cancel.RequestCancel();
         std::lock_guard<std::mutex> token_lock(executing->token_mu);
-        if (executing->active_rung_token != nullptr) {
-          executing->active_rung_token->RequestCancel();
+        for (CancellationToken* token : executing->active_rung_tokens) {
+          token->RequestCancel();
         }
       }
     }

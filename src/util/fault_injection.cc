@@ -16,7 +16,7 @@ const std::vector<std::string>& FaultInjector::KnownPoints() {
         fault_points::kRegexCompile,        fault_points::kPoolDispatch,
         fault_points::kHeuristicCacheInsert, fault_points::kHeuristicEstimate,
         fault_points::kServerAdmit,         fault_points::kServerDispatch,
-        fault_points::kWranglerApply,
+        fault_points::kWranglerApply,       fault_points::kLadderRungStart,
     };
     std::sort(list->begin(), list->end());
     return list;

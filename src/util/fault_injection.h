@@ -48,6 +48,12 @@ inline constexpr const char* kServerDispatch = "server/dispatch";
 /// history mutation (wrangler/session.cc). Callbacks let tests hold one
 /// call open while a second thread's call must observe kUnavailable.
 inline constexpr const char* kWranglerApply = "wrangler/apply";
+/// Degradation-ladder rung start (server/ladder.cc), hit once per rung in
+/// both sequential and portfolio mode, just before the rung's search
+/// launches. Callbacks let tests park a chosen rung — e.g. hold a
+/// portfolio loser open until the winner finishes, then assert the
+/// winner's cancellation reached it.
+inline constexpr const char* kLadderRungStart = "ladder/rung_start";
 }  // namespace fault_points
 
 /// Deterministic fault-injection registry.

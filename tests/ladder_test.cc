@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "scenarios/corpus.h"
@@ -99,19 +102,32 @@ TEST(LadderTest, EmptyRungListBehavesLikeSingleFullStrengthRung) {
   EXPECT_EQ(result.attempts.size(), 1u);
 }
 
-TEST(LadderTest, RungTokenHookSeesTokenThenNull) {
+TEST(LadderTest, RungTokenHookSeesActiveThenInactive) {
   LadderOptions options;
   options.base.node_budget = 5;
   options.base.timeout_ms = 0;
-  std::vector<bool> publishes;  // true = token, false = the clearing null.
-  options.on_rung_token = [&](CancellationToken* token) {
-    publishes.push_back(token != nullptr);
+  // Each rung publishes its token active, then inactive, with a stable
+  // non-null pointer both times and its own rung index.
+  struct Publish {
+    int rung;
+    const CancellationToken* token;
+    bool active;
+  };
+  std::vector<Publish> publishes;
+  options.on_rung_token = [&](int rung, CancellationToken* token,
+                              bool active) {
+    ASSERT_NE(token, nullptr);
+    publishes.push_back(Publish{rung, token, active});
   };
   LadderResult result = RunDegradationLadder(HardInput(), HardGoal(), options);
   ASSERT_EQ(publishes.size(), result.attempts.size() * 2);
   for (size_t i = 0; i < publishes.size(); i += 2) {
-    EXPECT_TRUE(publishes[i]);
-    EXPECT_FALSE(publishes[i + 1]);
+    EXPECT_EQ(publishes[i].rung, static_cast<int>(i / 2));
+    EXPECT_EQ(publishes[i + 1].rung, static_cast<int>(i / 2));
+    EXPECT_TRUE(publishes[i].active);
+    EXPECT_FALSE(publishes[i + 1].active);
+    EXPECT_EQ(publishes[i].token, publishes[i + 1].token)
+        << "active and inactive publishes must carry the same token";
   }
 }
 
@@ -123,8 +139,9 @@ TEST(LadderTest, ExternalCancelThroughHookStopsDescent) {
   options.cancel = &request_token;
   // Simulate a service cancelling mid-rung: fire the request token and the
   // published rung token the moment the first rung starts.
-  options.on_rung_token = [&](CancellationToken* token) {
-    if (token != nullptr) {
+  options.on_rung_token = [&](int /*rung*/, CancellationToken* token,
+                              bool active) {
+    if (active) {
       request_token.RequestCancel();
       token->RequestCancel();
     }
@@ -181,13 +198,15 @@ LadderFingerprint Fingerprint(const LadderResult& result) {
   return fp;
 }
 
-LadderResult RunScenarioLadder(const Scenario& scenario, int num_threads) {
+LadderResult RunScenarioLadder(const Scenario& scenario, int num_threads,
+                               bool portfolio = false) {
   auto example = scenario.MakeExample(1);
   EXPECT_TRUE(example.ok()) << scenario.name();
   LadderOptions options;
   options.base.node_budget = 1'500;
   options.base.timeout_ms = 0;  // Wall-clock-free: deterministic.
   options.base.num_threads = num_threads;
+  options.portfolio = portfolio;
   return RunDegradationLadder(example->input, example->output, options);
 }
 
@@ -237,6 +256,64 @@ TEST(LadderCorpusPropertyTest, DeterministicAcrossThreadCounts) {
         << "(serial rung " << serial.winning_rung << " vs parallel rung "
         << parallel.winning_rung << ")";
   }
+}
+
+// Portfolio mode races the rungs instead of descending through them, but
+// under pure node budgets (no wall clock) the decisive rung rule makes the
+// typed result — program, winning rung, attempt stats, anytime partial,
+// status — bit-identical to the sequential descent, corpus-wide.
+TEST(LadderCorpusPropertyTest, PortfolioMatchesSequentialDescent) {
+  for (const Scenario& scenario : Corpus()) {
+    const LadderFingerprint sequential =
+        Fingerprint(RunScenarioLadder(scenario, 1, /*portfolio=*/false));
+    const LadderFingerprint portfolio =
+        Fingerprint(RunScenarioLadder(scenario, 1, /*portfolio=*/true));
+    EXPECT_TRUE(sequential == portfolio)
+        << scenario.name() << ": portfolio diverged from sequential "
+        << "(sequential " << sequential.attempt_count << " attempts, rung "
+        << sequential.winning_rung << "; portfolio "
+        << portfolio.attempt_count << " attempts, rung "
+        << portfolio.winning_rung << ")";
+  }
+}
+
+TEST(LadderTest, PortfolioWinnerCancellationPropagatesToLosers) {
+  // Pin the race: every loser rung parks in its active hook publish until
+  // its token fires. Rung 0 solves the easy task, becomes the decisive
+  // rung, and cancels the rungs below it — which is exactly what releases
+  // the losers. If the winner's cancellation did not propagate, the
+  // losers would spin until the fallback deadline and the flags below
+  // would stay false.
+  LadderOptions options;
+  options.portfolio = true;
+  options.base.timeout_ms = 0;
+  Table input = {{"a", "junk"}, {"b", "junk"}};
+  Table goal = {{"a"}, {"b"}};
+
+  std::atomic<int> losers_started{0};
+  std::atomic<int> losers_cancelled_before_search{0};
+  options.on_rung_token = [&](int rung, CancellationToken* token,
+                              bool active) {
+    if (rung == 0 || !active) return;
+    losers_started.fetch_add(1);
+    const auto fallback =
+        std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    while (!token->IsCancelled() &&
+           std::chrono::steady_clock::now() < fallback) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    if (token->IsCancelled()) losers_cancelled_before_search.fetch_add(1);
+  };
+
+  LadderResult result = RunDegradationLadder(input, goal, options);
+  EXPECT_TRUE(result.found);
+  EXPECT_TRUE(result.status.ok());
+  EXPECT_EQ(result.winning_rung, 0);
+  EXPECT_EQ(result.attempts.size(), 1u)
+      << "cancelled losers must not be reported as attempts";
+  EXPECT_EQ(losers_started.load(), 2);
+  EXPECT_EQ(losers_cancelled_before_search.load(), 2)
+      << "the winning rung's cancellation must reach every loser";
 }
 
 }  // namespace
