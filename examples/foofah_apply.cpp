@@ -1,0 +1,160 @@
+// foofah_apply: the deployment half of programming-by-example. The
+// synthesizer learns a program from a 2-row example; this tool runs
+// that program over the full dataset — files far larger than memory —
+// through the streaming executor (src/exec/), with output guaranteed
+// byte-identical to the in-memory Table executor.
+//
+//   foofah_apply PROGRAM.txt INPUT.csv OUTPUT.csv [options]
+//       Options:
+//         --chunk-rows N        records per pipeline chunk (default 4096)
+//         --memory-budget N[KMG]  cap on tracked resident bytes; exceeding
+//                               it fails with ResourceExhausted instead of
+//                               scaling with the file (default: unlimited)
+//         --no-intern           disable per-chunk cell deduplication
+//         --quiet               suppress the progress/summary lines
+//         --stats               print the full ApplyStats breakdown
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "exec/runner.h"
+#include "program/parser.h"
+#include "util/status.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: foofah_apply PROGRAM.txt INPUT.csv OUTPUT.csv\n"
+               "         [--chunk-rows N] [--memory-budget N[KMG]]\n"
+               "         [--no-intern] [--quiet] [--stats]\n");
+  return 2;
+}
+
+// Parses "64M", "2G", "4096", "512K" into bytes; 0 on parse failure.
+uint64_t ParseByteSize(const char* text) {
+  char* end = nullptr;
+  double value = std::strtod(text, &end);
+  if (end == text || value < 0) return 0;
+  uint64_t scale = 1;
+  switch (*end) {
+    case 'k': case 'K': scale = 1ull << 10; break;
+    case 'm': case 'M': scale = 1ull << 20; break;
+    case 'g': case 'G': scale = 1ull << 30; break;
+    case '\0': break;
+    default: return 0;
+  }
+  return static_cast<uint64_t>(value * static_cast<double>(scale));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const std::string program_path = argv[1];
+  const std::string input_path = argv[2];
+  const std::string output_path = argv[3];
+
+  foofah::exec::ApplyOptions options;
+  bool quiet = false;
+  bool print_stats = false;
+  for (int i = 4; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--chunk-rows") == 0 && i + 1 < argc) {
+      long rows = std::strtol(argv[++i], nullptr, 10);
+      if (rows <= 0) {
+        std::fprintf(stderr, "foofah_apply: --chunk-rows must be positive\n");
+        return 2;
+      }
+      options.chunk_rows = static_cast<size_t>(rows);
+    } else if (std::strcmp(argv[i], "--memory-budget") == 0 && i + 1 < argc) {
+      options.memory_budget_bytes = ParseByteSize(argv[++i]);
+      if (options.memory_budget_bytes == 0) {
+        std::fprintf(stderr,
+                     "foofah_apply: bad --memory-budget (try 64M, 2G)\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--no-intern") == 0) {
+      options.intern_cells = false;
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      print_stats = true;
+    } else {
+      return Usage();
+    }
+  }
+
+  std::ifstream program_file(program_path, std::ios::binary);
+  if (!program_file) {
+    std::fprintf(stderr, "foofah_apply: cannot open %s\n",
+                 program_path.c_str());
+    return 1;
+  }
+  std::ostringstream script;
+  script << program_file.rdbuf();
+  foofah::Result<foofah::Program> program =
+      foofah::ParseProgram(script.str());
+  if (!program.ok()) {
+    std::fprintf(stderr, "foofah_apply: %s\n",
+                 program.status().ToString().c_str());
+    return 1;
+  }
+
+  if (!quiet) {
+    options.progress = [](const foofah::exec::ApplyProgress& p) {
+      std::fprintf(stderr,
+                   "\rpass %d/%d: %" PRIu64 " rows in (%.1f MB), %" PRIu64
+                   " rows out   ",
+                   p.pass, p.total_passes, p.rows_in,
+                   static_cast<double>(p.bytes_in) / (1u << 20), p.rows_out);
+      std::fflush(stderr);
+    };
+  }
+
+  auto start = std::chrono::steady_clock::now();
+  foofah::Result<foofah::exec::ApplyStats> applied =
+      foofah::exec::ApplyProgramToCsvFile(*program, input_path, output_path,
+                                          options);
+  double seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  if (!quiet) std::fprintf(stderr, "\n");
+  if (!applied.ok()) {
+    std::fprintf(stderr, "foofah_apply: %s\n",
+                 applied.status().ToString().c_str());
+    return 1;
+  }
+
+  const foofah::exec::ApplyStats& stats = *applied;
+  if (!quiet) {
+    double mb = static_cast<double>(stats.bytes_in) / (1u << 20);
+    std::fprintf(stderr,
+                 "%" PRIu64 " rows -> %" PRIu64 " rows in %.2fs (%.0f rows/s, "
+                 "%.1f MB/s), %d pass%s, peak tracked %.1f MB\n",
+                 stats.rows_in, stats.rows_out, seconds,
+                 seconds > 0 ? static_cast<double>(stats.rows_in) / seconds : 0,
+                 seconds > 0 ? mb / seconds : 0, stats.passes,
+                 stats.passes == 1 ? "" : "es",
+                 static_cast<double>(stats.peak_tracked_bytes) / (1u << 20));
+  }
+  if (print_stats) {
+    std::printf("rows_in=%" PRIu64 " bytes_in=%" PRIu64 " rows_out=%" PRIu64
+                " bytes_out=%" PRIu64 "\n",
+                stats.rows_in, stats.bytes_in, stats.rows_out,
+                stats.bytes_out);
+    std::printf("passes=%d streaming_steps=%zu blocking_steps=%zu\n",
+                stats.passes, stats.streaming_steps, stats.blocking_steps);
+    std::printf("peak_tracked_bytes=%" PRIu64 "\n", stats.peak_tracked_bytes);
+    std::printf("interner: lookups=%" PRIu64 " hits=%" PRIu64
+                " entries=%zu bytes_stored=%zu\n",
+                stats.interner.lookups, stats.interner.hits,
+                stats.interner.entries, stats.interner.bytes_stored);
+  }
+  return 0;
+}

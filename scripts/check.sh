@@ -18,8 +18,16 @@
 # timed against the smoke_ms baseline checked into BENCH_search.json and
 # a >25% regression fails the gate (FOOFAH_SKIP_PERF_SMOKE=1 skips it).
 #
+# Stage 7 gates the streaming executor's bounded-memory claim: it builds
+# foofah_apply and the apply_corpus bench, runs the in-process memcheck
+# (tracked peak + RSS must stay flat across a 16x input growth), runs the
+# CLI on a generated ~54 MB input under a hard address-space cap
+# (ulimit -v) with a --memory-budget the executor must respect, and
+# checks the peak_tracked_ratio recorded in the checked-in
+# BENCH_apply.json.
+#
 # Usage: scripts/check.sh [--skip-tsan] [--skip-asan] [--skip-fault]
-#                         [--skip-stress] [--skip-perf]
+#                         [--skip-stress] [--skip-perf] [--skip-exec]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -35,6 +43,7 @@ SKIP_ASAN=0
 SKIP_FAULT=0
 SKIP_STRESS=0
 SKIP_PERF="${FOOFAH_SKIP_PERF_SMOKE:-0}"
+SKIP_EXEC=0
 for arg in "$@"; do
   case "${arg}" in
     --skip-tsan) SKIP_TSAN=1 ;;
@@ -42,6 +51,7 @@ for arg in "$@"; do
     --skip-fault) SKIP_FAULT=1 ;;
     --skip-stress) SKIP_STRESS=1 ;;
     --skip-perf) SKIP_PERF=1 ;;
+    --skip-exec) SKIP_EXEC=1 ;;
     *) echo "unknown option: ${arg}" >&2; exit 2 ;;
   esac
 done
@@ -55,7 +65,8 @@ else
   cmake --build build-tsan -j "${JOBS}" \
     --target parallel_search_test frontier_parallel_test \
     heuristic_cache_test synthesis_fuzz_test \
-    cancellation_test fault_injection_test wrangler_session_test service_test
+    cancellation_test fault_injection_test wrangler_session_test \
+    service_test exec_diff_test
   ctest --test-dir build-tsan --output-on-failure -L tsan -j "${JOBS}"
 fi
 
@@ -68,7 +79,8 @@ else
   cmake --build build-asan -j "${JOBS}" \
     --target table_test table_diff_test operators_test operators_edge_test \
     extension_ops_test table_cow_diff_test synthesis_fuzz_test \
-    cancellation_test service_soak_test
+    cancellation_test service_soak_test \
+    arena_test csv_stream_test exec_test exec_diff_test
   ctest --test-dir build-asan --output-on-failure -L asan -j "${JOBS}"
 fi
 
@@ -119,6 +131,55 @@ else
     exit 1
   fi
   echo "perf smoke ok: smoke_ms=${current} (baseline ${baseline})"
+fi
+
+# Stage 7: streaming-executor bounded-memory gate. A file-proportional
+# executor fails all three legs; a chunk-bounded one passes them all.
+if [[ "${SKIP_EXEC}" == 1 ]]; then
+  echo "== Exec bounded-memory stage skipped =="
+else
+  echo "== Streaming executor: bounded-memory gate =="
+  cmake --build build -j "${JOBS}" --target foofah_apply apply_corpus
+
+  # Leg 1: in-process ratio check — tracked peak and process RSS across a
+  # 16x input growth.
+  ./build/bench/apply_corpus --memcheck
+
+  # Leg 2: the CLI on a generated ~54 MB input under a hard 256 MB
+  # address-space cap, with a 64 MB executor budget it must respect.
+  EXEC_TMP="$(mktemp -d)"
+  trap 'rm -rf "${EXEC_TMP}"' EXIT
+  ./build/bench/apply_corpus --gen 1600000 "${EXEC_TMP}/in.csv"
+  cat > "${EXEC_TMP}/prog.txt" <<'EOF'
+t = split(t, 2, '-')
+t = merge(t, 0, 1, ' ')
+t = drop(t, 2)
+t = fill(t, 1)
+EOF
+  (
+    ulimit -v 262144
+    ./build/examples/foofah_apply "${EXEC_TMP}/prog.txt" \
+      "${EXEC_TMP}/in.csv" "${EXEC_TMP}/out.csv" \
+      --memory-budget 64M --quiet
+  )
+  if [[ ! -s "${EXEC_TMP}/out.csv" ]]; then
+    echo "exec gate: foofah_apply produced no output" >&2
+    exit 1
+  fi
+  echo "exec gate: CLI processed 54 MB under a 256 MB address-space cap"
+
+  # Leg 3: the checked-in benchmark evidence — regenerating
+  # BENCH_apply.json with a memory regression fails the gate.
+  ratio="$(sed -n 's/.*"peak_tracked_ratio": \([0-9.]*\).*/\1/p' BENCH_apply.json)"
+  if [[ -z "${ratio}" ]]; then
+    echo "exec gate: BENCH_apply.json missing peak_tracked_ratio" >&2
+    exit 1
+  fi
+  if ! awk -v r="${ratio}" 'BEGIN { exit !(r <= 1.5) }'; then
+    echo "exec gate: BENCH_apply.json peak_tracked_ratio=${ratio} > 1.5" >&2
+    exit 1
+  fi
+  echo "exec gate ok: peak_tracked_ratio=${ratio}"
 fi
 
 echo "All checks passed."

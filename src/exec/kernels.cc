@@ -1,0 +1,420 @@
+#include "exec/kernels.h"
+
+#include <algorithm>
+#include <regex>
+#include <utility>
+
+#include "ops/operators.h"
+
+namespace foofah {
+namespace exec {
+
+namespace {
+
+// The pad cell for positions a short (ragged) row does not cover —
+// the streaming counterpart of Table::cell's "" fallback.
+constexpr std::string_view kEmptyCell;
+
+// Reads the padded cell `c` of a stored row, like Table::cell(r, c).
+inline std::string_view PaddedCell(const std::string_view* cells, size_t n,
+                                   size_t c) {
+  return c < n ? cells[c] : kEmptyCell;
+}
+
+// Common base: holds the downstream sink, the input width W the kernel
+// pads to, and the reused output-row scratch. Finish cascades by
+// default; windowed kernels override it to flush first.
+class KernelBase : public RowSink {
+ public:
+  KernelBase(RowSink* next, size_t width) : next_(next), width_(width) {}
+  Status Finish() override { return next_->Finish(); }
+
+ protected:
+  RowSink* next_;
+  size_t width_;
+  std::vector<std::string_view> out_;
+};
+
+class DropKernel : public KernelBase {
+ public:
+  DropKernel(RowSink* next, size_t width, size_t col)
+      : KernelBase(next, width), col_(col) {}
+
+  Status Push(const std::string_view* cells, size_t n) override {
+    out_.clear();
+    for (size_t c = 0; c < width_; ++c) {
+      if (c != col_) out_.push_back(PaddedCell(cells, n, c));
+    }
+    return next_->Push(out_.data(), out_.size());
+  }
+
+ private:
+  size_t col_;
+};
+
+class MoveKernel : public KernelBase {
+ public:
+  MoveKernel(RowSink* next, size_t width, size_t from, size_t to)
+      : KernelBase(next, width), from_(from), to_(to) {}
+
+  Status Push(const std::string_view* cells, size_t n) override {
+    out_.clear();
+    for (size_t c = 0; c < width_; ++c) out_.push_back(PaddedCell(cells, n, c));
+    std::string_view moved = out_[from_];
+    out_.erase(out_.begin() + static_cast<std::ptrdiff_t>(from_));
+    out_.insert(out_.begin() + static_cast<std::ptrdiff_t>(to_), moved);
+    return next_->Push(out_.data(), out_.size());
+  }
+
+ private:
+  size_t from_;
+  size_t to_;
+};
+
+class CopyKernel : public KernelBase {
+ public:
+  CopyKernel(RowSink* next, size_t width, size_t col)
+      : KernelBase(next, width), col_(col) {}
+
+  Status Push(const std::string_view* cells, size_t n) override {
+    out_.clear();
+    for (size_t c = 0; c < width_; ++c) out_.push_back(PaddedCell(cells, n, c));
+    out_.push_back(PaddedCell(cells, n, col_));
+    return next_->Push(out_.data(), out_.size());
+  }
+
+ private:
+  size_t col_;
+};
+
+class MergeKernel : public KernelBase {
+ public:
+  MergeKernel(RowSink* next, size_t width, size_t col1, size_t col2,
+              std::string glue)
+      : KernelBase(next, width),
+        col1_(col1),
+        col2_(col2),
+        glue_(std::move(glue)) {}
+
+  Status Push(const std::string_view* cells, size_t n) override {
+    out_.clear();
+    for (size_t c = 0; c < width_; ++c) {
+      if (c != col1_ && c != col2_) out_.push_back(PaddedCell(cells, n, c));
+    }
+    scratch_.clear();
+    scratch_.append(PaddedCell(cells, n, col1_));
+    scratch_.append(glue_);
+    scratch_.append(PaddedCell(cells, n, col2_));
+    out_.push_back(scratch_);
+    return next_->Push(out_.data(), out_.size());
+  }
+
+ private:
+  size_t col1_;
+  size_t col2_;
+  std::string glue_;
+  std::string scratch_;
+};
+
+class SplitKernel : public KernelBase {
+ public:
+  SplitKernel(RowSink* next, size_t width, size_t col, std::string delim)
+      : KernelBase(next, width), col_(col), delim_(std::move(delim)) {}
+
+  Status Push(const std::string_view* cells, size_t n) override {
+    out_.clear();
+    for (size_t c = 0; c < width_; ++c) {
+      std::string_view value = PaddedCell(cells, n, c);
+      if (c == col_) {
+        // SplitFirst semantics: split at the first occurrence; an
+        // absent delimiter yields (value, "").
+        size_t pos = value.find(delim_);
+        if (pos == std::string_view::npos) {
+          out_.push_back(value);
+          out_.push_back(kEmptyCell);
+        } else {
+          out_.push_back(value.substr(0, pos));
+          out_.push_back(value.substr(pos + delim_.size()));
+        }
+      } else {
+        out_.push_back(value);
+      }
+    }
+    return next_->Push(out_.data(), out_.size());
+  }
+
+ private:
+  size_t col_;
+  std::string delim_;
+};
+
+class FoldKernel : public KernelBase {
+ public:
+  FoldKernel(RowSink* next, size_t width, size_t first_col, bool with_header)
+      : KernelBase(next, width),
+        first_col_(first_col),
+        with_header_(with_header) {}
+
+  Status Push(const std::string_view* cells, size_t n) override {
+    if (with_header_ && !header_captured_) {
+      // The bounded window: the header row, padded to W and owned
+      // (input views die when this Push returns).
+      header_.resize(width_);
+      for (size_t c = 0; c < width_; ++c) {
+        header_[c].assign(PaddedCell(cells, n, c));
+      }
+      header_captured_ = true;
+      return Status();
+    }
+    // Row-major emission, matching ApplyFold: one output row per folded
+    // column, keys first, then the header label, then the value.
+    for (size_t c = first_col_; c < width_; ++c) {
+      out_.clear();
+      for (size_t keep = 0; keep < first_col_; ++keep) {
+        out_.push_back(PaddedCell(cells, n, keep));
+      }
+      if (with_header_) out_.push_back(header_[c]);
+      out_.push_back(PaddedCell(cells, n, c));
+      Status pushed = next_->Push(out_.data(), out_.size());
+      if (!pushed.ok()) return pushed;
+    }
+    return Status();
+  }
+
+ private:
+  size_t first_col_;
+  bool with_header_;
+  bool header_captured_ = false;
+  std::vector<std::string> header_;
+};
+
+class FillKernel : public KernelBase {
+ public:
+  FillKernel(RowSink* next, size_t width, size_t col)
+      : KernelBase(next, width), col_(col) {}
+
+  Status Push(const std::string_view* cells, size_t n) override {
+    std::string_view value = PaddedCell(cells, n, col_);
+    if (!value.empty()) {
+      last_.assign(value);
+      return next_->Push(cells, n);
+    }
+    if (last_.empty()) return next_->Push(cells, n);
+    // Fill writes through set_cell, which extends a short row with ""
+    // up to the written column — so the stored width grows to at least
+    // col+1, and longer rows keep their width.
+    out_.clear();
+    size_t out_n = std::max(n, col_ + 1);
+    for (size_t c = 0; c < out_n; ++c) {
+      out_.push_back(c == col_ ? std::string_view(last_)
+                               : PaddedCell(cells, n, c));
+    }
+    return next_->Push(out_.data(), out_.size());
+  }
+
+ private:
+  size_t col_;
+  std::string last_;  ///< Carry across rows AND chunks: owned.
+};
+
+class DivideKernel : public KernelBase {
+ public:
+  DivideKernel(RowSink* next, size_t width, size_t col,
+               DividePredicate predicate)
+      : KernelBase(next, width), col_(col), predicate_(predicate) {}
+
+  Status Push(const std::string_view* cells, size_t n) override {
+    out_.clear();
+    for (size_t c = 0; c < width_; ++c) {
+      std::string_view value = PaddedCell(cells, n, c);
+      if (c == col_) {
+        if (EvalDividePredicate(predicate_, value)) {
+          out_.push_back(value);
+          out_.push_back(kEmptyCell);
+        } else {
+          out_.push_back(kEmptyCell);
+          out_.push_back(value);
+        }
+      } else {
+        out_.push_back(value);
+      }
+    }
+    return next_->Push(out_.data(), out_.size());
+  }
+
+ private:
+  size_t col_;
+  DividePredicate predicate_;
+};
+
+class DeleteKernel : public KernelBase {
+ public:
+  DeleteKernel(RowSink* next, size_t width, size_t col)
+      : KernelBase(next, width), col_(col) {}
+
+  Status Push(const std::string_view* cells, size_t n) override {
+    // Survivors pass through with their stored width intact, like
+    // ApplyDelete's shared unpadded row handles.
+    if (PaddedCell(cells, n, col_).empty()) return Status();
+    return next_->Push(cells, n);
+  }
+
+ private:
+  size_t col_;
+};
+
+class ExtractKernel : public KernelBase {
+ public:
+  ExtractKernel(RowSink* next, size_t width, size_t col, const std::regex* re)
+      : KernelBase(next, width), col_(col), re_(re) {}
+
+  Status Push(const std::string_view* cells, size_t n) override {
+    out_.clear();
+    for (size_t c = 0; c < width_; ++c) {
+      std::string_view value = PaddedCell(cells, n, c);
+      out_.push_back(value);
+      if (c == col_) {
+        // An empty view may carry a null data(); regex iterators must
+        // be a valid (possibly empty) range.
+        const char* first = value.data() != nullptr ? value.data() : "";
+        const char* last = first + value.size();
+        std::cmatch match;
+        scratch_.clear();
+        if (std::regex_search(first, last, match, *re_)) {
+          const auto& chosen =
+              match.size() > 1 && match[1].matched ? match[1] : match[0];
+          scratch_.assign(chosen.first, chosen.second);
+        }
+        out_.push_back(scratch_);
+      }
+    }
+    return next_->Push(out_.data(), out_.size());
+  }
+
+ private:
+  size_t col_;
+  const std::regex* re_;
+  std::string scratch_;
+};
+
+class DeleteRowKernel : public KernelBase {
+ public:
+  DeleteRowKernel(RowSink* next, size_t width, uint64_t target)
+      : KernelBase(next, width), target_(target) {}
+
+  Status Push(const std::string_view* cells, size_t n) override {
+    if (index_++ == target_) return Status();
+    return next_->Push(cells, n);
+  }
+
+ private:
+  uint64_t target_;
+  uint64_t index_ = 0;
+};
+
+class WrapEveryKernel : public KernelBase {
+ public:
+  WrapEveryKernel(RowSink* next, size_t width, size_t k)
+      : KernelBase(next, width), k_(k) {
+    buffer_.resize(k_ * width_);
+  }
+
+  Status Push(const std::string_view* cells, size_t n) override {
+    // The bounded window: k padded rows, owned because a group can
+    // straddle ReadChunk boundaries (input views die per chunk).
+    for (size_t c = 0; c < width_; ++c) {
+      buffer_[buffered_ * width_ + c].assign(PaddedCell(cells, n, c));
+    }
+    if (++buffered_ == k_) return EmitGroup();
+    return Status();
+  }
+
+  Status Finish() override {
+    if (buffered_ > 0) {
+      Status emitted = EmitGroup();
+      if (!emitted.ok()) return emitted;
+    }
+    return next_->Finish();
+  }
+
+ private:
+  Status EmitGroup() {
+    out_.clear();
+    size_t total = buffered_ * width_;
+    for (size_t i = 0; i < total; ++i) out_.push_back(buffer_[i]);
+    buffered_ = 0;
+    return next_->Push(out_.data(), out_.size());
+  }
+
+  size_t k_;
+  size_t buffered_ = 0;
+  std::vector<std::string> buffer_;  ///< k * W owned cells, reused.
+};
+
+}  // namespace
+
+Status MaterializeSink::Push(const std::string_view* cells, size_t num_cells) {
+  Table::Row row;
+  row.reserve(num_cells);
+  for (size_t c = 0; c < num_cells; ++c) {
+    row.emplace_back(cells[c]);
+    bytes_ += cells[c].size() + sizeof(std::string);
+  }
+  bytes_ += sizeof(Table::Row) + sizeof(void*);
+  table_.AppendRow(std::move(row));
+  return Status();
+}
+
+Result<std::unique_ptr<RowSink>> MakeKernel(const Operation& op,
+                                            const Shape& in, RowSink* next) {
+  const size_t width = static_cast<size_t>(in.cols);
+  const size_t col1 = static_cast<size_t>(op.col1);
+  const size_t col2 = static_cast<size_t>(op.col2);
+  switch (op.op) {
+    case OpCode::kDrop:
+      return std::unique_ptr<RowSink>(new DropKernel(next, width, col1));
+    case OpCode::kMove:
+      return std::unique_ptr<RowSink>(new MoveKernel(next, width, col1, col2));
+    case OpCode::kCopy:
+      return std::unique_ptr<RowSink>(new CopyKernel(next, width, col1));
+    case OpCode::kMerge:
+      return std::unique_ptr<RowSink>(
+          new MergeKernel(next, width, col1, col2, op.text));
+    case OpCode::kSplit:
+      return std::unique_ptr<RowSink>(
+          new SplitKernel(next, width, col1, op.text));
+    case OpCode::kFold:
+      return std::unique_ptr<RowSink>(
+          new FoldKernel(next, width, col1, op.int_param != 0));
+    case OpCode::kFill:
+      return std::unique_ptr<RowSink>(new FillKernel(next, width, col1));
+    case OpCode::kDivide:
+      return std::unique_ptr<RowSink>(new DivideKernel(
+          next, width, col1, static_cast<DividePredicate>(op.int_param)));
+    case OpCode::kDelete:
+      return std::unique_ptr<RowSink>(new DeleteKernel(next, width, col1));
+    case OpCode::kExtract: {
+      Result<const std::regex*> re = CompileCachedRegex(op.text);
+      if (!re.ok()) return re.status();
+      return std::unique_ptr<RowSink>(
+          new ExtractKernel(next, width, col1, re.value()));
+    }
+    case OpCode::kWrapEvery:
+      return std::unique_ptr<RowSink>(new WrapEveryKernel(
+          next, width, static_cast<size_t>(op.int_param)));
+    case OpCode::kDeleteRow:
+      return std::unique_ptr<RowSink>(new DeleteRowKernel(
+          next, width, static_cast<uint64_t>(op.int_param)));
+    case OpCode::kUnfold:
+    case OpCode::kTranspose:
+    case OpCode::kWrapColumn:
+    case OpCode::kWrapAll:
+    case OpCode::kSplitAll:
+      break;
+  }
+  return Status::Internal(std::string("no streaming kernel for blocking operator ") +
+                          OpCodeName(op.op));
+}
+
+}  // namespace exec
+}  // namespace foofah

@@ -1,0 +1,88 @@
+#ifndef FOOFAH_EXEC_KERNELS_H_
+#define FOOFAH_EXEC_KERNELS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "exec/plan.h"
+#include "ops/operation.h"
+#include "table/table.h"
+#include "util/status.h"
+
+namespace foofah {
+namespace exec {
+
+/// Push-model row consumer, the unit the plan compiler chains into a
+/// pipeline. `cells[0 .. num_cells)` are the STORED cells of one record
+/// — the same stored lengths the Table executor would keep, because
+/// ToCsv writes exactly the stored cells and ragged rows must stay
+/// ragged for byte-identical output. Cell views are only guaranteed
+/// valid for the duration of the Push call; a sink that retains rows
+/// across calls must copy (see FoldKernel's header, WrapEveryKernel's
+/// window, MaterializeSink).
+class RowSink {
+ public:
+  virtual ~RowSink() = default;
+
+  virtual Status Push(const std::string_view* cells, size_t num_cells) = 0;
+
+  /// End of input: flush any buffered window downstream, then cascade
+  /// Finish to the next sink. Called exactly once, after the last Push.
+  virtual Status Finish() = 0;
+};
+
+/// Builds the kernel implementing streaming/windowed `op` over inputs
+/// of shape `in`, pushing transformed rows into `next` (not owned;
+/// must outlive the kernel). `op` must already be validated against
+/// `in` (ValidateOperation) — kernels assume in-domain parameters, the
+/// same contract the Table operators' Apply* helpers have. Extract
+/// fetches its pattern from the shared compiled-regex cache (a hit:
+/// validation compiled it). Fails for blocking operators, which the
+/// plan never routes here.
+Result<std::unique_ptr<RowSink>> MakeKernel(const Operation& op,
+                                            const Shape& in, RowSink* next);
+
+/// Terminal sink recording the observed output shape (row count and
+/// max stored width) — the measuring pass behind width-dynamic
+/// operators (Delete, DeleteRow).
+class MeasureSink : public RowSink {
+ public:
+  Status Push(const std::string_view* cells, size_t num_cells) override {
+    (void)cells;
+    ++shape_.rows;
+    if (num_cells > shape_.cols) shape_.cols = num_cells;
+    return Status();
+  }
+  Status Finish() override { return Status(); }
+
+  const Shape& shape() const { return shape_; }
+
+ private:
+  Shape shape_;
+};
+
+/// Terminal sink materializing rows into a Table with exact stored
+/// widths, for the blocking suffix. Tracks an approximate resident byte
+/// count so the runner can charge it against the memory budget.
+class MaterializeSink : public RowSink {
+ public:
+  Status Push(const std::string_view* cells, size_t num_cells) override;
+  Status Finish() override { return Status(); }
+
+  /// Approximate heap bytes held by the materialized rows.
+  uint64_t bytes_buffered() const { return bytes_; }
+
+  Table Take() { return std::move(table_); }
+
+ private:
+  Table table_;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace exec
+}  // namespace foofah
+
+#endif  // FOOFAH_EXEC_KERNELS_H_

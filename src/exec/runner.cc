@@ -1,0 +1,324 @@
+#include "exec/runner.h"
+
+#include <cstdio>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "exec/kernels.h"
+#include "exec/plan.h"
+#include "ops/operators.h"
+#include "table/csv_stream.h"
+
+namespace foofah {
+namespace exec {
+
+namespace {
+
+// High-water gauge of tracked resident bytes, charged as growth deltas
+// against the token's memory budget (so total-charged == peak). Every
+// Update also polls the token, turning a tripped budget / deadline /
+// external cancel into the canonical typed Status.
+class MemoryGauge {
+ public:
+  explicit MemoryGauge(CancellationToken* token) : token_(token) {}
+
+  Status Update(uint64_t current_resident_bytes) {
+    if (current_resident_bytes > high_water_) {
+      token_->ChargeMemory(current_resident_bytes - high_water_);
+      high_water_ = current_resident_bytes;
+    }
+    if (token_->IsCancelled()) {
+      return StatusFromCancelReason(token_->reason(), "apply");
+    }
+    return Status();
+  }
+
+  uint64_t high_water() const { return high_water_; }
+
+ private:
+  CancellationToken* token_;
+  uint64_t high_water_ = 0;
+};
+
+// Terminal sink of the pure-streaming final pass.
+class CsvWriteSink : public RowSink {
+ public:
+  explicit CsvWriteSink(CsvChunkWriter* writer) : writer_(writer) {}
+
+  Status Push(const std::string_view* cells, size_t num_cells) override {
+    ++rows_;
+    return writer_->WriteRow(cells, num_cells);
+  }
+  Status Finish() override { return Status(); }
+
+  uint64_t rows() const { return rows_; }
+
+ private:
+  CsvChunkWriter* writer_;
+  uint64_t rows_ = 0;
+};
+
+// Builds the kernel chain for steps [0, count), ending at `terminal`.
+// Kernels are constructed back to front; `*head` receives the entry
+// sink (== terminal when count is 0, i.e. an empty program prefix).
+Result<std::vector<std::unique_ptr<RowSink>>> BuildChain(
+    const std::vector<StepPlan>& steps, size_t count, RowSink* terminal,
+    RowSink** head) {
+  std::vector<std::unique_ptr<RowSink>> owned;
+  owned.reserve(count);
+  RowSink* next = terminal;
+  for (size_t i = count; i-- > 0;) {
+    Result<std::unique_ptr<RowSink>> made =
+        MakeKernel(steps[i].op, steps[i].in, next);
+    if (!made.ok()) return made.status();
+    std::unique_ptr<RowSink> kernel = std::move(made).value();
+    next = kernel.get();
+    owned.push_back(std::move(kernel));
+  }
+  *head = next;
+  return owned;
+}
+
+struct PassIo {
+  uint64_t rows = 0;
+  uint64_t bytes = 0;
+};
+
+// Streams the whole input through `head`, one chunk at a time: the
+// read -> transform -> (write|measure|materialize) loop every pass
+// shares. `extra_resident` reports sink-side resident bytes (writer
+// buffer, materialized rows) for the gauge; `rows_out` feeds progress.
+Status DrivePipeline(CsvChunkReader* reader, RowSink* head,
+                     const ApplyOptions& options, MemoryGauge* gauge, int pass,
+                     int total_passes,
+                     const std::function<uint64_t()>& extra_resident,
+                     const std::function<uint64_t()>& rows_out, PassIo* io) {
+  CsvChunk chunk;
+  uint64_t next_progress = options.progress_every_rows;
+  for (;;) {
+    Result<bool> got = reader->ReadChunk(options.chunk_rows, &chunk);
+    if (!got.ok()) return got.status();
+    if (!got.value()) break;
+    for (size_t r = 0; r < chunk.num_rows(); ++r) {
+      CsvRowView row = chunk.row(r);
+      Status pushed = head->Push(row.cells, row.num_cells);
+      if (!pushed.ok()) return pushed;
+    }
+    io->rows += chunk.num_rows();
+    io->bytes = reader->bytes_consumed();
+    uint64_t resident = reader->buffered_bytes() + chunk.buffered_bytes() +
+                        (extra_resident ? extra_resident() : 0);
+    Status mem = gauge->Update(resident);
+    if (!mem.ok()) return mem;
+    if (options.progress && io->rows >= next_progress) {
+      ApplyProgress p;
+      p.pass = pass;
+      p.total_passes = total_passes;
+      p.rows_in = io->rows;
+      p.bytes_in = io->bytes;
+      p.rows_out = rows_out ? rows_out() : 0;
+      options.progress(p);
+      next_progress = io->rows + options.progress_every_rows;
+    }
+  }
+  Status finished = head->Finish();
+  if (!finished.ok()) return finished;
+  if (options.progress) {
+    ApplyProgress p;
+    p.pass = pass;
+    p.total_passes = total_passes;
+    p.rows_in = io->rows;
+    p.bytes_in = io->bytes;
+    p.rows_out = rows_out ? rows_out() : 0;
+    options.progress(p);
+  }
+  return Status();
+}
+
+// Approximate heap bytes of a materialized table (blocking suffix):
+// cell contents plus container overhead, the same accounting
+// MaterializeSink uses.
+uint64_t ApproxTableBytes(const Table& table) {
+  uint64_t bytes = 0;
+  for (const Table::Row& row : table.rows()) {
+    bytes += sizeof(Table::Row) + sizeof(void*);
+    for (const std::string& cell : row) bytes += cell.size() + sizeof(cell);
+  }
+  return bytes;
+}
+
+using ReaderFactory =
+    std::function<std::unique_ptr<CsvChunkReader>(bool intern_cells)>;
+
+Result<ApplyStats> ApplyImpl(const Program& program,
+                             const ReaderFactory& make_reader,
+                             CsvChunkWriter* writer,
+                             const ApplyOptions& options) {
+  ApplyStats stats;
+  CancellationToken local_token;
+  CancellationToken* token =
+      options.cancel != nullptr ? options.cancel : &local_token;
+  if (options.memory_budget_bytes > 0) {
+    token->SetMemoryBudget(options.memory_budget_bytes);
+  }
+  MemoryGauge gauge(token);
+
+  const size_t prefix = StreamingPrefixLength(program);
+  // profile + final, plus one measuring pass per width-dynamic prefix
+  // operator (exactly the ops PropagateShape cannot resolve).
+  int total_passes = 2;
+  for (size_t i = 0; i < prefix; ++i) {
+    OpCode code = program.operation(i).op;
+    if (code == OpCode::kDelete || code == OpCode::kDeleteRow) ++total_passes;
+  }
+
+  int pass = 0;
+
+  // ---- Profile pass: the input's Shape (row count, widest record).
+  Shape input_shape;
+  {
+    ++pass;
+    std::unique_ptr<CsvChunkReader> reader = make_reader(false);
+    MeasureSink profile;
+    PassIo io;
+    Status driven = DrivePipeline(reader.get(), &profile, options, &gauge,
+                                  pass, total_passes, {}, {}, &io);
+    if (!driven.ok()) return driven;
+    input_shape = profile.shape();
+    stats.rows_in = io.rows;
+    stats.bytes_in = io.bytes;
+  }
+
+  // ---- Plan: validate + resolve shapes, measuring where needed.
+  MeasureFn measure =
+      [&](const std::vector<StepPlan>& steps) -> Result<Shape> {
+    ++pass;
+    MeasureSink sink;
+    RowSink* head = nullptr;
+    Result<std::vector<std::unique_ptr<RowSink>>> chain =
+        BuildChain(steps, steps.size(), &sink, &head);
+    if (!chain.ok()) return chain.status();
+    std::unique_ptr<CsvChunkReader> reader = make_reader(false);
+    PassIo io;
+    Status driven = DrivePipeline(reader.get(), head, options, &gauge, pass,
+                                  total_passes, {}, {}, &io);
+    if (!driven.ok()) return driven;
+    return sink.shape();
+  };
+  Result<std::vector<StepPlan>> resolved =
+      ResolveStreamingShapes(program, prefix, input_shape, measure);
+  if (!resolved.ok()) return resolved.status();
+  const std::vector<StepPlan>& steps = resolved.value();
+  stats.streaming_steps = steps.size();
+  stats.blocking_steps = program.size() - prefix;
+
+  // ---- Final pass.
+  ++pass;
+  if (prefix == program.size()) {
+    // Pure streaming: kernels feed the writer directly.
+    CsvWriteSink out_sink(writer);
+    RowSink* head = nullptr;
+    Result<std::vector<std::unique_ptr<RowSink>>> chain =
+        BuildChain(steps, steps.size(), &out_sink, &head);
+    if (!chain.ok()) return chain.status();
+    std::unique_ptr<CsvChunkReader> reader =
+        make_reader(options.intern_cells);
+    PassIo io;
+    Status driven = DrivePipeline(
+        reader.get(), head, options, &gauge, pass, total_passes,
+        [&] { return static_cast<uint64_t>(writer->buffered_bytes()); },
+        [&] { return out_sink.rows(); }, &io);
+    if (!driven.ok()) return driven;
+    stats.interner = reader->interner_stats();
+    stats.rows_out = out_sink.rows();
+  } else {
+    // Blocking suffix: materialize the prefix output under the memory
+    // budget, then reuse the Table executor — the blocking operator
+    // needs the whole relation resident anyway, and ApplyOperation
+    // makes semantic divergence impossible.
+    MaterializeSink materialize;
+    RowSink* head = nullptr;
+    Result<std::vector<std::unique_ptr<RowSink>>> chain =
+        BuildChain(steps, steps.size(), &materialize, &head);
+    if (!chain.ok()) return chain.status();
+    std::unique_ptr<CsvChunkReader> reader =
+        make_reader(options.intern_cells);
+    PassIo io;
+    Status driven = DrivePipeline(
+        reader.get(), head, options, &gauge, pass, total_passes,
+        [&] { return materialize.bytes_buffered(); }, {}, &io);
+    if (!driven.ok()) return driven;
+    stats.interner = reader->interner_stats();
+
+    Table table = materialize.Take();
+    for (size_t i = prefix; i < program.size(); ++i) {
+      if (token->IsCancelled()) {
+        return StatusFromCancelReason(token->reason(), "apply");
+      }
+      Result<Table> applied = ApplyOperation(table, program.operation(i));
+      if (!applied.ok()) return applied.status();
+      table = std::move(applied).value();
+      Status mem = gauge.Update(ApproxTableBytes(table));
+      if (!mem.ok()) return mem;
+    }
+
+    std::vector<std::string_view> views;
+    for (const Table::Row& row : table.rows()) {
+      views.clear();
+      views.reserve(row.size());
+      for (const std::string& cell : row) views.push_back(cell);
+      Status written = writer->WriteRow(views.data(), views.size());
+      if (!written.ok()) return written;
+      ++stats.rows_out;
+    }
+  }
+
+  Status closed = writer->Close();
+  if (!closed.ok()) return closed;
+  stats.bytes_out = writer->bytes_written();
+  stats.passes = pass;
+  stats.peak_tracked_bytes = gauge.high_water();
+  return stats;
+}
+
+}  // namespace
+
+Result<ApplyStats> ApplyProgramToCsvFile(const Program& program,
+                                         const std::string& input_path,
+                                         const std::string& output_path,
+                                         const ApplyOptions& options) {
+  CsvChunkWriter writer(output_path, options.csv);
+  ReaderFactory make_reader = [&](bool intern_cells) {
+    return std::make_unique<CsvChunkReader>(input_path, options.csv,
+                                            intern_cells);
+  };
+  Result<ApplyStats> result = ApplyImpl(program, make_reader, &writer, options);
+  if (!result.ok()) {
+    // Never leave a partial file looking like a result.
+    writer.Close();
+    std::remove(output_path.c_str());
+  }
+  return result;
+}
+
+Result<ApplyStats> ApplyProgramToCsvText(const Program& program,
+                                         std::string_view input,
+                                         std::string* output,
+                                         const ApplyOptions& options) {
+  const size_t original_size = output->size();
+  CsvChunkWriter writer(output, options.csv);
+  ReaderFactory make_reader = [&](bool intern_cells) {
+    return std::make_unique<CsvChunkReader>(input, options.csv, intern_cells);
+  };
+  Result<ApplyStats> result = ApplyImpl(program, make_reader, &writer, options);
+  if (!result.ok()) {
+    // Same contract as the file variant: no partial output on failure.
+    writer.Close();
+    output->resize(original_size);
+  }
+  return result;
+}
+
+}  // namespace exec
+}  // namespace foofah

@@ -40,6 +40,10 @@ Status BadColumn(const char* op, int col, size_t ncols) {
   return Status::InvalidArgument(msg.str());
 }
 
+bool ColumnInRange(int col, size_t ncols) {
+  return col >= 0 && static_cast<size_t>(col) < ncols;
+}
+
 // Reads the full-width row `r` of `t` (padding ragged rows with "").
 Row FullRow(const Table& t, size_t r, size_t ncols) {
   Row row;
@@ -48,11 +52,14 @@ Row FullRow(const Table& t, size_t r, size_t ncols) {
   return row;
 }
 
+// The Apply* bodies below assume parameters already validated by
+// ValidateOperation (ApplyOperation routes every call through it) —
+// validation lives in exactly one place so the streaming exec backend,
+// which validates against symbolic shapes, can never drift from the
+// Table executor.
+
 Result<Table> ApplyDrop(const Table& t, int col) {
   size_t ncols = t.num_cols();
-  if (col < 0 || static_cast<size_t>(col) >= ncols) {
-    return BadColumn("drop", col, ncols);
-  }
   std::vector<Row> rows;
   rows.reserve(t.num_rows());
   for (size_t r = 0; r < t.num_rows(); ++r) {
@@ -68,15 +75,6 @@ Result<Table> ApplyDrop(const Table& t, int col) {
 
 Result<Table> ApplyMove(const Table& t, int from, int to) {
   size_t ncols = t.num_cols();
-  if (from < 0 || static_cast<size_t>(from) >= ncols) {
-    return BadColumn("move", from, ncols);
-  }
-  if (to < 0 || static_cast<size_t>(to) >= ncols) {
-    return BadColumn("move", to, ncols);
-  }
-  if (from == to) {
-    return Status::InvalidArgument("move: source equals destination");
-  }
   std::vector<Row> rows;
   rows.reserve(t.num_rows());
   for (size_t r = 0; r < t.num_rows(); ++r) {
@@ -91,9 +89,6 @@ Result<Table> ApplyMove(const Table& t, int from, int to) {
 
 Result<Table> ApplyCopy(const Table& t, int col) {
   size_t ncols = t.num_cols();
-  if (col < 0 || static_cast<size_t>(col) >= ncols) {
-    return BadColumn("copy", col, ncols);
-  }
   std::vector<Row> rows;
   rows.reserve(t.num_rows());
   for (size_t r = 0; r < t.num_rows(); ++r) {
@@ -107,15 +102,6 @@ Result<Table> ApplyCopy(const Table& t, int col) {
 Result<Table> ApplyMerge(const Table& t, int col1, int col2,
                          const std::string& glue) {
   size_t ncols = t.num_cols();
-  if (col1 < 0 || static_cast<size_t>(col1) >= ncols) {
-    return BadColumn("merge", col1, ncols);
-  }
-  if (col2 < 0 || static_cast<size_t>(col2) >= ncols) {
-    return BadColumn("merge", col2, ncols);
-  }
-  if (col1 == col2) {
-    return Status::InvalidArgument("merge: columns must differ");
-  }
   std::vector<Row> rows;
   rows.reserve(t.num_rows());
   for (size_t r = 0; r < t.num_rows(); ++r) {
@@ -134,12 +120,6 @@ Result<Table> ApplyMerge(const Table& t, int col1, int col2,
 
 Result<Table> ApplySplit(const Table& t, int col, const std::string& delim) {
   size_t ncols = t.num_cols();
-  if (col < 0 || static_cast<size_t>(col) >= ncols) {
-    return BadColumn("split", col, ncols);
-  }
-  if (delim.empty()) {
-    return Status::InvalidArgument("split: delimiter must be non-empty");
-  }
   std::vector<Row> rows;
   rows.reserve(t.num_rows());
   for (size_t r = 0; r < t.num_rows(); ++r) {
@@ -161,12 +141,6 @@ Result<Table> ApplySplit(const Table& t, int col, const std::string& delim) {
 
 Result<Table> ApplyFold(const Table& t, int first_col, bool with_header) {
   size_t ncols = t.num_cols();
-  if (first_col < 0 || static_cast<size_t>(first_col) >= ncols) {
-    return BadColumn("fold", first_col, ncols);
-  }
-  if (with_header && t.num_rows() < 1) {
-    return Status::InvalidArgument("fold: header variant needs a header row");
-  }
   std::vector<Row> rows;
   size_t first_data_row = with_header ? 1 : 0;
   for (size_t r = first_data_row; r < t.num_rows(); ++r) {
@@ -186,16 +160,6 @@ Result<Table> ApplyFold(const Table& t, int first_col, bool with_header) {
 
 Result<Table> ApplyUnfold(const Table& t, int header_col, int value_col) {
   size_t ncols = t.num_cols();
-  if (header_col < 0 || static_cast<size_t>(header_col) >= ncols) {
-    return BadColumn("unfold", header_col, ncols);
-  }
-  if (value_col < 0 || static_cast<size_t>(value_col) >= ncols) {
-    return BadColumn("unfold", value_col, ncols);
-  }
-  if (header_col == value_col) {
-    return Status::InvalidArgument("unfold: columns must differ");
-  }
-
   // Key = all columns other than header_col and value_col, in order.
   std::vector<size_t> key_cols;
   for (size_t c = 0; c < ncols; ++c) {
@@ -255,10 +219,6 @@ Result<Table> ApplyUnfold(const Table& t, int header_col, int value_col) {
 }
 
 Result<Table> ApplyFill(const Table& t, int col) {
-  size_t ncols = t.num_cols();
-  if (col < 0 || static_cast<size_t>(col) >= ncols) {
-    return BadColumn("fill", col, ncols);
-  }
   // Copy-on-write: start from an O(1) snapshot of the parent and detach
   // only the rows actually filled. Rows whose cell is already set — and
   // empty cells with nothing above them to fill from — stay shared.
@@ -277,9 +237,6 @@ Result<Table> ApplyFill(const Table& t, int col) {
 
 Result<Table> ApplyDivide(const Table& t, int col, DividePredicate predicate) {
   size_t ncols = t.num_cols();
-  if (col < 0 || static_cast<size_t>(col) >= ncols) {
-    return BadColumn("divide", col, ncols);
-  }
   std::vector<Row> rows;
   rows.reserve(t.num_rows());
   for (size_t r = 0; r < t.num_rows(); ++r) {
@@ -305,10 +262,6 @@ Result<Table> ApplyDivide(const Table& t, int col, DividePredicate predicate) {
 }
 
 Result<Table> ApplyDelete(const Table& t, int col) {
-  size_t ncols = t.num_cols();
-  if (col < 0 || static_cast<size_t>(col) >= ncols) {
-    return BadColumn("delete", col, ncols);
-  }
   // Copy-on-write: survivors are shared handles, not padded deep copies.
   // The child's num_cols() is recomputed from the survivors, so dropping
   // the widest rows narrows the table instead of inheriting a stale
@@ -324,48 +277,11 @@ Result<Table> ApplyDelete(const Table& t, int col) {
 
 Result<Table> ApplyExtract(const Table& t, int col, const std::string& regex) {
   size_t ncols = t.num_cols();
-  if (col < 0 || static_cast<size_t>(col) >= ncols) {
-    return BadColumn("extract", col, ncols);
-  }
-  // Compiled patterns are cached: the search loop re-applies the same small
-  // set of Extract candidates across many states, and the parallel engine
-  // calls in from several pool workers at once, so the cache is guarded by
-  // a reader/writer lock. std::map never invalidates references on insert,
-  // so a pointer obtained under the lock stays valid for the match loop
-  // below (matching against a const std::regex is thread-safe). Leaked
-  // statics per the style guide's static-storage-duration rules (never
-  // destroyed).
-  static std::shared_mutex& cache_mu = *new std::shared_mutex();
-  static auto& cache = *new std::map<std::string, std::regex>();
-  const std::regex* re = nullptr;
-  {
-    std::shared_lock<std::shared_mutex> lock(cache_mu);
-    auto it = cache.find(regex);
-    if (it != cache.end()) re = &it->second;
-  }
-  if (re == nullptr) {
-    std::regex compiled;
-    // Injected compile failure, taking the same error path a malformed
-    // pattern would (the point sits before the cache insert, so the
-    // failure is not sticky for later calls with the same pattern).
-    if (FOOFAH_FAULT_FAIL(fault_points::kRegexCompile)) {
-      return Status::InvalidArgument(
-          "extract: bad regex: injected compile failure");
-    }
-    // std::regex reports malformed patterns via regex_error; translate to a
-    // Status to keep the library exception-free at API boundaries. Compile
-    // outside the lock: only the map insert needs exclusivity.
-    try {
-      compiled.assign(regex, std::regex::ECMAScript);
-    } catch (const std::regex_error& e) {
-      return Status::InvalidArgument(std::string("extract: bad regex: ") +
-                                     e.what());
-    }
-    std::unique_lock<std::shared_mutex> lock(cache_mu);
-    // try_emplace keeps the first compilation if another thread raced us
-    // here; both compiled from the same string, so either is correct.
-    re = &cache.try_emplace(regex, std::move(compiled)).first->second;
-  }
+  // ValidateOperation already compiled (and cached) the pattern, so this
+  // re-fetch is a shared-lock cache hit.
+  Result<const std::regex*> compiled = CompileCachedRegex(regex);
+  if (!compiled.ok()) return compiled.status();
+  const std::regex* re = compiled.value();
   std::vector<Row> rows;
   rows.reserve(t.num_rows());
   for (size_t r = 0; r < t.num_rows(); ++r) {
@@ -407,9 +323,6 @@ Result<Table> ApplyTranspose(const Table& t) {
 
 Result<Table> ApplyWrapColumn(const Table& t, int col) {
   size_t ncols = t.num_cols();
-  if (col < 0 || static_cast<size_t>(col) >= ncols) {
-    return BadColumn("wrap", col, ncols);
-  }
   // Rows with equal values in `col` are concatenated, in order of first
   // appearance of the value (Appendix A, Wrap variant 1).
   std::vector<std::string> keys;
@@ -431,9 +344,6 @@ Result<Table> ApplyWrapColumn(const Table& t, int col) {
 }
 
 Result<Table> ApplyWrapEvery(const Table& t, int k) {
-  if (k < 2) {
-    return Status::InvalidArgument("wrapevery: k must be >= 2");
-  }
   size_t ncols = t.num_cols();
   std::vector<Row> rows;
   for (size_t r = 0; r < t.num_rows(); r += static_cast<size_t>(k)) {
@@ -452,12 +362,6 @@ Result<Table> ApplyWrapEvery(const Table& t, int k) {
 Result<Table> ApplySplitAll(const Table& t, int col,
                             const std::string& delim) {
   size_t ncols = t.num_cols();
-  if (col < 0 || static_cast<size_t>(col) >= ncols) {
-    return BadColumn("splitall", col, ncols);
-  }
-  if (delim.empty()) {
-    return Status::InvalidArgument("splitall: delimiter must be non-empty");
-  }
   // The widest split determines how many columns replace column `col`;
   // shorter splits pad with empty cells.
   size_t parts = 1;
@@ -487,12 +391,6 @@ Result<Table> ApplySplitAll(const Table& t, int col,
 }
 
 Result<Table> ApplyDeleteRow(const Table& t, int row_index) {
-  if (row_index < 0 || static_cast<size_t>(row_index) >= t.num_rows()) {
-    std::ostringstream msg;
-    msg << "deleterow: row " << row_index << " out of range [0, "
-        << t.num_rows() << ")";
-    return Status::InvalidArgument(msg.str());
-  }
   // Copy-on-write: O(1) snapshot, then drop the one row. Survivors stay
   // shared and unpadded; RemoveRow recomputes the width from them.
   Table out = t;
@@ -516,7 +414,170 @@ Result<Table> ApplyWrapAll(const Table& t) {
 
 }  // namespace
 
-bool EvalDividePredicate(DividePredicate predicate, const std::string& value) {
+Result<const std::regex*> CompileCachedRegex(const std::string& regex) {
+  // Compiled patterns are cached: the search loop re-applies the same small
+  // set of Extract candidates across many states, and the parallel engine
+  // calls in from several pool workers at once, so the cache is guarded by
+  // a reader/writer lock. std::map never invalidates references on insert,
+  // so a pointer obtained under the lock stays valid for the caller's match
+  // loop (matching against a const std::regex is thread-safe). Leaked
+  // statics per the style guide's static-storage-duration rules (never
+  // destroyed).
+  static std::shared_mutex& cache_mu = *new std::shared_mutex();
+  static auto& cache = *new std::map<std::string, std::regex>();
+  {
+    std::shared_lock<std::shared_mutex> lock(cache_mu);
+    auto it = cache.find(regex);
+    if (it != cache.end()) return &it->second;
+  }
+  std::regex compiled;
+  // Injected compile failure, taking the same error path a malformed
+  // pattern would (the point sits before the cache insert, so the
+  // failure is not sticky for later calls with the same pattern).
+  if (FOOFAH_FAULT_FAIL(fault_points::kRegexCompile)) {
+    return Status::InvalidArgument(
+        "extract: bad regex: injected compile failure");
+  }
+  // std::regex reports malformed patterns via regex_error; translate to a
+  // Status to keep the library exception-free at API boundaries. Compile
+  // outside the lock: only the map insert needs exclusivity.
+  try {
+    compiled.assign(regex, std::regex::ECMAScript);
+  } catch (const std::regex_error& e) {
+    return Status::InvalidArgument(std::string("extract: bad regex: ") +
+                                   e.what());
+  }
+  std::unique_lock<std::shared_mutex> lock(cache_mu);
+  // try_emplace keeps the first compilation if another thread raced us
+  // here; both compiled from the same string, so either is correct.
+  return &cache.try_emplace(regex, std::move(compiled)).first->second;
+}
+
+Status ValidateOperation(const Operation& operation, size_t num_cols,
+                         size_t num_rows) {
+  const int col1 = operation.col1;
+  const int col2 = operation.col2;
+  switch (operation.op) {
+    case OpCode::kDrop:
+      if (!ColumnInRange(col1, num_cols)) {
+        return BadColumn("drop", col1, num_cols);
+      }
+      return Status::OK();
+    case OpCode::kMove:
+      if (!ColumnInRange(col1, num_cols)) {
+        return BadColumn("move", col1, num_cols);
+      }
+      if (!ColumnInRange(col2, num_cols)) {
+        return BadColumn("move", col2, num_cols);
+      }
+      if (col1 == col2) {
+        return Status::InvalidArgument("move: source equals destination");
+      }
+      return Status::OK();
+    case OpCode::kCopy:
+      if (!ColumnInRange(col1, num_cols)) {
+        return BadColumn("copy", col1, num_cols);
+      }
+      return Status::OK();
+    case OpCode::kMerge:
+      if (!ColumnInRange(col1, num_cols)) {
+        return BadColumn("merge", col1, num_cols);
+      }
+      if (!ColumnInRange(col2, num_cols)) {
+        return BadColumn("merge", col2, num_cols);
+      }
+      if (col1 == col2) {
+        return Status::InvalidArgument("merge: columns must differ");
+      }
+      return Status::OK();
+    case OpCode::kSplit:
+      if (!ColumnInRange(col1, num_cols)) {
+        return BadColumn("split", col1, num_cols);
+      }
+      if (operation.text.empty()) {
+        return Status::InvalidArgument("split: delimiter must be non-empty");
+      }
+      return Status::OK();
+    case OpCode::kFold:
+      if (!ColumnInRange(col1, num_cols)) {
+        return BadColumn("fold", col1, num_cols);
+      }
+      if (operation.int_param != 0 && num_rows < 1) {
+        return Status::InvalidArgument(
+            "fold: header variant needs a header row");
+      }
+      return Status::OK();
+    case OpCode::kUnfold:
+      if (!ColumnInRange(col1, num_cols)) {
+        return BadColumn("unfold", col1, num_cols);
+      }
+      if (!ColumnInRange(col2, num_cols)) {
+        return BadColumn("unfold", col2, num_cols);
+      }
+      if (col1 == col2) {
+        return Status::InvalidArgument("unfold: columns must differ");
+      }
+      return Status::OK();
+    case OpCode::kFill:
+      if (!ColumnInRange(col1, num_cols)) {
+        return BadColumn("fill", col1, num_cols);
+      }
+      return Status::OK();
+    case OpCode::kDivide:
+      if (!ColumnInRange(col1, num_cols)) {
+        return BadColumn("divide", col1, num_cols);
+      }
+      return Status::OK();
+    case OpCode::kDelete:
+      if (!ColumnInRange(col1, num_cols)) {
+        return BadColumn("delete", col1, num_cols);
+      }
+      return Status::OK();
+    case OpCode::kExtract: {
+      if (!ColumnInRange(col1, num_cols)) {
+        return BadColumn("extract", col1, num_cols);
+      }
+      Result<const std::regex*> compiled = CompileCachedRegex(operation.text);
+      if (!compiled.ok()) return compiled.status();
+      return Status::OK();
+    }
+    case OpCode::kTranspose:
+      return Status::OK();
+    case OpCode::kWrapColumn:
+      if (!ColumnInRange(col1, num_cols)) {
+        return BadColumn("wrap", col1, num_cols);
+      }
+      return Status::OK();
+    case OpCode::kWrapEvery:
+      if (operation.int_param < 2) {
+        return Status::InvalidArgument("wrapevery: k must be >= 2");
+      }
+      return Status::OK();
+    case OpCode::kWrapAll:
+      return Status::OK();
+    case OpCode::kSplitAll:
+      if (!ColumnInRange(col1, num_cols)) {
+        return BadColumn("splitall", col1, num_cols);
+      }
+      if (operation.text.empty()) {
+        return Status::InvalidArgument(
+            "splitall: delimiter must be non-empty");
+      }
+      return Status::OK();
+    case OpCode::kDeleteRow:
+      if (operation.int_param < 0 ||
+          static_cast<size_t>(operation.int_param) >= num_rows) {
+        std::ostringstream msg;
+        msg << "deleterow: row " << operation.int_param << " out of range [0, "
+            << num_rows << ")";
+        return Status::InvalidArgument(msg.str());
+      }
+      return Status::OK();
+  }
+  return Status::Internal("unknown operation code");
+}
+
+bool EvalDividePredicate(DividePredicate predicate, std::string_view value) {
   switch (predicate) {
     case DividePredicate::kAllDigits:
       return AllDigits(value);
@@ -529,6 +590,9 @@ bool EvalDividePredicate(DividePredicate predicate, const std::string& value) {
 }
 
 Result<Table> ApplyOperation(const Table& input, const Operation& operation) {
+  Status valid =
+      ValidateOperation(operation, input.num_cols(), input.num_rows());
+  if (!valid.ok()) return valid;
   switch (operation.op) {
     case OpCode::kDrop:
       return ApplyDrop(input, operation.col1);

@@ -1,7 +1,9 @@
 #ifndef FOOFAH_OPS_OPERATORS_H_
 #define FOOFAH_OPS_OPERATORS_H_
 
+#include <regex>
 #include <string>
+#include <string_view>
 
 #include "ops/operation.h"
 #include "table/table.h"
@@ -32,8 +34,27 @@ namespace foofah {
 ///    new-column cells are the unique header values, as in Figure 2.
 Result<Table> ApplyOperation(const Table& input, const Operation& operation);
 
+/// Validates `operation`'s parameters against a table shape WITHOUT
+/// executing it: returns exactly the Status ApplyOperation would return
+/// for a table with `num_cols` columns and `num_rows` rows, OK when the
+/// operation would execute. ApplyOperation routes through this, and the
+/// streaming exec runner (src/exec/) calls it against its symbolically
+/// propagated intermediate shapes — one shared predicate, so the two
+/// execution backends can never drift on domain errors or their
+/// messages. For Extract this compiles (and caches) the regex, so
+/// malformed patterns are reported here.
+Status ValidateOperation(const Operation& operation, size_t num_cols,
+                         size_t num_rows);
+
+/// The process-wide compiled-regex cache behind Extract (reader/writer
+/// locked; entries are never invalidated). Returns a pointer valid for
+/// the process lifetime, or InvalidArgument for a malformed pattern.
+/// Shared by ValidateOperation, ApplyExtract, and the exec backend's
+/// Extract kernel so every path compiles a pattern exactly once.
+Result<const std::regex*> CompileCachedRegex(const std::string& regex);
+
 /// Evaluates a Divide predicate on one cell value.
-bool EvalDividePredicate(DividePredicate predicate, const std::string& value);
+bool EvalDividePredicate(DividePredicate predicate, std::string_view value);
 
 }  // namespace foofah
 

@@ -1,6 +1,64 @@
 #include "ops/registry.h"
 
+#include <optional>
+
 namespace foofah {
+
+namespace {
+
+// The declaration table behind StreamabilityOf. Deliberately a switch
+// with no default: adding an OpCode without classifying it here raises
+// -Wswitch, and the nullopt fallthrough fails the registry test.
+std::optional<Streamability> DeclaredStreamability(OpCode code) {
+  switch (code) {
+    case OpCode::kDrop:
+    case OpCode::kMove:
+    case OpCode::kCopy:
+    case OpCode::kMerge:
+    case OpCode::kSplit:
+    case OpCode::kFill:
+    case OpCode::kDivide:
+    case OpCode::kDelete:
+    case OpCode::kExtract:
+    case OpCode::kDeleteRow:
+      return Streamability::kStreaming;
+    case OpCode::kFold:       // Window: the header row (with_header).
+    case OpCode::kWrapEvery:  // Window: k consecutive rows.
+      return Streamability::kWindowed;
+    case OpCode::kUnfold:     // Whole-relation cross-tab.
+    case OpCode::kTranspose:  // Whole-relation pivot.
+    case OpCode::kWrapColumn: // Whole-relation grouping.
+    case OpCode::kWrapAll:    // All rows into one.
+    case OpCode::kSplitAll:   // Global widest-split count sets the width.
+      return Streamability::kBlocking;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+const char* StreamabilityName(Streamability streamability) {
+  switch (streamability) {
+    case Streamability::kStreaming:
+      return "streaming";
+    case Streamability::kWindowed:
+      return "windowed";
+    case Streamability::kBlocking:
+      return "blocking";
+  }
+  return "unknown";
+}
+
+Streamability StreamabilityOf(OpCode code) {
+  // Undeclared codes fall back to the conservative whole-relation
+  // strategy (correct for any operator, just not streaming); the
+  // registry test keeps this path from ever being exercised.
+  return DeclaredStreamability(code).value_or(Streamability::kBlocking);
+}
+
+bool HasDeclaredStreamability(OpCode code) {
+  return DeclaredStreamability(code).has_value();
+}
 
 OperatorProperties PropertiesOf(OpCode code) {
   OperatorProperties props;

@@ -27,6 +27,40 @@ struct OperatorProperties {
 /// Returns the properties of `code` as configured for the paper's library.
 OperatorProperties PropertiesOf(OpCode code);
 
+/// How the streaming execution backend (src/exec/) may run an operator
+/// over an input that must never be resident in full. This is the
+/// per-operator strategy declaration the exec planner compiles against:
+///
+///  - kStreaming: row-local given the input's global shape (width, row
+///    count). Bounded carry state at most (Fill's last-seen value,
+///    DeleteRow's row counter); rows flow through one at a time.
+///  - kWindowed: buffers a BOUNDED window of rows — WrapEvery holds k
+///    rows, Fold holds the header row — then streams.
+///  - kBlocking: needs the whole relation at once (Transpose, Unfold's
+///    cross-tab, WrapColumn's grouping, WrapAll's single row, SplitAll's
+///    global widest-split count). The exec runner materializes the
+///    stage's input under the memory budget and reuses the Table
+///    operator, failing with a typed kResourceExhausted instead of
+///    scaling silently.
+enum class Streamability {
+  kStreaming = 0,
+  kWindowed,
+  kBlocking,
+};
+
+/// "streaming" / "windowed" / "blocking".
+const char* StreamabilityName(Streamability streamability);
+
+/// The declared streamability of `code`. Every operator must declare one:
+/// the declaration table has no default, so a newly added OpCode without
+/// a classification trips -Wswitch at compile time and the registry test
+/// (HasDeclaredStreamability over every code) at test time — a new
+/// operator cannot silently break the exec planner.
+Streamability StreamabilityOf(OpCode code);
+
+/// True when `code` has an explicit entry in the declaration table.
+bool HasDeclaredStreamability(OpCode code);
+
 /// The set of operators (and their parameter domains) available to the
 /// synthesizer. A registry is what makes the framework operator-independent:
 /// the Fig 12c experiment builds registries with/without the Wrap variants

@@ -1,0 +1,337 @@
+#include "table/csv_stream.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace foofah {
+
+namespace {
+
+// Identical formatting to csv.cc's AtPosition — the diagnostics contract
+// between the two readers is "same message, byte for byte", enforced by
+// tests/csv_stream_test.cc.
+std::string AtPosition(size_t line, size_t col) {
+  return "line " + std::to_string(line) + ", column " + std::to_string(col);
+}
+
+}  // namespace
+
+CsvChunkReader::CsvChunkReader(const std::string& path, CsvOptions options,
+                               bool intern_cells, size_t io_buffer_bytes)
+    : options_(options),
+      intern_cells_(intern_cells),
+      buffer_size_(std::max<size_t>(io_buffer_bytes, 2)) {
+  buffer_ = std::make_unique<char[]>(buffer_size_);
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) {
+    open_status_ = Status::NotFound("cannot open file: " + path);
+  }
+}
+
+CsvChunkReader::CsvChunkReader(std::string_view text, CsvOptions options,
+                               bool intern_cells, size_t io_buffer_bytes)
+    : options_(options),
+      intern_cells_(intern_cells),
+      text_(text),
+      buffer_size_(std::max<size_t>(io_buffer_bytes, 2)) {
+  buffer_ = std::make_unique<char[]>(buffer_size_);
+}
+
+CsvChunkReader::~CsvChunkReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+bool CsvChunkReader::RefillBuffer() {
+  // Compact the unconsumed tail (at most a byte of lookahead stall) to
+  // the front, then top up from the source. The constructor pins the
+  // buffer to >= 2 bytes so a refill during a one-byte lookahead stall
+  // always has room — a full buffer here would read 0 bytes and
+  // misdiagnose EOF.
+  size_t leftover = fill_ - pos_;
+  if (leftover > 0 && pos_ > 0) {
+    std::memmove(buffer_.get(), buffer_.get() + pos_, leftover);
+  }
+  pos_ = 0;
+  fill_ = leftover;
+  size_t want = buffer_size_ - fill_;
+  if (want == 0) return false;
+  size_t got = 0;
+  if (file_ != nullptr) {
+    got = std::fread(buffer_.get() + fill_, 1, want, file_);
+  } else {
+    got = std::min(want, text_.size() - text_pos_);
+    if (got > 0) std::memcpy(buffer_.get() + fill_, text_.data() + text_pos_, got);
+    text_pos_ += got;
+  }
+  fill_ += got;
+  if (got > 0) any_bytes_ = true;
+  if (got == 0) source_eof_ = true;
+  return got > 0;
+}
+
+void CsvChunkReader::Advance(char c) {
+  if (c == '\n') {
+    ++line_;
+    col_ = 1;
+  } else {
+    ++col_;
+  }
+  ++pos_;
+  ++bytes_consumed_;
+}
+
+void CsvChunkReader::StartNextCell() {
+  cell_line_ = line_;
+  cell_col_ = col_;
+}
+
+Status CsvChunkReader::CellOverCapError() const {
+  return Status::ParseError(
+      "cell starting at " + AtPosition(cell_line_, cell_col_) +
+      " exceeds max_cell_bytes (" + std::to_string(options_.max_cell_bytes) +
+      ")");
+}
+
+void CsvChunkReader::AppendToCell(char c) { cell_ += c; }
+
+void CsvChunkReader::EmitCell(CsvChunk* chunk) {
+  std::string_view stored = intern_cells_ ? interner_.Intern(cell_)
+                                          : arena_.CopyString(cell_);
+  chunk->cells_.push_back(stored);
+  cell_.clear();
+}
+
+void CsvChunkReader::EmitRow(CsvChunk* chunk) {
+  chunk->rows_.push_back(
+      CsvChunk::RowSpan{row_first_cell_, chunk->cells_.size() - row_first_cell_});
+  row_first_cell_ = chunk->cells_.size();
+  row_started_ = false;
+}
+
+Status CsvChunkReader::Fail(Status status) {
+  error_ = status;
+  finished_ = true;
+  return error_;
+}
+
+Result<bool> CsvChunkReader::ReadChunk(size_t max_rows, CsvChunk* chunk) {
+  if (!open_status_.ok()) return open_status_;
+  if (!error_.ok()) return error_;
+
+  chunk->cells_.clear();
+  chunk->rows_.clear();
+  row_first_cell_ = 0;
+  arena_.Reset();
+  interner_.Reset();
+
+  if (finished_) return false;
+
+  const char quote = options_.quote;
+  const char delimiter = options_.delimiter;
+  auto cell_over_cap = [&]() {
+    return options_.max_cell_bytes != 0 &&
+           cell_.size() > options_.max_cell_bytes;
+  };
+
+  while (chunk->rows_.size() < max_rows) {
+    if (pos_ >= fill_) {
+      if (!source_eof_) RefillBuffer();
+      if (pos_ >= fill_ && source_eof_) break;  // Fall through to EOF logic.
+      if (pos_ >= fill_) continue;
+    }
+    char c = buffer_[pos_];
+    if (c == '\0') {
+      return Fail(Status::ParseError("embedded NUL byte at " +
+                                     AtPosition(line_, col_)));
+    }
+    if (in_quotes_) {
+      if (c == quote) {
+        // One byte of lookahead decides escaped-vs-closing; stall for a
+        // refill when the quote is the last buffered byte.
+        if (pos_ + 1 >= fill_ && !source_eof_) {
+          RefillBuffer();
+          continue;
+        }
+        if (pos_ + 1 < fill_ && buffer_[pos_ + 1] == quote) {
+          AppendToCell(quote);  // Escaped quote.
+          if (cell_over_cap()) return Fail(CellOverCapError());
+          Advance(quote);
+          Advance(quote);
+          continue;
+        }
+        in_quotes_ = false;
+        Advance(c);
+        continue;
+      }
+      AppendToCell(c);
+      if (cell_over_cap()) return Fail(CellOverCapError());
+      Advance(c);
+      continue;
+    }
+    if (c == quote && cell_.empty()) {
+      in_quotes_ = true;
+      row_started_ = true;
+      quote_line_ = line_;
+      quote_col_ = col_;
+      cell_line_ = line_;
+      cell_col_ = col_;
+      Advance(c);
+      continue;
+    }
+    if (c == delimiter) {
+      EmitCell(chunk);
+      row_started_ = true;
+      Advance(c);
+      StartNextCell();
+      continue;
+    }
+    if (c == '\r') {
+      // A lone CR (not followed by LF) terminates the record, exactly as
+      // in ParseCsv; the LF of a CRLF pair is handled by the '\n' branch
+      // on the next iteration. One byte of lookahead, as for quotes.
+      if (pos_ + 1 >= fill_ && !source_eof_) {
+        RefillBuffer();
+        continue;
+      }
+      ++pos_;
+      ++col_;
+      ++bytes_consumed_;
+      if (pos_ >= fill_ || buffer_[pos_] != '\n') {
+        EmitCell(chunk);
+        EmitRow(chunk);
+        ++line_;
+        col_ = 1;
+        StartNextCell();
+      }
+      continue;
+    }
+    if (c == '\n') {
+      EmitCell(chunk);
+      EmitRow(chunk);
+      Advance(c);
+      StartNextCell();
+      continue;
+    }
+    if (cell_.empty()) StartNextCell();
+    AppendToCell(c);
+    if (cell_over_cap()) return Fail(CellOverCapError());
+    row_started_ = true;
+    Advance(c);
+  }
+
+  // End of input: replay ParseCsv's trailing logic exactly once.
+  if (source_eof_ && pos_ >= fill_ && !finished_ &&
+      chunk->rows_.size() < max_rows) {
+    if (in_quotes_) {
+      return Fail(Status::ParseError(
+          "unterminated quoted cell in CSV input (quote opened at " +
+          AtPosition(quote_line_, quote_col_) + ")"));
+    }
+    bool open_row = chunk->cells_.size() > row_first_cell_;
+    if (row_started_ || !cell_.empty() || open_row) {
+      EmitCell(chunk);
+      EmitRow(chunk);
+    } else if (!options_.ignore_trailing_newline && any_bytes_) {
+      EmitCell(chunk);  // cell_ is empty: a single-empty-cell record.
+      EmitRow(chunk);
+    }
+    finished_ = true;
+  }
+
+  return !chunk->rows_.empty();
+}
+
+size_t CsvChunkReader::buffered_bytes() const {
+  return buffer_size_ + cell_.capacity() + arena_.bytes_reserved() +
+         interner_.bytes_reserved();
+}
+
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool NeedsQuoting(std::string_view cell, const CsvOptions& options) {
+  for (char c : cell) {
+    if (c == options.delimiter || c == options.quote || c == '\n' ||
+        c == '\r') {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+CsvChunkWriter::CsvChunkWriter(const std::string& path, CsvOptions options,
+                               size_t buffer_bytes)
+    : options_(options), path_(path), buffer_bytes_(buffer_bytes) {
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    status_ = Status::Internal("cannot open file for writing: " + path);
+  }
+  buffer_.reserve(buffer_bytes_);
+}
+
+CsvChunkWriter::CsvChunkWriter(std::string* out, CsvOptions options)
+    : options_(options), out_(out) {}
+
+CsvChunkWriter::~CsvChunkWriter() {
+  if (!closed_) Close();
+}
+
+Status CsvChunkWriter::WriteRow(const std::string_view* cells,
+                                size_t num_cells) {
+  if (!status_.ok()) return status_;
+  if (closed_) return Status::Internal("write after Close: " + path_);
+  for (size_t c = 0; c < num_cells; ++c) {
+    if (c > 0) buffer_ += options_.delimiter;
+    std::string_view cell = cells[c];
+    if (NeedsQuoting(cell, options_)) {
+      buffer_ += options_.quote;
+      for (char ch : cell) {
+        buffer_ += ch;
+        if (ch == options_.quote) buffer_ += options_.quote;
+      }
+      buffer_ += options_.quote;
+    } else {
+      buffer_.append(cell.data(), cell.size());
+    }
+  }
+  buffer_ += '\n';
+  if (buffer_.size() >= buffer_bytes_) return FlushLocked();
+  return Status::OK();
+}
+
+Status CsvChunkWriter::FlushLocked() {
+  if (!status_.ok()) return status_;
+  if (buffer_.empty()) return Status::OK();
+  if (out_ != nullptr) {
+    out_->append(buffer_);
+  } else {
+    size_t written = std::fwrite(buffer_.data(), 1, buffer_.size(), file_);
+    if (written != buffer_.size()) {
+      status_ = Status::Internal("write failed: " + path_);
+      return status_;
+    }
+  }
+  bytes_written_ += buffer_.size();
+  buffer_.clear();
+  return Status::OK();
+}
+
+Status CsvChunkWriter::Flush() { return FlushLocked(); }
+
+Status CsvChunkWriter::Close() {
+  if (closed_) return status_;
+  Status flushed = FlushLocked();
+  closed_ = true;
+  if (file_ != nullptr) {
+    if (std::fclose(file_) != 0 && status_.ok()) {
+      status_ = Status::Internal("write failed: " + path_);
+    }
+    file_ = nullptr;
+  }
+  return status_.ok() ? flushed : status_;
+}
+
+}  // namespace foofah

@@ -1,0 +1,203 @@
+#ifndef FOOFAH_TABLE_CSV_STREAM_H_
+#define FOOFAH_TABLE_CSV_STREAM_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "table/csv.h"
+#include "util/arena.h"
+#include "util/interner.h"
+#include "util/status.h"
+
+namespace foofah {
+
+/// The incremental half of the CSV layer (split from csv.cc): a chunked
+/// reader and a streaming writer for inputs that must never be resident
+/// in full. ParseCsv/ToCsv stay the whole-file API used by the search
+/// engine over 10-row examples; the streaming exec backend (src/exec/)
+/// uses these to pass multi-GB files through a fixed-size window.
+///
+/// Contract with the whole-file reader: for any byte sequence and any
+/// (io_buffer_bytes, max_rows) choice, the concatenated chunks equal
+/// ParseCsv's rows exactly, and every failure is the SAME typed
+/// ParseError with the SAME positional diagnostics (line/column of the
+/// offending byte, of the opening quote of an unterminated cell, of the
+/// start of an over-long cell). tests/csv_stream_test.cc sweeps buffer
+/// and chunk sizes down to one byte to enforce this.
+
+/// One parsed record: a span of cell views. Views point into the
+/// reader's per-chunk storage and are valid until the next ReadChunk
+/// call on the same reader (or its destruction).
+struct CsvRowView {
+  const std::string_view* cells = nullptr;
+  size_t num_cells = 0;
+
+  size_t size() const { return num_cells; }
+  std::string_view operator[](size_t i) const { return cells[i]; }
+};
+
+/// Reusable storage for one chunk of parsed rows. ReadChunk rewinds and
+/// refills it; steady-state reading performs no per-chunk heap growth.
+class CsvChunk {
+ public:
+  size_t num_rows() const { return rows_.size(); }
+  CsvRowView row(size_t r) const {
+    const RowSpan& span = rows_[r];
+    return CsvRowView{cells_.data() + span.first, span.count};
+  }
+
+  /// Approximate heap footprint of the container spine (cell bytes are
+  /// accounted by the owning reader's arena/interner).
+  size_t buffered_bytes() const {
+    return cells_.capacity() * sizeof(std::string_view) +
+           rows_.capacity() * sizeof(RowSpan);
+  }
+
+ private:
+  friend class CsvChunkReader;
+  struct RowSpan {
+    size_t first;
+    size_t count;
+  };
+  std::vector<std::string_view> cells_;
+  std::vector<RowSpan> rows_;
+};
+
+/// Incremental CSV reader: pulls bytes through a fixed I/O buffer and
+/// yields up to N records per ReadChunk call. Cell bytes are stored in a
+/// per-chunk Arena — or deduplicated through a StringInterner when
+/// `intern_cells` is on (the default), so repeated values cost one copy
+/// per chunk. Memory is bounded by (io buffer + widest record + chunk
+/// content); it never scales with file size.
+class CsvChunkReader {
+ public:
+  static constexpr size_t kDefaultIoBufferBytes = 256u << 10;
+
+  /// Reads from a file. Open failures surface as NotFound from the first
+  /// ReadChunk (same message as ReadCsvFile).
+  explicit CsvChunkReader(const std::string& path, CsvOptions options = {},
+                          bool intern_cells = true,
+                          size_t io_buffer_bytes = kDefaultIoBufferBytes);
+
+  /// Reads from an in-memory buffer which must outlive the reader
+  /// (tests, replaying a materialized intermediate).
+  explicit CsvChunkReader(std::string_view text, CsvOptions options = {},
+                          bool intern_cells = true,
+                          size_t io_buffer_bytes = kDefaultIoBufferBytes);
+
+  ~CsvChunkReader();
+  CsvChunkReader(const CsvChunkReader&) = delete;
+  CsvChunkReader& operator=(const CsvChunkReader&) = delete;
+
+  /// Parses up to `max_rows` records into `*chunk` (storage reused;
+  /// previous contents invalidated). Returns true when at least one row
+  /// was produced, false at clean end of input. Errors are terminal and
+  /// repeat on subsequent calls.
+  Result<bool> ReadChunk(size_t max_rows, CsvChunk* chunk);
+
+  /// Total input bytes consumed so far.
+  uint64_t bytes_consumed() const { return bytes_consumed_; }
+
+  /// Resident memory held by the reader (I/O buffer, pending-cell
+  /// scratch, cell storage) — fed into the exec backend's memory gauge.
+  size_t buffered_bytes() const;
+
+  StringInterner::Stats interner_stats() const { return interner_.stats(); }
+
+ private:
+  bool RefillBuffer();  ///< Compacts + reads; returns false at source EOF.
+  void Advance(char c);
+  void StartNextCell();
+  void AppendToCell(char c);
+  Status CellOverCapError() const;
+  void EmitCell(CsvChunk* chunk);
+  void EmitRow(CsvChunk* chunk);
+  Status Fail(Status status);
+
+  CsvOptions options_;
+  bool intern_cells_;
+
+  // Source: exactly one of file_ / text_ is active.
+  std::FILE* file_ = nullptr;
+  std::string_view text_;
+  size_t text_pos_ = 0;
+  Status open_status_;
+
+  std::unique_ptr<char[]> buffer_;
+  size_t buffer_size_;
+  size_t pos_ = 0;   ///< Next unconsumed byte in buffer_.
+  size_t fill_ = 0;  ///< Valid bytes in buffer_.
+  bool source_eof_ = false;
+  bool finished_ = false;  ///< Final record emitted (or error latched).
+  bool any_bytes_ = false;
+  Status error_;  ///< Terminal parse/IO error, repeated forever.
+
+  // Parser state, mirroring ParseCsv field for field.
+  bool in_quotes_ = false;
+  bool row_started_ = false;
+  std::string cell_;  ///< Bytes of the cell being accumulated.
+  size_t line_ = 1, col_ = 1;
+  size_t cell_line_ = 1, cell_col_ = 1;
+  size_t quote_line_ = 1, quote_col_ = 1;
+
+  size_t row_first_cell_ = 0;  ///< Index into chunk cells_ of the open row.
+  uint64_t bytes_consumed_ = 0;
+
+  Arena arena_;              ///< Cell bytes when not interning.
+  StringInterner interner_;  ///< Cell bytes when interning.
+};
+
+/// Buffered CSV writer producing byte-identical output to ToCsv: cells
+/// containing the delimiter, the quote character, or newlines are quoted
+/// with doubled-quote escapes, rows end in '\n'.
+class CsvChunkWriter {
+ public:
+  static constexpr size_t kDefaultBufferBytes = 256u << 10;
+
+  /// Writes to a file (created/truncated). Open failures surface from
+  /// the first WriteRow/Flush (same message as WriteCsvFile).
+  explicit CsvChunkWriter(const std::string& path, CsvOptions options = {},
+                          size_t buffer_bytes = kDefaultBufferBytes);
+
+  /// Appends to an in-memory string (tests, small pipes). `out` must
+  /// outlive the writer.
+  explicit CsvChunkWriter(std::string* out, CsvOptions options = {});
+
+  /// Flushes and closes quietly; call Close() first to observe errors.
+  ~CsvChunkWriter();
+  CsvChunkWriter(const CsvChunkWriter&) = delete;
+  CsvChunkWriter& operator=(const CsvChunkWriter&) = delete;
+
+  Status WriteRow(const std::string_view* cells, size_t num_cells);
+  Status WriteRow(const CsvRowView& row) {
+    return WriteRow(row.cells, row.num_cells);
+  }
+
+  Status Flush();
+  /// Flushes and closes the file; further writes are an error.
+  Status Close();
+
+  uint64_t bytes_written() const { return bytes_written_; }
+  size_t buffered_bytes() const { return buffer_.capacity(); }
+
+ private:
+  Status FlushLocked();
+
+  CsvOptions options_;
+  std::FILE* file_ = nullptr;
+  std::string* out_ = nullptr;
+  std::string path_;
+  Status status_;
+  bool closed_ = false;
+  std::string buffer_;
+  size_t buffer_bytes_ = kDefaultBufferBytes;
+  uint64_t bytes_written_ = 0;
+};
+
+}  // namespace foofah
+
+#endif  // FOOFAH_TABLE_CSV_STREAM_H_

@@ -1,0 +1,47 @@
+#include "util/arena.h"
+
+#include <algorithm>
+
+namespace foofah {
+
+Arena::Arena(size_t first_block_bytes)
+    : first_block_bytes_(std::max<size_t>(first_block_bytes, 64)) {}
+
+Arena::Block& Arena::BlockFor(size_t n, size_t align) {
+  // Try the current block, then any later retained block (Reset keeps
+  // them), growing only when none fits.
+  while (current_ < blocks_.size()) {
+    Block& block = blocks_[current_];
+    size_t aligned = (block.used + align - 1) & ~(align - 1);
+    if (aligned + n <= block.size) return block;
+    ++current_;
+  }
+  size_t next_size = blocks_.empty() ? first_block_bytes_
+                                     : blocks_.back().size * 2;
+  next_size = std::max(next_size, n + align);
+  Block block;
+  block.data = std::make_unique<char[]>(next_size);
+  block.size = next_size;
+  bytes_reserved_ += next_size;
+  blocks_.push_back(std::move(block));
+  current_ = blocks_.size() - 1;
+  return blocks_.back();
+}
+
+void* Arena::Alloc(size_t n, size_t align) {
+  Block& block = BlockFor(n, align);
+  size_t aligned = (block.used + align - 1) & ~(align - 1);
+  char* p = block.data.get() + aligned;
+  bytes_used_ += (aligned - block.used) + n;
+  block.used = aligned + n;
+  high_water_ = std::max(high_water_, bytes_used_);
+  return p;
+}
+
+void Arena::Reset() {
+  for (Block& block : blocks_) block.used = 0;
+  current_ = 0;
+  bytes_used_ = 0;
+}
+
+}  // namespace foofah

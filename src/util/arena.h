@@ -1,0 +1,80 @@
+#ifndef FOOFAH_UTIL_ARENA_H_
+#define FOOFAH_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace foofah {
+
+/// A bump allocator for short-lived, batch-freed byte storage — the cell
+/// store of the streaming execution backend (src/exec/). Allocation is a
+/// pointer bump within the current block; when a block fills, a new block
+/// of twice the size is chained on. Nothing is freed individually:
+/// Reset() rewinds every block to empty and *retains* the blocks, so a
+/// chunked workload (fill arena, process chunk, reset, repeat) reaches a
+/// steady state after the first few chunks and performs zero heap
+/// allocations thereafter. That retention is what keeps the exec
+/// backend's memory bounded by the largest chunk, not the file.
+///
+/// Not thread-safe: one arena belongs to one pipeline.
+class Arena {
+ public:
+  /// `first_block_bytes` sizes the initial block; later blocks double.
+  explicit Arena(size_t first_block_bytes = kDefaultFirstBlockBytes);
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `n` bytes aligned to `align` (a power of two). Never null;
+  /// n == 0 returns a valid unique-ish pointer into the current block.
+  void* Alloc(size_t n, size_t align = alignof(std::max_align_t));
+
+  /// Copies `s` into the arena and returns a view of the copy. The view
+  /// is valid until Reset() or destruction.
+  std::string_view CopyString(std::string_view s) {
+    if (s.empty()) return std::string_view();
+    char* p = static_cast<char*>(Alloc(s.size(), 1));
+    std::memcpy(p, s.data(), s.size());
+    return std::string_view(p, s.size());
+  }
+
+  /// Rewinds all blocks to empty, retaining their storage for reuse.
+  /// Every pointer previously returned by Alloc is invalidated.
+  void Reset();
+
+  /// Bytes handed out since the last Reset (live bytes).
+  size_t bytes_used() const { return bytes_used_; }
+
+  /// Total block capacity currently held (>= bytes_used; survives Reset).
+  size_t bytes_reserved() const { return bytes_reserved_; }
+
+  /// Largest bytes_used() ever observed — the arena's contribution to the
+  /// exec backend's peak-resident gauge.
+  size_t high_water_bytes() const { return high_water_; }
+
+  static constexpr size_t kDefaultFirstBlockBytes = 64u << 10;
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t size = 0;
+    size_t used = 0;
+  };
+
+  /// Makes the current block able to take `n` bytes at `align`.
+  Block& BlockFor(size_t n, size_t align);
+
+  std::vector<Block> blocks_;
+  size_t current_ = 0;        ///< Index of the block being bumped.
+  size_t bytes_used_ = 0;     ///< Sum of aligned allocations since Reset.
+  size_t bytes_reserved_ = 0;
+  size_t high_water_ = 0;
+  size_t first_block_bytes_;
+};
+
+}  // namespace foofah
+
+#endif  // FOOFAH_UTIL_ARENA_H_

@@ -1,0 +1,31 @@
+#include "util/interner.h"
+
+namespace foofah {
+
+std::string_view StringInterner::Intern(std::string_view s) {
+  ++lookups_;
+  auto it = set_.find(s);
+  if (it != set_.end()) {
+    ++hits_;
+    return *it;
+  }
+  std::string_view stored = arena_.CopyString(s);
+  set_.insert(stored);
+  return stored;
+}
+
+void StringInterner::Reset() {
+  set_.clear();
+  arena_.Reset();
+}
+
+StringInterner::Stats StringInterner::stats() const {
+  Stats stats;
+  stats.lookups = lookups_;
+  stats.hits = hits_;
+  stats.entries = set_.size();
+  stats.bytes_stored = arena_.bytes_used();
+  return stats;
+}
+
+}  // namespace foofah

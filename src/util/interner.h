@@ -1,0 +1,66 @@
+#ifndef FOOFAH_UTIL_INTERNER_H_
+#define FOOFAH_UTIL_INTERNER_H_
+
+#include <cstdint>
+#include <string_view>
+#include <unordered_set>
+
+#include "util/arena.h"
+#include "util/string_util.h"
+
+namespace foofah {
+
+/// Deduplicating string store over an Arena. Intern(s) returns a stable
+/// view of a single arena copy of `s`; repeated values (enum-like columns,
+/// empty cells, repeated keys — the norm in raw exports) are stored once.
+/// The streaming exec backend interns every parsed cell, so a chunk of a
+/// million "ACTIVE"/"INACTIVE" rows costs two stored strings, not a
+/// million.
+///
+/// Reset() drops all entries and rewinds the arena (retaining its
+/// blocks): the exec backend resets per chunk, bounding the interner by
+/// chunk content, never file content. Not thread-safe.
+class StringInterner {
+ public:
+  explicit StringInterner(size_t first_block_bytes = Arena::kDefaultFirstBlockBytes)
+      : arena_(first_block_bytes) {}
+
+  StringInterner(const StringInterner&) = delete;
+  StringInterner& operator=(const StringInterner&) = delete;
+
+  /// Returns a view of the stored copy of `s`, valid until Reset() or
+  /// destruction. Two equal inputs return views of the same bytes.
+  std::string_view Intern(std::string_view s);
+
+  /// Drops every entry and rewinds the arena (blocks retained).
+  void Reset();
+
+  struct Stats {
+    uint64_t lookups = 0;   ///< Total Intern calls since construction.
+    uint64_t hits = 0;      ///< Calls resolved to an existing entry.
+    size_t entries = 0;     ///< Distinct strings currently stored.
+    size_t bytes_stored = 0;  ///< Arena bytes used by current entries.
+  };
+  Stats stats() const;
+
+  /// Arena capacity held (survives Reset) — the interner's contribution
+  /// to the exec backend's resident-memory gauge.
+  size_t bytes_reserved() const { return arena_.bytes_reserved(); }
+  size_t high_water_bytes() const { return arena_.high_water_bytes(); }
+
+ private:
+  struct ViewHash {
+    size_t operator()(std::string_view s) const {
+      return static_cast<size_t>(Fnv1aHash(s));
+    }
+  };
+
+  Arena arena_;
+  std::unordered_set<std::string_view, ViewHash> set_;
+  uint64_t lookups_ = 0;
+  uint64_t hits_ = 0;
+};
+
+}  // namespace foofah
+
+#endif  // FOOFAH_UTIL_INTERNER_H_

@@ -87,5 +87,40 @@ TEST(PropertiesTest, NonNullColumnRequirements) {
   EXPECT_FALSE(PropertiesOf(OpCode::kFill).requires_non_null_column);
 }
 
+TEST(StreamabilityTest, EveryOperatorDeclaresAStrategy) {
+  // The exec planner compiles against these declarations; an operator
+  // added without one would silently fall back to kBlocking. This test
+  // (plus -Wswitch on the declaration table) makes the omission loud.
+  for (int i = 0; i < kNumOpCodes; ++i) {
+    OpCode code = static_cast<OpCode>(i);
+    EXPECT_TRUE(HasDeclaredStreamability(code)) << OpCodeName(code);
+  }
+}
+
+TEST(StreamabilityTest, DeclaredStrategiesMatchOperatorSemantics) {
+  // Row-local operators stream; the two bounded-window operators are
+  // windowed; whole-relation operators block.
+  for (OpCode code : {OpCode::kDrop, OpCode::kMove, OpCode::kCopy,
+                      OpCode::kMerge, OpCode::kSplit, OpCode::kFill,
+                      OpCode::kDivide, OpCode::kDelete, OpCode::kExtract,
+                      OpCode::kDeleteRow}) {
+    EXPECT_EQ(StreamabilityOf(code), Streamability::kStreaming)
+        << OpCodeName(code);
+  }
+  EXPECT_EQ(StreamabilityOf(OpCode::kFold), Streamability::kWindowed);
+  EXPECT_EQ(StreamabilityOf(OpCode::kWrapEvery), Streamability::kWindowed);
+  for (OpCode code : {OpCode::kUnfold, OpCode::kTranspose, OpCode::kWrapColumn,
+                      OpCode::kWrapAll, OpCode::kSplitAll}) {
+    EXPECT_EQ(StreamabilityOf(code), Streamability::kBlocking)
+        << OpCodeName(code);
+  }
+}
+
+TEST(StreamabilityTest, NamesAreStable) {
+  EXPECT_STREQ(StreamabilityName(Streamability::kStreaming), "streaming");
+  EXPECT_STREQ(StreamabilityName(Streamability::kWindowed), "windowed");
+  EXPECT_STREQ(StreamabilityName(Streamability::kBlocking), "blocking");
+}
+
 }  // namespace
 }  // namespace foofah
