@@ -36,6 +36,7 @@
 
 #include "bench_common.h"
 #include "scenarios/corpus.h"
+#include "scenarios/generated.h"
 #include "search/search.h"
 
 namespace foofah::bench {
@@ -186,10 +187,25 @@ void WriteJson(const char* path, const std::vector<ScenarioRow>& rows,
   std::printf("wrote %s\n", path);
 }
 
-int RunSweep(const char* out_path, int reps) {
+int RunSweep(const char* out_path, int reps, const char* corpus_dir) {
+  // Default sweep is the built-in 50; --corpus swaps in a fuzzer-generated
+  // bundle directory so perf can be tracked on synthetic reshapes too.
+  std::vector<Scenario> generated;
+  if (corpus_dir != nullptr) {
+    Result<std::vector<Scenario>> loaded = LoadGeneratedCorpus(corpus_dir);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "--corpus %s failed to load: %s\n", corpus_dir,
+                   loaded.status().ToString().c_str());
+      return 2;
+    }
+    generated = std::move(loaded).value();
+  }
+  const std::vector<Scenario>& sweep =
+      corpus_dir != nullptr ? generated : Corpus();
+
   std::vector<ScenarioRow> rows;
   AllocCounters before = AllocSnapshot();
-  for (const Scenario& scenario : Corpus()) {
+  for (const Scenario& scenario : sweep) {
     int records = std::min(2, scenario.total_records());
     Result<ExamplePair> example = scenario.MakeExample(records);
     if (!example.ok()) continue;
@@ -239,6 +255,7 @@ int RunSweep(const char* out_path, int reps) {
 
 int main(int argc, char** argv) {
   const char* out_path = "BENCH_search.json";
+  const char* corpus_dir = nullptr;
   int reps = static_cast<int>(foofah::bench::EnvInt("FOOFAH_BENCH_REPS", 3));
   bool smoke = false;
   for (int i = 1; i < argc; ++i) {
@@ -248,13 +265,17 @@ int main(int argc, char** argv) {
       out_path = argv[++i];
     } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
       reps = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--corpus") == 0 && i + 1 < argc) {
+      corpus_dir = argv[++i];
     } else {
-      std::fprintf(stderr,
-                   "usage: %s [--smoke] [--out <path>] [--reps N]\n", argv[0]);
+      std::fprintf(
+          stderr,
+          "usage: %s [--smoke] [--out <path>] [--reps N] [--corpus <dir>]\n",
+          argv[0]);
       return 2;
     }
   }
   if (reps < 1) reps = 1;
   if (smoke) return foofah::bench::RunSmoke(reps);
-  return foofah::bench::RunSweep(out_path, reps);
+  return foofah::bench::RunSweep(out_path, reps, corpus_dir);
 }

@@ -1,0 +1,155 @@
+// foofah_fuzz: generative scenario fuzzer driver (see DESIGN.md).
+//
+// Samples random typed tables, samples a random valid program, executes
+// it forward, and self-checks the resulting (input, output, program)
+// triple through three oracles: exact replay, streaming-executor
+// differential, and script round-trip. Optionally persists the corpus
+// as task bundles, runs the synthesizer over every task for solve-rate
+// statistics, and shrinks any oracle violation to a minimal repro.
+//
+//   foofah_fuzz --seed 1 --count 200 --out corpus_dir --minimize
+//   foofah_fuzz --seed 7 --budget-ms 60000 --minimize
+//   foofah_fuzz --seed 1 --count 120 --synthesize --report FUZZ_report.json
+//
+// Exit status: 0 when every scenario passes every oracle, 1 on oracle
+// violation (the shrunk repro is printed), 2 on usage/IO errors.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "fuzz/campaign.h"
+#include "table/csv.h"
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [options]\n"
+               "  --seed N         campaign seed (default 1)\n"
+               "  --count N        scenarios to generate (default 200)\n"
+               "  --max-ops N      max program length (default 3)\n"
+               "  --out DIR        persist each scenario as a task bundle\n"
+               "  --minimize       shrink oracle violations to minimal repros\n"
+               "  --budget-ms N    wall-clock cap; stops generation early\n"
+               "  --synthesize     run the synthesizer on every scenario\n"
+               "  --report PATH    write the campaign report JSON\n",
+               argv0);
+}
+
+bool ParseInt64(const char* text, int64_t* out) {
+  char* end = nullptr;
+  long long value = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || value < 0) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  foofah::fuzz::CampaignOptions options;
+  options.search = foofah::fuzz::DefaultFuzzSearchOptions();
+  std::string out_dir;
+  std::string report_path;
+
+  for (int i = 1; i < argc; ++i) {
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        Usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    int64_t value = 0;
+    if (std::strcmp(argv[i], "--seed") == 0) {
+      if (!ParseInt64(need_value("--seed"), &value)) return 2;
+      options.generator.seed = static_cast<uint64_t>(value);
+    } else if (std::strcmp(argv[i], "--count") == 0) {
+      if (!ParseInt64(need_value("--count"), &value)) return 2;
+      options.count = static_cast<int>(value);
+    } else if (std::strcmp(argv[i], "--max-ops") == 0) {
+      if (!ParseInt64(need_value("--max-ops"), &value) || value < 1) return 2;
+      options.generator.max_ops = static_cast<int>(value);
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      out_dir = need_value("--out");
+    } else if (std::strcmp(argv[i], "--minimize") == 0) {
+      options.minimize = true;
+    } else if (std::strcmp(argv[i], "--budget-ms") == 0) {
+      if (!ParseInt64(need_value("--budget-ms"), &value)) return 2;
+      options.budget_ms = value;
+    } else if (std::strcmp(argv[i], "--synthesize") == 0) {
+      options.synthesize = true;
+    } else if (std::strcmp(argv[i], "--report") == 0) {
+      report_path = need_value("--report");
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+
+  // Without --out nothing reads the passing outcomes back, and a long
+  // budgeted soak would otherwise accumulate every scenario in memory.
+  options.keep_passing_outcomes = !out_dir.empty();
+
+  foofah::fuzz::CampaignResult result = foofah::fuzz::RunFuzzCampaign(options);
+
+  std::printf("generated %d scenario(s) in %.1f ms (seed %llu)\n",
+              result.generated, result.elapsed_ms,
+              static_cast<unsigned long long>(options.generator.seed));
+  if (result.budget_exhausted) {
+    std::printf("budget of %lld ms exhausted before --count %d\n",
+                static_cast<long long>(options.budget_ms), options.count);
+  }
+  if (options.synthesize) {
+    std::printf("synthesizer solved %d / %d\n", result.solved,
+                result.synthesized);
+  }
+
+  for (const foofah::fuzz::ScenarioOutcome& outcome : result.outcomes) {
+    if (outcome.oracles.ok()) continue;
+    const foofah::fuzz::GeneratedScenario& repro =
+        outcome.shrunk_available ? outcome.shrunk : outcome.scenario;
+    std::fprintf(stderr, "\nORACLE VIOLATION in %s\n%s",
+                 outcome.scenario.name.c_str(),
+                 outcome.oracles.ToString().c_str());
+    std::fprintf(stderr, "%s repro program:\n%s",
+                 outcome.shrunk_available ? "shrunk" : "unshrunk",
+                 repro.program.ToScript().c_str());
+    std::fprintf(stderr, "repro input CSV:\n%s\n",
+                 foofah::ToCsv(repro.input).c_str());
+  }
+
+  if (!out_dir.empty()) {
+    foofah::Status s = foofah::fuzz::SaveCampaignBundles(result, out_dir);
+    if (!s.ok()) {
+      std::fprintf(stderr, "saving bundles failed: %s\n",
+                   s.ToString().c_str());
+      return 2;
+    }
+    std::printf("wrote %zu bundle(s) under %s\n", result.outcomes.size(),
+                out_dir.c_str());
+  }
+  if (!report_path.empty()) {
+    foofah::Status s =
+        foofah::fuzz::WriteCampaignReport(result, options, report_path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "writing report failed: %s\n",
+                   s.ToString().c_str());
+      return 2;
+    }
+    std::printf("wrote report to %s\n", report_path.c_str());
+  }
+
+  if (result.oracle_failures > 0) {
+    std::fprintf(stderr, "\n%d oracle violation(s)\n", result.oracle_failures);
+    return 1;
+  }
+  return 0;
+}

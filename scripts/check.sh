@@ -26,12 +26,31 @@
 # checks the peak_tracked_ratio recorded in the checked-in
 # BENCH_apply.json.
 #
+# Stage 8 gates the generative scenario fuzzer: the fuzz-labeled unit
+# suite, a double-run byte-identical determinism check of the foofah_fuzz
+# CLI (same seed -> identical bundle directories), a fixed-seed 60-second
+# fuzz soak that fails on any oracle violation (printing the shrunk
+# repro), and the service determinism matrix (1/2/8 workers) replayed
+# over a freshly generated corpus.
+#
 # Usage: scripts/check.sh [--skip-tsan] [--skip-asan] [--skip-fault]
 #                         [--skip-stress] [--skip-perf] [--skip-exec]
+#                         [--skip-fuzz]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 2)"
+
+# Stages 7 and 8 both allocate scratch directories; one trap cleans up
+# whichever exist at exit.
+EXEC_TMP=""
+FUZZ_TMP=""
+cleanup() {
+  [[ -n "${EXEC_TMP}" ]] && rm -rf "${EXEC_TMP}"
+  [[ -n "${FUZZ_TMP}" ]] && rm -rf "${FUZZ_TMP}"
+  return 0
+}
+trap cleanup EXIT
 
 echo "== Release build + full ctest =="
 cmake -B build -S . >/dev/null
@@ -44,6 +63,7 @@ SKIP_FAULT=0
 SKIP_STRESS=0
 SKIP_PERF="${FOOFAH_SKIP_PERF_SMOKE:-0}"
 SKIP_EXEC=0
+SKIP_FUZZ=0
 for arg in "$@"; do
   case "${arg}" in
     --skip-tsan) SKIP_TSAN=1 ;;
@@ -52,6 +72,7 @@ for arg in "$@"; do
     --skip-stress) SKIP_STRESS=1 ;;
     --skip-perf) SKIP_PERF=1 ;;
     --skip-exec) SKIP_EXEC=1 ;;
+    --skip-fuzz) SKIP_FUZZ=1 ;;
     *) echo "unknown option: ${arg}" >&2; exit 2 ;;
   esac
 done
@@ -80,7 +101,8 @@ else
     --target table_test table_diff_test operators_test operators_edge_test \
     extension_ops_test table_cow_diff_test synthesis_fuzz_test \
     cancellation_test service_soak_test \
-    arena_test csv_stream_test exec_test exec_diff_test
+    arena_test csv_stream_test exec_test exec_diff_test \
+    fuzz_generator_test fuzz_oracle_test generated_corpus_test
   ctest --test-dir build-asan --output-on-failure -L asan -j "${JOBS}"
 fi
 
@@ -148,7 +170,6 @@ else
   # Leg 2: the CLI on a generated ~54 MB input under a hard 256 MB
   # address-space cap, with a 64 MB executor budget it must respect.
   EXEC_TMP="$(mktemp -d)"
-  trap 'rm -rf "${EXEC_TMP}"' EXIT
   ./build/bench/apply_corpus --gen 1600000 "${EXEC_TMP}/in.csv"
   cat > "${EXEC_TMP}/prog.txt" <<'EOF'
 t = split(t, 2, '-')
@@ -180,6 +201,53 @@ EOF
     exit 1
   fi
   echo "exec gate ok: peak_tracked_ratio=${ratio}"
+fi
+
+# Stage 8: generative scenario fuzzer gate.
+if [[ "${SKIP_FUZZ}" == 1 ]]; then
+  echo "== Fuzz stage skipped =="
+else
+  echo "== Generative scenario fuzzer gate =="
+  cmake --build build -j "${JOBS}" --target foofah_fuzz service_soak_test \
+    fuzz_generator_test fuzz_oracle_test generated_corpus_test
+  ctest --test-dir build --output-on-failure -L fuzz -j "${JOBS}"
+
+  FUZZ_TMP="$(mktemp -d)"
+
+  # Leg 1: determinism — the same seed must emit byte-identical bundle
+  # directories on two independent runs (a plain --count run; --budget-ms
+  # trades corpus-size determinism for bounded time, so it can't be used
+  # here).
+  ./build/examples/foofah_fuzz --seed 1 --count 200 --minimize \
+    --out "${FUZZ_TMP}/corpus_a" >/dev/null
+  ./build/examples/foofah_fuzz --seed 1 --count 200 --minimize \
+    --out "${FUZZ_TMP}/corpus_b" >/dev/null
+  if ! diff -r "${FUZZ_TMP}/corpus_a" "${FUZZ_TMP}/corpus_b" >/dev/null; then
+    echo "fuzz gate: same seed produced different corpora" >&2
+    exit 1
+  fi
+  bundles="$(ls "${FUZZ_TMP}/corpus_a" | wc -l)"
+  if [[ "${bundles}" -ne 200 ]]; then
+    echo "fuzz gate: expected 200 bundles, got ${bundles}" >&2
+    exit 1
+  fi
+  echo "fuzz gate: 200-scenario corpus byte-identical across runs"
+
+  # Leg 2: fixed-seed soak — generate under a 60-second wall-clock budget
+  # and fail on any oracle violation (the CLI exits nonzero and prints the
+  # shrunk repro program + input).
+  ./build/examples/foofah_fuzz --seed 20260809 --count 1000000 \
+    --budget-ms 60000 --minimize >/dev/null
+  echo "fuzz gate: 60s soak clean"
+
+  # Leg 3: the service determinism matrix (1/2/8 workers, node budgets
+  # only) over a freshly generated corpus — the same contract the built-in
+  # 50 are held to, now on fuzzer output.
+  ./build/examples/foofah_fuzz --seed 2 --count 60 \
+    --out "${FUZZ_TMP}/soak_corpus" >/dev/null
+  FOOFAH_GENERATED_CORPUS="${FUZZ_TMP}/soak_corpus" \
+    ./build/tests/service_soak_test --gtest_filter='*Generated*'
+  echo "fuzz gate: generated corpus bit-identical across 1/2/8 workers"
 fi
 
 echo "All checks passed."

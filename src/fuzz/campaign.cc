@@ -1,0 +1,176 @@
+#include "fuzz/campaign.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "fuzz/shrink.h"
+#include "scenarios/bundle.h"
+
+namespace foofah {
+namespace fuzz {
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+void AppendJsonNumber(std::string* out, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", value);
+  *out += buffer;
+}
+
+}  // namespace
+
+SearchOptions DefaultFuzzSearchOptions() {
+  SearchOptions options;
+  options.timeout_ms = 2'000;
+  options.max_expansions = 8'000;
+  return options;
+}
+
+CampaignResult RunFuzzCampaign(const CampaignOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  ScenarioGenerator generator(options.generator);
+  CampaignResult result;
+  // A budgeted soak passes an effectively-unbounded count; cap the
+  // up-front reservation so it doesn't allocate for scenarios the budget
+  // will never reach.
+  result.outcomes.reserve(
+      std::min<size_t>(static_cast<size_t>(options.count), 1024));
+
+  for (int index = 0; index < options.count; ++index) {
+    if (options.budget_ms > 0 &&
+        MsSince(start) >= static_cast<double>(options.budget_ms)) {
+      result.budget_exhausted = true;
+      break;
+    }
+    ScenarioOutcome outcome;
+    outcome.scenario = generator.Generate(index);
+    outcome.oracles = CheckScenario(outcome.scenario, options.oracle);
+    if (!outcome.oracles.ok()) {
+      ++result.oracle_failures;
+      if (options.minimize) {
+        outcome.shrunk = ShrinkScenario(outcome.scenario, options.oracle);
+        outcome.shrunk_available = true;
+      }
+    }
+
+    if (options.synthesize) {
+      SearchResult search = SynthesizeProgram(
+          outcome.scenario.input, outcome.scenario.output, options.search);
+      outcome.synthesized = true;
+      outcome.solved = search.found;
+      outcome.synth_ms = search.stats.elapsed_ms;
+      outcome.nodes_expanded = search.stats.nodes_expanded;
+      ++result.synthesized;
+      if (search.found) ++result.solved;
+    }
+
+    std::set<OpCode> distinct;
+    for (const Operation& op : outcome.scenario.program.operations()) {
+      ++result.op_stats[static_cast<int>(op.op)].occurrences;
+      distinct.insert(op.op);
+    }
+    for (OpCode code : distinct) {
+      OperatorFuzzStats& stats = result.op_stats[static_cast<int>(code)];
+      ++stats.scenarios;
+      if (outcome.solved) ++stats.solved;
+      stats.synth_ms += outcome.synth_ms;
+      stats.nodes_expanded += outcome.nodes_expanded;
+    }
+    ++result.generated;
+    if (options.keep_passing_outcomes || !outcome.oracles.ok()) {
+      result.outcomes.push_back(std::move(outcome));
+    }
+  }
+  result.elapsed_ms = MsSince(start);
+  return result;
+}
+
+Status SaveCampaignBundles(const CampaignResult& result,
+                           const std::string& directory) {
+  for (const ScenarioOutcome& outcome : result.outcomes) {
+    TaskBundle bundle;
+    bundle.name = outcome.scenario.name;
+    bundle.raw = outcome.scenario.input;
+    bundle.target = outcome.scenario.output;
+    bundle.truth = outcome.scenario.program;
+    Status s = SaveTaskBundle(bundle, directory + "/" + outcome.scenario.name);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+std::string CampaignReportJson(const CampaignResult& result,
+                               const CampaignOptions& options) {
+  std::string out;
+  out += "{\n";
+  out += "  \"seed\": " + std::to_string(options.generator.seed) + ",\n";
+  out += "  \"requested_count\": " + std::to_string(options.count) + ",\n";
+  out += "  \"generated\": " + std::to_string(result.generated) + ",\n";
+  out += "  \"max_ops\": " + std::to_string(options.generator.max_ops) + ",\n";
+  out += "  \"oracle_failures\": " + std::to_string(result.oracle_failures) +
+         ",\n";
+  out += "  \"budget_exhausted\": ";
+  out += result.budget_exhausted ? "true" : "false";
+  out += ",\n";
+  out += "  \"elapsed_ms\": ";
+  AppendJsonNumber(&out, result.elapsed_ms);
+  out += ",\n";
+  out += "  \"synthesized\": " + std::to_string(result.synthesized) + ",\n";
+  out += "  \"solved\": " + std::to_string(result.solved) + ",\n";
+  out += "  \"operators\": [\n";
+  bool first = true;
+  for (int code = 0; code < kNumOpCodes; ++code) {
+    const OperatorFuzzStats& stats = result.op_stats[code];
+    if (stats.occurrences == 0) continue;
+    if (!first) out += ",\n";
+    first = false;
+    out += "    {\"op\": \"";
+    out += OpCodeName(static_cast<OpCode>(code));
+    out += "\", \"occurrences\": " + std::to_string(stats.occurrences);
+    out += ", \"scenarios\": " + std::to_string(stats.scenarios);
+    if (result.synthesized > 0) {
+      out += ", \"solved\": " + std::to_string(stats.solved);
+      out += ", \"solve_rate\": ";
+      AppendJsonNumber(&out, stats.scenarios == 0
+                                 ? 0.0
+                                 : static_cast<double>(stats.solved) /
+                                       static_cast<double>(stats.scenarios));
+      out += ", \"mean_synth_ms\": ";
+      AppendJsonNumber(&out, stats.scenarios == 0
+                                 ? 0.0
+                                 : stats.synth_ms /
+                                       static_cast<double>(stats.scenarios));
+      out += ", \"mean_nodes_expanded\": ";
+      AppendJsonNumber(&out,
+                       stats.scenarios == 0
+                           ? 0.0
+                           : static_cast<double>(stats.nodes_expanded) /
+                                 static_cast<double>(stats.scenarios));
+    }
+    out += "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+Status WriteCampaignReport(const CampaignResult& result,
+                           const CampaignOptions& options,
+                           const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::Internal("cannot open for writing: " + path);
+  out << CampaignReportJson(result, options);
+  if (!out) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace fuzz
+}  // namespace foofah

@@ -1,0 +1,109 @@
+#ifndef FOOFAH_FUZZ_CAMPAIGN_H_
+#define FOOFAH_FUZZ_CAMPAIGN_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "fuzz/generator.h"
+#include "fuzz/oracle.h"
+#include "search/search.h"
+#include "util/status.h"
+
+namespace foofah {
+namespace fuzz {
+
+/// One fuzzing run end to end: generate `count` scenarios, self-check
+/// each through the three oracles, shrink any failure to a minimal
+/// repro, and (optionally) run the synthesizer on each task to collect
+/// the per-operator solve-rate/latency statistics the ROADMAP's
+/// learned-guidance priors will be mined from.
+struct CampaignOptions {
+  GeneratorOptions generator;
+  int count = 200;
+  OracleOptions oracle;
+  /// Shrink failing scenarios to a 1-minimal repro before reporting.
+  bool minimize = false;
+  /// Wall-clock cap in ms, checked between scenarios; 0 disables. A
+  /// budgeted run trades determinism of the corpus *size* for bounded CI
+  /// time (each emitted scenario is still a pure function of its index),
+  /// so determinism gates must use a plain --count run instead.
+  int64_t budget_ms = 0;
+  /// Run SynthesizeProgram on every generated task (solve-rate stats).
+  bool synthesize = false;
+  SearchOptions search;  ///< Budget for the optional synthesis runs.
+  /// When false, scenarios that pass every oracle are not retained in
+  /// CampaignResult::outcomes (failures always are). A long budgeted soak
+  /// generates hundreds of thousands of scenarios; keeping them all alive
+  /// just to say "clean" would defeat the soak. Must stay true when the
+  /// outcomes feed SaveCampaignBundles.
+  bool keep_passing_outcomes = true;
+};
+
+/// A bounded default for CampaignOptions::search: wall-clock capped at
+/// 2 s with an 8'000-expansion budget (the synthesis fuzz test's tuning —
+/// enough for almost every 1-2 op task, cheap on adversarial reshapes).
+SearchOptions DefaultFuzzSearchOptions();
+
+struct ScenarioOutcome {
+  GeneratedScenario scenario;
+  OracleReport oracles;
+  /// Set when the oracles failed and CampaignOptions::minimize was on.
+  bool shrunk_available = false;
+  GeneratedScenario shrunk;
+  /// Synthesis statistics (synthesize == true only).
+  bool synthesized = false;
+  bool solved = false;
+  double synth_ms = 0;
+  uint64_t nodes_expanded = 0;
+};
+
+/// Per-operator aggregates over the scenarios whose ground truth uses the
+/// operator. "solved / scenarios" is the operator's solve rate — the raw
+/// prior for guidance: an operator the search rarely recovers is where
+/// enumeration ordering has the most to gain.
+struct OperatorFuzzStats {
+  uint64_t occurrences = 0;  ///< Op instances across all truth programs.
+  uint64_t scenarios = 0;    ///< Scenarios whose truth contains the op.
+  uint64_t solved = 0;
+  double synth_ms = 0;           ///< Summed over those scenarios.
+  uint64_t nodes_expanded = 0;   ///< Summed over those scenarios.
+};
+
+struct CampaignResult {
+  /// Retained outcomes; equal to the generated count unless
+  /// keep_passing_outcomes was off.
+  std::vector<ScenarioOutcome> outcomes;
+  int generated = 0;        ///< Scenarios actually generated and checked.
+  int oracle_failures = 0;  ///< Scenarios with >= 1 failing oracle.
+  int synthesized = 0;
+  int solved = 0;
+  std::array<OperatorFuzzStats, kNumOpCodes> op_stats{};
+  double elapsed_ms = 0;
+  /// True when budget_ms stopped generation before `count` scenarios.
+  bool budget_exhausted = false;
+};
+
+CampaignResult RunFuzzCampaign(const CampaignOptions& options);
+
+/// Writes every generated scenario as a corpus-compatible task bundle
+/// (scenarios/bundle.h) under `directory`/<scenario name>/ — the format
+/// LoadGeneratedCorpus, the CLI, and the exported seed corpus all share.
+/// Deterministic input produces byte-identical directories.
+Status SaveCampaignBundles(const CampaignResult& result,
+                           const std::string& directory);
+
+/// Machine-readable campaign report (the FUZZ_report.json artifact):
+/// campaign configuration, aggregate solve counts, and one entry per
+/// operator that occurs in some truth program, in OpCode order.
+std::string CampaignReportJson(const CampaignResult& result,
+                               const CampaignOptions& options);
+
+Status WriteCampaignReport(const CampaignResult& result,
+                           const CampaignOptions& options,
+                           const std::string& path);
+
+}  // namespace fuzz
+}  // namespace foofah
+
+#endif  // FOOFAH_FUZZ_CAMPAIGN_H_

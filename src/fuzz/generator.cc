@@ -1,0 +1,209 @@
+#include "fuzz/generator.h"
+
+#include <array>
+#include <vector>
+
+#include "ops/enumerate.h"
+#include "ops/operators.h"
+
+namespace foofah {
+namespace fuzz {
+
+namespace {
+
+std::string Pad2(uint32_t v) {
+  std::string s = std::to_string(v);
+  return v < 10 ? "0" + s : s;
+}
+
+/// Value archetypes a column can be typed with. Most are structurally
+/// uniform (one token-run class sequence), so ProfileColumn infers a
+/// structure and the synthesizer can counter with inferred Extract
+/// patterns; kPunct is deliberately CSV-hostile to keep the bundle and
+/// streaming round-trips honest.
+enum class ColumnKind {
+  kWord = 0,
+  kDigits,
+  kDate,
+  kTime,
+  kDelimited,
+  kCode,
+  kUnicode,
+  kPunct,
+};
+constexpr int kNumColumnKinds = 8;
+
+std::string RandomCell(Lcg* rng, ColumnKind kind) {
+  static const char* kWords[] = {"ada",    "vint",  "tim",    "grace",
+                                 "alan",   "edsger", "barbara", "ken",
+                                 "dennis", "leslie"};
+  static const char* kUnicodeValues[] = {"héllo", "東京",  "naïve",
+                                         "αβγ",   "ok✓", "café"};
+  static const char* kPunctValues[] = {"a,b",      "say \"hi\"", "x;y",
+                                       "one two",  "l1\nl2",     "'q'",
+                                       "tr|ail, ", "\"\""};
+  switch (kind) {
+    case ColumnKind::kWord:
+      return kWords[rng->Next(10)];
+    case ColumnKind::kDigits:
+      return std::to_string(rng->Next(10'000));
+    case ColumnKind::kDate:
+      return std::to_string(2020 + rng->Next(6)) + "-" +
+             Pad2(1 + rng->Next(12)) + "-" + Pad2(1 + rng->Next(28));
+    case ColumnKind::kTime:
+      return std::to_string(1 + rng->Next(12)) + ":" + Pad2(rng->Next(60));
+    case ColumnKind::kDelimited:
+      return std::string(kWords[rng->Next(10)]) + ":" + kWords[rng->Next(10)];
+    case ColumnKind::kCode:
+      return std::string(1, static_cast<char>('a' + rng->Next(26))) +
+             std::to_string(rng->Next(100));
+    case ColumnKind::kUnicode:
+      return kUnicodeValues[rng->Next(6)];
+    case ColumnKind::kPunct:
+      return kPunctValues[rng->Next(8)];
+  }
+  return "";
+}
+
+/// Samples one in-domain operation for `current`, stratified by operator:
+/// first pick an enabled OpCode that has at least one candidate
+/// parameterization, then pick uniformly within that operator's
+/// candidates. Uniform-over-candidates would drown the corpus in
+/// Move/Merge pairs (their candidate counts grow quadratically with
+/// width); stratifying keeps per-operator coverage healthy, which is what
+/// the solve-rate statistics and the learned-guidance priors need.
+/// Returns false when the state admits no candidate at all.
+bool SampleOperation(const Table& current, const OperatorRegistry& registry,
+                     Lcg* rng, Operation* out) {
+  std::vector<Operation> candidates =
+      EnumerateCandidates(current, current, registry);
+  if (candidates.empty()) return false;
+
+  // Bucket candidate indexes by opcode, in OpCode order (deterministic).
+  std::array<std::vector<size_t>, kNumOpCodes> by_op;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    by_op[static_cast<int>(candidates[i].op)].push_back(i);
+  }
+  std::vector<int> present;
+  for (int code = 0; code < kNumOpCodes; ++code) {
+    if (!by_op[code].empty()) present.push_back(code);
+  }
+  const std::vector<size_t>& bucket =
+      by_op[present[rng->Next(static_cast<uint32_t>(present.size()))]];
+  *out = candidates[bucket[rng->Next(static_cast<uint32_t>(bucket.size()))]];
+  return true;
+}
+
+/// Walks a random in-domain chain forward from `input`, rejecting steps
+/// that blow past the size caps or produce an empty relation. Each step
+/// gets a few rejection retries before the chain stops early.
+Program SampleProgram(const Table& input, const OperatorRegistry& registry,
+                      const GeneratorOptions& options, Lcg* rng,
+                      Table* final_output) {
+  Program program;
+  Table current = input;
+  const int target_ops =
+      1 + static_cast<int>(rng->Next(static_cast<uint32_t>(
+              options.max_ops < 1 ? 1 : options.max_ops)));
+  for (int step = 0; step < target_ops; ++step) {
+    bool advanced = false;
+    for (int attempt = 0; attempt < 6 && !advanced; ++attempt) {
+      Operation op;
+      if (!SampleOperation(current, registry, rng, &op)) break;
+      Result<Table> next = ApplyOperation(current, op);
+      if (!next.ok()) continue;
+      if (next->num_cells() > options.max_cells || next->num_rows() == 0 ||
+          next->num_cols() == 0) {
+        continue;
+      }
+      current = std::move(next).value();
+      program.Append(op);
+      advanced = true;
+    }
+    if (!advanced) break;
+  }
+  *final_output = std::move(current);
+  return program;
+}
+
+}  // namespace
+
+Table RandomTypedTable(Lcg* rng, const GeneratorOptions& options) {
+  const int rows =
+      options.min_rows +
+      static_cast<int>(rng->Next(static_cast<uint32_t>(
+          options.max_rows - options.min_rows + 1)));
+  const int cols =
+      options.min_cols +
+      static_cast<int>(rng->Next(static_cast<uint32_t>(
+          options.max_cols - options.min_cols + 1)));
+
+  std::vector<ColumnKind> kinds;
+  std::vector<bool> holes;
+  kinds.reserve(static_cast<size_t>(cols));
+  for (int c = 0; c < cols; ++c) {
+    kinds.push_back(static_cast<ColumnKind>(rng->Next(kNumColumnKinds)));
+    holes.push_back(rng->Chance(options.hole_percent));
+  }
+  const bool ragged = rng->Chance(options.ragged_percent);
+
+  Table t;
+  for (int r = 0; r < rows; ++r) {
+    // Ragged tables store some rows short (1..cols cells); the logical
+    // rectangle still reads "" past the stored end.
+    const int stored =
+        ragged && rng->Chance(40) ? 1 + static_cast<int>(rng->Next(
+                                            static_cast<uint32_t>(cols)))
+                                  : cols;
+    Table::Row row;
+    row.reserve(static_cast<size_t>(stored));
+    for (int c = 0; c < stored; ++c) {
+      if (holes[static_cast<size_t>(c)] && rng->Chance(25)) {
+        row.push_back("");
+      } else {
+        row.push_back(RandomCell(rng, kinds[static_cast<size_t>(c)]));
+      }
+    }
+    t.AppendRow(std::move(row));
+  }
+  return t;
+}
+
+ScenarioGenerator::ScenarioGenerator(GeneratorOptions options)
+    : options_(options),
+      registry_(options.registry != nullptr
+                    ? *options.registry
+                    : OperatorRegistry::WithExtensions()) {
+  // The registry is copied so a generator (and every scenario it emits)
+  // stays valid after the caller's registry goes away.
+  options_.registry = nullptr;
+}
+
+GeneratedScenario ScenarioGenerator::Generate(int index) const {
+  GeneratedScenario scenario;
+  scenario.scenario_seed = options_.seed * 0x9E3779B97F4A7C15ULL +
+                           static_cast<uint64_t>(index) * 0x85EBCA77C2B2AE63ULL;
+  std::string padded = std::to_string(index);
+  while (padded.size() < 4) padded.insert(padded.begin(), '0');
+  scenario.name =
+      "fuzz_s" + std::to_string(options_.seed) + "_" + padded;
+
+  // A sampled chain can collapse to the identity (Move there and back,
+  // Fill over no holes). Identity pairs are worthless synthesis tasks, so
+  // redraw a few times from the same deterministic stream before giving
+  // up and accepting whatever the last draw produced.
+  Lcg rng(scenario.scenario_seed);
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    scenario.input = RandomTypedTable(&rng, options_);
+    scenario.program = SampleProgram(scenario.input, registry_, options_, &rng,
+                                     &scenario.output);
+    if (!scenario.program.empty() &&
+        !scenario.input.ContentEquals(scenario.output)) {
+      break;
+    }
+  }
+  return scenario;
+}
+
+}  // namespace fuzz
+}  // namespace foofah

@@ -1,0 +1,92 @@
+#ifndef FOOFAH_FUZZ_GENERATOR_H_
+#define FOOFAH_FUZZ_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "ops/registry.h"
+#include "program/program.h"
+#include "table/table.h"
+#include "util/rng.h"
+
+namespace foofah {
+namespace fuzz {
+
+/// Program-inversion scenario generation (the ROADMAP's "generative
+/// scenario fuzzer", after Deep API Programmer's recipe of executing a
+/// sampled program to manufacture a labeled example): sample a typed
+/// random table, sample a random in-domain program, execute it forward
+/// with the Table executor, and present the inverse (input, output) pair
+/// as a fresh synthesis task whose ground truth is the sampled program.
+///
+/// Everything is a pure function of (options.seed, index): the generator
+/// holds no mutable state, all randomness flows from one Lcg per
+/// scenario, and no unordered container is ever iterated — the same seed
+/// reproduces byte-identical scenarios (and, through the bundle writer,
+/// byte-identical corpus directories) on every run.
+struct GeneratorOptions {
+  uint64_t seed = 1;
+  /// Sampled programs have 1..max_ops operations (before shape-dead ends
+  /// cut a chain short).
+  int max_ops = 3;
+  /// Input table dimensions are drawn uniformly from these ranges.
+  int min_rows = 2;
+  int max_rows = 6;
+  int min_cols = 2;
+  int max_cols = 5;
+  /// Forward execution abandons a step whose result exceeds this cell
+  /// count (mirrors the search's max_state_cells guard: giant
+  /// intermediates make terrible benchmark tasks).
+  size_t max_cells = 120;
+  /// Percentage of tables generated ragged (some rows stored short).
+  uint32_t ragged_percent = 25;
+  /// Percentage chance that a column gets empty-cell holes punched in.
+  uint32_t hole_percent = 20;
+  /// Operator library to sample from; null means
+  /// OperatorRegistry::WithExtensions() (the widest shipped library, so
+  /// the generated corpus exercises the extension operators too).
+  const OperatorRegistry* registry = nullptr;
+};
+
+/// One generated task: `program` applied to `input` yields `output`
+/// exactly (the replay oracle re-proves this), so (input, output) is a
+/// synthesis task with a known ground truth.
+struct GeneratedScenario {
+  std::string name;            ///< "fuzz_s<seed>_<index>", bundle dir name.
+  uint64_t scenario_seed = 0;  ///< The derived per-scenario Lcg seed.
+  Table input;
+  Table output;
+  Program program;
+};
+
+class ScenarioGenerator {
+ public:
+  explicit ScenarioGenerator(GeneratorOptions options = {});
+
+  /// Deterministic function of (options.seed, index). Retries internally
+  /// (still deterministically) until the output differs from the input,
+  /// so the emitted task is almost never the identity.
+  GeneratedScenario Generate(int index) const;
+
+  const GeneratorOptions& options() const { return options_; }
+  const OperatorRegistry& registry() const { return registry_; }
+
+ private:
+  GeneratorOptions options_;
+  OperatorRegistry registry_;
+};
+
+/// One typed random table (exposed for tests): columns are drawn from a
+/// small set of value archetypes — words, numbers, dates, times,
+/// ':'-delimited pairs, alphanumeric codes, multi-byte unicode, and
+/// CSV-hostile punctuation (embedded commas/quotes/newlines) — so
+/// structurally uniform columns are common and the profile machinery
+/// (profile/structure.h) can infer Extract patterns from them. Cells
+/// never contain NUL or bare CR (both unrepresentable in round-trippable
+/// CSV); everything else, including quoting-hostile bytes, is fair game.
+Table RandomTypedTable(Lcg* rng, const GeneratorOptions& options);
+
+}  // namespace fuzz
+}  // namespace foofah
+
+#endif  // FOOFAH_FUZZ_GENERATOR_H_

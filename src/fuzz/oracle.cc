@@ -1,0 +1,149 @@
+#include "fuzz/oracle.h"
+
+#include "exec/runner.h"
+#include "program/parser.h"
+#include "table/csv.h"
+
+namespace foofah {
+namespace fuzz {
+
+namespace {
+
+void CheckReplay(const GeneratedScenario& scenario, OracleReport* report) {
+  Result<Table> replay = scenario.program.Execute(scenario.input);
+  if (!replay.ok()) {
+    report->failures.push_back(
+        {OracleKind::kReplay,
+         "ground-truth program no longer executes on its own input: " +
+             replay.status().ToString()});
+    return;
+  }
+  const std::string got = ToCsv(*replay);
+  const std::string want = ToCsv(scenario.output);
+  if (got != want) {
+    report->failures.push_back(
+        {OracleKind::kReplay,
+         "replay diverged from recorded output\n-- replay:\n" + got +
+             "-- recorded:\n" + want});
+  }
+}
+
+void CheckStreaming(const GeneratedScenario& scenario,
+                    const OracleOptions& options, OracleReport* report) {
+  const std::string input_bytes = ToCsv(scenario.input);
+
+  // The reference: whole-file parse + Table executor + serialize. Both
+  // sides start from the same bytes, so a CSV normalization of the
+  // in-memory table (e.g. a zero-cell row reading back as [""]) cannot
+  // masquerade as an executor divergence.
+  std::string expected;
+  Status expected_failure = Status::OK();
+  Result<Table> parsed = ParseCsv(input_bytes);
+  if (!parsed.ok()) {
+    expected_failure = parsed.status();
+  } else {
+    Result<Table> out = scenario.program.Execute(*parsed);
+    if (!out.ok()) {
+      expected_failure = out.status();
+    } else {
+      expected = ToCsv(*out);
+    }
+  }
+
+  for (size_t chunk_rows : options.chunk_sizes) {
+    exec::ApplyOptions apply;
+    apply.chunk_rows = chunk_rows;
+    std::string output;
+    Result<exec::ApplyStats> stats = exec::ApplyProgramToCsvText(
+        scenario.program, input_bytes, &output, apply);
+    const std::string context =
+        "chunk_rows=" + std::to_string(chunk_rows) + ": ";
+    if (!expected_failure.ok()) {
+      if (stats.ok()) {
+        report->failures.push_back(
+            {OracleKind::kStreaming,
+             context + "streaming succeeded where the Table executor fails "
+                       "with " +
+                 expected_failure.ToString()});
+      } else if (stats.status().code() != expected_failure.code() ||
+                 stats.status().message() != expected_failure.message()) {
+        report->failures.push_back(
+            {OracleKind::kStreaming,
+             context + "status diverged: streaming " +
+                 stats.status().ToString() + " vs table " +
+                 expected_failure.ToString()});
+      }
+      continue;
+    }
+    if (!stats.ok()) {
+      report->failures.push_back(
+          {OracleKind::kStreaming,
+           context + "streaming failed where the Table executor succeeds: " +
+               stats.status().ToString()});
+      continue;
+    }
+    if (output != expected) {
+      report->failures.push_back(
+          {OracleKind::kStreaming,
+           context + "output bytes diverged\n-- streaming:\n" + output +
+               "-- table executor:\n" + expected});
+    }
+  }
+}
+
+void CheckScriptRoundTrip(const GeneratedScenario& scenario,
+                          OracleReport* report) {
+  const std::string script = scenario.program.ToScript();
+  Result<Program> reparsed = ParseProgram(script);
+  if (!reparsed.ok()) {
+    report->failures.push_back(
+        {OracleKind::kScriptRoundTrip,
+         "ToScript produced an unparseable script: " +
+             reparsed.status().ToString() + "\n-- script:\n" + script});
+    return;
+  }
+  if (!(*reparsed == scenario.program)) {
+    report->failures.push_back(
+        {OracleKind::kScriptRoundTrip,
+         "parse(ToScript(p)) != p\n-- script:\n" + script +
+             "-- reparsed as:\n" + reparsed->ToScript()});
+  }
+}
+
+}  // namespace
+
+const char* OracleKindName(OracleKind kind) {
+  switch (kind) {
+    case OracleKind::kReplay:
+      return "replay";
+    case OracleKind::kStreaming:
+      return "streaming";
+    case OracleKind::kScriptRoundTrip:
+      return "script-roundtrip";
+  }
+  return "unknown";
+}
+
+std::string OracleReport::ToString() const {
+  std::string out;
+  for (const OracleFailure& failure : failures) {
+    out += "[";
+    out += OracleKindName(failure.kind);
+    out += "] ";
+    out += failure.detail;
+    if (out.back() != '\n') out += '\n';
+  }
+  return out;
+}
+
+OracleReport CheckScenario(const GeneratedScenario& scenario,
+                           const OracleOptions& options) {
+  OracleReport report;
+  CheckReplay(scenario, &report);
+  CheckStreaming(scenario, options, &report);
+  CheckScriptRoundTrip(scenario, &report);
+  return report;
+}
+
+}  // namespace fuzz
+}  // namespace foofah

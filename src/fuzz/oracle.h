@@ -1,0 +1,63 @@
+#ifndef FOOFAH_FUZZ_ORACLE_H_
+#define FOOFAH_FUZZ_ORACLE_H_
+
+#include <string>
+#include <vector>
+
+#include "fuzz/generator.h"
+
+namespace foofah {
+namespace fuzz {
+
+/// The three self-checks every generated scenario must pass before it is
+/// admitted to a corpus. Each one pits two independent implementations of
+/// the same contract against each other, so a passing corpus is evidence
+/// about the engines, not just about the generator:
+///
+///  - kReplay: the ground-truth program re-executed on the input must
+///    reproduce the recorded output byte-for-byte (ToCsv equality — a
+///    nondeterministic operator or an aliasing CoW bug shows up here).
+///  - kStreaming: the streaming executor's ApplyProgramToCsvText over the
+///    input's CSV bytes must be byte-identical to
+///    ToCsv(Execute(ParseCsv(bytes))) at every probed chunk size — the
+///    exec subsystem's ground-truth contract, now checked on generated
+///    data instead of only the 50 corpus scenarios.
+///  - kScriptRoundTrip: ParseProgram(program.ToScript()) must succeed and
+///    equal the program — a scenario whose truth cannot survive
+///    truth.foofah serialization would corrupt every downstream consumer.
+enum class OracleKind {
+  kReplay = 0,
+  kStreaming,
+  kScriptRoundTrip,
+};
+
+/// "replay" / "streaming" / "script-roundtrip".
+const char* OracleKindName(OracleKind kind);
+
+struct OracleFailure {
+  OracleKind kind = OracleKind::kReplay;
+  std::string detail;
+};
+
+struct OracleReport {
+  std::vector<OracleFailure> failures;
+  bool ok() const { return failures.empty(); }
+  /// Multi-line human-readable rendering ("" when ok).
+  std::string ToString() const;
+};
+
+struct OracleOptions {
+  /// Chunk sizes the streaming oracle probes; 1 maximizes window/boundary
+  /// coverage, 4096 is the production default.
+  std::vector<size_t> chunk_sizes = {1, 3, 4096};
+};
+
+/// Runs all three oracles; never throws or aborts — every divergence is a
+/// reported failure with enough detail to file as-is.
+OracleReport CheckScenario(const GeneratedScenario& scenario,
+                           const OracleOptions& options = {});
+
+}  // namespace fuzz
+}  // namespace foofah
+
+#endif  // FOOFAH_FUZZ_ORACLE_H_

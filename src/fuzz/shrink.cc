@@ -1,0 +1,70 @@
+#include "fuzz/shrink.h"
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace foofah {
+namespace fuzz {
+
+namespace {
+
+/// Recomputes `scenario->output` from its program and input. False when
+/// the program no longer executes (the deletion broke a shape
+/// precondition) — such candidates are skipped, not kept.
+bool Rebuild(GeneratedScenario* scenario) {
+  Result<Table> out = scenario->program.Execute(scenario->input);
+  if (!out.ok()) return false;
+  scenario->output = std::move(out).value();
+  return true;
+}
+
+}  // namespace
+
+GeneratedScenario ShrinkScenario(const GeneratedScenario& failing,
+                                 const FailurePredicate& still_fails) {
+  GeneratedScenario best = failing;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+
+    // Pass 1: drop one operation. Shrinking the program first tends to
+    // unlock row deletions (fewer ops, fewer shape preconditions).
+    for (size_t i = 0; i < best.program.size(); ++i) {
+      GeneratedScenario candidate = best;
+      std::vector<Operation> ops = best.program.operations();
+      ops.erase(ops.begin() + static_cast<ptrdiff_t>(i));
+      candidate.program = Program(std::move(ops));
+      if (!Rebuild(&candidate)) continue;
+      if (still_fails(candidate)) {
+        best = std::move(candidate);
+        progress = true;
+        break;
+      }
+    }
+    if (progress) continue;
+
+    // Pass 2: drop one input row.
+    for (size_t r = 0; r < best.input.num_rows(); ++r) {
+      GeneratedScenario candidate = best;
+      candidate.input.RemoveRow(r);
+      if (!Rebuild(&candidate)) continue;
+      if (still_fails(candidate)) {
+        best = std::move(candidate);
+        progress = true;
+        break;
+      }
+    }
+  }
+  return best;
+}
+
+GeneratedScenario ShrinkScenario(const GeneratedScenario& failing,
+                                 const OracleOptions& options) {
+  return ShrinkScenario(failing, [&options](const GeneratedScenario& s) {
+    return !CheckScenario(s, options).ok();
+  });
+}
+
+}  // namespace fuzz
+}  // namespace foofah

@@ -1,0 +1,39 @@
+#ifndef FOOFAH_FUZZ_SHRINK_H_
+#define FOOFAH_FUZZ_SHRINK_H_
+
+#include <functional>
+
+#include "fuzz/generator.h"
+#include "fuzz/oracle.h"
+
+namespace foofah {
+namespace fuzz {
+
+/// True when the (rebuilt) scenario still exhibits the failure being
+/// minimized. The predicate receives a scenario whose output has already
+/// been recomputed by executing its program, so it can call the oracles
+/// (or anything else) without worrying about stale outputs.
+using FailurePredicate = std::function<bool(const GeneratedScenario&)>;
+
+/// Greedy delete-one minimizer (the same delta-debugging loop the CoW
+/// differential harness uses): repeatedly try dropping one program
+/// operation, then one input row, keeping any deletion under which the
+/// scenario still fails `still_fails`, until a whole sweep makes no
+/// progress. The result is 1-minimal — removing any single op or row
+/// either breaks forward execution or makes the failure vanish — which is
+/// what turns a 6-op 6-row fuzz counterexample into a filable repro.
+///
+/// `failing` must satisfy the predicate; the returned scenario always
+/// does, and its output is consistent with its program and input.
+GeneratedScenario ShrinkScenario(const GeneratedScenario& failing,
+                                 const FailurePredicate& still_fails);
+
+/// Convenience overload minimizing an oracle violation: the predicate is
+/// "CheckScenario(s, options) reports at least one failure".
+GeneratedScenario ShrinkScenario(const GeneratedScenario& failing,
+                                 const OracleOptions& options = {});
+
+}  // namespace fuzz
+}  // namespace foofah
+
+#endif  // FOOFAH_FUZZ_SHRINK_H_

@@ -31,9 +31,32 @@ Result<std::string> ReadTextFile(const std::string& path) {
   return buffer.str();
 }
 
+// CSV cannot round-trip an embedded NUL: ToCsv would emit it, but
+// ParseCsv rejects NUL bytes even inside quotes, so a bundle containing
+// one could never be loaded back. Refuse to write such a bundle at all
+// rather than produce an unreadable directory.
+Status ValidateNoNulCells(const Table& table, const std::string& which) {
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (const std::string& cell : table.row(r)) {
+      if (cell.find('\0') != std::string::npos) {
+        return Status::InvalidArgument(
+            which + " table row " + std::to_string(r) +
+            " contains an embedded NUL byte; CSV cannot round-trip it");
+      }
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Status SaveTaskBundle(const TaskBundle& bundle, const std::string& directory) {
+  // Validate BEFORE touching the filesystem so a rejected bundle leaves
+  // no partial directory behind.
+  Status valid = ValidateNoNulCells(bundle.raw, "raw");
+  if (!valid.ok()) return valid;
+  valid = ValidateNoNulCells(bundle.target, "target");
+  if (!valid.ok()) return valid;
   std::error_code ec;
   fs::create_directories(directory, ec);
   if (ec) {

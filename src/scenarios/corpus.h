@@ -37,7 +37,7 @@ struct CorpusSummary {
   int lengthy = 0;
   int complex_ops = 0;
   int uses_wrap = 0;
-  int by_source[4] = {0, 0, 0, 0};  // Indexed by ScenarioSource.
+  int by_source[5] = {0, 0, 0, 0, 0};  // Indexed by ScenarioSource.
 };
 
 CorpusSummary SummarizeCorpus();

@@ -1,0 +1,40 @@
+#ifndef FOOFAH_SCENARIOS_GENERATED_H_
+#define FOOFAH_SCENARIOS_GENERATED_H_
+
+#include <string>
+#include <vector>
+
+#include "program/program.h"
+#include "scenarios/scenario.h"
+#include "util/status.h"
+
+namespace foofah {
+
+/// Derives the category tags for a generated scenario from its ground
+/// truth, mirroring the conventions the hand-built corpus uses:
+/// lengthy = >= 4 operations, complex_ops = Fold/Unfold/Divide/Extract,
+/// syntactic = any cell-rewriting op, uses_wrap = any Wrap variant.
+/// `source` is always ScenarioSource::kGenerated and every generated
+/// task is solvable by construction (its truth IS a program).
+ScenarioTags TagsFromProgram(const Program& program);
+
+/// Loads every task-bundle subdirectory of `directory` (sorted by name,
+/// so the corpus order is stable across filesystems) as a Scenario via
+/// Scenario::FromTask. Every bundle must carry a truth.foofah — a
+/// generated corpus without ground truth cannot self-check, so a missing
+/// truth is InvalidArgument, as is a bundle whose truth fails to execute
+/// on its raw table or whose recorded target disagrees with the
+/// execution (a corrupt or tampered bundle).
+Result<std::vector<Scenario>> LoadGeneratedCorpus(const std::string& directory);
+
+/// The generated corpus named by the FOOFAH_GENERATED_CORPUS environment
+/// variable, loaded once and cached (leaked function-local static, like
+/// Corpus()). Empty when the variable is unset or empty. Terminates the
+/// process with a loud message when the variable names a directory that
+/// fails to load — tests silently skipping a corpus the CI stage wrote
+/// would defeat the gate.
+const std::vector<Scenario>& GeneratedCorpusFromEnv();
+
+}  // namespace foofah
+
+#endif  // FOOFAH_SCENARIOS_GENERATED_H_

@@ -17,6 +17,8 @@ const char* ScenarioSourceName(ScenarioSource source) {
       return "Wrangler";
     case ScenarioSource::kProactive:
       return "Proactive";
+    case ScenarioSource::kGenerated:
+      return "Generated";
   }
   return "unknown";
 }
@@ -66,6 +68,30 @@ Scenario Scenario::FromOracle(std::string name, ScenarioTags tags,
   s.record_fn_ = std::move(record_fn);
   s.total_records_ = total_records;
   s.oracle_ = std::move(oracle);
+  return s;
+}
+
+Scenario Scenario::FromTask(std::string name, ScenarioTags tags, Table raw,
+                            Program truth) {
+  Scenario s;
+  s.name_ = std::move(name);
+  s.tags_ = std::move(tags);
+  std::vector<Table::Row> rows = raw.CopyRows();
+  s.record_fn_ = [rows](int index) {
+    return index == 0 ? rows : std::vector<Table::Row>{};
+  };
+  s.total_records_ = 1;
+  s.truth_ = truth;
+  s.oracle_ = [program = std::move(truth),
+               scenario_name = s.name_](const Table& input) {
+    Result<Table> out = program.Execute(input);
+    if (!out.ok()) {
+      std::fprintf(stderr, "scenario %s: truth program failed: %s\n",
+                   scenario_name.c_str(), out.status().ToString().c_str());
+      std::abort();
+    }
+    return std::move(out).value();
+  };
   return s;
 }
 

@@ -21,9 +21,12 @@ enum class ScenarioSource {
   kPottersWheel,
   kWrangler,
   kProactive,
+  /// Emitted by the generative scenario fuzzer (src/fuzz/) rather than
+  /// modeled on a paper benchmark suite.
+  kGenerated,
 };
 
-/// "ProgFromEx" / "PW" / "Wrangler" / "Proactive".
+/// "ProgFromEx" / "PW" / "Wrangler" / "Proactive" / "Generated".
 const char* ScenarioSourceName(ScenarioSource source);
 
 /// Category flags used by the experiment breakdowns.
@@ -72,6 +75,17 @@ class Scenario {
                              std::vector<Table::Row> preamble,
                              RecordFn record_fn, int total_records,
                              OracleFn oracle);
+
+  /// A scenario from a materialized (raw table, ground-truth program)
+  /// pair — the shape generated-corpus bundles arrive in. The whole raw
+  /// table is modeled as ONE record (total_records() == 1): generated
+  /// tasks have no per-record structure to grow examples by, so
+  /// MakeExample(1) yields the full pair and GeneralizationProbe returns
+  /// the same table for any count. The oracle is the truth program's
+  /// execution (terminates the process if it fails on the raw table —
+  /// a loaded bundle whose truth cannot execute is corrupt data).
+  static Scenario FromTask(std::string name, ScenarioTags tags, Table raw,
+                           Program truth);
 
   const std::string& name() const { return name_; }
   const ScenarioTags& tags() const { return tags_; }

@@ -7,8 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 #include "core/driver.h"
 #include "scenarios/corpus.h"
+#include "scenarios/generated.h"
 
 namespace foofah {
 namespace {
@@ -99,6 +102,48 @@ TEST_P(CorpusE2eTest, PerfectProgramsGeneralizeBeyondTheRawData) {
   ASSERT_TRUE(out.ok()) << scenario.name();
   EXPECT_EQ(*out, probe.output) << scenario.name() << "\n"
                                 << result.program.ToScript();
+}
+
+// --- Fuzzer-generated corpus (opt-in via FOOFAH_GENERATED_CORPUS) -------
+//
+// The generated corpus extends the regression net past the hand-built 50:
+// every bundle carries its ground truth, so correctness is absolute (the
+// truth must replay), while the solve-rate expectation is statistical —
+// random multi-op reshapes are allowed to exhaust a bounded budget, but a
+// search that solves fewer than half of the fuzzer's tasks has regressed.
+
+TEST(GeneratedCorpusE2eTest, TruthReplaysAndMajoritySolvesWithinBudget) {
+  const std::vector<Scenario>& corpus = GeneratedCorpusFromEnv();
+  if (corpus.empty()) {
+    GTEST_SKIP() << "FOOFAH_GENERATED_CORPUS not set";
+  }
+  DriverOptions options;
+  options.search.timeout_ms = 2'000;
+  options.search.max_expansions = 8'000;
+  options.max_records = 1;  // Generated tasks are one whole-table record.
+  int solved = 0;
+  for (const Scenario& scenario : corpus) {
+    // Absolute: the shipped ground truth reproduces the shipped output.
+    ASSERT_TRUE(scenario.tags().solvable) << scenario.name();
+    ASSERT_TRUE(scenario.truth().has_value()) << scenario.name();
+    Result<Table> replay = scenario.truth()->Execute(scenario.FullInput());
+    ASSERT_TRUE(replay.ok()) << scenario.name();
+    EXPECT_EQ(*replay, scenario.FullOutput()) << scenario.name();
+
+    DriverResult result =
+        FindPerfectProgram(scenario.AsExampleBuilder(), scenario.FullInput(),
+                           scenario.FullOutput(), options);
+    if (!result.perfect) continue;
+    ++solved;
+    Result<Table> out = result.program.Execute(scenario.FullInput());
+    ASSERT_TRUE(out.ok()) << scenario.name();
+    EXPECT_EQ(*out, scenario.FullOutput())
+        << scenario.name() << " \"perfect\" program is not";
+  }
+  EXPECT_GE(solved * 2, static_cast<int>(corpus.size()))
+      << "search solved only " << solved << " of " << corpus.size()
+      << " generated tasks";
+  std::printf("generated corpus: solved %d / %zu\n", solved, corpus.size());
 }
 
 // Aggregate invariants across the whole suite (the Fig 11a histogram).

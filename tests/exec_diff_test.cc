@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -72,6 +73,30 @@ TEST_P(CorpusDiffTest, StreamingMatchesTableExecutorByteForByte) {
   }
   const std::string input_bytes = ToCsv(scenario.FullInput());
   ExpectDiffIdentical(*scenario.truth(), input_bytes, {1, 3, 17, 4096});
+}
+
+// The skip above is silent per-case, so drift would be invisible: if a
+// corpus edit dropped a truth script, that scenario would quietly fall
+// out of the differential net. Pin the skip set to exactly the four
+// intentionally oracle-only scenarios (the fifth unsolvable scenario,
+// pfe_double_divide, ships a truth script — it is "unsolvable" in the
+// search-times-out sense — so it IS diffed above).
+TEST(CorpusDiffCoverageTest, OnlyTheFourOracleOnlyScenariosAreSkipped) {
+  int skipped = 0;
+  std::string names;
+  for (const Scenario& scenario : Corpus()) {
+    if (scenario.truth().has_value()) continue;
+    ++skipped;
+    names += scenario.name() + " ";
+    // Every scenario without a truth program must be there by design —
+    // i.e. tagged unsolvable — never because a truth script went missing.
+    EXPECT_FALSE(scenario.tags().solvable)
+        << scenario.name() << " lost its truth program";
+  }
+  std::printf("oracle-only scenarios skipped by the diff net: %d (%s)\n",
+              skipped, names.c_str());
+  EXPECT_EQ(skipped, 4) << "the differential net's coverage changed: "
+                        << names;
 }
 
 std::string ScenarioName(const testing::TestParamInfo<const Scenario*>& info) {

@@ -1,0 +1,153 @@
+// The scenario generator's contract: pure determinism from (seed, index),
+// divergence across seeds, non-identity tasks, broad operator coverage,
+// profile-friendly typed columns, and cells that stay CSV-representable.
+
+#include "fuzz/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "profile/structure.h"
+#include "table/csv.h"
+
+namespace foofah {
+namespace fuzz {
+namespace {
+
+TEST(ScenarioGeneratorTest, SameSeedSameIndexIsByteIdentical) {
+  GeneratorOptions options;
+  options.seed = 11;
+  ScenarioGenerator a(options);
+  ScenarioGenerator b(options);
+  for (int index = 0; index < 25; ++index) {
+    GeneratedScenario sa = a.Generate(index);
+    GeneratedScenario sb = b.Generate(index);
+    EXPECT_EQ(sa.name, sb.name);
+    EXPECT_EQ(sa.scenario_seed, sb.scenario_seed);
+    EXPECT_EQ(ToCsv(sa.input), ToCsv(sb.input)) << index;
+    EXPECT_EQ(ToCsv(sa.output), ToCsv(sb.output)) << index;
+    EXPECT_EQ(sa.program.ToScript(), sb.program.ToScript()) << index;
+  }
+}
+
+TEST(ScenarioGeneratorTest, GenerateIsOrderIndependent) {
+  // Generate(i) must not depend on which indexes were generated before it
+  // (the budget-capped campaign relies on this: a truncated run's prefix
+  // equals the full run's prefix).
+  GeneratorOptions options;
+  options.seed = 5;
+  ScenarioGenerator generator(options);
+  GeneratedScenario forward = generator.Generate(7);
+  generator.Generate(3);  // Interleave other work.
+  GeneratedScenario again = generator.Generate(7);
+  EXPECT_EQ(ToCsv(forward.input), ToCsv(again.input));
+  EXPECT_EQ(forward.program.ToScript(), again.program.ToScript());
+}
+
+TEST(ScenarioGeneratorTest, DifferentSeedsDiverge) {
+  ScenarioGenerator a(GeneratorOptions{.seed = 1});
+  ScenarioGenerator b(GeneratorOptions{.seed = 2});
+  int different = 0;
+  for (int index = 0; index < 10; ++index) {
+    if (ToCsv(a.Generate(index).input) != ToCsv(b.Generate(index).input)) {
+      ++different;
+    }
+  }
+  EXPECT_GE(different, 8) << "seeds 1 and 2 produced near-identical streams";
+}
+
+TEST(ScenarioGeneratorTest, TasksAreAlmostNeverTheIdentity) {
+  ScenarioGenerator generator(GeneratorOptions{.seed = 9});
+  int identity = 0;
+  for (int index = 0; index < 40; ++index) {
+    GeneratedScenario s = generator.Generate(index);
+    EXPECT_FALSE(s.program.empty()) << s.name;
+    if (s.input.ContentEquals(s.output)) ++identity;
+  }
+  EXPECT_LE(identity, 4) << identity << "/40 identity tasks";
+}
+
+TEST(ScenarioGeneratorTest, OperatorCoverageIsBroadOver200Scenarios) {
+  ScenarioGenerator generator(GeneratorOptions{.seed = 1});
+  std::set<OpCode> seen;
+  for (int index = 0; index < 200; ++index) {
+    // Keep the scenario alive across the loop: operations() returns a
+    // reference into it, and a temporary would die before the body runs.
+    GeneratedScenario s = generator.Generate(index);
+    for (const Operation& op : s.program.operations()) {
+      seen.insert(op.op);
+    }
+  }
+  EXPECT_GE(seen.size(), 8u)
+      << "opcode-stratified sampling should cover most of the library";
+}
+
+TEST(ScenarioGeneratorTest, ProgramsRespectMaxOps) {
+  GeneratorOptions options;
+  options.seed = 3;
+  options.max_ops = 2;
+  ScenarioGenerator generator(options);
+  for (int index = 0; index < 50; ++index) {
+    EXPECT_LE(generator.Generate(index).program.size(), 2u);
+  }
+}
+
+TEST(RandomTypedTableTest, ManyColumnsAreProfileUniform) {
+  // The point of *typed* columns: the profile machinery must find common
+  // structure often, so inferred-Extract territory is actually exercised.
+  GeneratorOptions options;
+  Lcg rng(77);
+  int columns = 0;
+  int uniform = 0;
+  for (int i = 0; i < 30; ++i) {
+    Table t = RandomTypedTable(&rng, options);
+    for (size_t c = 0; c < t.num_cols(); ++c) {
+      ++columns;
+      if (ProfileColumn(t, c).uniform) ++uniform;
+    }
+  }
+  ASSERT_GT(columns, 50);
+  EXPECT_GE(uniform * 100, columns * 30)
+      << uniform << "/" << columns << " columns profile-uniform";
+}
+
+TEST(RandomTypedTableTest, CellsStayCsvRepresentable) {
+  // NUL and bare CR cannot survive a CSV round-trip; everything else
+  // (commas, quotes, newlines, unicode) is allowed and must round-trip.
+  GeneratorOptions options;
+  Lcg rng(123);
+  for (int i = 0; i < 50; ++i) {
+    Table t = RandomTypedTable(&rng, options);
+    for (size_t r = 0; r < t.num_rows(); ++r) {
+      for (const std::string& cell : t.row(r)) {
+        EXPECT_EQ(cell.find('\0'), std::string::npos);
+      }
+    }
+    Result<Table> reparsed = ParseCsv(ToCsv(t));
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+    EXPECT_TRUE(reparsed->ContentEquals(t));
+  }
+}
+
+TEST(RandomTypedTableTest, DimensionsStayInRange) {
+  GeneratorOptions options;
+  options.min_rows = 3;
+  options.max_rows = 4;
+  options.min_cols = 2;
+  options.max_cols = 3;
+  options.ragged_percent = 0;  // Raggedness stores rows short of min_cols.
+  Lcg rng(5);
+  for (int i = 0; i < 30; ++i) {
+    Table t = RandomTypedTable(&rng, options);
+    EXPECT_GE(t.num_rows(), 3u);
+    EXPECT_LE(t.num_rows(), 4u);
+    EXPECT_GE(t.num_cols(), 2u);
+    EXPECT_LE(t.num_cols(), 3u);
+  }
+}
+
+}  // namespace
+}  // namespace fuzz
+}  // namespace foofah

@@ -1,0 +1,180 @@
+// The self-check layer of the fuzzer: generated scenarios pass all three
+// oracles, deliberately corrupted scenarios are caught by the right
+// oracle, and the shrinker reduces failures to 1-minimal repros.
+
+#include "fuzz/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fuzz/generator.h"
+#include "fuzz/shrink.h"
+#include "table/csv.h"
+
+namespace foofah {
+namespace fuzz {
+namespace {
+
+bool ReportHas(const OracleReport& report, OracleKind kind) {
+  for (const OracleFailure& failure : report.failures) {
+    if (failure.kind == kind) return true;
+  }
+  return false;
+}
+
+TEST(FuzzOracleTest, SixtyGeneratedScenariosPassAllThreeOracles) {
+  ScenarioGenerator generator(GeneratorOptions{.seed = 21});
+  for (int index = 0; index < 60; ++index) {
+    GeneratedScenario scenario = generator.Generate(index);
+    OracleReport report = CheckScenario(scenario);
+    EXPECT_TRUE(report.ok())
+        << scenario.name << "\n"
+        << report.ToString() << "program:\n"
+        << scenario.program.ToScript() << "input:\n"
+        << ToCsv(scenario.input);
+  }
+}
+
+TEST(FuzzOracleTest, TamperedOutputFailsReplay) {
+  ScenarioGenerator generator(GeneratorOptions{.seed = 2});
+  GeneratedScenario scenario = generator.Generate(0);
+  ASSERT_TRUE(CheckScenario(scenario).ok());
+  scenario.output.set_cell(0, 0, "TAMPERED");
+  OracleReport report = CheckScenario(scenario);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(ReportHas(report, OracleKind::kReplay)) << report.ToString();
+}
+
+TEST(FuzzOracleTest, SwappedInputOutputFails) {
+  // Swapping the tables breaks the forward direction: the program no
+  // longer maps "input" to "output" (and usually fails to execute at all).
+  ScenarioGenerator generator(GeneratorOptions{.seed = 4});
+  GeneratedScenario scenario = generator.Generate(1);
+  ASSERT_TRUE(CheckScenario(scenario).ok());
+  ASSERT_FALSE(scenario.input.ContentEquals(scenario.output)) << "need a "
+      "non-identity task for this check";
+  std::swap(scenario.input, scenario.output);
+  OracleReport report = CheckScenario(scenario);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(ReportHas(report, OracleKind::kReplay)) << report.ToString();
+}
+
+TEST(FuzzOracleTest, ReportRendersEveryFailure) {
+  ScenarioGenerator generator(GeneratorOptions{.seed = 2});
+  GeneratedScenario scenario = generator.Generate(0);
+  scenario.output.set_cell(0, 0, "TAMPERED");
+  OracleReport report = CheckScenario(scenario);
+  ASSERT_FALSE(report.ok());
+  std::string rendered = report.ToString();
+  EXPECT_NE(rendered.find(OracleKindName(OracleKind::kReplay)),
+            std::string::npos)
+      << rendered;
+}
+
+// --- Shrinking -----------------------------------------------------------
+
+TEST(FuzzShrinkTest, DropsOpsIrrelevantToThePredicate) {
+  // A scenario whose program ends in Drop(0): a predicate that only cares
+  // about "program contains a Drop" must shrink everything else away.
+  GeneratedScenario scenario;
+  scenario.name = "shrink_case";
+  scenario.input = Table{{"a", "b", "c"}, {"d", "e", "f"}, {"g", "h", "i"}};
+  scenario.program = Program({Move(0, 2), Copy(1), Drop(0)});
+  Result<Table> out = scenario.program.Execute(scenario.input);
+  ASSERT_TRUE(out.ok());
+  scenario.output = std::move(out).value();
+
+  auto still_fails = [](const GeneratedScenario& s) {
+    for (const Operation& op : s.program.operations()) {
+      if (op.op == OpCode::kDrop) return true;
+    }
+    return false;
+  };
+  ASSERT_TRUE(still_fails(scenario));
+  GeneratedScenario minimal = ShrinkScenario(scenario, still_fails);
+
+  EXPECT_TRUE(still_fails(minimal));
+  EXPECT_EQ(minimal.program.size(), 1u) << minimal.program.ToScript();
+  EXPECT_EQ(minimal.program.operations()[0].op, OpCode::kDrop);
+  // Rows irrelevant to the predicate are gone too (1-minimality).
+  EXPECT_EQ(minimal.input.num_rows(), 1u);
+  // The shrunk scenario's output is consistent with its program.
+  Result<Table> replay = minimal.program.Execute(minimal.input);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_TRUE(replay->ContentEquals(minimal.output));
+}
+
+TEST(FuzzShrinkTest, ResultIsOneMinimal) {
+  GeneratedScenario scenario;
+  scenario.input = Table{{"k:v", "x"}, {"a:b", "y"}, {"c:d", "z"}};
+  scenario.program = Program({Split(0, ":"), Drop(2), Merge(0, 1, "-")});
+  Result<Table> out = scenario.program.Execute(scenario.input);
+  ASSERT_TRUE(out.ok());
+  scenario.output = std::move(out).value();
+
+  // "Fails" when the program still contains a Split AND >= 2 input rows.
+  auto still_fails = [](const GeneratedScenario& s) {
+    if (s.input.num_rows() < 2) return false;
+    for (const Operation& op : s.program.operations()) {
+      if (op.op == OpCode::kSplit) return true;
+    }
+    return false;
+  };
+  ASSERT_TRUE(still_fails(scenario));
+  GeneratedScenario minimal = ShrinkScenario(scenario, still_fails);
+  ASSERT_TRUE(still_fails(minimal));
+
+  // Removing any one op or any one row makes the predicate pass: that is
+  // the 1-minimality contract.
+  for (size_t i = 0; i < minimal.program.size(); ++i) {
+    GeneratedScenario candidate = minimal;
+    std::vector<Operation> fewer = minimal.program.operations();
+    fewer.erase(fewer.begin() + static_cast<ptrdiff_t>(i));
+    candidate.program = Program(fewer);
+    Result<Table> rebuilt = candidate.program.Execute(candidate.input);
+    if (!rebuilt.ok()) continue;  // Not a valid smaller scenario.
+    candidate.output = std::move(rebuilt).value();
+    EXPECT_FALSE(still_fails(candidate))
+        << "dropping op " << i << " keeps the failure: not 1-minimal";
+  }
+  for (size_t r = 0; r < minimal.input.num_rows(); ++r) {
+    GeneratedScenario candidate = minimal;
+    candidate.input.RemoveRow(r);
+    Result<Table> rebuilt = candidate.program.Execute(candidate.input);
+    if (!rebuilt.ok()) continue;
+    candidate.output = std::move(rebuilt).value();
+    EXPECT_FALSE(still_fails(candidate))
+        << "dropping row " << r << " keeps the failure: not 1-minimal";
+  }
+}
+
+TEST(FuzzShrinkTest, ShrinksAProgramTamperedScenario) {
+  // Tampering with the *program* (not the output) creates a genuine
+  // replay violation that survives output rebuilds: the recorded output
+  // came from the original program. Shrink it with the oracle predicate
+  // frozen to "replay to the original recorded output fails".
+  ScenarioGenerator generator(GeneratorOptions{.seed = 6});
+  GeneratedScenario scenario = generator.Generate(2);
+  ASSERT_TRUE(CheckScenario(scenario).ok());
+
+  const Table recorded = scenario.output;
+  auto still_fails = [&recorded](const GeneratedScenario& s) {
+    Result<Table> replay = s.program.Execute(s.input);
+    return !replay.ok() || !replay->ContentEquals(recorded);
+  };
+  // An extra Transpose at the end guarantees divergence from `recorded`.
+  std::vector<Operation> ops = scenario.program.operations();
+  ops.push_back(Transpose());
+  scenario.program = Program(ops);
+  ASSERT_TRUE(still_fails(scenario));
+
+  GeneratedScenario minimal = ShrinkScenario(scenario, still_fails);
+  EXPECT_TRUE(still_fails(minimal));
+  EXPECT_LE(minimal.program.size(), scenario.program.size());
+  EXPECT_LE(minimal.input.num_rows(), scenario.input.num_rows());
+}
+
+}  // namespace
+}  // namespace fuzz
+}  // namespace foofah

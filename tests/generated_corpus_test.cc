@@ -1,0 +1,241 @@
+// Bundle persistence and generated-corpus loading: write -> load -> write
+// must be byte-identical (including CSV-hostile cells), NUL cells are
+// rejected before anything touches disk, and LoadGeneratedCorpus enforces
+// the generated-corpus invariants (truth present, truth replays).
+
+#include "scenarios/generated.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fuzz/campaign.h"
+#include "fuzz/generator.h"
+#include "scenarios/bundle.h"
+#include "table/csv.h"
+
+namespace foofah {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string FreshDir(const std::string& leaf) {
+  std::string dir = ::testing::TempDir() + "gen_corpus_" + leaf;
+  fs::remove_all(dir);
+  return dir;
+}
+
+/// Reads every regular file under `dir` into a sorted (relpath, bytes)
+/// rendering, so two directories can be compared byte-for-byte.
+std::string DirectoryImage(const std::string& dir) {
+  std::vector<std::string> files;
+  for (const fs::directory_entry& entry : fs::recursive_directory_iterator(dir)) {
+    if (entry.is_regular_file()) files.push_back(entry.path().string());
+  }
+  std::sort(files.begin(), files.end());
+  std::string image;
+  for (const std::string& file : files) {
+    image += file.substr(dir.size());
+    image += "\n";
+    image += ReadFileOrDie(file);
+    image += "\x01";  // File separator that cannot appear in our content.
+  }
+  return image;
+}
+
+TEST(BundleRoundTripTest, NastyCellsSurviveWriteLoadWriteByteIdentically) {
+  TaskBundle bundle;
+  bundle.name = "nasty";
+  bundle.raw = Table{{"a,b", "say \"hi\""},
+                     {"l1\nl2", ""},
+                     {"héllo", "tr|ail, "},
+                     {"\"\"", "x"}};
+  bundle.truth = Program({Drop(1)});
+  Result<Table> out = bundle.truth->Execute(bundle.raw);
+  ASSERT_TRUE(out.ok());
+  bundle.target = std::move(out).value();
+
+  const std::string dir1 = FreshDir("nasty1");
+  const std::string dir2 = FreshDir("nasty2");
+  ASSERT_TRUE(SaveTaskBundle(bundle, dir1).ok());
+
+  Result<TaskBundle> loaded = LoadTaskBundle(dir1);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->name, "nasty");
+  EXPECT_TRUE(loaded->raw.ContentEquals(bundle.raw));
+  EXPECT_TRUE(loaded->target.ContentEquals(bundle.target));
+  ASSERT_TRUE(loaded->truth.has_value());
+  EXPECT_EQ(loaded->truth->ToScript(), bundle.truth->ToScript());
+
+  ASSERT_TRUE(SaveTaskBundle(*loaded, dir2).ok());
+  EXPECT_EQ(DirectoryImage(dir1), DirectoryImage(dir2));
+  fs::remove_all(dir1);
+  fs::remove_all(dir2);
+}
+
+TEST(BundleRoundTripTest, EveryGeneratedScenarioRoundTripsByteIdentically) {
+  fuzz::ScenarioGenerator generator(fuzz::GeneratorOptions{.seed = 13});
+  const std::string dir1 = FreshDir("rt1");
+  const std::string dir2 = FreshDir("rt2");
+  for (int index = 0; index < 40; ++index) {
+    fuzz::GeneratedScenario scenario = generator.Generate(index);
+    TaskBundle bundle;
+    bundle.name = scenario.name;
+    bundle.raw = scenario.input;
+    bundle.target = scenario.output;
+    bundle.truth = scenario.program;
+    const std::string sub1 = dir1 + "/" + scenario.name;
+    const std::string sub2 = dir2 + "/" + scenario.name;
+    ASSERT_TRUE(SaveTaskBundle(bundle, sub1).ok()) << scenario.name;
+    Result<TaskBundle> loaded = LoadTaskBundle(sub1);
+    ASSERT_TRUE(loaded.ok()) << scenario.name << ": "
+                             << loaded.status().ToString();
+    ASSERT_TRUE(SaveTaskBundle(*loaded, sub2).ok()) << scenario.name;
+  }
+  EXPECT_EQ(DirectoryImage(dir1), DirectoryImage(dir2));
+  fs::remove_all(dir1);
+  fs::remove_all(dir2);
+}
+
+TEST(BundleRoundTripTest, NulCellsAreRejectedBeforeTouchingDisk) {
+  TaskBundle bundle;
+  bundle.name = "nul";
+  Table with_nul;
+  with_nul.AppendRow({std::string("a\0b", 3), "x"});
+  bundle.raw = with_nul;
+  bundle.target = Table{{"x"}};
+  const std::string dir = FreshDir("nul");
+  Status s = SaveTaskBundle(bundle, dir);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << s.ToString();
+  EXPECT_FALSE(fs::exists(dir)) << "rejected bundle left a directory behind";
+
+  // Same for the target table.
+  bundle.raw = Table{{"a", "x"}};
+  Table nul_target;
+  nul_target.AppendRow({std::string("\0", 1)});
+  bundle.target = nul_target;
+  s = SaveTaskBundle(bundle, dir);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << s.ToString();
+  EXPECT_FALSE(fs::exists(dir));
+}
+
+// --- LoadGeneratedCorpus -------------------------------------------------
+
+TEST(LoadGeneratedCorpusTest, LoadsACampaignOutputSortedByName) {
+  fuzz::CampaignOptions options;
+  options.generator.seed = 17;
+  options.count = 12;
+  fuzz::CampaignResult result = fuzz::RunFuzzCampaign(options);
+  ASSERT_EQ(result.oracle_failures, 0);
+
+  const std::string dir = FreshDir("load");
+  ASSERT_TRUE(fuzz::SaveCampaignBundles(result, dir).ok());
+
+  Result<std::vector<Scenario>> corpus = LoadGeneratedCorpus(dir);
+  ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
+  ASSERT_EQ(corpus->size(), 12u);
+  for (size_t i = 0; i < corpus->size(); ++i) {
+    const Scenario& scenario = (*corpus)[i];
+    if (i > 0) {
+      EXPECT_LT((*corpus)[i - 1].name(), scenario.name());
+    }
+    EXPECT_EQ(scenario.tags().source, ScenarioSource::kGenerated);
+    EXPECT_TRUE(scenario.tags().solvable);
+    EXPECT_EQ(scenario.total_records(), 1);
+    ASSERT_TRUE(scenario.truth().has_value());
+    // FromTask semantics: MakeExample(1) is the full pair.
+    Result<ExamplePair> example = scenario.MakeExample(1);
+    ASSERT_TRUE(example.ok());
+    EXPECT_TRUE(example->input.ContentEquals(scenario.FullInput()));
+    EXPECT_TRUE(example->output.ContentEquals(scenario.FullOutput()));
+  }
+  fs::remove_all(dir);
+}
+
+TEST(LoadGeneratedCorpusTest, TagsComeFromTheTruthProgram) {
+  ScenarioTags layout = TagsFromProgram(Program({Drop(0), Move(0, 1)}));
+  EXPECT_FALSE(layout.syntactic);
+  EXPECT_FALSE(layout.complex_ops);
+  EXPECT_FALSE(layout.lengthy);
+  EXPECT_FALSE(layout.uses_wrap);
+
+  ScenarioTags syntactic = TagsFromProgram(Program({Split(0, ":")}));
+  EXPECT_TRUE(syntactic.syntactic);
+  EXPECT_FALSE(syntactic.complex_ops);
+
+  ScenarioTags complex = TagsFromProgram(Program({Fold(2)}));
+  EXPECT_TRUE(complex.complex_ops);
+  EXPECT_FALSE(complex.syntactic);
+
+  ScenarioTags extract =
+      TagsFromProgram(Program({Extract(0, "[0-9]+")}));
+  EXPECT_TRUE(extract.complex_ops);
+  EXPECT_TRUE(extract.syntactic);
+
+  ScenarioTags wrap = TagsFromProgram(Program({WrapAll()}));
+  EXPECT_TRUE(wrap.uses_wrap);
+
+  ScenarioTags lengthy = TagsFromProgram(
+      Program({Drop(0), Drop(0), Drop(0), Drop(0)}));
+  EXPECT_TRUE(lengthy.lengthy);
+}
+
+TEST(LoadGeneratedCorpusTest, MissingTruthIsAnError) {
+  const std::string dir = FreshDir("notruth");
+  TaskBundle bundle;
+  bundle.name = "no_truth";
+  bundle.raw = Table{{"a", "b"}};
+  bundle.target = Table{{"a"}};
+  ASSERT_TRUE(SaveTaskBundle(bundle, dir + "/no_truth").ok());
+  Result<std::vector<Scenario>> corpus = LoadGeneratedCorpus(dir);
+  EXPECT_FALSE(corpus.ok());
+  EXPECT_EQ(corpus.status().code(), StatusCode::kInvalidArgument);
+  fs::remove_all(dir);
+}
+
+TEST(LoadGeneratedCorpusTest, TamperedTargetIsAnError) {
+  const std::string dir = FreshDir("tampered");
+  TaskBundle bundle;
+  bundle.name = "tampered";
+  bundle.raw = Table{{"a", "b"}, {"c", "d"}};
+  bundle.truth = Program({Drop(1)});
+  bundle.target = Table{{"WRONG"}, {"c"}};  // Not what Drop(1) produces.
+  ASSERT_TRUE(SaveTaskBundle(bundle, dir + "/tampered").ok());
+  Result<std::vector<Scenario>> corpus = LoadGeneratedCorpus(dir);
+  EXPECT_FALSE(corpus.ok());
+  EXPECT_EQ(corpus.status().code(), StatusCode::kInvalidArgument);
+  fs::remove_all(dir);
+}
+
+TEST(LoadGeneratedCorpusTest, MissingDirectoryIsNotFound) {
+  Result<std::vector<Scenario>> corpus =
+      LoadGeneratedCorpus(::testing::TempDir() + "does_not_exist_xyzzy");
+  EXPECT_FALSE(corpus.ok());
+  EXPECT_EQ(corpus.status().code(), StatusCode::kNotFound);
+}
+
+TEST(GeneratedCorpusFromEnvTest, UnsetMeansEmpty) {
+  // The test runner does not set FOOFAH_GENERATED_CORPUS for this binary,
+  // so the cached env corpus must be empty (and callers GTEST_SKIP).
+  if (std::getenv("FOOFAH_GENERATED_CORPUS") != nullptr) {
+    GTEST_SKIP() << "FOOFAH_GENERATED_CORPUS is set in this environment";
+  }
+  EXPECT_TRUE(GeneratedCorpusFromEnv().empty());
+}
+
+}  // namespace
+}  // namespace foofah

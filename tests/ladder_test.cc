@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "scenarios/corpus.h"
+#include "scenarios/generated.h"
 #include "util/cancellation.h"
 
 namespace foofah {
@@ -205,6 +206,11 @@ LadderResult RunScenarioLadder(const Scenario& scenario, int num_threads,
   LadderOptions options;
   options.base.node_budget = 1'500;
   options.base.timeout_ms = 0;  // Wall-clock-free: deterministic.
+  // Expansions of wide states can keep thousands of children each; without
+  // this cap a fuzzer-generated wrapall/fold scenario fills GBs of frontier
+  // inside the node budget. A plain counter — deterministic at any thread
+  // count.
+  options.base.max_generated = 20'000;
   options.base.num_threads = num_threads;
   options.portfolio = portfolio;
   return RunDegradationLadder(example->input, example->output, options);
@@ -274,6 +280,32 @@ TEST(LadderCorpusPropertyTest, PortfolioMatchesSequentialDescent) {
         << sequential.winning_rung << "; portfolio "
         << portfolio.attempt_count << " attempts, rung "
         << portfolio.winning_rung << ")";
+  }
+}
+
+// The typed-shape and thread-count-determinism contracts extend to a
+// fuzzer-generated corpus when one is supplied (check.sh stage 8).
+TEST(LadderGeneratedCorpusTest, TypedShapeAndThreadDeterminism) {
+  const std::vector<Scenario>& corpus = GeneratedCorpusFromEnv();
+  if (corpus.empty()) {
+    GTEST_SKIP() << "FOOFAH_GENERATED_CORPUS not set";
+  }
+  for (const Scenario& scenario : corpus) {
+    LadderResult result = RunScenarioLadder(scenario, 1);
+    ASSERT_FALSE(result.attempts.empty()) << scenario.name();
+    if (result.found) {
+      EXPECT_TRUE(result.status.ok()) << scenario.name();
+      EXPECT_GE(result.winning_rung, 0) << scenario.name();
+    } else {
+      const StatusCode code = result.status.code();
+      EXPECT_TRUE(code == StatusCode::kResourceExhausted ||
+                  code == StatusCode::kNotFound)
+          << scenario.name() << ": " << result.status.ToString();
+    }
+    const LadderFingerprint parallel =
+        Fingerprint(RunScenarioLadder(scenario, 8));
+    EXPECT_TRUE(Fingerprint(result) == parallel)
+        << scenario.name() << ": ladder diverged between thread counts";
   }
 }
 

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "scenarios/corpus.h"
+#include "scenarios/generated.h"
 #include "util/retry.h"
 
 namespace foofah {
@@ -163,11 +164,12 @@ ResponseFingerprint Fingerprint(const ServiceResponse& response) {
   return fp;
 }
 
-/// Runs every corpus scenario through a service with `num_workers` and
-/// wall-clock-free budgets (node budget only, no deadline, capacity large
-/// enough that nothing sheds), returning one fingerprint per scenario.
-std::vector<ResponseFingerprint> RunCorpus(int num_workers) {
-  const std::vector<Scenario>& corpus = Corpus();
+/// Runs every scenario of `corpus` through a service with `num_workers`
+/// and wall-clock-free budgets (node budget only, no deadline, capacity
+/// large enough that nothing sheds), returning one fingerprint per
+/// scenario.
+std::vector<ResponseFingerprint> RunCorpus(const std::vector<Scenario>& corpus,
+                                           int num_workers) {
   ServiceOptions options;
   options.num_workers = num_workers;
   options.queue_capacity = corpus.size() + 1;  // No shedding.
@@ -175,6 +177,11 @@ std::vector<ResponseFingerprint> RunCorpus(int num_workers) {
   options.default_deadline_ms = 0;             // No wall clock anywhere.
   options.base_search.node_budget = 1'000;
   options.base_search.timeout_ms = 0;
+  // The node budget caps *expansions*, but one expansion of a wide state
+  // can generate thousands of kept children (fuzzer-generated wrapall/fold
+  // scenarios reach GBs of frontier before 1'000 expansions). Cap kept
+  // states too — a plain counter, identical at every worker count.
+  options.base_search.max_generated = 20'000;
   SynthesisService service(options);
 
   std::vector<SynthesisService::Ticket> tickets;
@@ -196,12 +203,12 @@ std::vector<ResponseFingerprint> RunCorpus(int num_workers) {
   return fingerprints;
 }
 
-TEST(ServiceSoakTest, ResultsAreBitIdenticalAcrossWorkerCounts) {
-  const std::vector<ResponseFingerprint> one_worker = RunCorpus(1);
-  const std::vector<Scenario>& corpus = Corpus();
+void ExpectBitIdenticalAcrossWorkerCounts(
+    const std::vector<Scenario>& corpus) {
+  const std::vector<ResponseFingerprint> one_worker = RunCorpus(corpus, 1);
   ASSERT_EQ(one_worker.size(), corpus.size());
   for (int workers : {2, 8}) {
-    const std::vector<ResponseFingerprint> many = RunCorpus(workers);
+    const std::vector<ResponseFingerprint> many = RunCorpus(corpus, workers);
     ASSERT_EQ(many.size(), one_worker.size());
     for (size_t i = 0; i < many.size(); ++i) {
       EXPECT_TRUE(many[i] == one_worker[i])
@@ -211,6 +218,20 @@ TEST(ServiceSoakTest, ResultsAreBitIdenticalAcrossWorkerCounts) {
           << "] vs [" << many[i].script << "]";
     }
   }
+}
+
+TEST(ServiceSoakTest, ResultsAreBitIdenticalAcrossWorkerCounts) {
+  ExpectBitIdenticalAcrossWorkerCounts(Corpus());
+}
+
+// Same determinism contract over a fuzzer-generated corpus (check.sh
+// stage 8 runs this with --gtest_filter=*Generated* after emitting one).
+TEST(ServiceSoakTest, GeneratedCorpusBitIdenticalAcrossWorkerCounts) {
+  const std::vector<Scenario>& corpus = GeneratedCorpusFromEnv();
+  if (corpus.empty()) {
+    GTEST_SKIP() << "FOOFAH_GENERATED_CORPUS not set";
+  }
+  ExpectBitIdenticalAcrossWorkerCounts(corpus);
 }
 
 }  // namespace

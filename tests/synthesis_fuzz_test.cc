@@ -21,61 +21,14 @@
 #include "ops/operators.h"
 #include "scenarios/corpus.h"
 #include "search/search.h"
+#include "testing/random_tables.h"
+#include "util/rng.h"
 
 namespace foofah {
 namespace {
 
-/// Minimal deterministic LCG (independent of global RNG state).
-class Lcg {
- public:
-  explicit Lcg(uint64_t seed) : state_(seed * 2654435761u + 1) {}
-  uint32_t Next(uint32_t bound) {
-    state_ = state_ * 6364136223846793005ULL + 1442695040888963407ULL;
-    return static_cast<uint32_t>((state_ >> 33) % bound);
-  }
-
- private:
-  uint64_t state_;
-};
-
-Table RandomTable(Lcg* rng) {
-  const char* values[] = {"ada",  "vint", "tim",   "42",   "7:30", "a-b",
-                          "x",    "1999", "k:v",   "ok",   "n7",   "q"};
-  int rows = 2 + static_cast<int>(rng->Next(3));
-  int cols = 2 + static_cast<int>(rng->Next(3));
-  Table t;
-  for (int r = 0; r < rows; ++r) {
-    Table::Row row;
-    for (int c = 0; c < cols; ++c) {
-      row.push_back(values[rng->Next(12)]);
-    }
-    t.AppendRow(std::move(row));
-  }
-  return t;
-}
-
-/// Ragged-table generator: rows of uneven stored length, interior empty
-/// cells, and multi-byte UTF-8 content. This is the distribution the
-/// copy-on-write substrate must not regress on — short rows exercise the
-/// out-of-rectangle read paths, empty cells the Delete/Fill sharing
-/// paths, and unicode the byte-oriented char-set pruning (multi-byte
-/// sequences are neither ASCII alnum nor printable symbols).
-Table RandomRaggedTable(Lcg* rng) {
-  const char* values[] = {"ada",  "héllo", "東京", "42",  "",    "naïve",
-                          "x",    "αβγ",   "k:v", "7:30", "",    "ok✓"};
-  int rows = 2 + static_cast<int>(rng->Next(3));
-  Table t;
-  for (int r = 0; r < rows; ++r) {
-    // 1..4 stored cells per row, independent of the other rows.
-    int cols = 1 + static_cast<int>(rng->Next(4));
-    Table::Row row;
-    for (int c = 0; c < cols; ++c) {
-      row.push_back(values[rng->Next(12)]);
-    }
-    t.AppendRow(std::move(row));
-  }
-  return t;
-}
+using testing::RandomRaggedTable;
+using testing::RandomTable;
 
 struct FuzzCase {
   Table input;
@@ -133,21 +86,14 @@ void BuildGoal(FuzzCase* fuzz_ptr, Lcg* rng_ptr, int max_ops) {
 
 SearchOptions FuzzOptions() {
   SearchOptions options;
-  options.timeout_ms = 2'000;
+  // The expansion budget is the real fuzz bound — it is what makes these
+  // tests deterministic. The wall clock is only a runaway safety net, and
+  // it must be generous enough never to bind when the machine is slow:
+  // sanitizers cost 3-10x, and a parallel ctest run contends for cores
+  // (a 2 s limit here failed a single-op case under `ctest -j4` purely
+  // from scheduling noise).
+  options.timeout_ms = 60'000;
   options.max_expansions = 8'000;
-#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
-  // The sanitizers slow the search several-fold (TSan ~10x, ASan ~3x);
-  // keep the expansion budget (the real fuzz bound) but widen the
-  // wall-clock limit so instrumented runs exercise the same search graph
-  // instead of timing out — the deadline now interrupts mid-evaluation,
-  // so a slowed run can no longer finish an over-budget expansion "for
-  // free".
-  options.timeout_ms = 60'000;
-#elif defined(__has_feature)
-#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
-  options.timeout_ms = 60'000;
-#endif
-#endif
   return options;
 }
 

@@ -23,22 +23,10 @@
 #include "program/describe.h"
 #include "scenarios/corpus.h"
 #include "table/table.h"
+#include "util/rng.h"
 
 namespace foofah {
 namespace {
-
-/// Minimal deterministic LCG (independent of global RNG state).
-class Lcg {
- public:
-  explicit Lcg(uint64_t seed) : state_(seed * 2654435761u + 1) {}
-  uint32_t Next(uint32_t bound) {
-    state_ = state_ * 6364136223846793005ULL + 1442695040888963407ULL;
-    return static_cast<uint32_t>((state_ >> 33) % bound);
-  }
-
- private:
-  uint64_t state_;
-};
 
 using DeepRows = std::vector<Table::Row>;
 

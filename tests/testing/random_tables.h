@@ -1,0 +1,64 @@
+#ifndef FOOFAH_TESTS_TESTING_RANDOM_TABLES_H_
+#define FOOFAH_TESTS_TESTING_RANDOM_TABLES_H_
+
+// Shared deterministic random-table generators for the randomized test
+// suites (synthesis fuzzing, CoW differential chains). All randomness
+// comes from an explicitly seeded foofah::Lcg (src/util/rng.h), so every
+// suite using these helpers replays bit-identically from its seed.
+//
+// These are the *small adversarial* distributions the test suites were
+// tuned on; the production-scale typed generator (numeric/date/delimiter
+// structured columns, hole/raggedness control) lives in
+// src/fuzz/generator.h as fuzz::RandomTypedTable.
+
+#include "table/table.h"
+#include "util/rng.h"
+
+namespace foofah {
+namespace testing {
+
+/// Rectangular table of 2-4 rows x 2-4 cols over a fixed mixed vocabulary
+/// (words, numbers, ':'/'-' delimited pairs).
+inline Table RandomTable(Lcg* rng) {
+  const char* values[] = {"ada",  "vint", "tim",   "42",   "7:30", "a-b",
+                          "x",    "1999", "k:v",   "ok",   "n7",   "q"};
+  int rows = 2 + static_cast<int>(rng->Next(3));
+  int cols = 2 + static_cast<int>(rng->Next(3));
+  Table t;
+  for (int r = 0; r < rows; ++r) {
+    Table::Row row;
+    for (int c = 0; c < cols; ++c) {
+      row.push_back(values[rng->Next(12)]);
+    }
+    t.AppendRow(std::move(row));
+  }
+  return t;
+}
+
+/// Ragged-table generator: rows of uneven stored length, interior empty
+/// cells, and multi-byte UTF-8 content. This is the distribution the
+/// copy-on-write substrate must not regress on — short rows exercise the
+/// out-of-rectangle read paths, empty cells the Delete/Fill sharing
+/// paths, and unicode the byte-oriented char-set pruning (multi-byte
+/// sequences are neither ASCII alnum nor printable symbols).
+inline Table RandomRaggedTable(Lcg* rng) {
+  const char* values[] = {"ada",  "héllo", "東京", "42",  "",    "naïve",
+                          "x",    "αβγ",   "k:v", "7:30", "",    "ok✓"};
+  int rows = 2 + static_cast<int>(rng->Next(3));
+  Table t;
+  for (int r = 0; r < rows; ++r) {
+    // 1..4 stored cells per row, independent of the other rows.
+    int cols = 1 + static_cast<int>(rng->Next(4));
+    Table::Row row;
+    for (int c = 0; c < cols; ++c) {
+      row.push_back(values[rng->Next(12)]);
+    }
+    t.AppendRow(std::move(row));
+  }
+  return t;
+}
+
+}  // namespace testing
+}  // namespace foofah
+
+#endif  // FOOFAH_TESTS_TESTING_RANDOM_TABLES_H_
