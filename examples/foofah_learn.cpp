@@ -1,0 +1,283 @@
+// foofah_learn: mine, inspect and verify learned-guidance snapshots
+// (see DESIGN.md "Learned candidate guidance").
+//
+// Mining walks ground-truth programs — the built-in 50-scenario corpus,
+// a generated-corpus directory, and/or an in-process fuzz stream — into
+// operator n-gram and table-profile statistics, optionally solves each
+// mined task to persist heuristic-memo and program-result cache entries,
+// and writes the versioned, checksummed snapshot a SynthesisService
+// loads at boot (ServiceOptions::snapshot_path).
+//
+//   foofah_learn mine --out guidance.snap
+//   foofah_learn mine --out g.snap --generated DIR
+//   foofah_learn mine --out g.snap --fuzz-seed 1 --fuzz-count 60 --solve
+//   foofah_learn inspect guidance.snap
+//   foofah_learn verify guidance.snap
+//
+// Exit status: 0 on success, 1 when verify rejects the snapshot (missing,
+// version-mismatched, tampered, or malformed), 2 on usage/IO errors.
+
+#include <algorithm>
+#include <array>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "fuzz/generator.h"
+#include "heuristic/heuristic_cache.h"
+#include "learn/guidance.h"
+#include "learn/snapshot.h"
+#include "learn/stats.h"
+#include "scenarios/corpus.h"
+#include "scenarios/generated.h"
+#include "search/search.h"
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s <command> [options]\n"
+      "commands:\n"
+      "  mine --out PATH     mine statistics and write a snapshot\n"
+      "    --no-builtin        skip the built-in 50-scenario corpus\n"
+      "    --generated DIR     also mine a generated-corpus directory\n"
+      "    --fuzz-seed N       also mine an in-process fuzz stream\n"
+      "    --fuzz-count N        ... of this many scenarios (default 60)\n"
+      "    --solve             solve mined tasks to persist heuristic and\n"
+      "                        program-result cache entries\n"
+      "  inspect PATH        print a human-readable model summary\n"
+      "  verify PATH         load + checksum-verify; exit 1 on rejection\n",
+      argv0);
+}
+
+bool ParseInt64(const char* text, int64_t* out) {
+  char* end = nullptr;
+  long long value = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || value < 0) return false;
+  *out = value;
+  return true;
+}
+
+/// Solves one mined task with the default exact search and, on success,
+/// folds the SEARCH's winner into the model (truth programs say what a
+/// transformation looks like; solver winners say which of several
+/// equal-cost solutions the search actually returns, which is what the
+/// policy's evidence floor needs to keep guided wins byte-identical to
+/// the exact search) and appends its program-result entry and the run's
+/// heuristic estimates to the snapshot's cache sections.
+void SolveIntoSnapshot(const foofah::Table& input, const foofah::Table& goal,
+                       foofah::GuidanceSnapshot* snapshot) {
+  foofah::SearchOptions options;
+  options.max_expansions = 4'000;
+  options.max_generated = 20'000;
+  foofah::HeuristicCache run_cache;
+  options.heuristic_cache = &run_cache;
+  foofah::SearchResult result =
+      foofah::SynthesizeProgram(input, goal, options);
+  if (!result.found) return;
+  foofah::MineProgram(input, goal, result.program, &snapshot->model);
+  foofah::GuidanceSnapshot::ProgramEntry entry;
+  entry.input_hash = input.Hash();
+  entry.input_shape = input.ShapeFingerprint();
+  entry.output_hash = goal.Hash();
+  entry.output_shape = goal.ShapeFingerprint();
+  entry.script = result.program.ToScript();
+  snapshot->program_entries.push_back(std::move(entry));
+  // The root estimate is the one guaranteed-reused memo entry for a
+  // repeat of this exact request (every search estimates its root
+  // first), and persisting one entry per solved task keeps the snapshot
+  // small. Re-deriving it here is cheap and keeps the entry provably
+  // tied to (input, goal).
+  foofah::GuidanceSnapshot::HeuristicEntry h;
+  h.state_hash = input.Hash();
+  h.goal_hash = goal.Hash();
+  h.checksum = input.ShapeFingerprint();
+  if (auto estimate =
+          run_cache.Lookup(h.state_hash, h.goal_hash, h.checksum)) {
+    h.estimate = *estimate;
+    snapshot->heuristic_entries.push_back(h);
+  }
+}
+
+int CmdMine(int argc, char** argv) {
+  std::string out_path;
+  std::string generated_dir;
+  bool use_builtin = true;
+  bool solve = false;
+  int64_t fuzz_seed = -1;
+  int64_t fuzz_count = 60;
+  for (int i = 0; i < argc; ++i) {
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--out") == 0) {
+      out_path = need_value("--out");
+    } else if (std::strcmp(argv[i], "--generated") == 0) {
+      generated_dir = need_value("--generated");
+    } else if (std::strcmp(argv[i], "--no-builtin") == 0) {
+      use_builtin = false;
+    } else if (std::strcmp(argv[i], "--solve") == 0) {
+      solve = true;
+    } else if (std::strcmp(argv[i], "--fuzz-seed") == 0) {
+      if (!ParseInt64(need_value("--fuzz-seed"), &fuzz_seed)) return 2;
+    } else if (std::strcmp(argv[i], "--fuzz-count") == 0) {
+      if (!ParseInt64(need_value("--fuzz-count"), &fuzz_count)) return 2;
+    } else {
+      std::fprintf(stderr, "unknown mine option '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+  if (out_path.empty()) {
+    std::fprintf(stderr, "mine: --out PATH is required\n");
+    return 2;
+  }
+
+  foofah::GuidanceSnapshot snapshot;
+  if (use_builtin) {
+    snapshot.model.MergeFrom(foofah::MineScenarios(foofah::Corpus()));
+    if (solve) {
+      for (const foofah::Scenario& scenario : foofah::Corpus()) {
+        if (!scenario.truth().has_value()) continue;
+        SolveIntoSnapshot(scenario.FullInput(), scenario.FullOutput(),
+                          &snapshot);
+      }
+    }
+  }
+  if (!generated_dir.empty()) {
+    foofah::Result<std::vector<foofah::Scenario>> loaded =
+        foofah::LoadGeneratedCorpus(generated_dir);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "mine: cannot load '%s': %s\n",
+                   generated_dir.c_str(),
+                   loaded.status().ToString().c_str());
+      return 2;
+    }
+    snapshot.model.MergeFrom(foofah::MineScenarios(*loaded));
+    if (solve) {
+      for (const foofah::Scenario& scenario : *loaded) {
+        SolveIntoSnapshot(scenario.FullInput(), scenario.FullOutput(),
+                          &snapshot);
+      }
+    }
+  }
+  if (fuzz_seed >= 0) {
+    foofah::fuzz::GeneratorOptions gen_options;
+    gen_options.seed = static_cast<uint64_t>(fuzz_seed);
+    foofah::fuzz::ScenarioGenerator generator(gen_options);
+    for (int i = 0; i < fuzz_count; ++i) {
+      foofah::fuzz::GeneratedScenario scenario = generator.Generate(i);
+      foofah::MineProgram(scenario.input, scenario.output, scenario.program,
+                          &snapshot.model);
+      if (solve) {
+        SolveIntoSnapshot(scenario.input, scenario.output, &snapshot);
+      }
+    }
+  }
+
+  foofah::Status saved = foofah::SaveGuidanceSnapshot(snapshot, out_path);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "mine: %s\n", saved.ToString().c_str());
+    return 2;
+  }
+  std::printf("mined %" PRIu64 " programs / %" PRIu64
+              " operations; %zu heuristic entries, %zu program entries\n",
+              snapshot.model.programs_mined, snapshot.model.operations_mined,
+              snapshot.heuristic_entries.size(),
+              snapshot.program_entries.size());
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+int CmdInspect(const char* path) {
+  foofah::Result<foofah::GuidanceSnapshot> loaded =
+      foofah::LoadGuidanceSnapshot(path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "inspect: %s\n", loaded.status().ToString().c_str());
+    return 2;
+  }
+  const foofah::GuidanceModel& m = loaded->model;
+  std::printf("guidance snapshot v%d: %s\n", foofah::kGuidanceSnapshotVersion,
+              path);
+  std::printf("  programs mined:   %" PRIu64 "\n", m.programs_mined);
+  std::printf("  operations mined: %" PRIu64 "\n", m.operations_mined);
+  std::printf("  profile buckets:  %zu populated\n", m.profile.size());
+  std::printf("  heuristic cache:  %zu entries\n",
+              loaded->heuristic_entries.size());
+  std::printf("  program cache:    %zu entries\n",
+              loaded->program_entries.size());
+
+  std::vector<int> order(foofah::kNumOpCodes);
+  for (int c = 0; c < foofah::kNumOpCodes; ++c) order[c] = c;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    if (m.unigram[a] != m.unigram[b]) return m.unigram[a] > m.unigram[b];
+    return a < b;
+  });
+  std::printf("  operator marginals:\n");
+  for (int c : order) {
+    if (m.unigram[c] == 0) break;
+    std::printf("    %-10s %" PRIu64 "\n",
+                foofah::OpCodeName(static_cast<foofah::OpCode>(c)),
+                m.unigram[c]);
+  }
+
+  // What the policy actually does with these counts: the kept set for a
+  // program's first operation on a few representative buckets.
+  foofah::GuidancePolicy policy(m);
+  std::printf("  kept families at program start (by bucket):\n");
+  for (const auto& [bucket, counts] : m.profile) {
+    (void)counts;
+    std::array<bool, foofah::kNumOpCodes> kept =
+        policy.KeptFamilies(foofah::GuidanceModel::kStartToken, bucket);
+    std::printf("    bucket %2u:", bucket);
+    for (int c = 0; c < foofah::kNumOpCodes; ++c) {
+      if (kept[c]) {
+        std::printf(" %s",
+                    foofah::OpCodeName(static_cast<foofah::OpCode>(c)));
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int CmdVerify(const char* path) {
+  foofah::Result<foofah::GuidanceSnapshot> loaded =
+      foofah::LoadGuidanceSnapshot(path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "verify: REJECTED: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("verify: OK (%" PRIu64 " programs, %zu+%zu cache entries)\n",
+              loaded->model.programs_mined, loaded->heuristic_entries.size(),
+              loaded->program_entries.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage(argv[0]);
+    return 2;
+  }
+  if (std::strcmp(argv[1], "mine") == 0) {
+    return CmdMine(argc - 2, argv + 2);
+  }
+  if (std::strcmp(argv[1], "inspect") == 0 && argc == 3) {
+    return CmdInspect(argv[2]);
+  }
+  if (std::strcmp(argv[1], "verify") == 0 && argc == 3) {
+    return CmdVerify(argv[2]);
+  }
+  Usage(argv[0]);
+  return 2;
+}

@@ -33,21 +33,30 @@
 # repro), and the service determinism matrix (1/2/8 workers) replayed
 # over a freshly generated corpus.
 #
+# Stage 9 gates the learned-guidance layer: the learn-labeled unit suite
+# (differential byte-identity, snapshot round-trip, solve-rate floor), a
+# mine-twice byte-identity check of the foofah_learn CLI, a verify pass
+# over the mined snapshot, and a tamper-a-byte check that verify rejects.
+# It reuses the stage-8 generated corpus when stage 8 ran; otherwise it
+# generates the same 60-scenario seed-2 corpus itself.
+#
 # Usage: scripts/check.sh [--skip-tsan] [--skip-asan] [--skip-fault]
 #                         [--skip-stress] [--skip-perf] [--skip-exec]
-#                         [--skip-fuzz]
+#                         [--skip-fuzz] [--skip-learn]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
-# Stages 7 and 8 both allocate scratch directories; one trap cleans up
-# whichever exist at exit.
+# Stages 7-9 allocate scratch directories; one trap cleans up whichever
+# exist at exit.
 EXEC_TMP=""
 FUZZ_TMP=""
+LEARN_TMP=""
 cleanup() {
   [[ -n "${EXEC_TMP}" ]] && rm -rf "${EXEC_TMP}"
   [[ -n "${FUZZ_TMP}" ]] && rm -rf "${FUZZ_TMP}"
+  [[ -n "${LEARN_TMP}" ]] && rm -rf "${LEARN_TMP}"
   return 0
 }
 trap cleanup EXIT
@@ -64,6 +73,7 @@ SKIP_STRESS=0
 SKIP_PERF="${FOOFAH_SKIP_PERF_SMOKE:-0}"
 SKIP_EXEC=0
 SKIP_FUZZ=0
+SKIP_LEARN=0
 for arg in "$@"; do
   case "${arg}" in
     --skip-tsan) SKIP_TSAN=1 ;;
@@ -73,6 +83,7 @@ for arg in "$@"; do
     --skip-perf) SKIP_PERF=1 ;;
     --skip-exec) SKIP_EXEC=1 ;;
     --skip-fuzz) SKIP_FUZZ=1 ;;
+    --skip-learn) SKIP_LEARN=1 ;;
     *) echo "unknown option: ${arg}" >&2; exit 2 ;;
   esac
 done
@@ -87,7 +98,7 @@ else
     --target parallel_search_test frontier_parallel_test \
     heuristic_cache_test synthesis_fuzz_test \
     cancellation_test fault_injection_test wrangler_session_test \
-    service_test exec_diff_test
+    service_test exec_diff_test guidance_snapshot_test
   ctest --test-dir build-tsan --output-on-failure -L tsan -j "${JOBS}"
 fi
 
@@ -102,7 +113,8 @@ else
     extension_ops_test table_cow_diff_test synthesis_fuzz_test \
     cancellation_test service_soak_test \
     arena_test csv_stream_test exec_test exec_diff_test \
-    fuzz_generator_test fuzz_oracle_test generated_corpus_test
+    fuzz_generator_test fuzz_oracle_test generated_corpus_test \
+    guidance_snapshot_test
   ctest --test-dir build-asan --output-on-failure -L asan -j "${JOBS}"
 fi
 
@@ -248,6 +260,61 @@ else
   FOOFAH_GENERATED_CORPUS="${FUZZ_TMP}/soak_corpus" \
     ./build/tests/service_soak_test --gtest_filter='*Generated*'
   echo "fuzz gate: generated corpus bit-identical across 1/2/8 workers"
+fi
+
+# Stage 9: learned-guidance gate. The unit suite carries the heavy
+# contracts (guided == exact byte-identity, snapshot round-trip typed
+# errors, the >= 91 solve-rate floor); the CLI legs pin the operational
+# story: mining is deterministic, verify accepts what mine wrote, and
+# verify rejects a single flipped byte.
+if [[ "${SKIP_LEARN}" == 1 ]]; then
+  echo "== Learn stage skipped =="
+else
+  echo "== Learned guidance gate =="
+  cmake --build build -j "${JOBS}" --target foofah_learn foofah_fuzz \
+    guidance_diff_test guidance_snapshot_test guidance_solverate_test
+  ctest --test-dir build --output-on-failure -L learn -j "${JOBS}"
+
+  LEARN_TMP="$(mktemp -d)"
+
+  # Reuse the stage-8 seed-2 corpus when that stage ran; regenerate the
+  # identical corpus otherwise.
+  corpus="${FUZZ_TMP:+${FUZZ_TMP}/soak_corpus}"
+  if [[ -z "${corpus}" || ! -d "${corpus}" ]]; then
+    corpus="${LEARN_TMP}/corpus"
+    ./build/examples/foofah_fuzz --seed 2 --count 60 \
+      --out "${corpus}" >/dev/null
+  fi
+
+  # Leg 1: mining is deterministic — two runs over the same inputs must
+  # write byte-identical snapshots.
+  ./build/examples/foofah_learn mine --out "${LEARN_TMP}/a.snap" \
+    --generated "${corpus}" --solve >/dev/null
+  ./build/examples/foofah_learn mine --out "${LEARN_TMP}/b.snap" \
+    --generated "${corpus}" --solve >/dev/null
+  if ! cmp -s "${LEARN_TMP}/a.snap" "${LEARN_TMP}/b.snap"; then
+    echo "learn gate: mine produced different snapshots on identical input" >&2
+    exit 1
+  fi
+  echo "learn gate: mine is byte-deterministic"
+
+  # Leg 2: verify accepts the freshly mined snapshot.
+  ./build/examples/foofah_learn verify "${LEARN_TMP}/a.snap"
+
+  # Leg 3: flip one payload byte — verify must reject with exit 1.
+  size="$(wc -c < "${LEARN_TMP}/a.snap")"
+  orig="$(dd if="${LEARN_TMP}/a.snap" bs=1 skip="$((size / 2))" count=1 \
+    status=none)"
+  repl='X'
+  [[ "${orig}" == 'X' ]] && repl='Y'
+  printf '%s' "${repl}" | dd of="${LEARN_TMP}/a.snap" bs=1 \
+    seek="$((size / 2))" conv=notrunc status=none
+  if ./build/examples/foofah_learn verify "${LEARN_TMP}/a.snap" \
+      >/dev/null 2>&1; then
+    echo "learn gate: verify accepted a tampered snapshot" >&2
+    exit 1
+  fi
+  echo "learn gate: tampered snapshot rejected"
 fi
 
 echo "All checks passed."

@@ -40,6 +40,18 @@ struct CampaignOptions {
   bool keep_passing_outcomes = true;
 };
 
+/// Frontier guard shared by every bounded search profile that must stay
+/// deterministic: node/expansion budgets cap *expansions*, but a single
+/// expansion of a wide state can keep thousands of children — a
+/// fuzzer-generated wrapall/fold scenario fills GBs of frontier well
+/// inside a small expansion budget. Capping generated (kept) states too
+/// is a plain counter, identical at every thread count. Used by the
+/// determinism suites' testing::WallClockFreeSearchOptions profile (NOT
+/// by DefaultFuzzSearchOptions, whose 2 s wall clock already bounds the
+/// frontier and whose solve baseline — FUZZ_report.json's 91/120 — was
+/// established without a generated cap).
+inline constexpr uint64_t kFuzzFrontierGuardMaxGenerated = 20'000;
+
 /// A bounded default for CampaignOptions::search: wall-clock capped at
 /// 2 s with an 8'000-expansion budget (the synthesis fuzz test's tuning —
 /// enough for almost every 1-2 op task, cheap on adversarial reshapes).

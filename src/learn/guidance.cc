@@ -1,0 +1,109 @@
+#include "learn/guidance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace foofah {
+
+GuidancePolicy::GuidancePolicy(GuidanceModel model, GuidanceOptions options)
+    : model_(std::move(model)), options_(options) {
+  for (int p = 0; p <= kNumOpCodes; ++p) {
+    uint64_t total = 0;
+    for (int c = 0; c < kNumOpCodes; ++c) total += model_.ngram[p][c];
+    ngram_row_total_[p] = total;
+  }
+}
+
+std::array<bool, kNumOpCodes> GuidancePolicy::KeptFamilies(
+    int prev_code, uint32_t bucket) const {
+  const double s = options_.smoothing > 0 ? options_.smoothing : 0.5;
+  const int prev =
+      (prev_code >= 0 && prev_code <= kNumOpCodes) ? prev_code
+                                                   : GuidanceModel::kStartToken;
+
+  const std::array<uint64_t, kNumOpCodes>* bucket_counts = nullptr;
+  uint64_t bucket_total = 0;
+  auto it = model_.profile.find(bucket);
+  if (it != model_.profile.end()) {
+    bucket_counts = &it->second;
+    for (int c = 0; c < kNumOpCodes; ++c) bucket_total += it->second[c];
+  }
+
+  const double ngram_denom =
+      static_cast<double>(ngram_row_total_[prev]) + s * kNumOpCodes;
+  const double bucket_denom =
+      static_cast<double>(bucket_total) + s * kNumOpCodes;
+
+  std::array<double, kNumOpCodes> score{};
+  double score_total = 0;
+  for (int c = 0; c < kNumOpCodes; ++c) {
+    const double p_ngram =
+        (static_cast<double>(model_.ngram[prev][c]) + s) / ngram_denom;
+    const double p_bucket =
+        ((bucket_counts != nullptr ? static_cast<double>((*bucket_counts)[c])
+                                   : 0.0) +
+         s) /
+        bucket_denom;
+    score[c] = std::sqrt(p_ngram * p_bucket);
+    score_total += score[c];
+  }
+
+  // Rank descending; ties break toward the smaller OpCode so the ranking
+  // (and therefore the defer mask) is a deterministic pure function.
+  std::array<int, kNumOpCodes> order{};
+  for (int c = 0; c < kNumOpCodes; ++c) order[c] = c;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    if (score[a] != score[b]) return score[a] > score[b];
+    return a < b;
+  });
+
+  std::array<bool, kNumOpCodes> kept{};
+  const int min_keep = std::max(1, options_.min_keep_ops);
+  double mass = 0;
+  for (int rank = 0; rank < kNumOpCodes; ++rank) {
+    const int c = order[rank];
+    if (rank < min_keep || mass < options_.keep_mass * score_total) {
+      kept[c] = true;
+      mass += score[c];
+    } else {
+      break;  // Ranks only get worse from here.
+    }
+  }
+
+  // The evidence floor: a family the mined corpus HAS used in this
+  // context — after this previous operator AND on a state with this
+  // profile — is never deferred, however low its normalized score. The
+  // mass rule above carries the deferral strength; this floor protects
+  // exactly the arcs real winner programs travel (the differential
+  // suite's byte-identity divergences all traced back to deferring a
+  // family with mined evidence for its context). Both counts are
+  // required: mining one step credits its bigram and its bucket
+  // together, so every winner arc passes, while families evidenced only
+  // after other predecessors (or only in other buckets) stay deferrable.
+  if (options_.keep_mined_evidence) {
+    for (int c = 0; c < kNumOpCodes; ++c) {
+      if (kept[c]) continue;
+      if (model_.ngram[prev][c] > 0 && bucket_counts != nullptr &&
+          (*bucket_counts)[c] > 0) {
+        kept[c] = true;
+      }
+    }
+  }
+  return kept;
+}
+
+void GuidancePolicy::Partition(const Table& state, const Table& goal,
+                               const Operation* via,
+                               const std::vector<Operation>& candidates,
+                               std::vector<uint8_t>* defer) const {
+  const int prev = via != nullptr ? static_cast<int>(via->op)
+                                  : GuidanceModel::kStartToken;
+  const std::array<bool, kNumOpCodes> kept =
+      KeptFamilies(prev, ProfileBucket(state, goal));
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (!kept[static_cast<int>(candidates[i].op)]) (*defer)[i] = 1;
+  }
+}
+
+}  // namespace foofah

@@ -1,0 +1,83 @@
+#ifndef FOOFAH_LEARN_GUIDANCE_H_
+#define FOOFAH_LEARN_GUIDANCE_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "learn/stats.h"
+#include "ops/operation.h"
+#include "search/guide.h"
+#include "table/table.h"
+
+namespace foofah {
+
+/// Tuning knobs for GuidancePolicy. The defaults defer aggressively —
+/// half the smoothed probability mass, down to two operator families per
+/// expansion — because safety does not come from the mass rule: the
+/// evidence floor below keeps every family the mined corpus actually used
+/// in context, and the staged fallback in SynthesizeProgram keeps every
+/// task solvable that the exact search can solve. (The differential sweep
+/// behind guidance_diff_test showed byte-identical results from keep_mass
+/// 0.30 through 0.95 once solver winners are mined; lower mass simply
+/// defers more of the junk.)
+struct GuidanceOptions {
+  /// Operator families are kept, in descending score order, until their
+  /// cumulative normalized score reaches this mass.
+  double keep_mass = 0.5;
+  /// ... and never fewer than this many families are kept.
+  int min_keep_ops = 2;
+  /// Laplace smoothing added to every count, so an operator unseen in the
+  /// mined corpus scores low but never zero.
+  double smoothing = 0.5;
+  /// Never defer a family with nonzero mined evidence for its context
+  /// (ngram[prev][op] > 0 or profile[bucket][op] > 0): the cumulative-mass
+  /// rule ranks by a smoothed blend, and on sparse corpora it can rank a
+  /// genuinely-observed family below never-observed ones. Deferral is then
+  /// carried by families the corpus never used in that context, which is
+  /// what keeps the guided phase's wins byte-identical to the exact search
+  /// in practice. Off for adversarial/ablation studies.
+  bool keep_mined_evidence = true;
+};
+
+/// The learned candidate guide: scores each operator family as the
+/// geometric mean of two smoothed conditionals from the mined model —
+/// P(op | previous op) from the bigram table and P(op | table profile)
+/// from the bucket conditionals — then defers every candidate whose
+/// family falls outside the top-scoring set covering `keep_mass` of the
+/// normalized score. Scoring is per-FAMILY (OpCode), not per-parameter:
+/// the mined statistics carry no parameter information, and deferring a
+/// whole family is what actually shrinks the frontier (parameter
+/// enumeration within a kept family is left to the exact machinery).
+///
+/// Deterministic pure function of (model, options, arguments); ties in
+/// the score ranking break toward the smaller OpCode. Thread-compatible:
+/// Partition is const and touches no mutable state, so one policy can
+/// serve every worker of a SynthesisService.
+class GuidancePolicy : public CandidateGuide {
+ public:
+  explicit GuidancePolicy(GuidanceModel model, GuidanceOptions options = {});
+
+  void Partition(const Table& state, const Table& goal, const Operation* via,
+                 const std::vector<Operation>& candidates,
+                 std::vector<uint8_t>* defer) const override;
+
+  /// The per-family keep/defer decision for a (previous op, bucket) pair,
+  /// exposed for tests and the `foofah_learn inspect` report:
+  /// kept[code] == true means candidates of that family survive.
+  std::array<bool, kNumOpCodes> KeptFamilies(int prev_code,
+                                             uint32_t bucket) const;
+
+  const GuidanceModel& model() const { return model_; }
+  const GuidanceOptions& options() const { return options_; }
+
+ private:
+  GuidanceModel model_;
+  GuidanceOptions options_;
+  /// Row sums of model_.ngram, precomputed (denominators of P(op|prev)).
+  std::array<uint64_t, kNumOpCodes + 1> ngram_row_total_{};
+};
+
+}  // namespace foofah
+
+#endif  // FOOFAH_LEARN_GUIDANCE_H_

@@ -1,0 +1,100 @@
+#ifndef FOOFAH_LEARN_SNAPSHOT_H_
+#define FOOFAH_LEARN_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "learn/stats.h"
+#include "util/status.h"
+
+namespace foofah {
+
+/// Everything a warm replica needs at boot, in one artifact: the mined
+/// guidance model, plus optional persisted caches — heuristic memo
+/// entries (state/goal hash -> TED estimate) and solved program results
+/// (example-pair fingerprint -> program script) — so a freshly started
+/// SynthesisService answers repeat traffic without re-searching and
+/// starts its first searches with a hot memo.
+struct GuidanceSnapshot {
+  /// One pre-warmed HeuristicCache entry, exactly the Insert() tuple.
+  struct HeuristicEntry {
+    uint64_t state_hash = 0;
+    uint64_t goal_hash = 0;
+    uint64_t checksum = 0;  ///< State shape fingerprint (collision guard).
+    double estimate = 0;
+
+    friend bool operator==(const HeuristicEntry& a, const HeuristicEntry& b) {
+      return a.state_hash == b.state_hash && a.goal_hash == b.goal_hash &&
+             a.checksum == b.checksum && a.estimate == b.estimate;
+    }
+  };
+
+  /// One solved example pair: the four-hash fingerprint of (input,
+  /// output) and the program script that solved it. Consumers must
+  /// re-validate by executing the parsed script against the actual
+  /// request tables before serving (hashes gate the lookup, replay
+  /// proves it).
+  struct ProgramEntry {
+    uint64_t input_hash = 0;
+    uint64_t input_shape = 0;
+    uint64_t output_hash = 0;
+    uint64_t output_shape = 0;
+    std::string script;
+
+    friend bool operator==(const ProgramEntry& a, const ProgramEntry& b) {
+      return a.input_hash == b.input_hash && a.input_shape == b.input_shape &&
+             a.output_hash == b.output_hash &&
+             a.output_shape == b.output_shape && a.script == b.script;
+    }
+  };
+
+  GuidanceModel model;
+  std::vector<HeuristicEntry> heuristic_entries;
+  std::vector<ProgramEntry> program_entries;
+
+  friend bool operator==(const GuidanceSnapshot& a, const GuidanceSnapshot& b) {
+    return a.model == b.model && a.heuristic_entries == b.heuristic_entries &&
+           a.program_entries == b.program_entries;
+  }
+};
+
+/// Current snapshot format version. Loaders reject any other version with
+/// kInvalidArgument — priors silently misread across format changes would
+/// steer every replica's search, so version skew is a hard error, never a
+/// best-effort parse.
+inline constexpr int kGuidanceSnapshotVersion = 1;
+
+/// Renders the snapshot in the versioned text format:
+///
+///   foofah-guidance-snapshot v1
+///   checksum <16-hex FNV-1a-64 of everything after this line>
+///   meta ...
+///   ngram <prev-op-name|^> <op-name> <count>
+///   ...
+///
+/// Deterministic: entries are emitted in sorted order and operators are
+/// identified by their stable surface-syntax NAMES (OpCodeName), so the
+/// bytes are a pure function of the snapshot value — equal snapshots
+/// serialize identically on every platform, which the mine->save->load->
+/// save byte-identity test pins down.
+std::string SerializeGuidanceSnapshot(const GuidanceSnapshot& snapshot);
+
+/// Parses `text`. Typed failures: version mismatch -> kInvalidArgument;
+/// bad magic, checksum mismatch (any payload tampering), malformed lines
+/// or unknown operator names -> kParseError.
+Result<GuidanceSnapshot> ParseGuidanceSnapshot(std::string_view text);
+
+/// Serialize + atomic-ish write (temp file + rename) to `path`.
+Status SaveGuidanceSnapshot(const GuidanceSnapshot& snapshot,
+                            const std::string& path);
+
+/// Read + parse. A missing/unreadable file -> kNotFound (callers that
+/// treat guidance as optional, like service boot, degrade on that code);
+/// content failures keep ParseGuidanceSnapshot's typed codes.
+Result<GuidanceSnapshot> LoadGuidanceSnapshot(const std::string& path);
+
+}  // namespace foofah
+
+#endif  // FOOFAH_LEARN_SNAPSHOT_H_

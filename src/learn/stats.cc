@@ -1,0 +1,98 @@
+#include "learn/stats.h"
+
+#include <utility>
+
+#include "ops/operators.h"
+#include "search/search.h"
+#include "util/status.h"
+
+namespace foofah {
+
+namespace {
+
+/// 0 / 1 / 2 for negative / zero / positive.
+uint32_t Sign3(long long delta) {
+  if (delta < 0) return 0;
+  if (delta == 0) return 1;
+  return 2;
+}
+
+bool HasEmptyCell(const Table& table) {
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    const Table::Row& row = table.row(r);
+    // Ragged rows: the short tail reads as empty cells, which is exactly
+    // the condition Fill/Delete/Fold react to, so count it.
+    if (row.size() < table.num_cols()) return true;
+    for (size_t c = 0; c < table.num_cols(); ++c) {
+      if (row[c].empty()) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+uint32_t ProfileBucket(const Table& state, const Table& goal) {
+  const uint32_t cols_sign =
+      Sign3(static_cast<long long>(state.num_cols()) -
+            static_cast<long long>(goal.num_cols()));
+  const uint32_t rows_sign =
+      Sign3(static_cast<long long>(state.num_rows()) -
+            static_cast<long long>(goal.num_rows()));
+  const uint32_t has_empty = HasEmptyCell(state) ? 1 : 0;
+  const uint32_t single_row_goal = goal.num_rows() == 1 ? 1 : 0;
+  return ((cols_sign * 3 + rows_sign) * 2 + has_empty) * 2 + single_row_goal;
+}
+
+void GuidanceModel::MergeFrom(const GuidanceModel& other) {
+  for (int p = 0; p <= kNumOpCodes; ++p) {
+    for (int c = 0; c < kNumOpCodes; ++c) ngram[p][c] += other.ngram[p][c];
+  }
+  for (int c = 0; c < kNumOpCodes; ++c) unigram[c] += other.unigram[c];
+  for (const auto& [bucket, counts] : other.profile) {
+    std::array<uint64_t, kNumOpCodes>& mine = profile[bucket];
+    for (int c = 0; c < kNumOpCodes; ++c) mine[c] += counts[c];
+  }
+  programs_mined += other.programs_mined;
+  operations_mined += other.operations_mined;
+}
+
+void MineProgram(const Table& input, const Table& goal, const Program& truth,
+                 GuidanceModel* model) {
+  ++model->programs_mined;
+  Table state = input;
+  int prev = GuidanceModel::kStartToken;
+  for (const Operation& operation : truth.operations()) {
+    const int code = static_cast<int>(operation.op);
+    ++model->ngram[prev][code];
+    ++model->unigram[code];
+    ++model->profile[ProfileBucket(state, goal)][code];
+    ++model->operations_mined;
+    prev = code;
+    Result<Table> next = ApplyOperation(state, operation);
+    if (!next.ok()) break;  // Credit only the replayable prefix.
+    state = std::move(next).value();
+  }
+}
+
+bool MineSolved(const Table& input, const Table& goal,
+                const SearchOptions& options, GuidanceModel* model) {
+  SearchOptions exact = options;
+  exact.guidance = nullptr;
+  SearchResult result = SynthesizeProgram(input, goal, exact);
+  if (!result.found) return false;
+  MineProgram(input, goal, result.program, model);
+  return true;
+}
+
+GuidanceModel MineScenarios(const std::vector<Scenario>& scenarios) {
+  GuidanceModel model;
+  for (const Scenario& scenario : scenarios) {
+    if (!scenario.truth().has_value()) continue;
+    MineProgram(scenario.FullInput(), scenario.FullOutput(),
+                *scenario.truth(), &model);
+  }
+  return model;
+}
+
+}  // namespace foofah

@@ -1,0 +1,97 @@
+#ifndef FOOFAH_LEARN_STATS_H_
+#define FOOFAH_LEARN_STATS_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "ops/operation.h"
+#include "program/program.h"
+#include "scenarios/scenario.h"
+#include "table/table.h"
+
+namespace foofah {
+
+struct SearchOptions;  // search/search.h — only MineSolved needs it.
+
+/// Number of distinct ProfileBucket values (see below):
+/// 3 column-delta signs x 3 row-delta signs x has-empty x single-row-goal.
+inline constexpr uint32_t kNumProfileBuckets = 36;
+
+/// Coarse joint feature of (state, goal) used to condition operator
+/// priors: which direction the shape still has to move, whether the state
+/// carries empty cells (Fill/Delete territory), and whether the goal is a
+/// single row (Wrap/Transpose territory). Deliberately low-cardinality —
+/// the mined corpora are small (tens to hundreds of programs), so fine
+/// features would mostly memorize scenario identities instead of
+/// generalizing, and the bucket must be computable in nanoseconds on the
+/// search's hot expansion path.
+uint32_t ProfileBucket(const Table& state, const Table& goal);
+
+/// Operator-usage statistics mined from ground-truth programs: bigram
+/// transition counts (previous operator -> next operator, with a start
+/// token for the first step), marginal unigram counts, and per-bucket
+/// conditionals (table profile -> operator). Everything is raw counts —
+/// smoothing and normalization live in GuidancePolicy — so models merge
+/// by addition and serialize losslessly as integers.
+struct GuidanceModel {
+  /// Row index into `ngram` meaning "no previous operator" (program start).
+  static constexpr int kStartToken = kNumOpCodes;
+
+  /// ngram[prev][next]: count of `next` following `prev` in mined truth
+  /// programs; row kStartToken counts first operations.
+  std::array<std::array<uint64_t, kNumOpCodes>, kNumOpCodes + 1> ngram{};
+
+  /// unigram[op]: total occurrences of `op` across mined programs.
+  std::array<uint64_t, kNumOpCodes> unigram{};
+
+  /// profile[bucket][op]: occurrences of `op` applied to an intermediate
+  /// state whose ProfileBucket (against the mined task's goal) was
+  /// `bucket`. An ordered map so serialization is deterministic.
+  std::map<uint32_t, std::array<uint64_t, kNumOpCodes>> profile;
+
+  uint64_t programs_mined = 0;
+  uint64_t operations_mined = 0;
+
+  /// Counts are additive: pointwise sum of every table.
+  void MergeFrom(const GuidanceModel& other);
+
+  friend bool operator==(const GuidanceModel& a, const GuidanceModel& b) {
+    return a.ngram == b.ngram && a.unigram == b.unigram &&
+           a.profile == b.profile && a.programs_mined == b.programs_mined &&
+           a.operations_mined == b.operations_mined;
+  }
+};
+
+/// Walks one truth program forward from `input` toward `goal`, crediting
+/// each operation to the bigram, unigram and profile tables (the profile
+/// bucket is computed against the state the operation was applied TO,
+/// which is exactly what the search sees at expansion time). Stops early
+/// if a step fails to execute — a truth program that cannot replay
+/// contributes only its valid prefix.
+void MineProgram(const Table& input, const Table& goal, const Program& truth,
+                 GuidanceModel* model);
+
+/// Mines every scenario that carries a ground-truth program (oracle-only
+/// scenarios are skipped: there is no operator sequence to learn from).
+/// Mining walks the FULL example pair, the same tables the solve
+/// campaigns present to the search.
+GuidanceModel MineScenarios(const std::vector<Scenario>& scenarios);
+
+/// Runs the exact (unguided) search on the example and, when it solves,
+/// mines the program the SEARCH found — which on ties is not always the
+/// hand-written truth program. Truth programs teach the policy what
+/// transformations look like; solver winners teach it which of several
+/// equal-cost solutions the search actually returns, and that second
+/// signal is what lets GuidancePolicy's evidence floor keep every arc a
+/// real winner travels (the guided phase then provably returns the exact
+/// search's own program whenever it wins on a mined task — see
+/// guidance_diff_test). `options.guidance` is ignored; the mining run is
+/// always exact. Returns true when a program was mined.
+bool MineSolved(const Table& input, const Table& goal,
+                const SearchOptions& options, GuidanceModel* model);
+
+}  // namespace foofah
+
+#endif  // FOOFAH_LEARN_STATS_H_

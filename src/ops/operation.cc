@@ -44,6 +44,17 @@ const char* OpCodeName(OpCode code) {
   return "unknown";
 }
 
+bool OpCodeFromName(std::string_view name, OpCode* code) {
+  for (int i = 0; i < kNumOpCodes; ++i) {
+    const OpCode candidate = static_cast<OpCode>(i);
+    if (name == OpCodeName(candidate)) {
+      *code = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
 const char* DividePredicateName(DividePredicate predicate) {
   switch (predicate) {
     case DividePredicate::kAllDigits:

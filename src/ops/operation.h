@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 namespace foofah {
 
@@ -38,6 +39,14 @@ inline constexpr int kNumOpCodes = static_cast<int>(OpCode::kDeleteRow) + 1;
 /// Lower-case operator name as used in the program surface syntax
 /// ("split", "unfold", "wrap", ...).
 const char* OpCodeName(OpCode code);
+
+/// Resolves a surface-syntax operator name back to its OpCode, the exact
+/// inverse of OpCodeName. Names — not the enum's integer values — are the
+/// STABLE external identifiers for operators: guidance snapshots, fuzz
+/// reports, and program scripts all key on the name, so the enum can be
+/// reordered or extended without invalidating persisted artifacts.
+/// Returns false (leaving `code` untouched) for an unknown name.
+bool OpCodeFromName(std::string_view name, OpCode* code);
 
 /// Cell-content predicates available to Divide (Appendix A): "if all
 /// digits", "if all alphabets", "if all alphanumerics".

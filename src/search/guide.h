@@ -1,0 +1,50 @@
+#ifndef FOOFAH_SEARCH_GUIDE_H_
+#define FOOFAH_SEARCH_GUIDE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ops/operation.h"
+#include "table/table.h"
+
+namespace foofah {
+
+/// Candidate-guidance hook for the staged A* search (the ROADMAP's learned
+/// search guidance with admissible fallback). A guide marks, for each
+/// expansion, the candidates worth a full evaluation; the rest are
+/// DEFERRED: still pruned, applied and goal-tested in the exact
+/// enumeration order — so within any expanded node, goal discovery is
+/// byte-for-byte what the unguided search would do — but never estimated
+/// (the expensive TED dynamic program) and never pushed onto the frontier.
+/// Deferral shrinks the frontier the guided phase explores; when that
+/// phase misses, SynthesizeProgram falls back to the untouched exact
+/// search, so completeness and the paper's semantics are preserved (see
+/// SearchOptions::guidance).
+///
+/// The contract is deliberately NOT "reorder the candidates": reordering
+/// changes which of two same-expansion goal children is discovered first
+/// and therefore which program is returned, breaking the guided-vs-exact
+/// byte-identity the differential suite enforces. A stable defer mask
+/// cannot.
+///
+/// Implementations must be deterministic pure functions of their
+/// arguments, and thread-compatible for concurrent searches (Partition is
+/// always invoked serially on the expansion thread of one search, but many
+/// searches — e.g. service workers — may share one guide).
+class CandidateGuide {
+ public:
+  virtual ~CandidateGuide() = default;
+
+  /// Fills `defer` (pre-sized to candidates.size(), all zero) with 1 for
+  /// every candidate the guided phase should defer. `state` is the table
+  /// being expanded, reached from its parent via `via` (nullptr for the
+  /// root), `goal` the target example output.
+  virtual void Partition(const Table& state, const Table& goal,
+                         const Operation* via,
+                         const std::vector<Operation>& candidates,
+                         std::vector<uint8_t>* defer) const = 0;
+};
+
+}  // namespace foofah
+
+#endif  // FOOFAH_SEARCH_GUIDE_H_

@@ -13,6 +13,7 @@
 #include "heuristic/heuristic_cache.h"
 #include "ops/enumerate.h"
 #include "ops/operators.h"
+#include "search/guide.h"
 #include "search/trace.h"
 #include "table/table_diff.h"
 #include "util/cancellation.h"
@@ -42,6 +43,12 @@ std::string SearchStats::ToString() const {
   }
   if (speculative_expansions > 0) {
     out << " spec=" << speculative_discards << "/" << speculative_expansions;
+  }
+  if (guided_expansions > 0 || guidance_fallbacks > 0) {
+    out << " guided=" << guided_expansions << "/" << nodes_expanded
+        << " deferred=" << guidance_deferred
+        << (guided_win ? " GUIDED_WIN" : "")
+        << (guidance_fallbacks > 0 ? " FALLBACK" : "");
   }
   if (timed_out) out << " TIMEOUT";
   if (timed_out && overshoot_ms > 0) out << " overshoot_ms=" << overshoot_ms;
@@ -118,6 +125,8 @@ enum class CandidateFate : uint8_t {
   kApplyFailed,   ///< Operation parameters out of domain.
   kOversize,      ///< Child exceeds max_state_cells.
   kPrunedAfter,   ///< Rejected by a post-apply §4.3 rule.
+  kDeferred,      ///< Guided phase: survived and goal-tested (not a goal),
+                  ///< but the guide deferred it — no estimate, no push.
   kEvaluated,     ///< Child survived; `child` (and maybe `h`) are set.
 };
 
@@ -156,13 +165,18 @@ struct SpecNode {
   Table state;
   ParentContext context;
   std::vector<Operation> candidates;
+  std::vector<uint8_t> defer;  ///< Guide mask (empty when unguided).
   std::vector<CandidateOutcome> outcomes;
 };
 
-}  // namespace
-
-SearchResult SynthesizeProgram(const Table& input, const Table& goal,
-                               const SearchOptions& options) {
+/// One single-phase search run: the entire pre-guidance SynthesizeProgram
+/// algorithm, plus an optional candidate guide whose deferrals shrink the
+/// explored subgraph (see search/guide.h). The staged wrapper below
+/// composes two of these runs — guided then exact — into the public
+/// SynthesizeProgram; `options.guidance` is intentionally ignored here.
+SearchResult RunSearch(const Table& input, const Table& goal,
+                       const SearchOptions& options,
+                       const CandidateGuide* guide) {
   using Clock = std::chrono::steady_clock;
   const Clock::time_point start = Clock::now();
   auto elapsed_ms = [&start]() {
@@ -427,7 +441,7 @@ SearchResult SynthesizeProgram(const Table& input, const Table& goal,
   // concurrently.
   auto evaluate = [&](const Table& state, const ParentContext& parent_context,
                       const Operation& candidate, bool compute_h,
-                      CandidateOutcome& out) {
+                      bool deferred, CandidateOutcome& out) {
     // A fired token abandons the slot: `complete` stays false and the
     // cancellation replay skips it.
     if (cancel != nullptr && cancel->IsCancelled()) return;
@@ -477,6 +491,16 @@ SearchResult SynthesizeProgram(const Table& input, const Table& goal,
     }
     out.is_goal = is_goal;
 
+    // Guided phase: the candidate was pruned, applied and goal-tested
+    // exactly as the exact search would — so within-expansion goal
+    // discovery order is untouched — but its child is neither estimated
+    // (the expensive TED dynamic program) nor kept.
+    if (deferred && !is_goal) {
+      out.fate = CandidateFate::kDeferred;
+      out.complete = true;
+      return;
+    }
+
     if (compute_h && !is_goal &&
         options.strategy == SearchStrategy::kAStar) {
       // Parallel engine: estimate before deduplication (the memo makes
@@ -514,6 +538,9 @@ SearchResult SynthesizeProgram(const Table& input, const Table& goal,
         return true;
       case CandidateFate::kOversize:
         ++result.stats.oversize_skipped;
+        return true;
+      case CandidateFate::kDeferred:
+        ++result.stats.guidance_deferred;
         return true;
       case CandidateFate::kEvaluated:
         break;
@@ -632,6 +659,16 @@ SearchResult SynthesizeProgram(const Table& input, const Table& goal,
       // Parent facts (symbol bitmap, empty-column count) are shared by
       // every candidate's pruning checks.
       const ParentContext parent_context = ParentContext::From(state);
+      // Guided phase: the defer mask is computed serially at expansion
+      // time — the guide sees the exact enumeration order — and is
+      // read-only afterwards, so both evaluation engines share it safely.
+      std::vector<uint8_t> defer;
+      if (guide != nullptr) {
+        defer.assign(candidates.size(), 0);
+        const Operation* via =
+            arena[current].parent >= 0 ? &arena[current].via : nullptr;
+        guide->Partition(state, goal, via, candidates, &defer);
+      }
 
       if (pool != nullptr && candidates.size() > 1) {
         outcomes.assign(candidates.size(), CandidateOutcome{});
@@ -639,7 +676,9 @@ SearchResult SynthesizeProgram(const Table& input, const Table& goal,
             candidates.size(),
             [&](size_t i) {
               evaluate(state, parent_context, candidates[i],
-                       /*compute_h=*/true, outcomes[i]);
+                       /*compute_h=*/true,
+                       /*deferred=*/!defer.empty() && defer[i] != 0,
+                       outcomes[i]);
             },
             cancel);
         if (cancel != nullptr && cancel->IsCancelled()) {
@@ -662,14 +701,15 @@ SearchResult SynthesizeProgram(const Table& input, const Table& goal,
         }
       } else {
         CandidateOutcome out;
-        for (const Operation& candidate : candidates) {
+        for (size_t i = 0; i < candidates.size(); ++i) {
+          const Operation& candidate = candidates[i];
           // Per-candidate poll: a deadline interrupts mid-round instead of
           // waiting for the next expansion (the loop head notes the
           // reason).
           if (cancel != nullptr && cancel->IsCancelled()) break;
           out = CandidateOutcome{};
           evaluate(state, parent_context, candidate, /*compute_h=*/false,
-                   out);
+                   /*deferred=*/!defer.empty() && defer[i] != 0, out);
           if (!out.complete) break;  // Interrupted mid-evaluation.
           if (!replay(current, candidate, out)) return finalize();
         }
@@ -701,6 +741,14 @@ SearchResult SynthesizeProgram(const Table& input, const Table& goal,
       }
       spec.state = arena[spec.node].table;
       spec.candidates = EnumerateCandidates(spec.state, goal, registry);
+      if (guide != nullptr) {
+        spec.defer.assign(spec.candidates.size(), 0);
+        const Operation* via = arena[spec.node].parent >= 0
+                                   ? &arena[spec.node].via
+                                   : nullptr;
+        guide->Partition(spec.state, goal, via, spec.candidates,
+                         &spec.defer);
+      }
       spec.outcomes.assign(spec.candidates.size(), CandidateOutcome{});
       batch.push_back(std::move(spec));
     }
@@ -721,7 +769,9 @@ SearchResult SynthesizeProgram(const Table& input, const Table& goal,
     auto evaluate_item = [&](size_t w) {
       const auto [j, i] = work[w];
       evaluate(batch[j].state, batch[j].context, batch[j].candidates[i],
-               /*compute_h=*/true, batch[j].outcomes[i]);
+               /*compute_h=*/true,
+               /*deferred=*/!batch[j].defer.empty() && batch[j].defer[i] != 0,
+               batch[j].outcomes[i]);
     };
     if (pool != nullptr && work.size() > 1) {
       pool->ParallelFor(work.size(), evaluate_item, cancel);
@@ -827,6 +877,134 @@ SearchResult SynthesizeProgram(const Table& input, const Table& goal,
   }
 
   return finalize();
+}
+
+}  // namespace
+
+SearchResult SynthesizeProgram(const Table& input, const Table& goal,
+                               const SearchOptions& options) {
+  // Unguided — and multi-solution: alternatives enumeration wants the
+  // full exact graph, so staging (which stops at the first guided hit)
+  // would change which alternatives surface. One exact run, exactly the
+  // pre-guidance algorithm.
+  if (options.guidance == nullptr || options.max_solutions > 1) {
+    return RunSearch(input, goal, options, nullptr);
+  }
+
+  // ---- Staged guided search ----
+  //
+  // Phase A runs with the guide's deferrals under a small expansion cap;
+  // a hit returns the same program the exact search finds (the guide
+  // defers, never reorders, so within-expansion goal discovery is
+  // untouched — the guidance differential suite enforces byte identity).
+  // A miss falls back to phase B: the untouched exact search, preserving
+  // completeness and the paper's semantics.
+  //
+  // The phases share ONE cancellation token and ONE heuristic memo. The
+  // token carries only the wall-clock deadline (tightened once, then the
+  // per-phase timeout is zeroed, so the pair can never double-spend a
+  // timeout) and any external cancel. Node budgets are deliberately NOT
+  // armed during the guided phase: the token is single-shot and its node
+  // counter is cumulative, so a phase-A budget trip would latch the token
+  // and poison the fallback. Phase A is bounded by plain counters instead
+  // (its expansion cap plus the caller's max_generated); phase B re-arms
+  // the caller's full node/memory budgets, credited by phase A's token
+  // charges so the fallback's grant is not docked by the guided spend.
+  // (Memory stays armed in phase A too — it guards the machine — and the
+  // credit is sound because phase A's frontier is freed before phase B
+  // allocates, so the peak per phase never exceeds the caller's cap.)
+  // Under any budget, enabling guidance can only add solves, never
+  // regress them. The memo carries phase-A estimates into phase B, which
+  // re-explores an overlapping subgraph.
+  SearchOptions base = options;
+  base.guidance = nullptr;
+
+  CancellationToken staged_token;
+  CancellationToken* cancel = base.cancel;
+  if (cancel == nullptr && base.timeout_ms > 0) cancel = &staged_token;
+  if (cancel != nullptr) {
+    if (base.timeout_ms > 0) cancel->TightenDeadlineAfterMs(base.timeout_ms);
+    base.cancel = cancel;
+    base.timeout_ms = 0;
+  }
+
+  std::unique_ptr<HeuristicCache> staged_cache;
+  if (base.cache_heuristic && base.strategy == SearchStrategy::kAStar &&
+      base.heuristic_cache == nullptr) {
+    staged_cache =
+        std::make_unique<HeuristicCache>(base.heuristic_cache_capacity);
+    base.heuristic_cache = staged_cache.get();
+  }
+
+  SearchOptions guided = base;
+  // With a shared token the guided phase must not arm a node budget (the
+  // trip would latch; see above) — its expansion cap bounds it instead.
+  // Without one, each phase gets its own owned token inside the engine,
+  // so the caller's node budget safely bounds the guided phase too.
+  if (cancel != nullptr) guided.node_budget = 0;
+  const uint64_t guided_cap = options.guided_max_expansions > 0
+                                  ? options.guided_max_expansions
+                                  : 1'024;
+  guided.max_expansions = base.max_expansions > 0
+                              ? std::min(base.max_expansions, guided_cap)
+                              : guided_cap;
+  // Generation, not expansion, dominates search cost, so the guided phase
+  // also gets a staged generated-state budget: a miss burns at most this
+  // many kept states before the fallback reruns with the caller's full cap.
+  const uint64_t guided_gen_cap = options.guided_max_generated > 0
+                                      ? options.guided_max_generated
+                                      : 4'096;
+  guided.max_generated = base.max_generated > 0
+                             ? std::min(base.max_generated, guided_gen_cap)
+                             : guided_gen_cap;
+
+  SearchResult first = RunSearch(input, goal, guided, options.guidance);
+  first.stats.guided_expansions = first.stats.nodes_expanded;
+  if (first.found) {
+    first.stats.guided_win = true;
+    return first;
+  }
+  // A shared-budget stop ends the whole staged search — the fallback
+  // would instantly observe the fired token. The guided phase's own
+  // expansion cap also reports budget_exhausted, so only the token (not
+  // the flag) distinguishes a real caller budget.
+  if (first.stats.timed_out || first.stats.cancelled ||
+      (cancel != nullptr && cancel->IsCancelled())) {
+    return first;
+  }
+
+  // Credit phase A's cumulative token charges back so the budgets
+  // RunSearch arms on the shared token grant phase B its full allowance.
+  if (cancel != nullptr) {
+    if (base.node_budget > 0) base.node_budget += cancel->nodes_charged();
+    if (base.memory_budget > 0) {
+      base.memory_budget += cancel->memory_charged();
+    }
+  }
+  SearchResult second = RunSearch(input, goal, base, nullptr);
+
+  // Merge the guided phase's spend into the fallback's stats so callers
+  // see the true total cost of the staged search.
+  SearchStats& s = second.stats;
+  const SearchStats& g = first.stats;
+  s.guided_expansions = g.nodes_expanded;
+  s.guidance_deferred += g.guidance_deferred;
+  s.guidance_fallbacks = 1;
+  s.nodes_expanded += g.nodes_expanded;
+  s.nodes_generated += g.nodes_generated;
+  s.candidates_tried += g.candidates_tried;
+  s.duplicates_skipped += g.duplicates_skipped;
+  s.oversize_skipped += g.oversize_skipped;
+  s.apply_failures += g.apply_failures;
+  for (int i = 0; i < kNumPruneReasons; ++i) {
+    s.pruned_by_reason[i] += g.pruned_by_reason[i];
+  }
+  s.heuristic_cache_hits += g.heuristic_cache_hits;
+  s.heuristic_cache_misses += g.heuristic_cache_misses;
+  s.speculative_expansions += g.speculative_expansions;
+  s.speculative_discards += g.speculative_discards;
+  s.elapsed_ms += g.elapsed_ms;
+  return second;
 }
 
 }  // namespace foofah

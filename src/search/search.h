@@ -18,6 +18,7 @@ namespace foofah {
 class SearchObserver;      // search/trace.h
 class HeuristicCache;      // heuristic/heuristic_cache.h
 class CancellationToken;   // util/cancellation.h
+class CandidateGuide;      // search/guide.h
 
 /// How the state space graph of Definition 4.1 is explored (§5.3).
 enum class SearchStrategy {
@@ -161,6 +162,38 @@ struct SearchOptions {
   /// When null and cache_heuristic is true, the search creates a private
   /// cache for its own duration.
   HeuristicCache* heuristic_cache = nullptr;
+
+  /// Optional learned candidate guide (see search/guide.h and
+  /// learn/guidance.h); not owned, must outlive the search. Non-null turns
+  /// the run into a STAGED search: a guided phase first explores the
+  /// subgraph of candidates the guide keeps (deferred candidates are still
+  /// applied and goal-tested in enumeration order, but never estimated or
+  /// pushed), capped at guided_max_expansions; if that phase ends without
+  /// a program — subgraph exhausted or budget spent — the exact unguided
+  /// search reruns from scratch with the same options (the admissible
+  /// fallback), sharing one cancellation token and one heuristic memo
+  /// across both phases so overall deadlines/budgets still bind and
+  /// fallback re-estimates mostly hit the memo. A guided-phase win returns
+  /// immediately. SearchStats::guided_* / guidance_* record the split.
+  /// Null (the default) is exactly the paper's single-phase search.
+  const CandidateGuide* guidance = nullptr;
+
+  /// Expansion cap of the guided phase (plain counter, like
+  /// max_expansions); values <= 0 use the built-in default. Only consulted
+  /// when `guidance` is set. The cap bounds how much a misguided prior can
+  /// cost: the staged search spends at most this many extra expansions
+  /// before the exact fallback takes over (token-armed node/memory budgets
+  /// and deadlines are shared across phases and never exceeded).
+  uint64_t guided_max_expansions = 1'024;
+
+  /// Generated-state cap of the guided phase (plain counter, like
+  /// max_generated); values <= 0 use the built-in default. Only consulted
+  /// when `guidance` is set. Candidate enumeration — not expansion — is
+  /// where search time goes, so this is the knob that bounds the cost of a
+  /// fruitless guided phase: a miss costs at most this many generated
+  /// states before the exact fallback reruns with the caller's full
+  /// max_generated.
+  uint64_t guided_max_generated = 4'096;
 };
 
 /// Counters describing one search run.
@@ -191,6 +224,16 @@ struct SearchStats {
   /// stops) while every result-bearing counter above stays identical.
   uint64_t speculative_expansions = 0;
   uint64_t speculative_discards = 0;
+  /// Staged-guidance accounting (all zero/false when SearchOptions::
+  /// guidance is null). In a staged search every result-bearing counter
+  /// above sums BOTH phases, so expansion/latency comparisons against an
+  /// unguided run stay honest; these fields record the split. Like every
+  /// other counter they are bit-identical across (num_threads,
+  /// expansion_width).
+  uint64_t guided_expansions = 0;  ///< Expansions spent in the guided phase.
+  uint64_t guidance_deferred = 0;  ///< Candidates the guide deferred.
+  uint32_t guidance_fallbacks = 0; ///< 1 when the exact fallback phase ran.
+  bool guided_win = false;         ///< Program found by the guided phase.
   double elapsed_ms = 0;
   bool timed_out = false;
   bool budget_exhausted = false;

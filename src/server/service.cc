@@ -2,8 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cinttypes>
+#include <cstdio>
 #include <utility>
 
+#include "heuristic/heuristic_cache.h"
+#include "learn/guidance.h"
+#include "learn/snapshot.h"
+#include "program/parser.h"
 #include "util/fault_injection.h"
 
 namespace foofah {
@@ -14,6 +20,19 @@ using Clock = CancellationToken::Clock;
 
 double ElapsedMs(Clock::time_point from, Clock::time_point to) {
   return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+/// Program-cache key: the four-hash fingerprint of an example pair.
+/// Content hash alone could collide across shapes; the shape fingerprints
+/// ride along exactly as in the heuristic memo. (The cached script is
+/// replay-validated before serving anyway — the key only gates lookups.)
+std::string ExampleCacheKey(const Table& input, const Table& output) {
+  char buf[4 * 16 + 4];
+  std::snprintf(buf, sizeof(buf),
+                "%016" PRIx64 ":%016" PRIx64 ":%016" PRIx64 ":%016" PRIx64,
+                input.Hash(), input.ShapeFingerprint(), output.Hash(),
+                output.ShapeFingerprint());
+  return std::string(buf);
 }
 
 }  // namespace
@@ -97,6 +116,53 @@ SynthesisService::SynthesisService(ServiceOptions options)
   // Service parallelism is across requests; each request's search stays
   // serial so responses do not depend on the worker count.
   if (options_.base_search.num_threads == 0) options_.base_search.num_threads = 1;
+
+  // Warm-replica boot: load the guidance snapshot, if configured. Any
+  // failure degrades to the unguided configuration — a replica that can
+  // search slowly beats one that refuses to start — with the typed error
+  // kept for operators to inspect.
+  if (options_.snapshot_path.empty()) {
+    snapshot_status_ =
+        Status::Unimplemented("no guidance snapshot configured");
+  } else {
+    Result<GuidanceSnapshot> loaded =
+        LoadGuidanceSnapshot(options_.snapshot_path);
+    if (!loaded.ok()) {
+      snapshot_status_ = loaded.status();
+      options_.base_search.guidance = nullptr;
+    } else {
+      snapshot_status_ = Status::OK();
+      guidance_ = std::make_unique<GuidancePolicy>(loaded->model);
+      options_.base_search.guidance = guidance_.get();
+      if (!loaded->heuristic_entries.empty()) {
+        // One thread-safe memo shared by every worker, pre-warmed with
+        // the persisted estimates (estimates are pure functions of their
+        // key, so sharing across requests and goals is sound).
+        warm_cache_ = std::make_unique<HeuristicCache>(
+            std::max(options_.base_search.heuristic_cache_capacity,
+                     loaded->heuristic_entries.size() * 2));
+        for (const GuidanceSnapshot::HeuristicEntry& e :
+             loaded->heuristic_entries) {
+          warm_cache_->Insert(e.state_hash, e.goal_hash, e.checksum,
+                              e.estimate);
+        }
+        options_.base_search.heuristic_cache = warm_cache_.get();
+      }
+      for (const GuidanceSnapshot::ProgramEntry& e :
+           loaded->program_entries) {
+        char buf[4 * 16 + 4];
+        std::snprintf(buf, sizeof(buf),
+                      "%016" PRIx64 ":%016" PRIx64 ":%016" PRIx64
+                      ":%016" PRIx64,
+                      e.input_hash, e.input_shape, e.output_hash,
+                      e.output_shape);
+        // Keys are content-derived, so a duplicate key means an identical
+        // entry; emplace's first-wins keeps the map deterministic.
+        program_cache_.emplace(std::string(buf), e.script);
+      }
+    }
+  }
+
   workers_.reserve(static_cast<size_t>(options_.num_workers));
   for (int w = 0; w < options_.num_workers; ++w) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -257,6 +323,35 @@ void SynthesisService::Dispatch(const std::shared_ptr<RequestState>& state) {
     return;
   }
 
+  // Persisted result cache (warm replicas only — the map is non-empty
+  // only after a successful snapshot load): a hit is replay-validated by
+  // actually executing the cached script on the request's input and
+  // comparing against its output, so a fingerprint collision or stale
+  // entry falls through to the normal search instead of serving a wrong
+  // program.
+  if (!program_cache_.empty()) {
+    auto it = program_cache_.find(
+        ExampleCacheKey(state->request.input, state->request.output));
+    if (it != program_cache_.end()) {
+      Result<Program> parsed = ParseProgram(it->second);
+      if (parsed.ok()) {
+        Result<Table> replayed = parsed->Execute(state->request.input);
+        if (replayed.ok() &&
+            replayed->ContentEquals(state->request.output)) {
+          ServiceResponse response;
+          response.tag = state->request.tag;
+          response.status = Status::OK();
+          response.found = true;
+          response.program = std::move(parsed).value();
+          response.winning_rung = 0;
+          response.served_from_cache = true;
+          Complete(state, std::move(response), /*admitted=*/true);
+          return;
+        }
+      }
+    }
+  }
+
   LadderOptions ladder;
   ladder.base = options_.base_search;
   if (state->request.node_budget > 0) {
@@ -322,6 +417,11 @@ void SynthesisService::Dispatch(const std::shared_ptr<RequestState>& state) {
   response.winning_rung = result.winning_rung;
   response.anytime = std::move(result.anytime);
   response.attempts = std::move(result.attempts);
+  for (const LadderAttempt& attempt : response.attempts) {
+    response.guided_expansions += attempt.stats.guided_expansions;
+    response.guidance_fallbacks += attempt.stats.guidance_fallbacks;
+    if (attempt.found && attempt.stats.guided_win) response.guided_win = true;
+  }
   Complete(state, std::move(response), /*admitted=*/true);
 }
 
@@ -348,6 +448,9 @@ void SynthesisService::Complete(const std::shared_ptr<RequestState>& state,
       ++stats_.anytime;
     }
     if (response.status.code() == StatusCode::kCancelled) ++stats_.cancelled;
+    if (response.served_from_cache) ++stats_.cache_served;
+    if (response.guided_win) ++stats_.guided_wins;
+    if (response.guidance_fallbacks > 0) ++stats_.guidance_fallbacks;
   }
   {
     std::lock_guard<std::mutex> lock(state->mu);

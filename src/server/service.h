@@ -8,6 +8,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -63,6 +64,18 @@ struct ServiceOptions {
   /// in-flight request. Typed results match the sequential ladder under
   /// deterministic (node/memory) budgets.
   bool portfolio = false;
+
+  /// Path to a learned guidance snapshot (learn/snapshot.h), loaded once
+  /// at construction — the warm-replica boot artifact. A loaded snapshot
+  /// installs (a) a GuidancePolicy on base_search.guidance, so every rung
+  /// search runs the staged guided-then-exact descent, (b) a heuristic
+  /// memo pre-warmed with the snapshot's persisted estimates, shared by
+  /// all workers, and (c) a program-result cache consulted before any
+  /// search (hits are replay-validated against the actual request tables
+  /// before being served). Empty = unguided. Load failures NEVER fail
+  /// construction: the service degrades to exactly the unguided behavior
+  /// and records the typed error in snapshot_status().
+  std::string snapshot_path;
 };
 
 /// One synthesis request: an example pair plus per-request budgets.
@@ -106,6 +119,16 @@ struct ServiceResponse {
   /// Milliseconds spent queued / executing (0 for shed requests).
   double queue_ms = 0;
   double run_ms = 0;
+  /// The program came from the snapshot's persisted result cache (replay-
+  /// validated, no search ran). attempts is empty in that case.
+  bool served_from_cache = false;
+  /// Per-request guidance telemetry, summed over the rung attempts: how
+  /// many expansions the guided phases spent, whether any rung's program
+  /// came from its guided phase, and whether any rung fell back to the
+  /// exact search. All zero when the service runs unguided.
+  uint64_t guided_expansions = 0;
+  bool guided_win = false;
+  uint32_t guidance_fallbacks = 0;
   /// Echo of SynthesisRequest::tag.
   std::string tag;
 };
@@ -166,6 +189,11 @@ class SynthesisService {
     uint64_t degraded = 0;   ///< Programs found below rung 0.
     uint64_t anytime = 0;    ///< Failures that carried an anytime partial.
     uint64_t cancelled = 0;  ///< kCancelled responses.
+    uint64_t cache_served = 0;        ///< Programs served from the snapshot
+                                      ///< result cache (no search ran).
+    uint64_t guided_wins = 0;         ///< Requests solved by a guided phase.
+    uint64_t guidance_fallbacks = 0;  ///< Requests where a rung fell back
+                                      ///< to the exact search.
     size_t queue_depth = 0;        ///< Gauge: currently queued.
     size_t outstanding = 0;        ///< Gauge: queued + executing.
     uint64_t inflight_bytes = 0;   ///< Gauge: admitted request footprint.
@@ -195,6 +223,13 @@ class SynthesisService {
 
   const ServiceOptions& options() const { return options_; }
 
+  /// Outcome of the boot-time snapshot load: OK after a successful load,
+  /// kUnimplemented when no snapshot_path was configured, and the loader's
+  /// typed error (kNotFound / kInvalidArgument / kParseError) when the
+  /// configured snapshot was missing or corrupt — in which case the
+  /// service is running, unguided, exactly as if no path had been set.
+  const Status& snapshot_status() const { return snapshot_status_; }
+
   /// Approximate retained footprint of a request (both example tables),
   /// the unit of the admission memory budget.
   static uint64_t EstimateRequestBytes(const SynthesisRequest& request);
@@ -209,6 +244,15 @@ class SynthesisService {
   int64_t RetryAfterHintLocked() const;
 
   ServiceOptions options_;
+
+  /// Warm-replica state built from the boot snapshot (all immutable after
+  /// construction, so workers read them lock-free). The policy and memo
+  /// are installed on options_.base_search; the program cache maps the
+  /// four-hash example fingerprint to a validated script.
+  Status snapshot_status_;
+  std::unique_ptr<class GuidancePolicy> guidance_;
+  std::unique_ptr<class HeuristicCache> warm_cache_;
+  std::unordered_map<std::string, std::string> program_cache_;
 
   mutable std::mutex mu_;
   std::condition_variable queue_cv_;

@@ -1,0 +1,273 @@
+// The guidance snapshot contract: a mined model (plus persisted caches)
+// round-trips mine -> save -> load -> save byte-identically, every
+// corruption is a TYPED error, and a SynthesisService booted against a
+// missing or corrupt snapshot degrades cleanly to unguided search instead
+// of failing construction. Also the warm-replica path: a snapshot's
+// program entries are served from cache (after replay validation), and
+// concurrent boots + guided parallel dispatch are race-free (this test
+// runs under TSan via the `tsan` ctest label).
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "learn/guidance.h"
+#include "learn/snapshot.h"
+#include "learn/stats.h"
+#include "scenarios/corpus.h"
+#include "search/search.h"
+#include "server/service.h"
+#include "table/table.h"
+#include "testing/budget_profile.h"
+#include "util/status.h"
+
+namespace foofah {
+namespace {
+
+std::string TempPath(const char* leaf) {
+  return ::testing::TempDir() + "/foofah_guidance_" + leaf;
+}
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileOrDie(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  out << content;
+  ASSERT_TRUE(out.good()) << path;
+}
+
+/// A snapshot with every section populated: the corpus-mined model, one
+/// heuristic memo entry, and one program-cache entry for the first
+/// benchmark scenario (solved with the exact search so the script is
+/// genuinely valid for its fingerprint).
+GuidanceSnapshot FullSnapshot() {
+  GuidanceSnapshot snapshot;
+  snapshot.model = MineScenarios(Corpus());
+
+  auto example = Corpus().front().MakeExample(1);
+  EXPECT_TRUE(example.ok());
+  SearchResult solved = SynthesizeProgram(
+      example->input, example->output,
+      testing::WallClockFreeSearchOptions(/*node_budget=*/4'000));
+  EXPECT_TRUE(solved.found) << "corpus scenario 0 must be solvable";
+
+  GuidanceSnapshot::HeuristicEntry h;
+  h.state_hash = example->input.Hash();
+  h.goal_hash = example->output.Hash();
+  h.checksum = example->input.ShapeFingerprint();
+  h.estimate = 4.25;
+  snapshot.heuristic_entries.push_back(h);
+
+  GuidanceSnapshot::ProgramEntry p;
+  p.input_hash = example->input.Hash();
+  p.input_shape = example->input.ShapeFingerprint();
+  p.output_hash = example->output.Hash();
+  p.output_shape = example->output.ShapeFingerprint();
+  p.script = solved.program.ToScript();
+  snapshot.program_entries.push_back(p);
+  return snapshot;
+}
+
+// --- Byte-identity round trip -------------------------------------------
+
+TEST(GuidanceSnapshotTest, MineSaveLoadSaveIsByteIdentical) {
+  const GuidanceSnapshot snapshot = FullSnapshot();
+  const std::string first = TempPath("roundtrip_a.snap");
+  const std::string second = TempPath("roundtrip_b.snap");
+
+  ASSERT_TRUE(SaveGuidanceSnapshot(snapshot, first).ok());
+  Result<GuidanceSnapshot> loaded = LoadGuidanceSnapshot(first);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(*loaded == snapshot);
+
+  ASSERT_TRUE(SaveGuidanceSnapshot(*loaded, second).ok());
+  EXPECT_EQ(ReadFileOrDie(first), ReadFileOrDie(second))
+      << "save -> load -> save must be byte-identical";
+
+  // The serializer itself is deterministic, not just the file plumbing.
+  EXPECT_EQ(SerializeGuidanceSnapshot(snapshot),
+            SerializeGuidanceSnapshot(*loaded));
+}
+
+// --- Typed corruption errors --------------------------------------------
+
+TEST(GuidanceSnapshotTest, VersionMismatchIsInvalidArgument) {
+  std::string text = SerializeGuidanceSnapshot(FullSnapshot());
+  const std::string magic = "foofah-guidance-snapshot v1";
+  ASSERT_EQ(text.compare(0, magic.size(), magic), 0);
+  text.replace(0, magic.size(), "foofah-guidance-snapshot v9");
+  Result<GuidanceSnapshot> parsed = ParseGuidanceSnapshot(text);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument)
+      << parsed.status().ToString();
+}
+
+TEST(GuidanceSnapshotTest, ChecksumTamperIsParseError) {
+  std::string text = SerializeGuidanceSnapshot(FullSnapshot());
+  // Flip one digit deep in the payload (a count), leaving the recorded
+  // checksum stale.
+  const size_t pos = text.rfind(" 1");
+  ASSERT_NE(pos, std::string::npos);
+  text[pos + 1] = '2';
+  Result<GuidanceSnapshot> parsed = ParseGuidanceSnapshot(text);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kParseError)
+      << parsed.status().ToString();
+}
+
+TEST(GuidanceSnapshotTest, BadMagicIsParseError) {
+  Result<GuidanceSnapshot> parsed =
+      ParseGuidanceSnapshot("not-a-snapshot v1\nchecksum 0\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kParseError);
+}
+
+TEST(GuidanceSnapshotTest, MissingFileIsNotFound) {
+  Result<GuidanceSnapshot> loaded =
+      LoadGuidanceSnapshot(TempPath("does_not_exist.snap"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+// --- Service boot degradation -------------------------------------------
+
+ServiceOptions BaseServiceOptions() {
+  ServiceOptions options;
+  options.num_workers = 2;
+  options.queue_capacity = 8;
+  options.default_deadline_ms = 0;
+  options.base_search =
+      testing::WallClockFreeSearchOptions(/*node_budget=*/1'000);
+  return options;
+}
+
+SynthesisRequest CorpusRequest(size_t index) {
+  const Scenario& scenario = Corpus()[index];
+  auto example = scenario.MakeExample(1);
+  EXPECT_TRUE(example.ok());
+  SynthesisRequest request;
+  request.input = example->input;
+  request.output = example->output;
+  request.tag = scenario.name();
+  return request;
+}
+
+/// The degraded boots must still answer with a TYPED outcome: solved, or
+/// a typed budget exhaustion — never a crash or an untyped error.
+void ExpectTypedAnswer(const ServiceResponse& response) {
+  EXPECT_TRUE(response.status.ok() ||
+              response.status.code() == StatusCode::kResourceExhausted)
+      << response.status.ToString();
+}
+
+TEST(GuidanceSnapshotTest, ServiceBootWithoutSnapshotPathIsUnguided) {
+  SynthesisService service(BaseServiceOptions());
+  EXPECT_EQ(service.snapshot_status().code(), StatusCode::kUnimplemented);
+  ServiceResponse response = service.Synthesize(CorpusRequest(0));
+  ExpectTypedAnswer(response);
+  EXPECT_EQ(response.guided_expansions, 0u);
+  EXPECT_FALSE(response.served_from_cache);
+  service.Shutdown();
+}
+
+TEST(GuidanceSnapshotTest, ServiceBootWithMissingSnapshotDegradesTyped) {
+  ServiceOptions options = BaseServiceOptions();
+  options.snapshot_path = TempPath("boot_missing.snap");
+  SynthesisService service(options);
+  EXPECT_EQ(service.snapshot_status().code(), StatusCode::kNotFound);
+  // Degraded but fully functional: unguided search still answers.
+  ServiceResponse response = service.Synthesize(CorpusRequest(0));
+  ExpectTypedAnswer(response);
+  EXPECT_EQ(response.guided_expansions, 0u);
+  service.Shutdown();
+}
+
+TEST(GuidanceSnapshotTest, ServiceBootWithCorruptSnapshotDegradesTyped) {
+  const std::string path = TempPath("boot_corrupt.snap");
+  std::string text = SerializeGuidanceSnapshot(FullSnapshot());
+  text[text.size() / 2] ^= 1;  // Payload tamper: checksum now stale.
+  WriteFileOrDie(path, text);
+
+  ServiceOptions options = BaseServiceOptions();
+  options.snapshot_path = path;
+  SynthesisService service(options);
+  EXPECT_EQ(service.snapshot_status().code(), StatusCode::kParseError)
+      << service.snapshot_status().ToString();
+  ServiceResponse response = service.Synthesize(CorpusRequest(0));
+  ExpectTypedAnswer(response);
+  EXPECT_EQ(response.guided_expansions, 0u);
+  service.Shutdown();
+}
+
+TEST(GuidanceSnapshotTest, ServiceServesSnapshotProgramEntriesFromCache) {
+  const std::string path = TempPath("boot_warm.snap");
+  ASSERT_TRUE(SaveGuidanceSnapshot(FullSnapshot(), path).ok());
+
+  ServiceOptions options = BaseServiceOptions();
+  options.snapshot_path = path;
+  SynthesisService service(options);
+  ASSERT_TRUE(service.snapshot_status().ok())
+      << service.snapshot_status().ToString();
+
+  // Scenario 0 is in the snapshot's program cache: served without search,
+  // replay-validated.
+  ServiceResponse cached = service.Synthesize(CorpusRequest(0));
+  EXPECT_TRUE(cached.status.ok()) << cached.status.ToString();
+  EXPECT_TRUE(cached.served_from_cache);
+  EXPECT_TRUE(cached.found);
+  EXPECT_TRUE(cached.attempts.empty());
+
+  // A request outside the cache runs the (guided) ladder as usual.
+  ServiceResponse fresh = service.Synthesize(CorpusRequest(1));
+  ExpectTypedAnswer(fresh);
+  EXPECT_FALSE(fresh.served_from_cache);
+
+  EXPECT_EQ(service.stats().cache_served, 1u);
+  service.Shutdown();
+}
+
+// --- Concurrency (runs under TSan via the `tsan` label) ------------------
+
+TEST(GuidanceSnapshotTest, ConcurrentBootAndGuidedDispatchAreRaceFree) {
+  const std::string path = TempPath("boot_concurrent.snap");
+  ASSERT_TRUE(SaveGuidanceSnapshot(FullSnapshot(), path).ok());
+
+  // Several services boot from the same snapshot file concurrently while
+  // each immediately dispatches guided parallel searches.
+  constexpr int kServices = 3;
+  std::vector<std::thread> boots;
+  boots.reserve(kServices);
+  for (int s = 0; s < kServices; ++s) {
+    boots.emplace_back([&path] {
+      ServiceOptions options = BaseServiceOptions();
+      options.snapshot_path = path;
+      options.base_search.num_threads = 4;  // Guided parallel expansion.
+      SynthesisService service(options);
+      EXPECT_TRUE(service.snapshot_status().ok());
+      std::vector<SynthesisService::Ticket> tickets;
+      for (size_t i = 0; i < 6; ++i) {
+        tickets.push_back(service.Submit(CorpusRequest(i)));
+      }
+      for (auto& ticket : tickets) {
+        ServiceResponse response = ticket.Wait();
+        EXPECT_TRUE(response.status.ok() ||
+                    response.status.code() == StatusCode::kResourceExhausted)
+            << response.status.ToString();
+      }
+      service.Shutdown();
+    });
+  }
+  for (std::thread& t : boots) t.join();
+}
+
+}  // namespace
+}  // namespace foofah

@@ -1,0 +1,55 @@
+// The guided solve-rate regression gate: a seed-1, 120-scenario fuzz
+// campaign synthesized with the staged guided search must keep solving at
+// least 91 tasks — the level the exact search established. The staged
+// design makes regressions structurally hard (the fallback keeps the
+// caller's full budgets), so a drop here means the staging itself broke,
+// not that the policy got a little worse. check.sh runs this in the learn
+// stage (stage 9); it is the slowest guidance test, so it lives alone.
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "fuzz/campaign.h"
+#include "fuzz/generator.h"
+#include "learn/guidance.h"
+#include "learn/stats.h"
+#include "scenarios/corpus.h"
+
+namespace foofah {
+namespace {
+
+/// The same mining recipe the check.sh learn stage uses: the benchmark
+/// corpus truth programs plus the first 60 seed-1 generated scenarios.
+GuidancePolicy CampaignPolicy() {
+  GuidanceModel model = MineScenarios(Corpus());
+  fuzz::ScenarioGenerator generator{fuzz::GeneratorOptions{}};  // seed 1
+  for (int index = 0; index < 60; ++index) {
+    fuzz::GeneratedScenario g = generator.Generate(index);
+    MineProgram(g.input, g.output, g.program, &model);
+  }
+  return GuidancePolicy(std::move(model));
+}
+
+TEST(GuidanceSolveRateTest, Seed1CampaignWithGuidanceSolvesAtLeast91) {
+  const GuidancePolicy policy = CampaignPolicy();
+
+  fuzz::CampaignOptions options;
+  options.generator.seed = 1;
+  options.count = 120;
+  options.synthesize = true;
+  options.search = fuzz::DefaultFuzzSearchOptions();
+  options.search.guidance = &policy;
+  options.keep_passing_outcomes = false;
+
+  fuzz::CampaignResult result = fuzz::RunFuzzCampaign(options);
+  EXPECT_EQ(result.generated, 120);
+  EXPECT_EQ(result.oracle_failures, 0);
+  std::printf("  guided campaign: solved %d/%d\n", result.solved,
+              result.synthesized);
+  EXPECT_GE(result.solved, 91)
+      << "guided solve rate regressed below the exact-search baseline";
+}
+
+}  // namespace
+}  // namespace foofah

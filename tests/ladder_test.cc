@@ -10,6 +10,7 @@
 
 #include "scenarios/corpus.h"
 #include "scenarios/generated.h"
+#include "testing/budget_profile.h"
 #include "util/cancellation.h"
 
 namespace foofah {
@@ -204,13 +205,7 @@ LadderResult RunScenarioLadder(const Scenario& scenario, int num_threads,
   auto example = scenario.MakeExample(1);
   EXPECT_TRUE(example.ok()) << scenario.name();
   LadderOptions options;
-  options.base.node_budget = 1'500;
-  options.base.timeout_ms = 0;  // Wall-clock-free: deterministic.
-  // Expansions of wide states can keep thousands of children each; without
-  // this cap a fuzzer-generated wrapall/fold scenario fills GBs of frontier
-  // inside the node budget. A plain counter — deterministic at any thread
-  // count.
-  options.base.max_generated = 20'000;
+  options.base = testing::WallClockFreeSearchOptions(/*node_budget=*/1'500);
   options.base.num_threads = num_threads;
   options.portfolio = portfolio;
   return RunDegradationLadder(example->input, example->output, options);

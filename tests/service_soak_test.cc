@@ -22,6 +22,7 @@
 
 #include "scenarios/corpus.h"
 #include "scenarios/generated.h"
+#include "testing/budget_profile.h"
 #include "util/retry.h"
 
 namespace foofah {
@@ -175,13 +176,8 @@ std::vector<ResponseFingerprint> RunCorpus(const std::vector<Scenario>& corpus,
   options.queue_capacity = corpus.size() + 1;  // No shedding.
   options.max_inflight_bytes = 0;              // No byte shedding either.
   options.default_deadline_ms = 0;             // No wall clock anywhere.
-  options.base_search.node_budget = 1'000;
-  options.base_search.timeout_ms = 0;
-  // The node budget caps *expansions*, but one expansion of a wide state
-  // can generate thousands of kept children (fuzzer-generated wrapall/fold
-  // scenarios reach GBs of frontier before 1'000 expansions). Cap kept
-  // states too — a plain counter, identical at every worker count.
-  options.base_search.max_generated = 20'000;
+  options.base_search =
+      testing::WallClockFreeSearchOptions(/*node_budget=*/1'000);
   SynthesisService service(options);
 
   std::vector<SynthesisService::Ticket> tickets;

@@ -1,0 +1,37 @@
+#ifndef FOOFAH_TESTS_TESTING_BUDGET_PROFILE_H_
+#define FOOFAH_TESTS_TESTING_BUDGET_PROFILE_H_
+
+// The shared wall-clock-free search budget profile for determinism
+// suites (ladder, service soak/determinism, guidance differential).
+// These suites assert bit-identical results across thread/worker counts,
+// so no wall clock may appear anywhere in the budget; boundedness comes
+// from two plain counters instead. The tuple used to be hand-copied into
+// each suite, drifting independently — one helper, one guard constant
+// (fuzz::kFuzzFrontierGuardMaxGenerated) keeps them aligned.
+
+#include <cstdint>
+
+#include "fuzz/campaign.h"
+#include "search/search.h"
+
+namespace foofah {
+namespace testing {
+
+/// A deterministic, wall-clock-free SearchOptions: expansion work capped
+/// by `node_budget`, retained frontier capped by the shared
+/// max-generated guard (node budgets cap *expansions*, but one expansion
+/// of a wide state can keep thousands of children — a fuzzer-generated
+/// wrapall/fold scenario fills GBs of frontier inside a small node
+/// budget). Both caps are counters, identical at every thread count.
+inline SearchOptions WallClockFreeSearchOptions(uint64_t node_budget) {
+  SearchOptions options;
+  options.timeout_ms = 0;
+  options.node_budget = node_budget;
+  options.max_generated = fuzz::kFuzzFrontierGuardMaxGenerated;
+  return options;
+}
+
+}  // namespace testing
+}  // namespace foofah
+
+#endif  // FOOFAH_TESTS_TESTING_BUDGET_PROFILE_H_
