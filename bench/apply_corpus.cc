@@ -16,6 +16,12 @@
 //       quick gate: run the streaming workload on a small and a 16x
 //       input; exit 1 if the tracked-memory peak or the process RSS
 //       scales with the input instead of the chunk size.
+//   apply_corpus --spillcheck
+//       graceful-degradation gate: run a Transpose-suffixed program
+//       over an input whose materialization cannot fit an 8 MB memory
+//       budget; the run must succeed by spilling to disk, stay under
+//       the budget, and produce bytes identical to the unbudgeted
+//       in-memory run.
 
 #include <cstdint>
 #include <cstdio>
@@ -87,8 +93,8 @@ struct RunResult {
 };
 
 Result<RunResult> RunOne(const Program& program, const std::string& in_path,
-                         const std::string& out_path, size_t chunk_rows) {
-  ApplyOptions options;
+                         const std::string& out_path, size_t chunk_rows,
+                         ApplyOptions options = {}) {
   options.chunk_rows = chunk_rows;
   RunResult run;
   double start = NowMs();
@@ -243,6 +249,88 @@ int RunMemcheck() {
   return 0;
 }
 
+Result<std::string> ReadFileBytes(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::Unavailable("cannot open " + path);
+  }
+  std::string bytes;
+  char buffer[1 << 16];
+  size_t got;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    bytes.append(buffer, got);
+  }
+  std::fclose(file);
+  return bytes;
+}
+
+int RunSpillcheck() {
+  std::string in_path = TempPath("foofah_apply_spillcheck.csv");
+  std::string ref_out = TempPath("foofah_apply_spillcheck_ref.csv");
+  std::string spill_out = TempPath("foofah_apply_spillcheck_spill.csv");
+  // ~13.6 MB of input; Drop strips the mixed column, Transpose makes the
+  // suffix blocking so the whole table must materialize.
+  const uint64_t rows = 400'000;
+  const uint64_t budget = 8ull << 20;
+  const Program program({Drop(3), Transpose()});
+
+  Status generated = GenerateCsv(in_path, rows);
+  if (!generated.ok()) {
+    std::fprintf(stderr, "generate failed: %s\n", generated.ToString().c_str());
+    return 1;
+  }
+
+  Result<RunResult> reference = RunOne(program, in_path, ref_out, 4096);
+  if (!reference.ok()) {
+    std::fprintf(stderr, "unbudgeted run failed: %s\n",
+                 reference.status().ToString().c_str());
+    return 1;
+  }
+
+  ApplyOptions budgeted;
+  budgeted.memory_budget_bytes = budget;  // auto spill threshold = budget/2
+  Result<RunResult> spilled = RunOne(program, in_path, spill_out, 4096, budgeted);
+  std::remove(in_path.c_str());
+  if (!spilled.ok()) {
+    std::fprintf(stderr, "spillcheck FAILED: budgeted run did not degrade "
+                 "gracefully: %s\n", spilled.status().ToString().c_str());
+    return 1;
+  }
+  const ApplyStats& st = spilled->stats;
+  std::printf("spillcheck: %.1f MB input under %.0f MB budget: %.1f ms, "
+              "spill_runs=%llu spilled %.1f MB (peak on disk %.1f MB), "
+              "peak_tracked %.2f MB\n",
+              static_cast<double>(st.bytes_in) / 1048576.0,
+              static_cast<double>(budget) / 1048576.0, spilled->ms,
+              static_cast<unsigned long long>(st.spill_runs),
+              static_cast<double>(st.spill_bytes_written) / 1048576.0,
+              static_cast<double>(st.peak_disk_bytes) / 1048576.0,
+              static_cast<double>(st.peak_tracked_bytes) / 1048576.0);
+  int rc = 0;
+  if (st.spill_runs == 0) {
+    std::fprintf(stderr, "spillcheck FAILED: budgeted run never spilled\n");
+    rc = 1;
+  }
+  if (st.peak_tracked_bytes > budget) {
+    std::fprintf(stderr, "spillcheck FAILED: tracked peak %llu > budget\n",
+                 static_cast<unsigned long long>(st.peak_tracked_bytes));
+    rc = 1;
+  }
+  Result<std::string> ref_bytes = ReadFileBytes(ref_out);
+  Result<std::string> spill_bytes = ReadFileBytes(spill_out);
+  std::remove(ref_out.c_str());
+  std::remove(spill_out.c_str());
+  if (!ref_bytes.ok() || !spill_bytes.ok() || *ref_bytes != *spill_bytes) {
+    std::fprintf(stderr,
+                 "spillcheck FAILED: spilled output differs from in-memory\n");
+    rc = 1;
+  }
+  if (rc == 0) {
+    std::printf("spillcheck ok: spilled run byte-identical under budget\n");
+  }
+  return rc;
+}
+
 }  // namespace
 }  // namespace foofah::bench
 
@@ -271,10 +359,13 @@ int main(int argc, char** argv) {
       return 0;
     } else if (std::strcmp(argv[i], "--memcheck") == 0) {
       return foofah::bench::RunMemcheck();
+    } else if (std::strcmp(argv[i], "--spillcheck") == 0) {
+      return foofah::bench::RunSpillcheck();
     } else {
       std::fprintf(stderr,
                    "usage: %s [--out PATH] [--sizes r1,r2,...] "
-                   "[--chunk-rows N] | --gen ROWS PATH | --memcheck\n",
+                   "[--chunk-rows N] | --gen ROWS PATH | --memcheck | "
+                   "--spillcheck\n",
                    argv[0]);
       return 2;
     }

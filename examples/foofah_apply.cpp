@@ -10,9 +10,30 @@
 //         --memory-budget N[KMG]  cap on tracked resident bytes; exceeding
 //                               it fails with ResourceExhausted instead of
 //                               scaling with the file (default: unlimited)
+//         --spill-threshold N[KMG]  materialized bytes above which a
+//                               blocking suffix spills to disk runs
+//                               (default: memory budget / 2 when one is
+//                               set, else never; 0 spills everything)
+//         --no-spill            never spill; blocking suffixes that
+//                               breach the budget fail typed instead
+//         --disk-budget N[KMG]  cap on peak concurrent spill bytes;
+//                               exceeding it fails ResourceExhausted
+//         --spill-dir DIR       parent directory for spill/staging temp
+//                               dirs (default: the output's directory)
 //         --no-intern           disable per-chunk cell deduplication
 //         --quiet               suppress the progress/summary lines
 //         --stats               print the full ApplyStats breakdown
+//
+// The output file is written crash-safely: staged in a temp directory
+// next to OUTPUT.csv and atomically renamed on success, so OUTPUT.csv
+// never holds a torn result; stale temp dirs from crashed runs are
+// reaped on the next invocation.
+//
+// In fault-injection builds (-DFOOFAH_FAULT_INJECTION=ON) the
+// FOOFAH_FAULT_INJECT environment variable arms failure points for
+// robustness drills: FOOFAH_FAULT_INJECT=exec/spill_write:1 fails the
+// first spill page write. Setting it against a build without fault
+// injection compiled in is an error, not a silent no-op.
 
 #include <cinttypes>
 #include <cstdio>
@@ -25,6 +46,7 @@
 
 #include "exec/runner.h"
 #include "program/parser.h"
+#include "util/fault_injection.h"
 #include "util/status.h"
 
 namespace {
@@ -33,8 +55,58 @@ int Usage() {
   std::fprintf(stderr,
                "usage: foofah_apply PROGRAM.txt INPUT.csv OUTPUT.csv\n"
                "         [--chunk-rows N] [--memory-budget N[KMG]]\n"
+               "         [--spill-threshold N[KMG]] [--no-spill]\n"
+               "         [--disk-budget N[KMG]] [--spill-dir DIR]\n"
                "         [--no-intern] [--quiet] [--stats]\n");
   return 2;
+}
+
+// Arms fault points from FOOFAH_FAULT_INJECT ("point:ordinal[,...]";
+// ordinal 0 = every hit). Returns false on a malformed spec or when the
+// variable is set but the binary lacks fault injection.
+bool ArmFaultsFromEnv() {
+  const char* spec = std::getenv("FOOFAH_FAULT_INJECT");
+  if (spec == nullptr || spec[0] == '\0') return true;
+#ifndef FOOFAH_FAULT_INJECTION
+  std::fprintf(stderr,
+               "foofah_apply: FOOFAH_FAULT_INJECT is set but this binary was "
+               "built without FOOFAH_FAULT_INJECTION\n");
+  return false;
+#else
+  std::string text = spec;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t comma = text.find(',', start);
+    std::string entry = text.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    size_t colon = entry.rfind(':');
+    if (entry.empty() || colon == std::string::npos || colon + 1 >= entry.size()) {
+      std::fprintf(stderr,
+                   "foofah_apply: bad FOOFAH_FAULT_INJECT entry '%s' "
+                   "(want point:ordinal)\n",
+                   entry.c_str());
+      return false;
+    }
+    std::string point = entry.substr(0, colon);
+    char* end = nullptr;
+    long ordinal = std::strtol(entry.c_str() + colon + 1, &end, 10);
+    if (*end != '\0' || ordinal < 0) {
+      std::fprintf(stderr,
+                   "foofah_apply: bad FOOFAH_FAULT_INJECT ordinal in '%s'\n",
+                   entry.c_str());
+      return false;
+    }
+    if (ordinal == 0) {
+      foofah::FaultInjector::Instance().ArmFailureAlways(point);
+    } else {
+      foofah::FaultInjector::Instance().ArmFailure(
+          point, static_cast<uint64_t>(ordinal));
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return true;
+#endif  // FOOFAH_FAULT_INJECTION
 }
 
 // Parses "64M", "2G", "4096", "512K" into bytes; 0 on parse failure.
@@ -79,6 +151,25 @@ int main(int argc, char** argv) {
                      "foofah_apply: bad --memory-budget (try 64M, 2G)\n");
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--spill-threshold") == 0 && i + 1 < argc) {
+      const char* arg = argv[++i];
+      options.spill_threshold_bytes = ParseByteSize(arg);
+      if (options.spill_threshold_bytes == 0 && std::strcmp(arg, "0") != 0) {
+        std::fprintf(stderr,
+                     "foofah_apply: bad --spill-threshold (try 0, 64M)\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--no-spill") == 0) {
+      options.spill_threshold_bytes =
+          foofah::exec::ApplyOptions::kSpillNever;
+    } else if (std::strcmp(argv[i], "--disk-budget") == 0 && i + 1 < argc) {
+      options.disk_budget_bytes = ParseByteSize(argv[++i]);
+      if (options.disk_budget_bytes == 0) {
+        std::fprintf(stderr, "foofah_apply: bad --disk-budget (try 1G)\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--spill-dir") == 0 && i + 1 < argc) {
+      options.spill_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--no-intern") == 0) {
       options.intern_cells = false;
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
@@ -89,6 +180,8 @@ int main(int argc, char** argv) {
       return Usage();
     }
   }
+
+  if (!ArmFaultsFromEnv()) return 2;
 
   std::ifstream program_file(program_path, std::ios::binary);
   if (!program_file) {
@@ -142,6 +235,14 @@ int main(int argc, char** argv) {
                  seconds > 0 ? mb / seconds : 0, stats.passes,
                  stats.passes == 1 ? "" : "es",
                  static_cast<double>(stats.peak_tracked_bytes) / (1u << 20));
+    if (stats.spill_runs > 0) {
+      std::fprintf(stderr,
+                   "spilled %.1f MB across %" PRIu64 " run%s (peak on disk "
+                   "%.1f MB)\n",
+                   static_cast<double>(stats.spill_bytes_written) / (1u << 20),
+                   stats.spill_runs, stats.spill_runs == 1 ? "" : "s",
+                   static_cast<double>(stats.peak_disk_bytes) / (1u << 20));
+    }
   }
   if (print_stats) {
     std::printf("rows_in=%" PRIu64 " bytes_in=%" PRIu64 " rows_out=%" PRIu64
@@ -151,6 +252,10 @@ int main(int argc, char** argv) {
     std::printf("passes=%d streaming_steps=%zu blocking_steps=%zu\n",
                 stats.passes, stats.streaming_steps, stats.blocking_steps);
     std::printf("peak_tracked_bytes=%" PRIu64 "\n", stats.peak_tracked_bytes);
+    std::printf("spill_runs=%" PRIu64 " spill_bytes_written=%" PRIu64
+                " peak_disk_bytes=%" PRIu64 "\n",
+                stats.spill_runs, stats.spill_bytes_written,
+                stats.peak_disk_bytes);
     std::printf("interner: lookups=%" PRIu64 " hits=%" PRIu64
                 " entries=%zu bytes_stored=%zu\n",
                 stats.interner.lookups, stats.interner.hits,

@@ -40,23 +40,34 @@
 # It reuses the stage-8 generated corpus when stage 8 ran; otherwise it
 # generates the same 60-scenario seed-2 corpus itself.
 #
+# Stage 10 gates spill-to-disk graceful degradation: the in-process
+# spillcheck (budgeted blocking run byte-identical to the in-memory run),
+# then the CLI pushing a ~54 MB input through a Transpose-suffixed
+# program under a 256 MB address-space cap with a 16 MB memory budget —
+# it must succeed by spilling, stay under the budget, and match the
+# unbudgeted output byte-for-byte — and finally a fault-injection run
+# (exec/spill_write armed) that must fail typed while leaving no output
+# file and no temp/spill directories behind.
+#
 # Usage: scripts/check.sh [--skip-tsan] [--skip-asan] [--skip-fault]
 #                         [--skip-stress] [--skip-perf] [--skip-exec]
-#                         [--skip-fuzz] [--skip-learn]
+#                         [--skip-fuzz] [--skip-learn] [--skip-spill]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
-# Stages 7-9 allocate scratch directories; one trap cleans up whichever
+# Stages 7-10 allocate scratch directories; one trap cleans up whichever
 # exist at exit.
 EXEC_TMP=""
 FUZZ_TMP=""
 LEARN_TMP=""
+SPILL_TMP=""
 cleanup() {
   [[ -n "${EXEC_TMP}" ]] && rm -rf "${EXEC_TMP}"
   [[ -n "${FUZZ_TMP}" ]] && rm -rf "${FUZZ_TMP}"
   [[ -n "${LEARN_TMP}" ]] && rm -rf "${LEARN_TMP}"
+  [[ -n "${SPILL_TMP}" ]] && rm -rf "${SPILL_TMP}"
   return 0
 }
 trap cleanup EXIT
@@ -74,6 +85,7 @@ SKIP_PERF="${FOOFAH_SKIP_PERF_SMOKE:-0}"
 SKIP_EXEC=0
 SKIP_FUZZ=0
 SKIP_LEARN=0
+SKIP_SPILL=0
 for arg in "$@"; do
   case "${arg}" in
     --skip-tsan) SKIP_TSAN=1 ;;
@@ -84,6 +96,7 @@ for arg in "$@"; do
     --skip-exec) SKIP_EXEC=1 ;;
     --skip-fuzz) SKIP_FUZZ=1 ;;
     --skip-learn) SKIP_LEARN=1 ;;
+    --skip-spill) SKIP_SPILL=1 ;;
     *) echo "unknown option: ${arg}" >&2; exit 2 ;;
   esac
 done
@@ -112,7 +125,7 @@ else
     --target table_test table_diff_test operators_test operators_edge_test \
     extension_ops_test table_cow_diff_test synthesis_fuzz_test \
     cancellation_test service_soak_test \
-    arena_test csv_stream_test exec_test exec_diff_test \
+    arena_test csv_stream_test exec_test exec_diff_test exec_spill_test \
     fuzz_generator_test fuzz_oracle_test generated_corpus_test \
     guidance_snapshot_test
   ctest --test-dir build-asan --output-on-failure -L asan -j "${JOBS}"
@@ -126,7 +139,7 @@ else
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build build-fault -j "${JOBS}" \
     --target fault_injection_test cancellation_test service_test \
-    wrangler_session_test
+    wrangler_session_test exec_spill_test
   ctest --test-dir build-fault --output-on-failure -L faultinject -j "${JOBS}"
 fi
 
@@ -143,26 +156,37 @@ fi
 
 # Stage 6: quick perf smoke against the checked-in baseline. Runs the
 # BM_SynthesizeFrontierK workload (contacts example, threads=8/K=8,
-# best-of-5) via the frontier_corpus driver and fails on a >25% wall-clock
-# regression vs. the `smoke_ms` recorded in BENCH_search.json. Skippable
-# for machines with noisy clocks: FOOFAH_SKIP_PERF_SMOKE=1 or --skip-perf.
+# best-of-3) via the frontier_corpus driver and fails on a >25% wall-clock
+# regression vs. the `smoke_ms` recorded in BENCH_search.json. A single
+# regressed measurement gets one retry before failing — the smoke shares
+# the machine with whatever else is running, and one noisy scheduler
+# hiccup should not fail the gate. Skippable for machines with noisy
+# clocks: FOOFAH_SKIP_PERF_SMOKE=1 or --skip-perf.
 if [[ "${SKIP_PERF}" == 1 ]]; then
   echo "== Perf smoke skipped =="
 else
   echo "== Perf smoke: BM_SynthesizeFrontierK workload vs BENCH_search.json =="
   cmake --build build -j "${JOBS}" --target frontier_corpus
   baseline="$(sed -n 's/.*"smoke_ms": \([0-9.]*\).*/\1/p' BENCH_search.json)"
-  current="$(./build/bench/frontier_corpus --smoke --reps 5 \
-    | sed -n 's/smoke_ms=\([0-9.]*\)/\1/p')"
+  smoke_measure() {
+    ./build/bench/frontier_corpus --smoke --reps 3 \
+      | sed -n 's/smoke_ms=\([0-9.]*\)/\1/p'
+  }
+  current="$(smoke_measure)"
   if [[ -z "${baseline}" || -z "${current}" ]]; then
     echo "perf smoke: missing baseline or measurement" >&2
     exit 1
   fi
   if ! awk -v c="${current}" -v b="${baseline}" \
       'BEGIN { exit !(c <= b * 1.25) }'; then
-    echo "perf smoke regression: smoke_ms=${current}" \
-         "> baseline ${baseline} * 1.25" >&2
-    exit 1
+    echo "perf smoke: smoke_ms=${current} over budget, retrying once"
+    current="$(smoke_measure)"
+    if [[ -z "${current}" ]] || ! awk -v c="${current}" -v b="${baseline}" \
+        'BEGIN { exit !(c <= b * 1.25) }'; then
+      echo "perf smoke regression: smoke_ms=${current}" \
+           "> baseline ${baseline} * 1.25" >&2
+      exit 1
+    fi
   fi
   echo "perf smoke ok: smoke_ms=${current} (baseline ${baseline})"
 fi
@@ -315,6 +339,88 @@ else
     exit 1
   fi
   echo "learn gate: tampered snapshot rejected"
+fi
+
+# Stage 10: spill-to-disk graceful-degradation gate. A blocking suffix
+# whose materialization cannot fit the memory budget must degrade to
+# disk-backed execution (byte-identical output), and every injected
+# spill/commit failure must surface as a typed error with no torn output
+# and no leaked temp files. The ulimit leg uses the plain build: ASan
+# reserves terabytes of shadow address space and cannot run under
+# `ulimit -v`.
+if [[ "${SKIP_SPILL}" == 1 ]]; then
+  echo "== Spill stage skipped =="
+else
+  echo "== Spill-to-disk graceful-degradation gate =="
+  cmake --build build -j "${JOBS}" --target foofah_apply apply_corpus
+
+  # Leg 1: in-process check — budgeted blocking run spills, stays under
+  # budget, and matches the in-memory run byte-for-byte.
+  ./build/bench/apply_corpus --spillcheck
+
+  # Leg 2: the CLI pushing a ~54 MB input through a Transpose-suffixed
+  # program under a 256 MB address-space cap with a 16 MB budget. The
+  # materialized table alone dwarfs the budget, so success requires the
+  # spill path; the output must match the unbudgeted run byte-for-byte.
+  SPILL_TMP="$(mktemp -d)"
+  ./build/bench/apply_corpus --gen 1900000 "${SPILL_TMP}/in.csv"
+  cat > "${SPILL_TMP}/prog.txt" <<'EOF'
+t = drop(t, 3)
+t = transpose(t)
+EOF
+  ./build/examples/foofah_apply "${SPILL_TMP}/prog.txt" \
+    "${SPILL_TMP}/in.csv" "${SPILL_TMP}/ref.csv" --quiet
+  stats="$(
+    ulimit -v 262144
+    ./build/examples/foofah_apply "${SPILL_TMP}/prog.txt" \
+      "${SPILL_TMP}/in.csv" "${SPILL_TMP}/out.csv" \
+      --memory-budget 16M --quiet --stats
+  )"
+  if ! cmp -s "${SPILL_TMP}/ref.csv" "${SPILL_TMP}/out.csv"; then
+    echo "spill gate: spilled output differs from unbudgeted run" >&2
+    exit 1
+  fi
+  peak="$(sed -n 's/^peak_tracked_bytes=\([0-9]*\).*/\1/p' <<<"${stats}")"
+  spill_runs="$(sed -n 's/^spill_runs=\([0-9]*\).*/\1/p' <<<"${stats}")"
+  if [[ -z "${peak}" || -z "${spill_runs}" ]]; then
+    echo "spill gate: --stats output missing spill fields" >&2
+    exit 1
+  fi
+  if (( spill_runs < 1 )); then
+    echo "spill gate: budgeted run never spilled" >&2
+    exit 1
+  fi
+  if (( peak > 16777216 )); then
+    echo "spill gate: peak_tracked_bytes=${peak} > 16 MB budget" >&2
+    exit 1
+  fi
+  echo "spill gate: 54 MB transposed under a 16 MB budget" \
+       "(spill_runs=${spill_runs}, peak_tracked=${peak})"
+
+  # Leg 3: injected spill-write failure through the fault-injection
+  # build — typed failure, no output file, no temp/spill dirs left.
+  cmake -B build-fault -S . -DFOOFAH_ASAN=ON -DFOOFAH_FAULT_INJECTION=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build build-fault -j "${JOBS}" --target foofah_apply apply_corpus
+  ./build-fault/bench/apply_corpus --gen 20000 "${SPILL_TMP}/small.csv"
+  rm -f "${SPILL_TMP}/faulted.csv"
+  if FOOFAH_FAULT_INJECT=exec/spill_write:1 \
+      ./build-fault/examples/foofah_apply "${SPILL_TMP}/prog.txt" \
+      "${SPILL_TMP}/small.csv" "${SPILL_TMP}/faulted.csv" \
+      --spill-threshold 0 --quiet; then
+    echo "spill gate: faulted run succeeded instead of failing typed" >&2
+    exit 1
+  fi
+  if [[ -e "${SPILL_TMP}/faulted.csv" ]]; then
+    echo "spill gate: faulted run left a (possibly torn) output file" >&2
+    exit 1
+  fi
+  leftovers="$(find "${SPILL_TMP}" -maxdepth 1 -name '.foofah-tmp-*' | wc -l)"
+  if (( leftovers > 0 )); then
+    echo "spill gate: faulted run leaked ${leftovers} temp dir(s)" >&2
+    exit 1
+  fi
+  echo "spill gate: injected spill failure was typed and left no debris"
 fi
 
 echo "All checks passed."

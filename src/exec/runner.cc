@@ -1,45 +1,23 @@
 #include "exec/runner.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <optional>
 #include <utility>
 #include <vector>
 
 #include "exec/kernels.h"
 #include "exec/plan.h"
+#include "exec/spill.h"
 #include "ops/operators.h"
 #include "table/csv_stream.h"
+#include "util/tempfile.h"
 
 namespace foofah {
 namespace exec {
 
 namespace {
-
-// High-water gauge of tracked resident bytes, charged as growth deltas
-// against the token's memory budget (so total-charged == peak). Every
-// Update also polls the token, turning a tripped budget / deadline /
-// external cancel into the canonical typed Status.
-class MemoryGauge {
- public:
-  explicit MemoryGauge(CancellationToken* token) : token_(token) {}
-
-  Status Update(uint64_t current_resident_bytes) {
-    if (current_resident_bytes > high_water_) {
-      token_->ChargeMemory(current_resident_bytes - high_water_);
-      high_water_ = current_resident_bytes;
-    }
-    if (token_->IsCancelled()) {
-      return StatusFromCancelReason(token_->reason(), "apply");
-    }
-    return Status();
-  }
-
-  uint64_t high_water() const { return high_water_; }
-
- private:
-  CancellationToken* token_;
-  uint64_t high_water_ = 0;
-};
 
 // Terminal sink of the pure-streaming final pass.
 class CsvWriteSink : public RowSink {
@@ -136,16 +114,17 @@ Status DrivePipeline(CsvChunkReader* reader, RowSink* head,
   return Status();
 }
 
-// Approximate heap bytes of a materialized table (blocking suffix):
-// cell contents plus container overhead, the same accounting
-// MaterializeSink uses.
-uint64_t ApproxTableBytes(const Table& table) {
-  uint64_t bytes = 0;
-  for (const Table::Row& row : table.rows()) {
-    bytes += sizeof(Table::Row) + sizeof(void*);
-    for (const std::string& cell : row) bytes += cell.size() + sizeof(cell);
+// Resolves ApplyOptions::spill_threshold_bytes sentinels into the
+// SpillContext's threshold domain (kNeverSpill disables spilling).
+uint64_t ResolveSpillThreshold(const ApplyOptions& options) {
+  if (options.spill_threshold_bytes == ApplyOptions::kSpillAuto) {
+    return options.memory_budget_bytes > 0 ? options.memory_budget_bytes / 2
+                                           : kNeverSpill;
   }
-  return bytes;
+  if (options.spill_threshold_bytes == ApplyOptions::kSpillNever) {
+    return kNeverSpill;
+  }
+  return options.spill_threshold_bytes;
 }
 
 using ReaderFactory =
@@ -154,7 +133,8 @@ using ReaderFactory =
 Result<ApplyStats> ApplyImpl(const Program& program,
                              const ReaderFactory& make_reader,
                              CsvChunkWriter* writer,
-                             const ApplyOptions& options) {
+                             const ApplyOptions& options,
+                             const TempDirProvider& temp_dir) {
   ApplyStats stats;
   CancellationToken local_token;
   CancellationToken* token =
@@ -162,7 +142,12 @@ Result<ApplyStats> ApplyImpl(const Program& program,
   if (options.memory_budget_bytes > 0) {
     token->SetMemoryBudget(options.memory_budget_bytes);
   }
+  if (options.disk_budget_bytes > 0) {
+    token->SetDiskBudget(options.disk_budget_bytes);
+  }
   MemoryGauge gauge(token);
+  SpillContext spill_ctx(token, &gauge, ResolveSpillThreshold(options),
+                         options.memory_budget_bytes, temp_dir);
 
   const size_t prefix = StreamingPrefixLength(program);
   // profile + final, plus one measuring pass per width-dynamic prefix
@@ -234,10 +219,13 @@ Result<ApplyStats> ApplyImpl(const Program& program,
     stats.rows_out = out_sink.rows();
   } else {
     // Blocking suffix: materialize the prefix output under the memory
-    // budget, then reuse the Table executor — the blocking operator
-    // needs the whole relation resident anyway, and ApplyOperation
-    // makes semantic divergence impossible.
-    MaterializeSink materialize;
+    // budget — into a Table while it fits the spill threshold, onto an
+    // on-disk run past it — then execute the remaining operations
+    // spill-aware (exec/spill.h). The in-memory path reuses
+    // ApplyOperation so semantic divergence is impossible; the
+    // spill-backed operators mirror it cell for cell and the
+    // differential suite proves the identity at thresholds down to 0.
+    SpillableRelationBuilder materialize(&spill_ctx);
     RowSink* head = nullptr;
     Result<std::vector<std::unique_ptr<RowSink>>> chain =
         BuildChain(steps, steps.size(), &materialize, &head);
@@ -251,27 +239,14 @@ Result<ApplyStats> ApplyImpl(const Program& program,
     if (!driven.ok()) return driven;
     stats.interner = reader->interner_stats();
 
-    Table table = materialize.Take();
-    for (size_t i = prefix; i < program.size(); ++i) {
-      if (token->IsCancelled()) {
-        return StatusFromCancelReason(token->reason(), "apply");
-      }
-      Result<Table> applied = ApplyOperation(table, program.operation(i));
-      if (!applied.ok()) return applied.status();
-      table = std::move(applied).value();
-      Status mem = gauge.Update(ApproxTableBytes(table));
-      if (!mem.ok()) return mem;
-    }
-
-    std::vector<std::string_view> views;
-    for (const Table::Row& row : table.rows()) {
-      views.clear();
-      views.reserve(row.size());
-      for (const std::string& cell : row) views.push_back(cell);
-      Status written = writer->WriteRow(views.data(), views.size());
-      if (!written.ok()) return written;
-      ++stats.rows_out;
-    }
+    Result<Relation> taken = materialize.Take();
+    if (!taken.ok()) return taken.status();
+    uint64_t rows_out = 0;
+    Status done = ExecuteBlockingSuffix(program, prefix,
+                                        std::move(taken).value(), &spill_ctx,
+                                        writer, &rows_out);
+    if (!done.ok()) return done;
+    stats.rows_out = rows_out;
   }
 
   Status closed = writer->Close();
@@ -279,6 +254,9 @@ Result<ApplyStats> ApplyImpl(const Program& program,
   stats.bytes_out = writer->bytes_written();
   stats.passes = pass;
   stats.peak_tracked_bytes = gauge.high_water();
+  stats.spill_runs = spill_ctx.stats().runs;
+  stats.spill_bytes_written = spill_ctx.stats().bytes;
+  stats.peak_disk_bytes = spill_ctx.disk().high_water();
   return stats;
 }
 
@@ -288,17 +266,48 @@ Result<ApplyStats> ApplyProgramToCsvFile(const Program& program,
                                          const std::string& input_path,
                                          const std::string& output_path,
                                          const ApplyOptions& options) {
-  CsvChunkWriter writer(output_path, options.csv);
+  // The output stages in a per-run temp directory inside the output's
+  // own directory: the commit rename never crosses a filesystem, and a
+  // crash at any point leaves the previous output untouched plus a
+  // flock-marked temp dir the next invocation reaps here.
+  const std::string out_parent = DirNameOf(output_path);
+  ReapOrphanedTempDirs(out_parent);
+  if (!options.spill_dir.empty() && options.spill_dir != out_parent) {
+    ReapOrphanedTempDirs(options.spill_dir);
+  }
+  Result<ScopedTempDir> staged = ScopedTempDir::CreateIn(out_parent);
+  if (!staged.ok()) return staged.status();
+  const std::string tmp_out = staged.value().path() + "/out.csv.tmp";
+
+  // Spill runs share the staging directory unless redirected; the
+  // override's directory is created lazily — a run that never spills
+  // never touches it.
+  std::optional<ScopedTempDir> spill_home;
+  TempDirProvider temp_dir = [&]() -> Result<std::string> {
+    if (options.spill_dir.empty()) return staged.value().path();
+    if (!spill_home.has_value()) {
+      Result<ScopedTempDir> made = ScopedTempDir::CreateIn(options.spill_dir);
+      if (!made.ok()) return made.status();
+      spill_home.emplace(std::move(made).value());
+    }
+    return spill_home->path();
+  };
+
+  CsvChunkWriter writer(tmp_out, options.csv);
   ReaderFactory make_reader = [&](bool intern_cells) {
     return std::make_unique<CsvChunkReader>(input_path, options.csv,
                                             intern_cells);
   };
-  Result<ApplyStats> result = ApplyImpl(program, make_reader, &writer, options);
+  Result<ApplyStats> result =
+      ApplyImpl(program, make_reader, &writer, options, temp_dir);
   if (!result.ok()) {
-    // Never leave a partial file looking like a result.
+    // No partial output: the temp directories remove the staged file
+    // and any leftover spill runs; output_path was never written.
     writer.Close();
-    std::remove(output_path.c_str());
+    return result;
   }
+  Status committed = CommitFileDurably(tmp_out, output_path);
+  if (!committed.ok()) return committed;
   return result;
 }
 
@@ -311,7 +320,25 @@ Result<ApplyStats> ApplyProgramToCsvText(const Program& program,
   ReaderFactory make_reader = [&](bool intern_cells) {
     return std::make_unique<CsvChunkReader>(input, options.csv, intern_cells);
   };
-  Result<ApplyStats> result = ApplyImpl(program, make_reader, &writer, options);
+  // No output file to stage next to; spill runs (if any) go under the
+  // override, else $TMPDIR, else /tmp — created only when needed.
+  std::optional<ScopedTempDir> spill_home;
+  TempDirProvider temp_dir = [&]() -> Result<std::string> {
+    if (!spill_home.has_value()) {
+      std::string parent = options.spill_dir;
+      if (parent.empty()) {
+        const char* env = std::getenv("TMPDIR");
+        parent = (env != nullptr && env[0] != '\0') ? env : "/tmp";
+      }
+      ReapOrphanedTempDirs(parent);
+      Result<ScopedTempDir> made = ScopedTempDir::CreateIn(parent);
+      if (!made.ok()) return made.status();
+      spill_home.emplace(std::move(made).value());
+    }
+    return spill_home->path();
+  };
+  Result<ApplyStats> result =
+      ApplyImpl(program, make_reader, &writer, options, temp_dir);
   if (!result.ok()) {
     // Same contract as the file variant: no partial output on failure.
     writer.Close();

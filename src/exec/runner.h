@@ -30,7 +30,17 @@ namespace exec {
 ///      into the writer — or, when the program contains a blocking
 ///      operator (Unfold, Transpose, Wrap*, SplitAll), into a
 ///      materialized Table on which the remaining operations run via
-///      ApplyOperation under the memory budget.
+///      ApplyOperation under the memory budget — spilling to an
+///      on-disk run file (exec/spill.h) when the materialization would
+///      breach the spill threshold, so blocking suffixes degrade
+///      in-memory → spill → typed failure instead of OOMing.
+///
+/// The file variant is crash-safe: output is written to a temp file in
+/// a per-run temp directory next to the output path, fsynced, and
+/// atomically renamed into place on success — the output path either
+/// holds the complete previous content or the complete new content,
+/// never a torn write. Orphaned temp directories from crashed runs are
+/// reaped on the next invocation (util/tempfile.h).
 ///
 /// Failures are typed and reuse the library's diagnostics unchanged:
 /// CSV problems are the whole-file reader's ParseErrors with positional
@@ -61,6 +71,29 @@ struct ApplyOptions {
   /// kResourceExhausted via the cancellation machinery. 0 disables.
   uint64_t memory_budget_bytes = 0;
 
+  /// Blocking-suffix spill control: once the materialized relation's
+  /// tracked bytes exceed this threshold, rows move to an on-disk run
+  /// file and the suffix executes spill-aware (exec/spill.h). 0 spills
+  /// everything (the differential sweeps prove byte-identity there);
+  /// kSpillAuto derives memory_budget_bytes / 2 when a budget is set
+  /// and never spills otherwise; kSpillNever forces the pure in-memory
+  /// path regardless of budget.
+  static constexpr uint64_t kSpillAuto = UINT64_MAX;
+  static constexpr uint64_t kSpillNever = UINT64_MAX - 1;
+  uint64_t spill_threshold_bytes = kSpillAuto;
+
+  /// Cap on peak concurrent spill bytes on disk; exceeded → typed
+  /// kResourceExhausted ("disk budget exhausted") — with both budgets
+  /// exhausted the executor fails typed, it never OOMs or fills the
+  /// disk unboundedly. 0 disables.
+  uint64_t disk_budget_bytes = 0;
+
+  /// Parent directory for the per-run temp directory (spill runs + the
+  /// crash-safe output temp file). Empty derives it: the output file's
+  /// directory for the file variant (same filesystem, so the commit
+  /// rename is atomic), $TMPDIR or /tmp for the text variant.
+  std::string spill_dir;
+
   /// Deduplicate repeated cell bytes per chunk through a StringInterner
   /// (columnar data is repetitive; interning bounds the chunk's cell
   /// storage by its distinct values).
@@ -89,12 +122,20 @@ struct ApplyStats {
   /// against the memory budget). The bounded-memory claim check.sh
   /// stage 7 gates on compares this across input sizes.
   uint64_t peak_tracked_bytes = 0;
+  uint64_t spill_runs = 0;           ///< Run files written by the spill path.
+  uint64_t spill_bytes_written = 0;  ///< Total bytes written to run files.
+  /// High-water mark of concurrent spill bytes on disk (the gauge
+  /// charged against the disk budget). 0 when nothing spilled.
+  uint64_t peak_disk_bytes = 0;
   StringInterner::Stats interner;  ///< Final pass's cell interner.
 };
 
 /// Applies `program` to the CSV file at `input_path`, writing the
-/// result to `output_path` (created/truncated; removed again on
-/// failure so a partial file never looks like a result).
+/// result to `output_path` crash-safely: the result is staged in a
+/// temp directory next to the output and atomically renamed into place
+/// only on success, so a partial file never looks like a result — even
+/// across a crash or power loss. Stale temp directories from previous
+/// crashed runs are reaped first.
 Result<ApplyStats> ApplyProgramToCsvFile(const Program& program,
                                          const std::string& input_path,
                                          const std::string& output_path,

@@ -1,0 +1,865 @@
+#include "exec/spill.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <utility>
+
+#include "ops/operators.h"
+#include "ops/registry.h"
+#include "util/fault_injection.h"
+#include "util/string_util.h"
+
+namespace foofah {
+namespace exec {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Run-file encoding helpers.
+
+constexpr char kCellTag = 0x01;
+constexpr char kRowEndTag = 0x02;
+
+void PutU32(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+  out->push_back(static_cast<char>((v >> 16) & 0xff));
+  out->push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+uint32_t GetU32(const unsigned char* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+// CRC-32 (IEEE, reflected), table built once. Standard polynomial so
+// external tools can verify run pages.
+uint32_t Crc32(const char* data, size_t n) {
+  static const uint32_t* table = [] {
+    auto* t = new uint32_t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ static_cast<unsigned char>(data[i])) & 0xff] ^
+          (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+// The same padding Table::cell performs for ragged rows.
+std::string_view Padded(const std::string_view* cells, size_t n, size_t c) {
+  return c < n ? cells[c] : std::string_view();
+}
+
+// Approximate heap bytes of a materialized table: cell contents plus
+// container overhead, the same accounting SpillableRelationBuilder and
+// MaterializeSink use.
+uint64_t ApproxTableBytes(const Table& table) {
+  uint64_t bytes = 0;
+  for (const Table::Row& row : table.rows()) {
+    bytes += sizeof(Table::Row) + sizeof(void*);
+    for (const std::string& cell : row) bytes += cell.size() + sizeof(cell);
+  }
+  return bytes;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SpillRunWriter
+
+SpillRunWriter::SpillRunWriter(std::string path, DiskGauge* gauge,
+                               size_t page_bytes)
+    : path_(std::move(path)), gauge_(gauge), page_bytes_(page_bytes) {
+  file_ = std::fopen(path_.c_str(), "wb");
+  if (file_ == nullptr) {
+    status_ = Status::Unavailable("spill write failed: cannot open " + path_);
+  }
+  page_.reserve(page_bytes_ + 1024);
+}
+
+SpillRunWriter::~SpillRunWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status SpillRunWriter::FlushPage() {
+  if (!status_.ok()) return status_;
+  if (page_.empty()) return Status::OK();
+  // The disk budget is checked before the bytes land, so exhausting it
+  // stops the spill instead of overshooting it by a page.
+  Status charged = gauge_->Charge(8 + page_.size());
+  if (!charged.ok()) {
+    status_ = charged;
+    return status_;
+  }
+  if (FOOFAH_FAULT_FAIL(fault_points::kExecSpillWrite)) {
+    status_ = Status::Unavailable("spill write failed: " + path_ +
+                                  ": injected I/O failure (ENOSPC)");
+    return status_;
+  }
+  char header[8];
+  uint32_t len = static_cast<uint32_t>(page_.size());
+  uint32_t crc = Crc32(page_.data(), page_.size());
+  header[0] = static_cast<char>(len & 0xff);
+  header[1] = static_cast<char>((len >> 8) & 0xff);
+  header[2] = static_cast<char>((len >> 16) & 0xff);
+  header[3] = static_cast<char>((len >> 24) & 0xff);
+  header[4] = static_cast<char>(crc & 0xff);
+  header[5] = static_cast<char>((crc >> 8) & 0xff);
+  header[6] = static_cast<char>((crc >> 16) & 0xff);
+  header[7] = static_cast<char>((crc >> 24) & 0xff);
+  if (std::fwrite(header, 1, 8, file_) != 8 ||
+      std::fwrite(page_.data(), 1, page_.size(), file_) != page_.size()) {
+    status_ = Status::Unavailable("spill write failed: " + path_);
+    return status_;
+  }
+  bytes_written_ += 8 + page_.size();
+  page_.clear();
+  return Status::OK();
+}
+
+Status SpillRunWriter::AppendCell(std::string_view cell) {
+  if (!status_.ok()) return status_;
+  page_ += kCellTag;
+  PutU32(&page_, static_cast<uint32_t>(cell.size()));
+  page_.append(cell.data(), cell.size());
+  ++cells_in_row_;
+  if (page_.size() >= page_bytes_) return FlushPage();
+  return Status::OK();
+}
+
+Status SpillRunWriter::EndRow() {
+  if (!status_.ok()) return status_;
+  page_ += kRowEndTag;
+  ++rows_;
+  if (cells_in_row_ > max_width_) max_width_ = cells_in_row_;
+  cells_in_row_ = 0;
+  if (page_.size() >= page_bytes_) return FlushPage();
+  return Status::OK();
+}
+
+Status SpillRunWriter::AppendRow(const std::string_view* cells,
+                                 size_t num_cells) {
+  for (size_t c = 0; c < num_cells; ++c) {
+    Status appended = AppendCell(cells[c]);
+    if (!appended.ok()) return appended;
+  }
+  return EndRow();
+}
+
+Status SpillRunWriter::Finish() {
+  if (finished_) return status_;
+  finished_ = true;
+  Status flushed = FlushPage();
+  if (!flushed.ok()) return flushed;
+  if (file_ != nullptr) {
+    if (std::fflush(file_) != 0 || std::fclose(file_) != 0) {
+      std::fclose(file_);  // best effort if fflush failed
+      file_ = nullptr;
+      status_ = Status::Unavailable("spill write failed: " + path_);
+      return status_;
+    }
+    file_ = nullptr;
+  }
+  return status_;
+}
+
+// ---------------------------------------------------------------------------
+// SpillRunReader
+
+SpillRunReader::SpillRunReader(const std::string& path) : path_(path) {
+  file_ = std::fopen(path_.c_str(), "rb");
+  if (file_ == nullptr) {
+    status_ = Status::Unavailable("spill read failed: cannot open " + path_);
+  }
+}
+
+SpillRunReader::~SpillRunReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<bool> SpillRunReader::NextPage() {
+  if (FOOFAH_FAULT_FAIL(fault_points::kExecSpillRead)) {
+    return Status::Unavailable("spill read failed: " + path_ +
+                               ": injected I/O failure");
+  }
+  unsigned char header[8];
+  size_t got = std::fread(header, 1, 8, file_);
+  if (got == 0 && std::feof(file_)) return false;
+  if (got != 8) {
+    return Status::Unavailable("spill read failed: truncated page header: " +
+                               path_);
+  }
+  uint32_t len = GetU32(header);
+  uint32_t crc = GetU32(header + 4);
+  page_.resize(len);
+  if (std::fread(page_.data(), 1, len, file_) != len) {
+    return Status::Unavailable("spill read failed: truncated page: " + path_);
+  }
+  if (Crc32(page_.data(), page_.size()) != crc) {
+    return Status::Unavailable("spill read failed: CRC mismatch: " + path_);
+  }
+  pos_ = 0;
+  return true;
+}
+
+Result<bool> SpillRunReader::NextRow(const std::string_view** cells,
+                                     size_t* num_cells) {
+  if (!status_.ok()) return status_;
+  size_t count = 0;
+  uint64_t bytes = 0;
+  for (;;) {
+    if (pos_ >= page_.size()) {
+      if (eof_) {
+        // Unreachable after a clean false, but kept defensive.
+        return false;
+      }
+      Result<bool> page = NextPage();
+      if (!page.ok()) {
+        status_ = page.status();
+        return status_;
+      }
+      if (!page.value()) {
+        eof_ = true;
+        if (count > 0) {
+          status_ =
+              Status::Unavailable("spill read failed: truncated row: " + path_);
+          return status_;
+        }
+        return false;
+      }
+      continue;
+    }
+    char tag = page_[pos_++];
+    if (tag == kRowEndTag) {
+      views_.clear();
+      views_.reserve(count);
+      for (size_t i = 0; i < count; ++i) views_.push_back(cell_storage_[i]);
+      if (bytes + count * sizeof(std::string) > row_bytes_) {
+        row_bytes_ = bytes + count * sizeof(std::string);
+      }
+      *cells = views_.data();
+      *num_cells = count;
+      return true;
+    }
+    if (tag != kCellTag || pos_ + 4 > page_.size()) {
+      status_ = Status::Unavailable("spill read failed: corrupt record: " +
+                                    path_);
+      return status_;
+    }
+    uint32_t len =
+        GetU32(reinterpret_cast<const unsigned char*>(page_.data()) + pos_);
+    pos_ += 4;
+    if (pos_ + len > page_.size()) {
+      status_ = Status::Unavailable("spill read failed: corrupt record: " +
+                                    path_);
+      return status_;
+    }
+    if (count >= cell_storage_.size()) cell_storage_.emplace_back();
+    cell_storage_[count].assign(page_.data() + pos_, len);
+    bytes += len;
+    pos_ += len;
+    ++count;
+  }
+}
+
+size_t SpillRunReader::buffered_bytes() const {
+  return page_.capacity() + row_bytes_;
+}
+
+// ---------------------------------------------------------------------------
+// SpillContext
+
+uint64_t SpillContext::tile_budget() const {
+  if (memory_budget_ > 0) {
+    return std::max<uint64_t>(memory_budget_ / 2, 64u << 10);
+  }
+  if (threshold_ != kNeverSpill && threshold_ > 0) return threshold_;
+  return 16u << 20;
+}
+
+Result<std::unique_ptr<SpillRunWriter>> SpillContext::NewRunWriter() {
+  Result<std::string> dir = temp_dir_();
+  if (!dir.ok()) return dir.status();
+  std::string path =
+      dir.value() + "/run-" + std::to_string(next_run_id_++) + ".spill";
+  return std::make_unique<SpillRunWriter>(std::move(path), &disk_,
+                                          page_bytes_);
+}
+
+void SpillContext::DiscardRun(const SpilledRun& run) {
+  std::remove(run.path.c_str());
+  disk_.Release(run.bytes);
+}
+
+// ---------------------------------------------------------------------------
+// SpillableRelationBuilder
+
+Status SpillableRelationBuilder::Push(const std::string_view* cells,
+                                      size_t num_cells) {
+  for (size_t c = 0; c < num_cells; ++c) {
+    Status appended = AppendCell(cells[c]);
+    if (!appended.ok()) return appended;
+  }
+  return EndRow();
+}
+
+Status SpillableRelationBuilder::AppendCell(std::string_view cell) {
+  if (!status_.ok()) return status_;
+  ++cells_in_row_;
+  if (writer_ != nullptr) {
+    Status appended = writer_->AppendCell(cell);
+    if (!appended.ok()) status_ = appended;
+    return status_;
+  }
+  current_row_.emplace_back(cell);
+  mem_bytes_ += cell.size() + sizeof(std::string);
+  if (ctx_->spill_enabled() && mem_bytes_ > ctx_->threshold()) {
+    Status spilled = SpillNow();
+    if (!spilled.ok()) {
+      status_ = spilled;
+      return status_;
+    }
+  }
+  return Status::OK();
+}
+
+Status SpillableRelationBuilder::EndRow() {
+  if (!status_.ok()) return status_;
+  if (cells_in_row_ > max_width_) max_width_ = cells_in_row_;
+  cells_in_row_ = 0;
+  ++rows_;
+  if (writer_ != nullptr) {
+    Status ended = writer_->EndRow();
+    if (!ended.ok()) status_ = ended;
+    return status_;
+  }
+  mem_bytes_ += sizeof(Table::Row) + sizeof(void*);
+  table_.AppendRow(std::move(current_row_));
+  current_row_.clear();
+  if (ctx_->spill_enabled() && mem_bytes_ > ctx_->threshold()) {
+    Status spilled = SpillNow();
+    if (!spilled.ok()) {
+      status_ = spilled;
+      return status_;
+    }
+  }
+  return Status::OK();
+}
+
+Status SpillableRelationBuilder::SpillNow() {
+  Result<std::unique_ptr<SpillRunWriter>> made = ctx_->NewRunWriter();
+  if (!made.ok()) return made.status();
+  writer_ = std::move(made).value();
+  for (const Table::Row& row : table_.rows()) {
+    for (const std::string& cell : row) {
+      Status appended = writer_->AppendCell(cell);
+      if (!appended.ok()) return appended;
+    }
+    Status ended = writer_->EndRow();
+    if (!ended.ok()) return ended;
+  }
+  // Cells of the row still being assembled keep their order: they were
+  // appended after every complete row.
+  for (const std::string& cell : current_row_) {
+    Status appended = writer_->AppendCell(cell);
+    if (!appended.ok()) return appended;
+  }
+  table_ = Table();
+  current_row_.clear();
+  current_row_.shrink_to_fit();
+  mem_bytes_ = 0;
+  return Status::OK();
+}
+
+uint64_t SpillableRelationBuilder::bytes_buffered() const {
+  return writer_ != nullptr ? writer_->buffered_bytes() : mem_bytes_;
+}
+
+Result<Relation> SpillableRelationBuilder::Take() {
+  if (!status_.ok()) return status_;
+  if (writer_ != nullptr) {
+    Status finished = writer_->Finish();
+    if (!finished.ok()) return finished;
+    ctx_->stats().runs += 1;
+    ctx_->stats().bytes += writer_->bytes_written();
+    SpilledRun run;
+    run.path = writer_->path();
+    run.shape = Shape{rows_, max_width_};
+    run.bytes = writer_->bytes_written();
+    writer_.reset();
+    return Relation::FromRun(std::move(run));
+  }
+  return Relation::FromTable(std::move(table_));
+}
+
+// ---------------------------------------------------------------------------
+// Spill-aware suffix execution
+
+namespace {
+
+// Final-stage CellSink: rows go straight to the CSV writer, assembled
+// cell by cell (the writer may flush mid-row, so streamed-Transpose
+// output rows of arbitrary width stay O(buffer)).
+class CsvCellSink : public CellSink {
+ public:
+  explicit CsvCellSink(CsvChunkWriter* writer) : writer_(writer) {}
+
+  Status AppendCell(std::string_view cell) override {
+    return writer_->WriteCell(cell);
+  }
+  Status EndRow() override {
+    ++rows_;
+    return writer_->EndRow();
+  }
+  uint64_t bytes_buffered() const override {
+    return writer_->buffered_bytes();
+  }
+
+  uint64_t rows() const { return rows_; }
+
+ private:
+  CsvChunkWriter* writer_;
+  uint64_t rows_ = 0;
+};
+
+// Adapts kernel row output onto a CellSink (streaming/windowed suffix
+// steps over a run).
+class CellRowSink : public RowSink {
+ public:
+  explicit CellRowSink(CellSink* sink) : sink_(sink) {}
+
+  Status Push(const std::string_view* cells, size_t num_cells) override {
+    for (size_t c = 0; c < num_cells; ++c) {
+      Status appended = sink_->AppendCell(cells[c]);
+      if (!appended.ok()) return appended;
+    }
+    return sink_->EndRow();
+  }
+  Status Finish() override { return Status(); }
+
+ private:
+  CellSink* sink_;
+};
+
+using RowFn = std::function<Status(const std::string_view*, size_t)>;
+
+// One sequential pass over a run: every row through `on_row`, with the
+// token polled and the memory gauge updated (reader scratch plus the
+// caller's resident state) every 128 rows.
+Status ScanRun(const SpilledRun& run, SpillContext* ctx,
+               const std::function<uint64_t()>& extra_resident,
+               const RowFn& on_row) {
+  SpillRunReader reader(run.path);
+  const std::string_view* cells = nullptr;
+  size_t num_cells = 0;
+  uint64_t count = 0;
+  for (;;) {
+    Result<bool> got = reader.NextRow(&cells, &num_cells);
+    if (!got.ok()) return got.status();
+    if (!got.value()) break;
+    Status pushed = on_row(cells, num_cells);
+    if (!pushed.ok()) return pushed;
+    if ((++count & 127u) == 0) {
+      Status mem = ctx->memory()->Update(
+          reader.buffered_bytes() +
+          (extra_resident ? extra_resident() : 0));
+      if (!mem.ok()) return mem;
+    }
+  }
+  return ctx->memory()->Update(reader.buffered_bytes() +
+                               (extra_resident ? extra_resident() : 0));
+}
+
+// Transpose over a run: output row c is input column c. Columns are
+// buffered T at a time (T from the tile budget) so the pass count is
+// ceil(C / T); when even one column exceeds the budget, T degrades to a
+// zero-buffer mode that streams one column per pass straight into the
+// sink — O(1) memory, C passes.
+Status TransposeOverRun(const SpilledRun& in, SpillContext* ctx,
+                        CellSink* sink) {
+  const uint64_t num_rows = in.shape.rows;
+  const uint64_t num_cols = in.shape.cols;
+  if (num_cols == 0) return Status::OK();
+  const uint64_t tile_budget = ctx->tile_budget();
+  const uint64_t col_est =
+      in.bytes / num_cols + num_rows * 16;  // bytes + offset/slop per cell
+  if (col_est > tile_budget) {
+    for (uint64_t c = 0; c < num_cols; ++c) {
+      Status scanned = ScanRun(
+          in, ctx, [&] { return sink->bytes_buffered(); },
+          [&](const std::string_view* cells, size_t n) {
+            return sink->AppendCell(Padded(cells, n, c));
+          });
+      if (!scanned.ok()) return scanned;
+      Status ended = sink->EndRow();
+      if (!ended.ok()) return ended;
+    }
+    return Status::OK();
+  }
+  const uint64_t tile = std::min<uint64_t>(
+      num_cols,
+      std::max<uint64_t>(1, tile_budget / std::max<uint64_t>(col_est, 1)));
+  for (uint64_t c0 = 0; c0 < num_cols; c0 += tile) {
+    const size_t k = static_cast<size_t>(std::min<uint64_t>(tile, num_cols - c0));
+    // Flat per-column buffers (bytes blob + cell sizes), not
+    // vector<string>: per-cell container overhead would dwarf short
+    // cells at the scales that spill in the first place.
+    std::vector<std::string> blobs(k);
+    std::vector<std::vector<uint32_t>> sizes(k);
+    auto resident = [&] {
+      uint64_t bytes = sink->bytes_buffered();
+      for (size_t j = 0; j < k; ++j) {
+        bytes += blobs[j].capacity() + sizes[j].capacity() * sizeof(uint32_t);
+      }
+      return bytes;
+    };
+    Status scanned = ScanRun(
+        in, ctx, resident, [&](const std::string_view* cells, size_t n) {
+          for (size_t j = 0; j < k; ++j) {
+            std::string_view cell = Padded(cells, n, c0 + j);
+            blobs[j].append(cell.data(), cell.size());
+            sizes[j].push_back(static_cast<uint32_t>(cell.size()));
+          }
+          return Status::OK();
+        });
+    if (!scanned.ok()) return scanned;
+    for (size_t j = 0; j < k; ++j) {
+      size_t offset = 0;
+      for (uint32_t size : sizes[j]) {
+        Status appended = sink->AppendCell(
+            std::string_view(blobs[j]).substr(offset, size));
+        if (!appended.ok()) return appended;
+        offset += size;
+      }
+      Status ended = sink->EndRow();
+      if (!ended.ok()) return ended;
+    }
+  }
+  return Status::OK();
+}
+
+// Unfold over a run: single scan building the same
+// first-appearance-ordered column/group maps as ApplyUnfold
+// (ops/operators.cc) — only the group state is resident, charged to the
+// gauge; the input stays on disk.
+Status UnfoldOverRun(const Operation& op, const SpilledRun& in,
+                     SpillContext* ctx, CellSink* sink) {
+  const size_t ncols = static_cast<size_t>(in.shape.cols);
+  const size_t header_col = static_cast<size_t>(op.col1);
+  const size_t value_col = static_cast<size_t>(op.col2);
+  std::vector<size_t> key_cols;
+  for (size_t c = 0; c < ncols; ++c) {
+    if (c != header_col && c != value_col) key_cols.push_back(c);
+  }
+
+  std::vector<std::string> new_columns;
+  std::map<std::string, size_t> column_index;
+  std::vector<Table::Row> group_keys;
+  std::map<Table::Row, size_t> group_index;
+  std::vector<std::map<size_t, std::string>> group_values;
+  uint64_t state_bytes = 0;
+
+  Status scanned = ScanRun(
+      in, ctx, [&] { return state_bytes + sink->bytes_buffered(); },
+      [&](const std::string_view* cells, size_t n) {
+        // A null header value becomes a column literally named "null",
+        // mirroring ApplyUnfold's visible-breakage contract.
+        std::string_view header_cell = Padded(cells, n, header_col);
+        std::string header =
+            header_cell.empty() ? "null" : std::string(header_cell);
+        auto [cit, cinserted] =
+            column_index.try_emplace(header, new_columns.size());
+        if (cinserted) {
+          state_bytes += 2 * (header.size() + sizeof(std::string)) + 32;
+          new_columns.push_back(std::move(header));
+        }
+
+        Table::Row key;
+        key.reserve(key_cols.size());
+        for (size_t c : key_cols) key.emplace_back(Padded(cells, n, c));
+        auto [git, ginserted] = group_index.try_emplace(key, group_keys.size());
+        if (ginserted) {
+          for (const std::string& cell : key) {
+            state_bytes += 2 * (cell.size() + sizeof(std::string));
+          }
+          state_bytes += 2 * sizeof(Table::Row) + 64;
+          group_keys.push_back(key);
+          group_values.emplace_back();
+        }
+        std::string_view value = Padded(cells, n, value_col);
+        state_bytes += value.size() + sizeof(std::string) + 48;
+        group_values[git->second][cit->second] = std::string(value);
+        return Status::OK();
+      });
+  if (!scanned.ok()) return scanned;
+
+  // Header row: empty cells over the key columns, then the new names.
+  for (size_t i = 0; i < key_cols.size(); ++i) {
+    Status appended = sink->AppendCell(std::string_view());
+    if (!appended.ok()) return appended;
+  }
+  for (const std::string& name : new_columns) {
+    Status appended = sink->AppendCell(name);
+    if (!appended.ok()) return appended;
+  }
+  Status ended = sink->EndRow();
+  if (!ended.ok()) return ended;
+
+  for (size_t g = 0; g < group_keys.size(); ++g) {
+    for (const std::string& cell : group_keys[g]) {
+      Status appended = sink->AppendCell(cell);
+      if (!appended.ok()) return appended;
+    }
+    const std::map<size_t, std::string>& values = group_values[g];
+    for (size_t c = 0; c < new_columns.size(); ++c) {
+      auto it = values.find(c);
+      Status appended = sink->AppendCell(
+          it != values.end() ? std::string_view(it->second)
+                             : std::string_view());
+      if (!appended.ok()) return appended;
+    }
+    Status end_group = sink->EndRow();
+    if (!end_group.ok()) return end_group;
+  }
+  return Status::OK();
+}
+
+// WrapColumn over a run: groups by the wrap column's value in
+// first-appearance order, concatenating each group's padded rows —
+// mirror of ApplyWrapColumn with only the group state resident.
+Status WrapColumnOverRun(const Operation& op, const SpilledRun& in,
+                         SpillContext* ctx, CellSink* sink) {
+  const size_t ncols = static_cast<size_t>(in.shape.cols);
+  const size_t col = static_cast<size_t>(op.col1);
+  std::vector<std::string> keys;
+  std::map<std::string, size_t> key_index;
+  std::vector<Table::Row> groups;
+  uint64_t state_bytes = 0;
+
+  Status scanned = ScanRun(
+      in, ctx, [&] { return state_bytes + sink->bytes_buffered(); },
+      [&](const std::string_view* cells, size_t n) {
+        std::string key(Padded(cells, n, col));
+        auto [it, inserted] = key_index.try_emplace(key, keys.size());
+        if (inserted) {
+          state_bytes += 2 * (key.size() + sizeof(std::string)) + 64;
+          keys.push_back(std::move(key));
+          groups.emplace_back();
+        }
+        Table::Row& group = groups[it->second];
+        for (size_t c = 0; c < ncols; ++c) {
+          std::string_view cell = Padded(cells, n, c);
+          group.emplace_back(cell);
+          state_bytes += cell.size() + sizeof(std::string);
+        }
+        return Status::OK();
+      });
+  if (!scanned.ok()) return scanned;
+
+  for (const Table::Row& group : groups) {
+    for (const std::string& cell : group) {
+      Status appended = sink->AppendCell(cell);
+      if (!appended.ok()) return appended;
+    }
+    Status ended = sink->EndRow();
+    if (!ended.ok()) return ended;
+  }
+  return Status::OK();
+}
+
+// WrapAll over a run: every padded cell of every row into one output
+// row, streamed — the giant combined row is never resident (the sink
+// spills or flushes it incrementally).
+Status WrapAllOverRun(const SpilledRun& in, SpillContext* ctx,
+                      CellSink* sink) {
+  const size_t ncols = static_cast<size_t>(in.shape.cols);
+  if (in.shape.rows == 0 || ncols == 0) return Status::OK();
+  Status scanned = ScanRun(
+      in, ctx, [&] { return sink->bytes_buffered(); },
+      [&](const std::string_view* cells, size_t n) {
+        for (size_t c = 0; c < ncols; ++c) {
+          Status appended = sink->AppendCell(Padded(cells, n, c));
+          if (!appended.ok()) return appended;
+        }
+        return Status::OK();
+      });
+  if (!scanned.ok()) return scanned;
+  return sink->EndRow();
+}
+
+// SplitAll over a run: a measuring scan for the widest split, then a
+// mapping scan — mirror of ApplySplitAll's pad-to-widest semantics.
+Status SplitAllOverRun(const Operation& op, const SpilledRun& in,
+                       SpillContext* ctx, CellSink* sink) {
+  const size_t ncols = static_cast<size_t>(in.shape.cols);
+  const size_t col = static_cast<size_t>(op.col1);
+  const std::string& delim = op.text;
+
+  size_t parts = 1;
+  Status measured = ScanRun(
+      in, ctx, [&] { return sink->bytes_buffered(); },
+      [&](const std::string_view* cells, size_t n) {
+        parts = std::max(parts, SplitAll(Padded(cells, n, col), delim).size());
+        return Status::OK();
+      });
+  if (!measured.ok()) return measured;
+
+  return ScanRun(
+      in, ctx, [&] { return sink->bytes_buffered(); },
+      [&](const std::string_view* cells, size_t n) {
+        for (size_t c = 0; c < ncols; ++c) {
+          if (c == col) {
+            std::vector<std::string> pieces =
+                SplitAll(Padded(cells, n, col), delim);
+            pieces.resize(parts);
+            for (const std::string& piece : pieces) {
+              Status appended = sink->AppendCell(piece);
+              if (!appended.ok()) return appended;
+            }
+          } else {
+            Status appended = sink->AppendCell(Padded(cells, n, c));
+            if (!appended.ok()) return appended;
+          }
+        }
+        return sink->EndRow();
+      });
+}
+
+Status ExecuteOpOverRun(const Operation& op, const SpilledRun& in,
+                        SpillContext* ctx, CellSink* sink) {
+  switch (StreamabilityOf(op.op)) {
+    case Streamability::kStreaming:
+    case Streamability::kWindowed: {
+      // Row-local and bounded-window steps run through their ordinary
+      // kernels, scanning the run instead of the CSV.
+      CellRowSink adapter(sink);
+      Result<std::unique_ptr<RowSink>> kernel =
+          MakeKernel(op, in.shape, &adapter);
+      if (!kernel.ok()) return kernel.status();
+      RowSink* head = kernel.value().get();
+      Status scanned = ScanRun(
+          in, ctx, [&] { return sink->bytes_buffered(); },
+          [&](const std::string_view* cells, size_t n) {
+            return head->Push(cells, n);
+          });
+      if (!scanned.ok()) return scanned;
+      return head->Finish();
+    }
+    case Streamability::kBlocking:
+      break;
+  }
+  switch (op.op) {
+    case OpCode::kTranspose:
+      return TransposeOverRun(in, ctx, sink);
+    case OpCode::kUnfold:
+      return UnfoldOverRun(op, in, ctx, sink);
+    case OpCode::kWrapColumn:
+      return WrapColumnOverRun(op, in, ctx, sink);
+    case OpCode::kWrapAll:
+      return WrapAllOverRun(in, ctx, sink);
+    case OpCode::kSplitAll:
+      return SplitAllOverRun(op, in, ctx, sink);
+    default:
+      break;
+  }
+  return Status::Internal(std::string("no spill executor for operation ") +
+                          OpCodeName(op.op));
+}
+
+}  // namespace
+
+Status ExecuteBlockingSuffix(const Program& program, size_t prefix,
+                             Relation relation, SpillContext* ctx,
+                             CsvChunkWriter* writer, uint64_t* rows_out) {
+  bool written = false;
+  for (size_t i = prefix; i < program.size(); ++i) {
+    CancellationToken* token = ctx->token();
+    if (token->IsCancelled()) {
+      return StatusFromCancelReason(token->reason(), "apply");
+    }
+    const Operation& op = program.operation(i);
+    const bool last = i + 1 == program.size();
+    if (!relation.spilled()) {
+      // In-memory relation: the Table executor, exactly as before the
+      // spill path existed — semantic divergence is impossible here.
+      Result<Table> applied = ApplyOperation(relation.table(), op);
+      if (!applied.ok()) return applied.status();
+      relation = Relation::FromTable(std::move(applied).value());
+      Status mem = ctx->memory()->Update(ApproxTableBytes(relation.table()));
+      if (!mem.ok()) return mem;
+      continue;
+    }
+    // Run-backed relation: the same validation the Table executor would
+    // perform (identical Status on invalid programs), then the
+    // spill-aware operator.
+    Shape in = relation.shape();
+    Status valid = ValidateOperation(op, static_cast<size_t>(in.cols),
+                                     static_cast<size_t>(in.rows));
+    if (!valid.ok()) return valid;
+    SpilledRun consumed = relation.run();
+    if (last) {
+      CsvCellSink out(writer);
+      Status ran = ExecuteOpOverRun(op, consumed, ctx, &out);
+      if (!ran.ok()) return ran;
+      *rows_out += out.rows();
+      written = true;
+      relation = Relation::FromTable(Table());
+    } else {
+      SpillableRelationBuilder builder(ctx);
+      Status ran = ExecuteOpOverRun(op, consumed, ctx, &builder);
+      if (!ran.ok()) return ran;
+      Result<Relation> next = builder.Take();
+      if (!next.ok()) return next.status();
+      relation = std::move(next).value();
+    }
+    ctx->DiscardRun(consumed);
+  }
+  if (!written) {
+    if (relation.spilled()) {
+      // The suffix ended with the relation still on disk (possible only
+      // when the materialization itself spilled and the suffix is
+      // empty — which the planner never produces — or future callers):
+      // stream it out.
+      SpilledRun run = relation.run();
+      CsvCellSink out(writer);
+      Status scanned = ScanRun(
+          run, ctx, [&] { return out.bytes_buffered(); },
+          [&](const std::string_view* cells, size_t n) {
+            for (size_t c = 0; c < n; ++c) {
+              Status appended = out.AppendCell(cells[c]);
+              if (!appended.ok()) return appended;
+            }
+            return out.EndRow();
+          });
+      if (!scanned.ok()) return scanned;
+      *rows_out += out.rows();
+      ctx->DiscardRun(run);
+    } else {
+      std::vector<std::string_view> views;
+      for (const Table::Row& row : relation.table().rows()) {
+        views.clear();
+        views.reserve(row.size());
+        for (const std::string& cell : row) views.push_back(cell);
+        Status written_row = writer->WriteRow(views.data(), views.size());
+        if (!written_row.ok()) return written_row;
+        ++*rows_out;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace exec
+}  // namespace foofah

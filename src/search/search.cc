@@ -224,6 +224,7 @@ SearchResult RunSearch(const Table& input, const Table& goal,
         break;
       case CancelReason::kNodeBudget:
       case CancelReason::kMemoryBudget:
+      case CancelReason::kDiskBudget:
         result.stats.budget_exhausted = true;
         break;
       case CancelReason::kNone:

@@ -200,10 +200,13 @@ Result<Table> ReadCsvFile(const std::string& path, const CsvOptions& options) {
 
 Status WriteCsvFile(const Table& table, const std::string& path,
                     const CsvOptions& options) {
+  // I/O failures are typed kUnavailable, code- and message-identical to
+  // the streaming CsvChunkWriter (tests pin the parity).
   std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::Internal("cannot open file for writing: " + path);
+  if (!out) return Status::Unavailable("cannot open file for writing: " + path);
   out << ToCsv(table, options);
-  if (!out) return Status::Internal("write failed: " + path);
+  out.flush();
+  if (!out) return Status::Unavailable("write failed: " + path);
   return Status::OK();
 }
 

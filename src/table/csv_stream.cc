@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "util/fault_injection.h"
+
 namespace foofah {
 
 namespace {
@@ -267,7 +269,7 @@ CsvChunkWriter::CsvChunkWriter(const std::string& path, CsvOptions options,
     : options_(options), path_(path), buffer_bytes_(buffer_bytes) {
   file_ = std::fopen(path.c_str(), "wb");
   if (file_ == nullptr) {
-    status_ = Status::Internal("cannot open file for writing: " + path);
+    status_ = Status::Unavailable("cannot open file for writing: " + path);
   }
   buffer_.reserve(buffer_bytes_);
 }
@@ -279,24 +281,44 @@ CsvChunkWriter::~CsvChunkWriter() {
   if (!closed_) Close();
 }
 
+void CsvChunkWriter::AppendCellLocked(std::string_view cell) {
+  if (cells_in_row_ > 0) buffer_ += options_.delimiter;
+  ++cells_in_row_;
+  if (NeedsQuoting(cell, options_)) {
+    buffer_ += options_.quote;
+    for (char ch : cell) {
+      buffer_ += ch;
+      if (ch == options_.quote) buffer_ += options_.quote;
+    }
+    buffer_ += options_.quote;
+  } else {
+    buffer_.append(cell.data(), cell.size());
+  }
+}
+
 Status CsvChunkWriter::WriteRow(const std::string_view* cells,
                                 size_t num_cells) {
   if (!status_.ok()) return status_;
   if (closed_) return Status::Internal("write after Close: " + path_);
-  for (size_t c = 0; c < num_cells; ++c) {
-    if (c > 0) buffer_ += options_.delimiter;
-    std::string_view cell = cells[c];
-    if (NeedsQuoting(cell, options_)) {
-      buffer_ += options_.quote;
-      for (char ch : cell) {
-        buffer_ += ch;
-        if (ch == options_.quote) buffer_ += options_.quote;
-      }
-      buffer_ += options_.quote;
-    } else {
-      buffer_.append(cell.data(), cell.size());
-    }
-  }
+  for (size_t c = 0; c < num_cells; ++c) AppendCellLocked(cells[c]);
+  cells_in_row_ = 0;
+  buffer_ += '\n';
+  if (buffer_.size() >= buffer_bytes_) return FlushLocked();
+  return Status::OK();
+}
+
+Status CsvChunkWriter::WriteCell(std::string_view cell) {
+  if (!status_.ok()) return status_;
+  if (closed_) return Status::Internal("write after Close: " + path_);
+  AppendCellLocked(cell);
+  if (buffer_.size() >= buffer_bytes_) return FlushLocked();
+  return Status::OK();
+}
+
+Status CsvChunkWriter::EndRow() {
+  if (!status_.ok()) return status_;
+  if (closed_) return Status::Internal("write after Close: " + path_);
+  cells_in_row_ = 0;
   buffer_ += '\n';
   if (buffer_.size() >= buffer_bytes_) return FlushLocked();
   return Status::OK();
@@ -308,9 +330,20 @@ Status CsvChunkWriter::FlushLocked() {
   if (out_ != nullptr) {
     out_->append(buffer_);
   } else {
-    size_t written = std::fwrite(buffer_.data(), 1, buffer_.size(), file_);
+    // Injected short write: a full disk accepts part of the buffer and
+    // errors — the typed failure must latch exactly as the real one.
+    size_t written = FOOFAH_FAULT_FAIL(fault_points::kCsvStreamWrite)
+                         ? buffer_.size() / 2
+                         : std::fwrite(buffer_.data(), 1, buffer_.size(),
+                                       file_);
     if (written != buffer_.size()) {
-      status_ = Status::Internal("write failed: " + path_);
+      status_ = Status::Unavailable("write failed: " + path_);
+      return status_;
+    }
+    // Push the bytes through stdio so disk-full errors surface at this
+    // flush, not silently at close.
+    if (std::fflush(file_) != 0) {
+      status_ = Status::Unavailable("write failed: " + path_);
       return status_;
     }
   }
@@ -327,7 +360,7 @@ Status CsvChunkWriter::Close() {
   closed_ = true;
   if (file_ != nullptr) {
     if (std::fclose(file_) != 0 && status_.ok()) {
-      status_ = Status::Internal("write failed: " + path_);
+      status_ = Status::Unavailable("write failed: " + path_);
     }
     file_ = nullptr;
   }

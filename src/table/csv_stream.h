@@ -154,6 +154,12 @@ class CsvChunkReader {
 /// Buffered CSV writer producing byte-identical output to ToCsv: cells
 /// containing the delimiter, the quote character, or newlines are quoted
 /// with doubled-quote escapes, rows end in '\n'.
+///
+/// I/O failures (open, short write, close) are typed kUnavailable with
+/// the same code and message as the whole-file WriteCsvFile, latched on
+/// first occurrence — a full disk surfaces as an error, never a silent
+/// truncation. The csv/stream_write fault point simulates a short write
+/// at each file flush.
 class CsvChunkWriter {
  public:
   static constexpr size_t kDefaultBufferBytes = 256u << 10;
@@ -177,6 +183,14 @@ class CsvChunkWriter {
     return WriteRow(row.cells, row.num_cells);
   }
 
+  /// Incremental row assembly for producers whose rows are too wide to
+  /// hold as a cell array (the spill executor's streamed Transpose):
+  /// WriteCell appends one cell to the open row, EndRow terminates it.
+  /// Byte-identical to a single WriteRow over the same cells; the
+  /// buffer may flush mid-row, so an open row never accumulates.
+  Status WriteCell(std::string_view cell);
+  Status EndRow();
+
   Status Flush();
   /// Flushes and closes the file; further writes are an error.
   Status Close();
@@ -186,6 +200,7 @@ class CsvChunkWriter {
 
  private:
   Status FlushLocked();
+  void AppendCellLocked(std::string_view cell);
 
   CsvOptions options_;
   std::FILE* file_ = nullptr;
@@ -193,6 +208,7 @@ class CsvChunkWriter {
   std::string path_;
   Status status_;
   bool closed_ = false;
+  size_t cells_in_row_ = 0;  ///< Cells of the currently open row.
   std::string buffer_;
   size_t buffer_bytes_ = kDefaultBufferBytes;
   uint64_t bytes_written_ = 0;

@@ -16,6 +16,8 @@ const char* CancelReasonName(CancelReason reason) {
       return "node_budget";
     case CancelReason::kMemoryBudget:
       return "memory_budget";
+    case CancelReason::kDiskBudget:
+      return "disk_budget";
   }
   return "unknown";
 }
@@ -42,6 +44,8 @@ Status StatusFromCancelReason(CancelReason reason, std::string_view context) {
     case CancelReason::kMemoryBudget:
       return Status::ResourceExhausted(
           with_context("memory budget exhausted"));
+    case CancelReason::kDiskBudget:
+      return Status::ResourceExhausted(with_context("disk budget exhausted"));
   }
   return Status::Internal(with_context("unknown cancel reason"));
 }
@@ -84,6 +88,15 @@ bool CancellationToken::ChargeMemory(uint64_t bytes) {
   uint64_t budget = memory_budget_.load(std::memory_order_relaxed);
   if (budget != 0 && total > budget) {
     Trip(CancelReason::kMemoryBudget, NowNs());
+  }
+  return IsCancelled();
+}
+
+bool CancellationToken::ChargeDisk(uint64_t bytes) {
+  uint64_t total = disk_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  uint64_t budget = disk_budget_.load(std::memory_order_relaxed);
+  if (budget != 0 && total > budget) {
+    Trip(CancelReason::kDiskBudget, NowNs());
   }
   return IsCancelled();
 }

@@ -20,6 +20,7 @@ enum class CancelReason : uint8_t {
   kDeadline = 2,      ///< The wall-clock deadline passed.
   kNodeBudget = 3,    ///< CountNode() exceeded the node budget.
   kMemoryBudget = 4,  ///< ChargeMemory() exceeded the byte budget.
+  kDiskBudget = 5,    ///< ChargeDisk() exceeded the spill byte budget.
 };
 
 /// Returns a short stable name for a cancel reason ("external",
@@ -35,6 +36,7 @@ const char* CancelReasonName(CancelReason reason);
 ///   kDeadline     → kResourceExhausted ("deadline expired")
 ///   kNodeBudget   → kResourceExhausted ("node budget exhausted")
 ///   kMemoryBudget → kResourceExhausted ("memory budget exhausted")
+///   kDiskBudget   → kResourceExhausted ("disk budget exhausted")
 ///
 /// `context` prefixes the message ("search: deadline expired"); empty
 /// omits the prefix. Keeping this in one place stops callers from folding
@@ -98,12 +100,23 @@ class CancellationToken {
     memory_budget_.store(max_bytes, std::memory_order_relaxed);
   }
 
+  /// Caps the bytes charged via ChargeDisk() — the streaming executor's
+  /// spill files; 0 disables. Together with the memory budget this
+  /// completes the degradation ladder: in-memory → spill-to-disk →
+  /// typed kResourceExhausted when both are exhausted.
+  void SetDiskBudget(uint64_t max_bytes) {
+    disk_budget_.store(max_bytes, std::memory_order_relaxed);
+  }
+
   /// Charges `n` nodes against the node budget and returns IsCancelled().
   /// The budget fires when the running total exceeds the cap.
   bool CountNode(uint64_t n = 1);
 
   /// Charges `bytes` against the memory budget and returns IsCancelled().
   bool ChargeMemory(uint64_t bytes);
+
+  /// Charges `bytes` against the disk budget and returns IsCancelled().
+  bool ChargeDisk(uint64_t bytes);
 
   /// True once any stop condition has been observed. When a deadline is
   /// armed this also performs the clock check, so the first caller to
@@ -137,6 +150,11 @@ class CancellationToken {
     return memory_.load(std::memory_order_relaxed);
   }
 
+  /// Total spill bytes charged so far (for stats, not control flow).
+  uint64_t disk_charged() const {
+    return disk_.load(std::memory_order_relaxed);
+  }
+
  private:
   static constexpr int64_t kNoDeadline = INT64_MAX;
 
@@ -159,6 +177,8 @@ class CancellationToken {
   std::atomic<uint64_t> node_budget_{0};
   mutable std::atomic<uint64_t> memory_{0};
   std::atomic<uint64_t> memory_budget_{0};
+  mutable std::atomic<uint64_t> disk_{0};
+  std::atomic<uint64_t> disk_budget_{0};
 };
 
 }  // namespace foofah

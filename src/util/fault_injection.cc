@@ -17,6 +17,9 @@ const std::vector<std::string>& FaultInjector::KnownPoints() {
         fault_points::kHeuristicCacheInsert, fault_points::kHeuristicEstimate,
         fault_points::kServerAdmit,         fault_points::kServerDispatch,
         fault_points::kWranglerApply,       fault_points::kLadderRungStart,
+        fault_points::kExecSpillWrite,      fault_points::kExecSpillRead,
+        fault_points::kExecOutputCommit,    fault_points::kExecTempCleanup,
+        fault_points::kCsvStreamWrite,
     };
     std::sort(list->begin(), list->end());
     return list;

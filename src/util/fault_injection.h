@@ -54,6 +54,29 @@ inline constexpr const char* kWranglerApply = "wrangler/apply";
 /// portfolio loser open until the winner finishes, then assert the
 /// winner's cancellation reached it.
 inline constexpr const char* kLadderRungStart = "ladder/rung_start";
+/// Spill run-file page write in the streaming executor (exec/spill.cc),
+/// hit once per page flushed (open failures take the first hit). A
+/// forced failure simulates a short write / ENOSPC: the page is treated
+/// as unwritten and the apply fails with typed kUnavailable.
+inline constexpr const char* kExecSpillWrite = "exec/spill_write";
+/// Spill run-file page read (exec/spill.cc), hit once per page header
+/// read. A forced failure simulates EIO mid-scan: typed kUnavailable,
+/// same path a CRC mismatch takes.
+inline constexpr const char* kExecSpillRead = "exec/spill_read";
+/// Crash-safe output commit of foofah_apply's result
+/// (util/tempfile.cc): hit twice per commit — before the fsync of the
+/// temp output and before the atomic rename onto the final path. A
+/// forced failure at either ordinal leaves the final path untouched.
+inline constexpr const char* kExecOutputCommit = "exec/output_commit";
+/// Recursive removal of a per-run temp directory (util/tempfile.cc),
+/// hit once per ScopedTempDir cleanup. A forced failure simulates a
+/// crash before cleanup: the directory is left behind and must be
+/// reaped by the next invocation's ReapOrphanedTempDirs.
+inline constexpr const char* kExecTempCleanup = "exec/temp_cleanup";
+/// CsvChunkWriter page flush to a file (table/csv_stream.cc), hit once
+/// per buffer flush. A forced failure simulates a short write on a full
+/// disk: typed kUnavailable, latched like a real fwrite failure.
+inline constexpr const char* kCsvStreamWrite = "csv/stream_write";
 }  // namespace fault_points
 
 /// Deterministic fault-injection registry.

@@ -25,9 +25,11 @@ namespace {
 
 // Runs both executors on the same bytes and requires identical results:
 // same output bytes on success, same Status (code and message) on
-// failure.
+// failure. `base` carries option overrides (spill thresholds in the
+// sweeps below); chunk size is applied on top of it.
 void ExpectDiffIdentical(const Program& program, const std::string& input_bytes,
-                         const std::vector<size_t>& chunk_sizes) {
+                         const std::vector<size_t>& chunk_sizes,
+                         const ApplyOptions& base = {}) {
   std::string expected;
   Status expected_failure = Status::OK();
   Result<Table> parsed = ParseCsv(input_bytes);
@@ -44,7 +46,7 @@ void ExpectDiffIdentical(const Program& program, const std::string& input_bytes,
 
   for (size_t chunk_rows : chunk_sizes) {
     SCOPED_TRACE("chunk_rows=" + std::to_string(chunk_rows));
-    ApplyOptions options;
+    ApplyOptions options = base;
     options.chunk_rows = chunk_rows;
     std::string output;
     Result<ApplyStats> stats =
@@ -73,6 +75,24 @@ TEST_P(CorpusDiffTest, StreamingMatchesTableExecutorByteForByte) {
   }
   const std::string input_bytes = ToCsv(scenario.FullInput());
   ExpectDiffIdentical(*scenario.truth(), input_bytes, {1, 3, 17, 4096});
+}
+
+// The spill path must be invisible in the bytes: the same corpus-wide
+// identity holds with the spill threshold forced to zero ("spill
+// everything" — every blocking suffix runs entirely off disk runs) and
+// at 1 MB (spills only where a relation actually outgrows it).
+TEST_P(CorpusDiffTest, SpillThresholdsPreserveByteIdentity) {
+  const Scenario& scenario = *GetParam();
+  if (!scenario.truth().has_value()) {
+    GTEST_SKIP() << "oracle-only scenario (no ground-truth program)";
+  }
+  const std::string input_bytes = ToCsv(scenario.FullInput());
+  for (uint64_t threshold : {uint64_t{0}, uint64_t{1} << 20}) {
+    SCOPED_TRACE("spill_threshold=" + std::to_string(threshold));
+    ApplyOptions base;
+    base.spill_threshold_bytes = threshold;
+    ExpectDiffIdentical(*scenario.truth(), input_bytes, {1, 4096}, base);
+  }
 }
 
 // The skip above is silent per-case, so drift would be invisible: if a
@@ -203,6 +223,37 @@ TEST(LargeInputDiffTest, BlockingSuffix5kRows) {
   ExpectDiffIdentical(Program({Drop(3), Transpose()}), csv, {512, 8192});
   ExpectDiffIdentical(Program({Merge(0, 1, "|"), WrapEvery(500), WrapAll()}),
                       csv, {512, 8192});
+}
+
+// --- Generated blocking-op scenarios at every spill threshold -------------
+
+// One program per blocking operator (the five ops with spill-aware
+// executors), swept at thresholds {0, 1 MB, default} × chunks {1, 4096}.
+// Threshold 0 forces every inter-stage relation onto disk; 1 MB mixes
+// spilled and in-memory stages; the default (no budget → never spill)
+// pins the sweep to the in-memory reference path.
+TEST(LargeInputDiffTest, BlockingOperatorsAcrossSpillThresholds) {
+  const std::string csv = GeneratedCsv(2'000, /*with_holes=*/true);
+  const std::vector<Program> programs = {
+      Program({Drop(3), Transpose()}),
+      Program({Transpose(), Fill(0), Transpose()}),
+      Program({Unfold(1, 2)}),
+      Program({WrapColumn(1)}),
+      Program({Merge(0, 1, "|"), WrapAll()}),
+      Program({SplitAll(2, "-")}),
+      Program({SplitAll(2, "-"), Transpose(), DeleteRows(1)}),
+  };
+  const std::vector<uint64_t> thresholds = {
+      0, uint64_t{1} << 20, ApplyOptions::kSpillAuto};
+  for (size_t p = 0; p < programs.size(); ++p) {
+    for (uint64_t threshold : thresholds) {
+      SCOPED_TRACE("program=" + std::to_string(p) +
+                   " spill_threshold=" + std::to_string(threshold));
+      ApplyOptions base;
+      base.spill_threshold_bytes = threshold;
+      ExpectDiffIdentical(programs[p], csv, {1, 4096}, base);
+    }
+  }
 }
 
 // --- The bounded-memory claim, as a unit assertion -----------------------

@@ -142,6 +142,24 @@ TEST(ApplyTextTest, StatsReportIo) {
   EXPECT_EQ(stats->passes, 2);  // profile + final, no width-dynamic ops.
   EXPECT_GT(stats->peak_tracked_bytes, 0u);
   EXPECT_GT(stats->interner.lookups, 0u);
+  // A pure streaming run never touches the spill path.
+  EXPECT_EQ(stats->spill_runs, 0u);
+  EXPECT_EQ(stats->spill_bytes_written, 0u);
+  EXPECT_EQ(stats->peak_disk_bytes, 0u);
+}
+
+TEST(ApplyTextTest, StatsReportSpillActivity) {
+  ApplyOptions options;
+  options.spill_threshold_bytes = 0;  // Spill every blocking relation.
+  std::string output;
+  Result<ApplyStats> stats = ApplyProgramToCsvText(
+      Program({Transpose()}), kInput, &output, options);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(output, Reference(Program({Transpose()}), kInput));
+  EXPECT_GE(stats->spill_runs, 1u);
+  EXPECT_GT(stats->spill_bytes_written, 0u);
+  EXPECT_GT(stats->peak_disk_bytes, 0u);
+  EXPECT_LE(stats->peak_disk_bytes, stats->spill_bytes_written);
 }
 
 TEST(ApplyTextTest, InvalidProgramFailsWithTableExecutorMessage) {

@@ -15,11 +15,14 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/driver.h"
+#include "exec/runner.h"
 #include "ops/operation.h"
 #include "ops/operators.h"
 #include "scenarios/corpus.h"
@@ -224,6 +227,24 @@ TEST_F(FaultInjectionTest, CancelFiredAtEveryFailurePointTerminatesCleanly) {
   // mid-flight when the token fires must unwind cooperatively — no hang,
   // no crash; ASan and TSan audit the rest.
   const Workload& workload = SolvableWorkload();
+
+  // Streaming-executor traffic for the exec/csv failure points: a
+  // spill-everything file apply with a blocking Transpose suffix touches
+  // spill write/read, the durable output commit, temp-dir cleanup, and
+  // the chunked CSV writer's flush.
+  const char* tmp_env = std::getenv("TMPDIR");
+  std::string exec_dir(tmp_env != nullptr && *tmp_env != '\0' ? tmp_env
+                                                              : "/tmp");
+  std::string exec_in = exec_dir + "/fault_sweep_exec_in.csv";
+  std::string exec_out = exec_dir + "/fault_sweep_exec_out.csv";
+  {
+    std::FILE* file = std::fopen(exec_in.c_str(), "wb");
+    ASSERT_NE(file, nullptr);
+    for (int r = 0; r < 64; ++r) std::fprintf(file, "a%d,b%d,c%d\n", r, r, r);
+    std::fclose(file);
+  }
+  const Program exec_program({Transpose()});
+
   const std::vector<std::string>& points = FaultInjector::KnownPoints();
   for (size_t i = 0; i < points.size(); ++i) {
     const std::string& point = points[i];
@@ -273,6 +294,17 @@ TEST_F(FaultInjectionTest, CancelFiredAtEveryFailurePointTerminatesCleanly) {
       EXPECT_NE(response.status.code(), StatusCode::kInternal);
     }
 
+    // A spill-backed file apply under the same token: whether the cancel
+    // lands mid-spill, mid-read, or mid-commit, the apply must unwind to
+    // a typed status with no torn output and no leaked temp dirs.
+    {
+      exec::ApplyOptions apply_options;
+      apply_options.spill_threshold_bytes = 0;
+      apply_options.cancel = &token;
+      (void)exec::ApplyProgramToCsvFile(exec_program, exec_in, exec_out,
+                                        apply_options);
+    }
+
     // A threaded synthesis under the same token.
     SearchOptions options;
     options.timeout_ms = 10'000;
@@ -287,6 +319,8 @@ TEST_F(FaultInjectionTest, CancelFiredAtEveryFailurePointTerminatesCleanly) {
         << "sweep never exercised this failure point";
   }
   FaultInjector::Instance().Reset();
+  std::remove(exec_in.c_str());
+  std::remove(exec_out.c_str());
 }
 
 // ---------------------------------------------------------------------------
